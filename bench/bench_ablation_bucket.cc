@@ -1,0 +1,38 @@
+// Design-choice ablation (DESIGN.md §4): bucket-size sensitivity of the
+// execution optimizer. Too-small buckets pay per-unit latency and host
+// overhead; too-large buckets destroy overlap (the first bucket only
+// becomes ready near the end of backward). The sweet spot the paper's
+// ~10 MB default sits in should be visible as a U-shaped curve.
+
+#include "base/strings.h"
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+void Run(const char* model, const char* algorithm, double gbps) {
+  PrintSection(std::string("Bucket-size ablation: ") + model + " / " +
+               algorithm + StrFormat(" @ %.0f Gbps", gbps));
+  ReportTable table({"bucket", "epoch (s)", "iteration (ms)", "comm (ms)"});
+  for (size_t mb : {1, 2, 5, 10, 25, 50, 100, 400}) {
+    TimingConfig cfg;
+    cfg.model = ModelProfile::ByName(model);
+    cfg.net = NetworkConfig::Tcp(gbps);
+    BaguaOptions options;
+    options.bucket_bytes = mb << 20;
+    const EpochEstimate est = BaguaEpoch(cfg, algorithm, options);
+    table.AddRow({Fmt(mb, "%.0f MB"), Fmt(est.epoch_s),
+                  Fmt(est.iteration_s * 1e3), Fmt(est.comm_s * 1e3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run("bert-large", "allreduce", 25);
+  bagua::Run("bert-large", "1bit-adam", 10);
+  bagua::Run("vgg16", "qsgd8", 10);
+  return 0;
+}

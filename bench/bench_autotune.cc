@@ -1,0 +1,40 @@
+// Exercises the auto-tuner (harness/autotune.h) — the paper's future-work
+// direction, built on top of the cost model: for every (model, network)
+// cell, which algorithm does it pick, and how much does the pick save over
+// running plain allreduce?
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+void Run() {
+  PrintSection("Auto-tuner picks per (model, network)");
+  ReportTable table({"model", "network", "picked (safe)", "speedup vs AR",
+                     "fastest overall", "caution"});
+  for (const char* model : {"vgg16", "bert-large", "bert-base", "transformer",
+                            "lstm-alexnet"}) {
+    for (double gbps : {100.0, 25.0, 10.0, 2.0}) {
+      TimingConfig cfg;
+      cfg.model = ModelProfile::ByName(model);
+      cfg.net = NetworkConfig::Tcp(gbps);
+      const auto ranking = RankAlgorithms(cfg);
+      auto safe = RecommendAlgorithm(cfg, /*require_safe=*/true);
+      BAGUA_CHECK(safe.ok());
+      const auto& fastest = ranking.front();
+      table.AddRow({model, Fmt(gbps, "%.0f Gbps"), safe->algorithm,
+                    Fmt(safe->speedup_vs_allreduce, "%.2fx"),
+                    fastest.algorithm,
+                    fastest.convergence_caution ? fastest.note : "-"});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Communication-volume accounting: per-iteration wire bytes each algorithm
+// puts through a worker for every paper model (hierarchical execution,
+// inter-node share shown separately). This is the "why" behind Fig. 7 —
+// epoch-time ratios track these volumes once bandwidth becomes the
+// bottleneck.
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+void Run() {
+  PrintSection("Per-worker communication volume per iteration "
+               "(hierarchical execution)");
+  const auto topo = ClusterTopology::Paper();
+  std::vector<std::string> headers{"algorithm"};
+  for (const auto& m : ModelProfile::AllPaperModels()) headers.push_back(m.name);
+  ReportTable table(headers);
+  for (const std::string& name : TunableAlgorithms()) {
+    auto algo = MakeTimingAlgorithm(name);
+    std::vector<std::string> row{name};
+    for (const auto& m : ModelProfile::AllPaperModels()) {
+      row.push_back(Fmt(algo->WireBytes(m.TotalParams(), topo, true) / 1e6,
+                        "%.0f MB"));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  PrintSection("Inter-node (NIC) share only — what the paper's 10 Gbps "
+               "results are governed by");
+  ReportTable nic(headers);
+  for (const std::string& name : TunableAlgorithms()) {
+    auto algo = MakeTimingAlgorithm(name);
+    std::vector<std::string> row{name};
+    for (const auto& m : ModelProfile::AllPaperModels()) {
+      // Hier wire bytes minus the intra-node (NVLink) component, which for
+      // every hierarchical algorithm is 2 full-precision copies.
+      const double total = algo->WireBytes(m.TotalParams(), topo, true);
+      const double intra = 2.0 * m.GradientBytes();
+      row.push_back(Fmt(std::max(0.0, total - intra) / 1e6, "%.1f MB"));
+    }
+    nic.AddRow(std::move(row));
+  }
+  nic.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef BAGUA_BENCH_BENCH_COMMON_H_
+#define BAGUA_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "algorithms/algorithms.h"
+#include "algorithms/registry.h"
+#include "baselines/baselines.h"
+#include "harness/autotune.h"
+#include "harness/report.h"
+#include "harness/timing.h"
+#include "sim/collective_cost.h"
+
+namespace bagua {
+
+/// The per-task algorithm the paper's Table 3 / Fig. 5 selects as BAGUA's
+/// best ("Algorithms used in BAGUA are QSGD (VGG16), 1-bit Adam
+/// (BERT-LARGE, BERT-BASE), Decen-32bits (Transformer) and Async
+/// (LSTM+AlexNet)").
+inline std::string BestBaguaAlgorithmFor(const std::string& model) {
+  if (model == "vgg16") return "qsgd8";
+  if (model == "bert-large" || model == "bert-base") return "1bit-adam";
+  if (model == "transformer") return "decen-32bits";
+  if (model == "lstm-alexnet") return "async";
+  return "allreduce";
+}
+
+/// BAGUA epoch estimate for a named algorithm under given options.
+inline EpochEstimate BaguaEpoch(const TimingConfig& cfg,
+                                const std::string& algorithm,
+                                const BaguaOptions& options = BaguaOptions()) {
+  auto algo = MakeTimingAlgorithm(algorithm);
+  SystemSpec spec = BaguaSpec(cfg, *algo, options);
+  return EstimateEpoch(cfg, spec);
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace bagua
+
+#endif  // BAGUA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,68 @@
+// Reproduces Figure 6: convergence of the six BAGUA algorithms on shared
+// tasks. Findings to reproduce: Allreduce/QSGD track each other closely;
+// decentralized algorithms converge with a small accuracy drop; 1-bit Adam
+// requires its warmup (the paper observes it diverging on conv-style
+// tasks); async converges with a gap on some tasks.
+
+#include "bench_common.h"
+#include "harness/trainer.h"
+
+namespace bagua {
+namespace {
+
+// `onebit_recipe`: use the 1-bit Adam BERT recipe (low lr + long warmup).
+// The paper observes 1-bit Adam converging on the BERT tasks but diverging
+// on VGG16 and LSTM+AlexNet; the same fragility reproduces here — with the
+// conv-task hyperparameters the compression noise amplified by the frozen
+// Adam denominator blows the loss up.
+void RunTask(const char* task_name, uint64_t seed, double lr,
+             bool onebit_recipe) {
+  PrintSection(std::string("Figure 6: ") + task_name +
+               " — loss vs epoch per algorithm");
+  const char* algorithms[] = {"allreduce", "qsgd8",       "1bit-adam",
+                              "decen-32bits", "decen-8bits", "async"};
+  constexpr size_t kEpochs = 8;
+
+  std::vector<std::string> headers{"epoch"};
+  std::vector<ConvergenceResult> results;
+  for (const char* algo : algorithms) {
+    ConvergenceOptions opts;
+    opts.algorithm = algo;
+    opts.epochs = kEpochs;
+    opts.data.seed = seed;
+    if (std::string(algo) == "1bit-adam") {
+      opts.lr = onebit_recipe ? 0.002 : 0.005;
+      opts.onebit_warmup = onebit_recipe ? 64 : 16;
+    }
+    auto result = RunConvergence(opts);
+    BAGUA_CHECK(result.ok()) << result.status().ToString();
+    results.push_back(std::move(result).value());
+    headers.push_back(algo);
+  }
+  ReportTable table(headers);
+  for (size_t e = 0; e < kEpochs; ++e) {
+    std::vector<std::string> row{Fmt(e + 1, "%.0f")};
+    for (const auto& r : results) {
+      row.push_back(Fmt(r.epoch_loss[e], "%.4f"));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("final accuracy:");
+  for (size_t a = 0; a < results.size(); ++a) {
+    std::printf(" %s=%.3f%s", algorithms[a],
+                results[a].epoch_accuracy.back(),
+                results[a].diverged ? "[DIVERGED]" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::RunTask("task A (VGG16-like stand-in)", 101, 0.05, false);
+  bagua::RunTask("task B (BERT-like stand-in)", 202, 0.05, true);
+  bagua::RunTask("task C (LSTM+AlexNet-like stand-in)", 303, 0.05, false);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Microbenchmarks: throughput of the compression codecs (the Q functions
+// of C_LP_S / D_LP_S) on realistic gradient spans.
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "compress/factory.h"
+
+namespace bagua {
+namespace {
+
+std::vector<float> MakeInput(size_t n) {
+  Rng rng(42);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal() * 0.01);
+  return v;
+}
+
+void BM_Compress(benchmark::State& state, const std::string& spec) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto codec = std::move(MakeCompressor(spec)).value();
+  const auto input = MakeInput(n);
+  Rng rng(7);
+  std::vector<uint8_t> payload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec->Compress(input.data(), n, &rng, &payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4);
+  state.counters["ratio"] =
+      static_cast<double>(n * 4) / codec->CompressedBytes(n);
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& spec) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto codec = std::move(MakeCompressor(spec)).value();
+  const auto input = MakeInput(n);
+  Rng rng(7);
+  std::vector<uint8_t> payload;
+  BAGUA_CHECK(codec->Compress(input.data(), n, &rng, &payload).ok());
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec->Decompress(payload.data(), payload.size(), n, out.data()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4);
+}
+
+#define CODEC_BENCH(spec_name, spec)                                    \
+  BENCHMARK_CAPTURE(BM_Compress, spec_name, spec)                       \
+      ->Arg(1 << 14)                                                    \
+      ->Arg(1 << 18);                                                   \
+  BENCHMARK_CAPTURE(BM_Decompress, spec_name, spec)->Arg(1 << 18)
+
+CODEC_BENCH(identity, "identity");
+CODEC_BENCH(fp16, "fp16");
+CODEC_BENCH(qsgd8, "qsgd8");
+CODEC_BENCH(qsgd4, "qsgd4");
+CODEC_BENCH(onebit, "onebit");
+CODEC_BENCH(topk1pct, "topk:0.01");
+
+}  // namespace
+}  // namespace bagua
+
+BENCHMARK_MAIN();

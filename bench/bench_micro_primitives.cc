@@ -1,0 +1,102 @@
+// Microbenchmarks: the data path of the four BAGUA primitives on an
+// in-memory cluster (real worker threads, real bytes). Measures whole
+// collective invocations including codec work.
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.h"
+#include "base/sync.h"
+#include "comm/primitives.h"
+#include "compress/qsgd.h"
+
+namespace bagua {
+namespace {
+
+constexpr int kWorld = 4;
+
+struct Fixture {
+  explicit Fixture(size_t n)
+      : world(ClusterTopology::Make(kWorld, 1), 99), data(kWorld) {
+    Rng rng(5);
+    for (auto& v : data) {
+      v.resize(n);
+      for (auto& x : v) x = static_cast<float>(rng.Normal());
+    }
+  }
+  CommWorld world;
+  std::vector<std::vector<float>> data;
+  uint32_t space = 0;
+};
+
+void BM_CFpS(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Fixture f(n);
+  for (auto _ : state) {
+    ParallelFor(kWorld, [&](size_t r) {
+      CommContext ctx{&f.world, static_cast<int>(r), f.space, 0, false};
+      BAGUA_CHECK(CFpS(&ctx, f.data[r].data(), n).ok());
+    });
+    f.space += CommContext::kSpaceStride;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4 *
+                          kWorld);
+}
+BENCHMARK(BM_CFpS)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CLpS_Qsgd8(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Fixture f(n);
+  QsgdCompressor codec(8);
+  for (auto _ : state) {
+    ParallelFor(kWorld, [&](size_t r) {
+      CommContext ctx{&f.world, static_cast<int>(r), f.space, 0, false};
+      BAGUA_CHECK(CLpS(&ctx, codec, f.data[r].data(), n, nullptr).ok());
+    });
+    f.space += CommContext::kSpaceStride;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4 *
+                          kWorld);
+}
+BENCHMARK(BM_CLpS_Qsgd8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DFpS_Ring(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Fixture f(n);
+  uint64_t step = 0;
+  for (auto _ : state) {
+    ParallelFor(kWorld, [&](size_t r) {
+      CommContext ctx{&f.world, static_cast<int>(r), f.space, step, false};
+      BAGUA_CHECK(DFpS(&ctx, PeerSelection::kRing, f.data[r].data(), n).ok());
+    });
+    f.space += CommContext::kSpaceStride;
+    ++step;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4 *
+                          kWorld);
+}
+BENCHMARK(BM_DFpS_Ring)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DLpS_Qsgd8(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Fixture f(n);
+  QsgdCompressor codec(8);
+  uint64_t step = 0;
+  for (auto _ : state) {
+    ParallelFor(kWorld, [&](size_t r) {
+      CommContext ctx{&f.world, static_cast<int>(r), f.space, step, false};
+      BAGUA_CHECK(
+          DLpS(&ctx, codec, PeerSelection::kRandom, f.data[r].data(), n)
+              .ok());
+    });
+    f.space += CommContext::kSpaceStride;
+    ++step;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4 *
+                          kWorld);
+}
+BENCHMARK(BM_DLpS_Qsgd8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace bagua
+
+BENCHMARK_MAIN();

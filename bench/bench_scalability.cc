@@ -1,0 +1,46 @@
+// Scalability study (hypothesis 1 of §4: "significant performance
+// improvements ... and scalability over realistic industrial-scale
+// infrastructure"): epoch time and scaling efficiency as the cluster
+// grows from 1 to 16 nodes (8 -> 128 GPUs), BAGUA's best algorithm vs the
+// best baseline, at 25 Gbps.
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+void Run(const char* model) {
+  PrintSection(std::string("Scalability: ") + model +
+               " epoch time vs cluster size (25 Gbps)");
+  ReportTable table({"nodes", "gpus", "bagua best (s)", "bagua scaling eff",
+                     "best baseline (s)", "baseline scaling eff"});
+  double bagua_base = 0, baseline_base = 0;
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    TimingConfig cfg;
+    cfg.model = ModelProfile::ByName(model);
+    cfg.net = NetworkConfig::Tcp25();
+    cfg.topo = ClusterTopology::Make(nodes, 8);
+    const EpochEstimate bagua = BaguaEpoch(cfg, BestBaguaAlgorithmFor(model));
+    const EpochEstimate baseline = BestBaselineEpoch(cfg);
+    if (nodes == 1) {
+      bagua_base = bagua.epoch_s;
+      baseline_base = baseline.epoch_s;
+    }
+    // Perfect scaling: epoch time drops linearly with cluster size.
+    const double bagua_eff = bagua_base / nodes / bagua.epoch_s;
+    const double baseline_eff = baseline_base / nodes / baseline.epoch_s;
+    table.AddRow({Fmt(nodes, "%.0f"), Fmt(nodes * 8, "%.0f"),
+                  Fmt(bagua.epoch_s), Fmt(bagua_eff * 100, "%.0f%%"),
+                  Fmt(baseline.epoch_s), Fmt(baseline_eff * 100, "%.0f%%")});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run("vgg16");
+  bagua::Run("bert-large");
+  return 0;
+}

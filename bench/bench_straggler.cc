@@ -1,0 +1,57 @@
+// Reproduces the §4.3 worker-heterogeneity experiment: one GPU is
+// downclocked (Graphics 1290 MHz -> 585 MHz, i.e. 0.4535x speed) and the
+// synchronous algorithm must wait for it every iteration while the
+// asynchronous one does not. The paper: "when there are stragglers in the
+// system, asynchronous algorithms outperform a synchronous one in terms of
+// epoch time".
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+void Run() {
+  PrintSection("Worker heterogeneity (1 GPU downclocked 1290->585 MHz), "
+               "LSTM+AlexNet, 25 Gbps");
+  constexpr double kStragglerSpeed = 585.0 / 1290.0;
+
+  TimingConfig healthy;
+  healthy.model = ModelProfile::LstmAlexNet();
+  healthy.net = NetworkConfig::Tcp25();
+
+  // Synchronous training: every barrier waits for the slowest device, so
+  // the whole cluster runs at the straggler's pace.
+  TimingConfig straggling = healthy;
+  straggling.dev.speed_multiplier = kStragglerSpeed;
+  const EpochEstimate sync_healthy = BaguaEpoch(healthy, "allreduce");
+  const EpochEstimate sync_straggler = BaguaEpoch(straggling, "allreduce");
+
+  // Asynchronous training: workers proceed at their own pace; aggregate
+  // throughput only loses the slow worker's shortfall. Epoch time scales
+  // by world / (world-1 + straggler_speed).
+  const EpochEstimate async_healthy = BaguaEpoch(healthy, "async");
+  const int world = healthy.topo.world_size();
+  const double async_scale =
+      static_cast<double>(world) /
+      (static_cast<double>(world - 1) + kStragglerSpeed);
+  const double async_straggler_s = async_healthy.epoch_s * async_scale;
+
+  ReportTable table(
+      {"algorithm", "healthy epoch (s)", "with straggler (s)", "slowdown"});
+  table.AddRow({"allreduce (sync)", Fmt(sync_healthy.epoch_s),
+                Fmt(sync_straggler.epoch_s),
+                Fmt(sync_straggler.epoch_s / sync_healthy.epoch_s, "%.2fx")});
+  table.AddRow({"async", Fmt(async_healthy.epoch_s), Fmt(async_straggler_s),
+                Fmt(async_scale, "%.2fx")});
+  table.Print();
+  std::printf("async advantage under straggler: %.2fx\n",
+              sync_straggler.epoch_s / async_straggler_s);
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run();
+  return 0;
+}

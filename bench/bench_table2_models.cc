@@ -1,0 +1,37 @@
+// Reproduces Table 2: model characteristics (# parameters, # FLOPs) of the
+// five workloads — a consistency check that the profiles driving every
+// timing experiment carry the paper's budgets.
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+void Run() {
+  PrintSection("Table 2: model characteristics");
+  ReportTable table({"model", "# parameters", "# FLOPs (fwd+bwd/sample)",
+                     "# tensors", "paper (params / FLOPs)"});
+  const struct {
+    const char* name;
+    const char* paper;
+  } rows[] = {
+      {"vgg16", "138.3M / 31G"},       {"bert-large", "302.2M / 232G"},
+      {"bert-base", "85.6M / 22G"},    {"transformer", "66.5M / 145G"},
+      {"lstm-alexnet", "126.8M / 97.12G"},
+  };
+  for (const auto& row : rows) {
+    const ModelProfile p = ModelProfile::ByName(row.name);
+    table.AddRow({p.name, Fmt(p.TotalParams() / 1e6, "%.1fM"),
+                  Fmt(p.TotalFlops() / 1e9, "%.1fG"),
+                  Fmt(p.TotalTensors(), "%.0f"), row.paper});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run();
+  return 0;
+}

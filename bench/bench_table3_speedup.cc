@@ -1,0 +1,60 @@
+// Reproduces Table 3: end-to-end speedup of BAGUA (best algorithm per
+// task, as the paper selects: QSGD for VGG16, 1-bit Adam for the BERTs,
+// Decen-32bits for Transformer, Async for LSTM+AlexNet) over the best of
+// {PyTorch-DDP, Horovod 32-bit, Horovod 16-bit, BytePS}, at 100/25/10 Gbps.
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+struct PaperRow {
+  double gbps;
+  double vgg16, bert_large, bert_base, transformer, lstm_alexnet;
+};
+constexpr PaperRow kPaper[] = {
+    {100, 1.10, 1.05, 1.27, 1.20, 1.34},
+    {25, 1.10, 1.05, 1.27, 1.20, 1.34},
+    {10, 1.94, 1.95, 1.27, 1.20, 1.34},
+};
+
+void Run() {
+  PrintSection(
+      "Table 3: speedup of BAGUA (best algorithm) over best of "
+      "{DDP, Horovod32, Horovod16, BytePS}");
+  const char* models[] = {"vgg16", "bert-large", "bert-base", "transformer",
+                          "lstm-alexnet"};
+  ReportTable table({"network", "model", "bagua algo", "bagua epoch (s)",
+                     "best baseline", "baseline epoch (s)", "speedup",
+                     "paper"});
+  for (const PaperRow& row : kPaper) {
+    for (const char* model : models) {
+      TimingConfig cfg;
+      cfg.model = ModelProfile::ByName(model);
+      cfg.net = NetworkConfig::Tcp(row.gbps);
+      const std::string algo = BestBaguaAlgorithmFor(model);
+      const EpochEstimate bagua = BaguaEpoch(cfg, algo);
+      const EpochEstimate baseline = BestBaselineEpoch(cfg);
+      const double paper =
+          model == std::string("vgg16")          ? row.vgg16
+          : model == std::string("bert-large")   ? row.bert_large
+          : model == std::string("bert-base")    ? row.bert_base
+          : model == std::string("transformer")  ? row.transformer
+                                                 : row.lstm_alexnet;
+      table.AddRow({Fmt(row.gbps, "%.0f Gbps"), model, algo,
+                    Fmt(bagua.epoch_s), baseline.system,
+                    Fmt(baseline.epoch_s),
+                    Fmt(baseline.epoch_s / bagua.epoch_s, "%.2fx"),
+                    Fmt(paper, "%.2fx")});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table 4: epoch time (s) of the centralized full-precision
+// synchronized algorithm of different systems (25 Gbps TCP, 16 nodes x 8
+// GPUs). BAGUA runs its automatically optimized AllReduce (C_FP_S with
+// O/F/H on); the baselines run their own documented schedules.
+
+#include "bench_common.h"
+
+namespace bagua {
+namespace {
+
+// Paper values for side-by-side comparison (Table 4).
+struct PaperRow {
+  const char* model;
+  double bagua, ddp, horovod, byteps;
+};
+constexpr PaperRow kPaper[] = {
+    {"vgg16", 105, 106, 107, 170},
+    {"bert-large", 114, 116, 112, 114},
+    {"bert-base", 510, 521, 550, 548},
+    {"lstm-alexnet", 168, 171, 177, 224},
+    {"transformer", 318, 341, 343, 340},
+};
+
+void Run() {
+  PrintSection("Table 4: epoch time (s), centralized full-precision sync, 100 Gbps");
+  ReportTable table({"model", "bagua-allreduce", "pytorch-ddp", "horovod-32",
+                     "byteps", "paper(bagua/ddp/hvd/byteps)"});
+  for (const PaperRow& row : kPaper) {
+    TimingConfig cfg;
+    cfg.model = ModelProfile::ByName(row.model);
+    cfg.net = NetworkConfig::Tcp100();
+    const EpochEstimate bagua = BaguaEpoch(cfg, "allreduce");
+    const EpochEstimate ddp = EstimateEpoch(cfg, DdpSpec(cfg));
+    const EpochEstimate hvd = EstimateEpoch(cfg, HorovodSpec(cfg, 32));
+    const EpochEstimate byteps = EstimateEpoch(cfg, BytePsSpec(cfg));
+    table.AddRow({row.model, Fmt(bagua.epoch_s), Fmt(ddp.epoch_s),
+                  Fmt(hvd.epoch_s), Fmt(byteps.epoch_s),
+                  Fmt(row.bagua, "%.0f") + "/" + Fmt(row.ddp, "%.0f") + "/" +
+                      Fmt(row.horovod, "%.0f") + "/" +
+                      Fmt(row.byteps, "%.0f")});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main() {
+  bagua::Run();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Developer-facing API: implementing a NEW training algorithm against the
+// BAGUA primitives — the Listing-2 experience in C++.
+//
+// Here: error-compensated top-K sparsified SGD, an algorithm none of the
+// built-ins provide. The entire implementation is the ~30-line class below;
+// the runtime supplies profiling, bucketing, flattening and scheduling
+// automatically, which is the point of the paper's abstraction.
+
+#include <cstdio>
+#include <memory>
+
+#include "base/sync.h"
+#include "comm/primitives.h"
+#include "compress/topk.h"
+#include "core/runtime.h"
+#include "model/data.h"
+#include "model/loss.h"
+#include "model/net.h"
+#include "sim/collective_cost.h"
+#include "tensor/ops.h"
+
+using namespace bagua;
+
+/// Top-K sparsified centralized SGD with error compensation: per bucket,
+/// communicate only the largest 5% of gradient coordinates through C_LP_S;
+/// the δ/ε state keeps what was dropped and feeds it back next step.
+class TopKSgdAlgorithm : public Algorithm {
+ public:
+  const std::string& name() const override { return name_; }
+  AlgorithmTraits traits() const override {
+    return {true, /*full_precision=*/false, true, false};
+  }
+
+  Status Init(BaguaContext* ctx, std::vector<Bucket>* buckets) override {
+    // Listing 2's init_states: one (δ, ε) pair per bucket.
+    states_.clear();
+    for (Bucket& bucket : *buckets) {
+      ASSIGN_OR_RETURN(ClpsState state,
+                       InitClpsState(ctx->comm, bucket.numel));
+      states_.push_back(std::move(state));
+    }
+    return Status::OK();
+  }
+
+  Status OnBucketReady(BaguaContext* ctx, Bucket* bucket) override {
+    // Listing 2's step(): one primitive call + the local update.
+    RETURN_IF_ERROR(CLpS(&ctx->comm, codec_, bucket->grad_data(),
+                         bucket->numel, &states_[bucket->index]));
+    Scale(bucket->grad_data(), 1.0f / ctx->world_size(), bucket->numel);
+    return ctx->optimizer->Step(bucket->index, bucket->value_data(),
+                                bucket->grad_data(), bucket->numel);
+  }
+
+  double CommCost(size_t numel, const ClusterTopology& topo,
+                  const NetworkConfig& net, bool hier) const override {
+    return EstimateCLpSCost(topo, net, codec_, numel, hier);
+  }
+  double WireBytes(size_t numel, const ClusterTopology& topo,
+                   bool hier) const override {
+    const double wire = codec_.CompressedBytes(numel);
+    return hier ? 2.0 * numel * 4.0 + 2.0 * wire / topo.devices_per_node
+                : 2.0 * wire;
+  }
+
+ private:
+  std::string name_ = "topk-sgd";
+  TopKCompressor codec_{0.05};
+  std::vector<ClpsState> states_;
+};
+
+int main() {
+  constexpr int kWorld = 8;
+  CommWorld world(ClusterTopology::Make(2, 4), 99);
+  SyntheticClassification::Options data_opts;
+  data_opts.num_samples = 4096;
+  data_opts.dim = 32;
+  data_opts.classes = 8;
+  SyntheticClassification dataset(data_opts);
+
+  struct Worker {
+    std::unique_ptr<Net> net;
+    std::unique_ptr<SgdOptimizer> opt;
+    std::unique_ptr<TopKSgdAlgorithm> algo;
+    std::unique_ptr<BaguaRuntime> runtime;
+  };
+  std::vector<Worker> workers(kWorld);
+  for (int r = 0; r < kWorld; ++r) {
+    workers[r].net = std::make_unique<Net>(Net::Mlp({32, 64, 32, 8}));
+    workers[r].net->InitParams(5);
+    workers[r].opt = std::make_unique<SgdOptimizer>(0.05);
+    workers[r].algo = std::make_unique<TopKSgdAlgorithm>();
+    workers[r].runtime = std::make_unique<BaguaRuntime>(
+        &world, r, workers[r].net.get(), workers[r].opt.get(),
+        workers[r].algo.get(), BaguaOptions());
+  }
+
+  std::printf("custom algorithm: top-5%% sparsified SGD with error "
+              "compensation, hierarchical on a 2x4 cluster\n");
+  constexpr size_t kEpochs = 6, kBatch = 16;
+  std::vector<double> epoch_loss(kEpochs, 0.0);
+  std::vector<std::vector<double>> per_worker(
+      kWorld, std::vector<double>(kEpochs, 0.0));
+  ParallelFor(kWorld, [&](size_t r) {
+    const size_t batches =
+        dataset.BatchesPerEpoch(static_cast<int>(r), kWorld, kBatch);
+    for (size_t e = 0; e < kEpochs; ++e) {
+      double sum = 0.0;
+      for (size_t b = 0; b < batches; ++b) {
+        Tensor x, y;
+        BAGUA_CHECK(dataset.GetShardBatch(static_cast<int>(r), kWorld, e, b,
+                                          kBatch, &x, &y)
+                        .ok());
+        auto loss = workers[r].runtime->TrainStepCE(x, y);
+        BAGUA_CHECK(loss.ok()) << loss.status().ToString();
+        sum += *loss;
+      }
+      per_worker[r][e] = sum / batches;
+    }
+  });
+  for (size_t e = 0; e < kEpochs; ++e) {
+    double mean = 0;
+    for (int r = 0; r < kWorld; ++r) mean += per_worker[r][e];
+    std::printf("epoch %zu  loss %.4f\n", e + 1, mean / kWorld);
+  }
+
+  // How much wire did 5% sparsification save vs full precision?
+  const size_t numel = workers[0].net->NumParams();
+  TopKSgdAlgorithm probe;
+  std::printf("wire bytes per iteration per worker: %.0f (vs %.0f full "
+              "precision, flat)\n",
+              probe.WireBytes(numel, world.topo(), false), 2.0 * numel * 4);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Tradeoff exploration (the paper's second hypothesis): no single
+// algorithm wins everywhere, so a system must offer the whole cohort.
+// This example sweeps your cluster's network conditions through the
+// auto-tuner (harness/autotune.h) and prints which BAGUA algorithm
+// minimizes epoch time for a chosen workload — a seed of the "principled
+// auto-tuning system" the paper's Limitations section calls for.
+//
+//   ./network_tradeoff [model] [gbps] [latency_us]
+//   e.g. ./network_tradeoff bert-large 10 500
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/strings.h"
+#include "baselines/baselines.h"
+#include "harness/autotune.h"
+#include "harness/report.h"
+
+using namespace bagua;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "bert-large";
+  const double gbps = argc > 2 ? std::atof(argv[2]) : 10.0;
+  const double latency_us = argc > 3 ? std::atof(argv[3]) : 50.0;
+
+  TimingConfig cfg;
+  cfg.model = ModelProfile::ByName(model);
+  cfg.net = NetworkConfig::Tcp(gbps, latency_us * 1e-6);
+
+  std::printf("workload: %s (%.1fM params), cluster: 16 nodes x 8 GPUs, "
+              "network: %.0f Gbps / %.0f us\n\n",
+              model.c_str(), cfg.model.TotalParams() / 1e6, gbps, latency_us);
+
+  ReportTable table({"algorithm", "epoch (s)", "speedup vs allreduce",
+                     "convergence note"});
+  for (const AlgorithmRecommendation& rec : RankAlgorithms(cfg)) {
+    table.AddRow({rec.algorithm, StrFormat("%.1f", rec.epoch_s),
+                  StrFormat("%.2fx", rec.speedup_vs_allreduce),
+                  rec.convergence_caution ? rec.note : "-"});
+  }
+  table.Print();
+
+  auto safe = RecommendAlgorithm(cfg, /*require_safe=*/true);
+  BAGUA_CHECK(safe.ok());
+  const EpochEstimate baseline = BestBaselineEpoch(cfg);
+  std::printf("recommended (convergence-safe): %s — %.1f s/epoch, %.2fx "
+              "over best baseline %s (%.1f s)\n",
+              safe->algorithm.c_str(), safe->epoch_s,
+              baseline.epoch_s / safe->epoch_s, baseline.system.c_str(),
+              baseline.epoch_s);
+  return 0;
+}

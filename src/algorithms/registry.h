@@ -1,0 +1,39 @@
+#ifndef BAGUA_ALGORITHMS_REGISTRY_H_
+#define BAGUA_ALGORITHMS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace bagua {
+
+/// \brief One row of the paper's Table 1: a (sync, precision,
+/// centralization) cell and which systems support it.
+struct CoverageRow {
+  AlgorithmTraits traits;
+  bool pytorch_ddp;
+  bool horovod;
+  bool byteps;
+  bool bagua;
+  const char* example;  ///< representative algorithm
+};
+
+/// \brief Instantiates a BAGUA algorithm by name: "allreduce", "qsgd8",
+/// "qsgd4", "1bit-adam", "decen-32bits", "decen-8bits", "local-sgd-<τ>",
+/// "allreduce-fp16". ("async" needs a shared parameter server — construct
+/// AsyncPsAlgorithm directly.)
+Result<std::unique_ptr<Algorithm>> MakeAlgorithm(const std::string& name);
+
+/// \brief Names accepted by MakeAlgorithm (for CLIs and sweeps).
+std::vector<std::string> RegisteredAlgorithms();
+
+/// \brief The support matrix of Table 1, derived from the algorithm
+/// implementations present in this library and each baseline's documented
+/// capabilities.
+std::vector<CoverageRow> SupportMatrix();
+
+}  // namespace bagua
+
+#endif  // BAGUA_ALGORITHMS_REGISTRY_H_

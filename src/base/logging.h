@@ -1,0 +1,71 @@
+#ifndef BAGUA_BASE_LOGGING_H_
+#define BAGUA_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bagua {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Sets the global minimum level at which messages are emitted.
+/// Defaults to kInfo; tests lower it to silence expected warnings.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define BAGUA_LOG_INTERNAL(level) \
+  ::bagua::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG BAGUA_LOG_INTERNAL(::bagua::LogLevel::kDebug)
+#define LOG_INFO BAGUA_LOG_INTERNAL(::bagua::LogLevel::kInfo)
+#define LOG_WARNING BAGUA_LOG_INTERNAL(::bagua::LogLevel::kWarning)
+#define LOG_ERROR BAGUA_LOG_INTERNAL(::bagua::LogLevel::kError)
+#define LOG_FATAL BAGUA_LOG_INTERNAL(::bagua::LogLevel::kFatal)
+
+/// Invariant check for programmer errors (not data errors — those go through
+/// Status). Enabled in all build types.
+#define BAGUA_CHECK(cond)                                          \
+  if (!(cond))                                                     \
+  BAGUA_LOG_INTERNAL(::bagua::LogLevel::kFatal)                    \
+      << "Check failed: " #cond " "
+
+#define BAGUA_CHECK_EQ(a, b) BAGUA_CHECK((a) == (b))
+#define BAGUA_CHECK_NE(a, b) BAGUA_CHECK((a) != (b))
+#define BAGUA_CHECK_LT(a, b) BAGUA_CHECK((a) < (b))
+#define BAGUA_CHECK_LE(a, b) BAGUA_CHECK((a) <= (b))
+#define BAGUA_CHECK_GT(a, b) BAGUA_CHECK((a) > (b))
+#define BAGUA_CHECK_GE(a, b) BAGUA_CHECK((a) >= (b))
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_LOGGING_H_

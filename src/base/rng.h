@@ -1,0 +1,58 @@
+#ifndef BAGUA_BASE_RNG_H_
+#define BAGUA_BASE_RNG_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bagua {
+
+/// \brief Deterministic, fast pseudo-random generator (xoshiro256**),
+/// seeded via splitmix64.
+///
+/// All randomized components in the library (stochastic quantization,
+/// random peer selection, synthetic data, initialization) draw from Rng
+/// instances with explicit seeds, so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() { return static_cast<float>(Uniform()); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal variate (Box-Muller, cached pair).
+  double Normal();
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle of indices [0, n) written into `out`.
+  void Permutation(size_t n, uint32_t* out);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// \brief Mixes two seeds into one (for deriving per-rank / per-iteration
+/// streams from a base seed).
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_RNG_H_

@@ -1,0 +1,168 @@
+#ifndef BAGUA_BASE_STATUS_H_
+#define BAGUA_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bagua {
+
+/// \brief Error categories used across the library.
+///
+/// Follows the Arrow/RocksDB convention: library code reports failures
+/// through Status/Result values rather than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kCancelled,
+  kTimedOut,
+  kIoError,
+};
+
+/// \brief Returns a human-readable name for a status code, e.g.
+/// "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error value returned by fallible operations.
+///
+/// A default-constructed Status is OK and carries no allocation. Error
+/// statuses carry a code and a message. Statuses are cheap to move and to
+/// copy in the OK case.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// \brief Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// The canonical way to return a fallible value:
+///
+///   Result<Tensor> MakeTensor(size_t n);
+///   ASSIGN_OR_RETURN(Tensor t, MakeTensor(16));
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; normalize to an error so that callers
+    // never observe ok() with no value.
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define BAGUA_CONCAT_IMPL(a, b) a##b
+#define BAGUA_CONCAT(a, b) BAGUA_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::bagua::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// binds the value to `lhs`.
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(BAGUA_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                          \
+  if (!result.ok()) return result.status();       \
+  lhs = std::move(result).value();
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_STATUS_H_

@@ -1,0 +1,26 @@
+#ifndef BAGUA_BASE_STRINGS_H_
+#define BAGUA_BASE_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace bagua {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Joins pieces with a separator.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep);
+
+/// \brief Renders a byte count as a human-readable size ("1.25 GB").
+std::string HumanBytes(double bytes);
+
+/// \brief Renders a duration in seconds as "12.3 ms" / "4.56 s" etc.
+std::string HumanSeconds(double seconds);
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_STRINGS_H_

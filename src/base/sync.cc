@@ -1,0 +1,54 @@
+#include "base/sync.h"
+
+#include <thread>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace bagua {
+
+Barrier::Barrier(size_t num_parties) : num_parties_(num_parties) {
+  BAGUA_CHECK_GT(num_parties, 0u);
+}
+
+bool Barrier::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t gen = generation_;
+  if (++arrived_ == num_parties_) {
+    ++generation_;
+    arrived_ = 0;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return false;
+}
+
+Latch::Latch(size_t count) : count_(count) {}
+
+void Latch::CountDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BAGUA_CHECK_GT(count_, 0u);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ == 0; });
+}
+
+bool Latch::TryWait() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&fn, i] { fn(i); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace bagua

@@ -1,0 +1,55 @@
+#ifndef BAGUA_BASE_SYNC_H_
+#define BAGUA_BASE_SYNC_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+namespace bagua {
+
+/// \brief Reusable barrier for a fixed party count.
+///
+/// Worker threads in the simulated cluster synchronize iteration phases with
+/// this. A generation counter makes the barrier safely reusable.
+class Barrier {
+ public:
+  explicit Barrier(size_t num_parties);
+
+  /// Blocks until `num_parties` threads have arrived. Returns true on the
+  /// thread that released the barrier (the last arriver).
+  bool Wait();
+
+  size_t num_parties() const { return num_parties_; }
+
+ private:
+  const size_t num_parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// \brief Single-use countdown latch.
+class Latch {
+ public:
+  explicit Latch(size_t count);
+
+  void CountDown();
+  void Wait();
+  bool TryWait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+/// \brief Runs `fn(rank)` on `n` threads and joins them all.
+///
+/// The canonical way tests and examples spin up a simulated cluster.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_SYNC_H_

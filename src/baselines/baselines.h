@@ -1,0 +1,47 @@
+#ifndef BAGUA_BASELINES_BASELINES_H_
+#define BAGUA_BASELINES_BASELINES_H_
+
+#include <string>
+
+#include "harness/timing.h"
+
+namespace bagua {
+
+/// The three competing systems of §4.1, re-implemented as their documented
+/// execution strategies over the shared cluster/network model (see
+/// DESIGN.md, substitutions). Each factory returns the SystemSpec whose
+/// schedule the paper describes for that system (§2.2 and Fig. 2):
+///
+///  - PyTorch-DDP: reverse-order gradient bucketing (25 MB), ring allreduce
+///    overlapped with backward only, fused update at the end.
+///  - Horovod: response-coordinated tensor fusion (64 MB fusion buffer),
+///    ring allreduce overlapped with backward; optional fp16 compression
+///    via NCCL (the "Horovod 16bits" configuration).
+///  - BytePS: parameter-server push/pull of fixed-size chunks with
+///    priority scheduling — communication overlaps backward AND the next
+///    forward; per-parameter updates as pulls complete; the summation
+///    service runs on host CPUs. Supports asynchronous training.
+
+SystemSpec DdpSpec(const TimingConfig& cfg);
+
+SystemSpec HorovodSpec(const TimingConfig& cfg, int bits = 32);
+
+struct BytePsOptions {
+  bool async = false;
+  /// Host summation-service throughput per node (bytes/s of gradient
+  /// aggregated). BytePS's CPU reduction is the well-known bottleneck for
+  /// large dense models.
+  double server_cpu_Bps = 3.5e9;
+  /// Push/pull chunk size (BytePS partitions tensors into equal chunks).
+  size_t chunk_bytes = 4u << 20;
+};
+
+SystemSpec BytePsSpec(const TimingConfig& cfg, BytePsOptions opts = {});
+
+/// The "best of" baseline used by Table 3: minimum epoch time across
+/// {PyTorch-DDP, Horovod 32, Horovod 16, BytePS}.
+EpochEstimate BestBaselineEpoch(const TimingConfig& cfg);
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASELINES_BASELINES_H_

@@ -1,0 +1,168 @@
+#include "collectives/collectives.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+
+Chunk ChunkOf(size_t n, size_t m, size_t c) {
+  const size_t base = n / m;
+  const size_t rem = n % m;
+  const size_t begin = c * base + std::min(c, rem);
+  const size_t count = base + (c < rem ? 1 : 0);
+  return {begin, count};
+}
+
+int IndexIn(const std::vector<int>& ranks, int rank) {
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] == rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space, float* data, size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) {
+    return Status::InvalidArgument(
+        StrFormat("rank %d not in collective group", rank));
+  }
+  if (m == 1) return Status::OK();
+
+  const int next = ranks[(i + 1) % m];
+  const int prev = ranks[(i + m - 1) % m];
+  std::vector<float> recv_buf(n / m + 1);
+
+  // Phase 1: reduce-scatter. After step s we have accumulated chunk
+  // (i - s - 1 + m) mod m with one more contribution.
+  for (size_t s = 0; s + 1 < m; ++s) {
+    const size_t send_c = (i + m - s) % m;
+    const size_t recv_c = (i + m - s - 1) % m;
+    const Chunk sc = ChunkOf(n, m, send_c);
+    const Chunk rc = ChunkOf(n, m, recv_c);
+    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s), data + sc.begin,
+                                sc.count * sizeof(float)));
+    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
+                                      recv_buf.data(), rc.count));
+    Axpy(1.0f, recv_buf.data(), data + rc.begin, rc.count);
+  }
+
+  // Phase 2: allgather. Rank index i now owns fully reduced chunk (i+1)%m.
+  for (size_t s = 0; s + 1 < m; ++s) {
+    const size_t send_c = (i + 1 + m - s) % m;
+    const size_t recv_c = (i + m - s) % m;
+    const Chunk sc = ChunkOf(n, m, send_c);
+    const Chunk rc = ChunkOf(n, m, recv_c);
+    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, 1000 + s),
+                                data + sc.begin, sc.count * sizeof(float)));
+    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, 1000 + s),
+                                      data + rc.begin, rc.count));
+  }
+  return Status::OK();
+}
+
+Status Broadcast(TransportGroup* group, const std::vector<int>& ranks,
+                 int rank, int root_index, uint32_t space, float* data,
+                 size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  if (root_index < 0 || static_cast<size_t>(root_index) >= m) {
+    return Status::InvalidArgument("broadcast root out of range");
+  }
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1) return Status::OK();
+
+  if (i == root_index) {
+    for (size_t j = 0; j < m; ++j) {
+      if (static_cast<int>(j) == root_index) continue;
+      RETURN_IF_ERROR(group->Send(rank, ranks[j], MakeTag(space, 0), data,
+                                  n * sizeof(float)));
+    }
+    return Status::OK();
+  }
+  return group->RecvFloats(ranks[root_index], rank, MakeTag(space, 0), data,
+                           n);
+}
+
+Status Reduce(TransportGroup* group, const std::vector<int>& ranks, int rank,
+              int root_index, uint32_t space, float* data, size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  if (root_index < 0 || static_cast<size_t>(root_index) >= m) {
+    return Status::InvalidArgument("reduce root out of range");
+  }
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1) return Status::OK();
+
+  if (i == root_index) {
+    std::vector<float> recv_buf(n);
+    for (size_t j = 0; j < m; ++j) {
+      if (static_cast<int>(j) == root_index) continue;
+      RETURN_IF_ERROR(group->RecvFloats(ranks[j], rank, MakeTag(space, 0),
+                                        recv_buf.data(), n));
+      Axpy(1.0f, recv_buf.data(), data, n);
+    }
+    return Status::OK();
+  }
+  return group->Send(rank, ranks[root_index], MakeTag(space, 0), data,
+                     n * sizeof(float));
+}
+
+Status RingAllgather(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space, float* data, size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (n % m != 0) {
+    return Status::InvalidArgument(
+        StrFormat("allgather size %zu not divisible by group %zu", n, m));
+  }
+  if (m == 1) return Status::OK();
+  const size_t chunk = n / m;
+  const int next = ranks[(i + 1) % m];
+  const int prev = ranks[(i + m - 1) % m];
+  for (size_t s = 0; s + 1 < m; ++s) {
+    const size_t send_c = (i + m - s) % m;
+    const size_t recv_c = (i + m - s - 1) % m;
+    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s),
+                                data + send_c * chunk, chunk * sizeof(float)));
+    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
+                                      data + recv_c * chunk, chunk));
+  }
+  return Status::OK();
+}
+
+Status GatherBytes(TransportGroup* group, const std::vector<int>& ranks,
+                   int rank, int root_index, uint32_t space,
+                   const std::vector<uint8_t>& payload,
+                   std::vector<std::vector<uint8_t>>* out) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+
+  if (i == root_index) {
+    BAGUA_CHECK(out != nullptr);
+    out->assign(m, {});
+    (*out)[i] = payload;
+    for (size_t j = 0; j < m; ++j) {
+      if (static_cast<int>(j) == root_index) continue;
+      RETURN_IF_ERROR(
+          group->Recv(ranks[j], rank, MakeTag(space, 0), &(*out)[j]));
+    }
+    return Status::OK();
+  }
+  return group->Send(rank, ranks[root_index], MakeTag(space, 0),
+                     payload.data(), payload.size());
+}
+
+}  // namespace bagua

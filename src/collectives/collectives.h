@@ -1,0 +1,64 @@
+#ifndef BAGUA_COLLECTIVES_COLLECTIVES_H_
+#define BAGUA_COLLECTIVES_COLLECTIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// MPI-style collectives implemented on TransportGroup point-to-point
+/// send/recv (the library's NCCL substitute), exactly as §3.3 describes
+/// BAGUA's own implementation. Every function is called concurrently by all
+/// members of `ranks` with their own `rank`; `space` is a tag namespace that
+/// must be unique per logical collective instance so that concurrent
+/// collectives on one transport never cross-match.
+///
+/// All functions operate on subgroups (`ranks`), which is what the
+/// hierarchical (H) execution builds on: intra-node groups, the node-leader
+/// group, and the world group all use the same code.
+
+/// Ring allreduce (reduce-scatter + allgather): on return every member's
+/// `data[0, n)` holds the elementwise sum over the group.
+Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space, float* data, size_t n);
+
+/// Broadcast from `ranks[root_index]` to the group.
+Status Broadcast(TransportGroup* group, const std::vector<int>& ranks,
+                 int rank, int root_index, uint32_t space, float* data,
+                 size_t n);
+
+/// Reduce (sum) to `ranks[root_index]`; other members' buffers unchanged.
+Status Reduce(TransportGroup* group, const std::vector<int>& ranks, int rank,
+              int root_index, uint32_t space, float* data, size_t n);
+
+/// Allgather: member i contributes `data[i*chunk, (i+1)*chunk)`; on return
+/// every member holds all chunks. `n` must be divisible by the group size.
+Status RingAllgather(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space, float* data, size_t n);
+
+/// Gather variable-size byte payloads to `ranks[root_index]`.
+/// On the root, `out[i]` receives member i's payload (the root's own slot is
+/// copied from `payload`).
+Status GatherBytes(TransportGroup* group, const std::vector<int>& ranks,
+                   int rank, int root_index, uint32_t space,
+                   const std::vector<uint8_t>& payload,
+                   std::vector<std::vector<uint8_t>>* out);
+
+/// Index of `rank` within `ranks`; -1 if absent.
+int IndexIn(const std::vector<int>& ranks, int rank);
+
+/// \brief Partition descriptor: chunk `c` of a length-`n` span split into
+/// `m` nearly equal parts (first `n % m` chunks get one extra element).
+/// This is the partitioning used by the ScatterReduce pattern of §3.3.
+struct Chunk {
+  size_t begin;
+  size_t count;
+};
+
+Chunk ChunkOf(size_t n, size_t m, size_t c);
+
+}  // namespace bagua
+
+#endif  // BAGUA_COLLECTIVES_COLLECTIVES_H_

@@ -1,0 +1,358 @@
+#include "comm/primitives.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "collectives/collectives.h"
+#include "sim/collective_cost.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+
+namespace {
+
+std::vector<int> WorldRanks(const ClusterTopology& topo) {
+  std::vector<int> ranks(topo.world_size());
+  for (int r = 0; r < topo.world_size(); ++r) ranks[r] = r;
+  return ranks;
+}
+
+std::vector<int> NodeRanks(const ClusterTopology& topo, int rank) {
+  const int node = topo.NodeOf(rank);
+  std::vector<int> ranks(topo.devices_per_node);
+  for (int i = 0; i < topo.devices_per_node; ++i) {
+    ranks[i] = node * topo.devices_per_node + i;
+  }
+  return ranks;
+}
+
+std::vector<int> LeaderRanks(const ClusterTopology& topo) {
+  std::vector<int> ranks(topo.num_nodes);
+  for (int n = 0; n < topo.num_nodes; ++n) {
+    ranks[n] = n * topo.devices_per_node;
+  }
+  return ranks;
+}
+
+/// The flat ScatterReduce-with-compression kernel of §3.3, run over an
+/// explicit group. Implements the full C_LP_S semantics; the identity codec
+/// and null state degrade it to C_FP_S.
+Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
+                         const Compressor& codec, float* data, size_t n,
+                         ClpsState* state, uint32_t space) {
+  const size_t m = ranks.size();
+  const int i = IndexIn(ranks, ctx->rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1) {
+    if (state == nullptr) return Status::OK();
+    // Degenerate single-member group: x' = Q(Q(x - δ) - ε), errors updated.
+  }
+  TransportGroup* group = ctx->group();
+  Rng rng = ctx->MakeRankRng();
+
+  // u = x + δ (or x when error compensation is off). Note: §3.2 writes the
+  // residual with a minus sign; the telescoping error-feedback recursion of
+  // DoubleSqueeze / 1-bit Adam *adds* the carried residual, so we store δ
+  // with the standard sign (see DESIGN.md, "Known deltas").
+  std::vector<float> u(n);
+  if (state != nullptr && state->worker_err.defined()) {
+    BAGUA_CHECK_EQ(state->worker_err.numel(), n);
+    Add(data, state->worker_err.data(), u.data(), n);
+  } else {
+    std::memcpy(u.data(), data, n * sizeof(float));
+  }
+
+  // Phase 1: compress every partition of u and ship partition j to rank j.
+  std::vector<float> decode_buf;
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> own_partition_payload;
+  for (size_t j = 0; j < m; ++j) {
+    const Chunk c = ChunkOf(n, m, j);
+    RETURN_IF_ERROR(codec.Compress(u.data() + c.begin, c.count, &rng,
+                                   &payload));
+    if (state != nullptr && state->worker_err.defined()) {
+      // δ' = (x − δ) − Q(x − δ), per partition.
+      decode_buf.resize(c.count);
+      RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(), c.count,
+                                       decode_buf.data()));
+      float* err = state->worker_err.data() + c.begin;
+      for (size_t k = 0; k < c.count; ++k) {
+        err[k] = u[c.begin + k] - decode_buf[k];
+      }
+    }
+    if (static_cast<int>(j) == i) {
+      own_partition_payload = payload;
+    } else {
+      RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 0),
+                                  payload.data(), payload.size()));
+    }
+  }
+
+  // Phase 2 (server side of partition i): receive, decode, merge.
+  const Chunk mine = ChunkOf(n, m, i);
+  std::vector<float> sum(std::max<size_t>(mine.count, 1), 0.0f);
+  decode_buf.resize(std::max<size_t>(mine.count, 1));
+  std::vector<uint8_t> recv_payload;
+  for (size_t j = 0; j < m; ++j) {
+    const std::vector<uint8_t>* pj = &own_partition_payload;
+    if (static_cast<int>(j) != i) {
+      RETURN_IF_ERROR(group->Recv(ranks[j], ctx->rank, MakeTag(space, 0),
+                                  &recv_payload));
+      pj = &recv_payload;
+    }
+    RETURN_IF_ERROR(codec.Decompress(pj->data(), pj->size(), mine.count,
+                                     decode_buf.data()));
+    Axpy(1.0f, decode_buf.data(), sum.data(), mine.count);
+  }
+
+  // Apply server-side error compensation and re-compress the merged
+  // partition: out = Q(Σ + ε), ε' = (Σ + ε) − out.
+  if (state != nullptr && state->server_err.defined()) {
+    BAGUA_CHECK_EQ(state->server_err.numel(), mine.count);
+    Add(sum.data(), state->server_err.data(), sum.data(), mine.count);
+  }
+  RETURN_IF_ERROR(codec.Compress(sum.data(), mine.count, &rng, &payload));
+  if (state != nullptr && state->server_err.defined()) {
+    RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(),
+                                     mine.count, decode_buf.data()));
+    float* err = state->server_err.data();
+    for (size_t k = 0; k < mine.count; ++k) {
+      err[k] = sum[k] - decode_buf[k];
+    }
+  }
+
+  // Phase 3: every server broadcasts its merged partition; decode into x'.
+  for (size_t j = 0; j < m; ++j) {
+    if (static_cast<int>(j) == i) continue;
+    RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 1),
+                                payload.data(), payload.size()));
+  }
+  RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(), mine.count,
+                                   decode_buf.data()));
+  std::memcpy(data + mine.begin, decode_buf.data(),
+              mine.count * sizeof(float));
+  std::vector<uint8_t> rx;
+  for (size_t j = 0; j < m; ++j) {
+    if (static_cast<int>(j) == i) continue;
+    RETURN_IF_ERROR(group->Recv(ranks[j], ctx->rank, MakeTag(space, 1), &rx));
+    const Chunk c = ChunkOf(n, m, j);
+    decode_buf.resize(std::max<size_t>(c.count, 1));
+    RETURN_IF_ERROR(
+        codec.Decompress(rx.data(), rx.size(), c.count, decode_buf.data()));
+    std::memcpy(data + c.begin, decode_buf.data(), c.count * sizeof(float));
+  }
+  return Status::OK();
+}
+
+/// Resolves this step's peer set for the decentralized primitives.
+/// All members of `ranks` derive identical pairings from the shared rng.
+std::vector<int> SelectPeers(CommContext* ctx, const std::vector<int>& ranks,
+                             PeerSelection selection) {
+  const size_t m = ranks.size();
+  const int i = IndexIn(ranks, ctx->rank);
+  std::vector<int> peers;
+  if (m <= 1 || i < 0) return peers;
+  if (selection == PeerSelection::kRing) {
+    const int left = ranks[(i + m - 1) % m];
+    const int right = ranks[(i + 1) % m];
+    peers.push_back(left);
+    if (right != left) peers.push_back(right);
+    return peers;
+  }
+  // Random perfect matching, identical on every rank: shuffle the group
+  // with the shared per-step rng and pair consecutive entries.
+  Rng rng = ctx->MakeSharedRng();
+  std::vector<uint32_t> perm(m);
+  rng.Permutation(m, perm.data());
+  for (size_t k = 0; k + 1 < m; k += 2) {
+    const int a = ranks[perm[k]], b = ranks[perm[k + 1]];
+    if (a == ctx->rank) peers.push_back(b);
+    if (b == ctx->rank) peers.push_back(a);
+  }
+  return peers;  // empty for the odd rank out
+}
+
+/// Pairwise exchange-and-average with `peers`, optionally through a codec.
+Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
+                     const Compressor* codec, float* data, size_t n,
+                     uint32_t space) {
+  if (peers.empty()) return Status::OK();
+  TransportGroup* group = ctx->group();
+  Rng rng = ctx->MakeRankRng();
+
+  std::vector<uint8_t> payload;
+  if (codec != nullptr) {
+    RETURN_IF_ERROR(codec->Compress(data, n, &rng, &payload));
+  } else {
+    payload.resize(n * sizeof(float));
+    std::memcpy(payload.data(), data, payload.size());
+  }
+  for (int p : peers) {
+    RETURN_IF_ERROR(group->Send(ctx->rank, p, MakeTag(space, 2),
+                                payload.data(), payload.size()));
+  }
+  std::vector<double> acc(n);
+  for (size_t k = 0; k < n; ++k) acc[k] = data[k];
+  std::vector<uint8_t> rx;
+  std::vector<float> decoded(n);
+  for (int p : peers) {
+    RETURN_IF_ERROR(group->Recv(p, ctx->rank, MakeTag(space, 2), &rx));
+    if (codec != nullptr) {
+      RETURN_IF_ERROR(
+          codec->Decompress(rx.data(), rx.size(), n, decoded.data()));
+    } else {
+      if (rx.size() != n * sizeof(float)) {
+        return Status::Internal("decentralized payload size mismatch");
+      }
+      std::memcpy(decoded.data(), rx.data(), rx.size());
+    }
+    for (size_t k = 0; k < n; ++k) acc[k] += decoded[k];
+  }
+  const double inv = 1.0 / static_cast<double>(peers.size() + 1);
+  for (size_t k = 0; k < n; ++k) {
+    data[k] = static_cast<float>(acc[k] * inv);
+  }
+  return Status::OK();
+}
+
+/// Decentralized execution shared by D_FP_S and D_LP_S (codec == nullptr
+/// for full precision).
+Status DecenExec(CommContext* ctx, const Compressor* codec,
+                 PeerSelection selection, float* data, size_t n) {
+  const uint32_t space = ctx->NextSpace();
+  const ClusterTopology& topo = ctx->topo();
+  if (!ctx->hierarchical || topo.devices_per_node == 1) {
+    const auto ranks = WorldRanks(topo);
+    const auto peers = SelectPeers(ctx, ranks, selection);
+    return DecenExchange(ctx, peers, codec, data, n, space);
+  }
+  // Hierarchical (§3.4): workers within a node switch to centralized
+  // allreduce; only leaders run the decentralized exchange.
+  const auto node_ranks = NodeRanks(topo, ctx->rank);
+  RETURN_IF_ERROR(RingAllreduce(ctx->group(), node_ranks, ctx->rank, space,
+                                data, n));
+  Scale(data, 1.0f / static_cast<float>(topo.devices_per_node), n);
+  if (topo.IsLeader(ctx->rank)) {
+    const auto leaders = LeaderRanks(topo);
+    // Make the shared rng agree between flat and hierarchical modes by
+    // selecting within the leader group.
+    CommContext leader_ctx = *ctx;
+    const auto peers = SelectPeers(&leader_ctx, leaders, selection);
+    RETURN_IF_ERROR(DecenExchange(ctx, peers, codec, data, n, space + 1));
+  }
+  return Broadcast(ctx->group(), node_ranks, ctx->rank, 0, space + 2, data, n);
+}
+
+}  // namespace
+
+Result<ClpsState> InitClpsState(const CommContext& ctx, size_t n) {
+  ClpsState state;
+  const ClusterTopology& topo = ctx.topo();
+  if (ctx.hierarchical && topo.devices_per_node > 1) {
+    if (!topo.IsLeader(ctx.rank)) return state;  // undefined tensors: unused
+    const int m = topo.num_nodes;
+    const int index = topo.NodeOf(ctx.rank);
+    const Chunk c = ChunkOf(n, m, index);
+    state.worker_err = Tensor::Zeros({n}, "clps.delta");
+    state.server_err = Tensor::Zeros({c.count}, "clps.epsilon");
+    return state;
+  }
+  const int m = topo.world_size();
+  const Chunk c = ChunkOf(n, m, ctx.rank);
+  state.worker_err = Tensor::Zeros({n}, "clps.delta");
+  state.server_err = Tensor::Zeros({c.count}, "clps.epsilon");
+  return state;
+}
+
+Status CFpS(CommContext* ctx, float* data, size_t n) {
+  static const IdentityCompressor kIdentity;
+  const uint32_t space = ctx->NextSpace();
+  const ClusterTopology& topo = ctx->topo();
+  if (!ctx->hierarchical || topo.devices_per_node == 1) {
+    return ScatterReduceExec(ctx, WorldRanks(topo), kIdentity, data, n,
+                             nullptr, space);
+  }
+  const auto node_ranks = NodeRanks(topo, ctx->rank);
+  RETURN_IF_ERROR(
+      RingAllreduce(ctx->group(), node_ranks, ctx->rank, space, data, n));
+  if (topo.IsLeader(ctx->rank)) {
+    RETURN_IF_ERROR(RingAllreduce(ctx->group(), LeaderRanks(topo), ctx->rank,
+                                  space + 1, data, n));
+  }
+  return Broadcast(ctx->group(), node_ranks, ctx->rank, 0, space + 2, data, n);
+}
+
+Status CLpS(CommContext* ctx, const Compressor& codec, float* data, size_t n,
+            ClpsState* state) {
+  const uint32_t space = ctx->NextSpace();
+  const ClusterTopology& topo = ctx->topo();
+  if (!ctx->hierarchical || topo.devices_per_node == 1) {
+    return ScatterReduceExec(ctx, WorldRanks(topo), codec, data, n, state,
+                             space);
+  }
+  // Hierarchical C_LP_S (§3.4): aggregate inside the node at full precision,
+  // exchange compressed among leaders, then broadcast within the node.
+  const auto node_ranks = NodeRanks(topo, ctx->rank);
+  RETURN_IF_ERROR(
+      RingAllreduce(ctx->group(), node_ranks, ctx->rank, space, data, n));
+  if (topo.IsLeader(ctx->rank)) {
+    RETURN_IF_ERROR(ScatterReduceExec(ctx, LeaderRanks(topo), codec, data, n,
+                                      state, space + 1));
+  }
+  return Broadcast(ctx->group(), node_ranks, ctx->rank, 0, space + 2, data, n);
+}
+
+Status DFpS(CommContext* ctx, PeerSelection peers, float* data, size_t n) {
+  return DecenExec(ctx, nullptr, peers, data, n);
+}
+
+Status DLpS(CommContext* ctx, const Compressor& codec, PeerSelection peers,
+            float* data, size_t n) {
+  return DecenExec(ctx, &codec, peers, data, n);
+}
+
+double EstimateCFpSCost(const ClusterTopology& topo, const NetworkConfig& net,
+                        double bytes, bool hierarchical) {
+  if (hierarchical && topo.devices_per_node > 1) {
+    return HierAllreduceCost(topo, net, bytes);
+  }
+  return ScatterReduceCost(topo, net, bytes, bytes);
+}
+
+double EstimateCLpSCost(const ClusterTopology& topo, const NetworkConfig& net,
+                        const Compressor& codec, size_t numel,
+                        bool hierarchical) {
+  const double full_bytes = static_cast<double>(numel) * sizeof(float);
+  if (hierarchical && topo.devices_per_node > 1) {
+    // Wire bytes among leaders: one compressed copy of the tensor per phase.
+    const size_t m = topo.num_nodes;
+    double wire = 0.0;
+    for (size_t j = 0; j < static_cast<size_t>(m); ++j) {
+      wire += static_cast<double>(
+          codec.CompressedBytes(ChunkOf(numel, m, j).count));
+    }
+    return IntraNodeAllreduceCost(topo, net, full_bytes) +
+           LeaderScatterReduceCost(topo, net, wire, wire) +
+           IntraNodeBroadcastCost(topo, net, full_bytes);
+  }
+  const size_t m = topo.world_size();
+  double wire = 0.0;
+  for (size_t j = 0; j < static_cast<size_t>(m); ++j) {
+    wire += static_cast<double>(
+        codec.CompressedBytes(ChunkOf(numel, m, j).count));
+  }
+  return ScatterReduceCost(topo, net, wire, wire);
+}
+
+double EstimateDecenCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         PeerSelection peers, double full_bytes,
+                         double wire_bytes, bool hierarchical) {
+  if (peers == PeerSelection::kRing) {
+    return DecenRingCost(topo, net, full_bytes, wire_bytes, hierarchical);
+  }
+  return DecenRandomCost(topo, net, full_bytes, wire_bytes, hierarchical);
+}
+
+}  // namespace bagua

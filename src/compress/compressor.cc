@@ -1,0 +1,34 @@
+#include "compress/compressor.h"
+
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+Status IdentityCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
+                                    std::vector<uint8_t>* out) const {
+  out->resize(n * 4);
+  std::memcpy(out->data(), in, n * 4);
+  return Status::OK();
+}
+
+Status IdentityCompressor::Decompress(const uint8_t* in, size_t bytes,
+                                      size_t n, float* out) const {
+  if (bytes != n * 4) {
+    return Status::InvalidArgument(
+        StrFormat("identity payload %zu bytes, want %zu", bytes, n * 4));
+  }
+  std::memcpy(out, in, n * 4);
+  return Status::OK();
+}
+
+Status RoundTrip(const Compressor& codec, const float* in, size_t n, Rng* rng,
+                 float* out, size_t* payload_bytes) {
+  std::vector<uint8_t> payload;
+  RETURN_IF_ERROR(codec.Compress(in, n, rng, &payload));
+  if (payload_bytes != nullptr) *payload_bytes = payload.size();
+  return codec.Decompress(payload.data(), payload.size(), n, out);
+}
+
+}  // namespace bagua

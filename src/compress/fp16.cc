@@ -1,0 +1,96 @@
+#include "compress/fp16.h"
+
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+uint16_t FloatToHalf(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  uint32_t exp = (x >> 23) & 0xFFu;
+  uint32_t mant = x & 0x7FFFFFu;
+
+  if (exp == 0xFF) {  // inf / NaN
+    return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  // Re-bias exponent 127 -> 15.
+  int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) {  // overflow -> inf
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {  // subnormal or zero
+    if (e < -10) return static_cast<uint16_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = 14 - e;
+    uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half_mant = mant >> 13;
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow bumps exponent
+      half_mant = 0;
+      ++e;
+      if (e >= 0x1F) return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(e) << 10) |
+                               half_mant);
+}
+
+float HalfToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      mant &= 0x3FFu;
+      x = sign | ((112u - static_cast<uint32_t>(e)) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1F) {
+    x = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    x = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, 4);
+  return f;
+}
+
+Status Fp16Compressor::Compress(const float* in, size_t n, Rng* /*rng*/,
+                                std::vector<uint8_t>* out) const {
+  out->resize(n * 2);
+  uint16_t* halves = reinterpret_cast<uint16_t*>(out->data());
+  for (size_t i = 0; i < n; ++i) halves[i] = FloatToHalf(in[i]);
+  return Status::OK();
+}
+
+Status Fp16Compressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
+                                  float* out) const {
+  if (bytes != n * 2) {
+    return Status::InvalidArgument(
+        StrFormat("fp16 payload %zu bytes, want %zu", bytes, n * 2));
+  }
+  const uint16_t* halves = reinterpret_cast<const uint16_t*>(in);
+  for (size_t i = 0; i < n; ++i) out[i] = HalfToFloat(halves[i]);
+  return Status::OK();
+}
+
+}  // namespace bagua

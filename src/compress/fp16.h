@@ -1,0 +1,29 @@
+#ifndef BAGUA_COMPRESS_FP16_H_
+#define BAGUA_COMPRESS_FP16_H_
+
+#include "compress/compressor.h"
+
+namespace bagua {
+
+/// \brief Converts a float to IEEE 754 binary16 (round-to-nearest-even).
+uint16_t FloatToHalf(float f);
+
+/// \brief Converts an IEEE 754 binary16 back to float.
+float HalfToFloat(uint16_t h);
+
+/// \brief fp16 codec — the "Horovod 16bits" gradient compression the paper
+/// compares against (NCCL fp16 allreduce). 2 bytes per element, lossy but
+/// deterministic.
+class Fp16Compressor : public Compressor {
+ public:
+  const char* name() const override { return "fp16"; }
+  size_t CompressedBytes(size_t n) const override { return n * 2; }
+  Status Compress(const float* in, size_t n, Rng* rng,
+                  std::vector<uint8_t>* out) const override;
+  Status Decompress(const uint8_t* in, size_t bytes, size_t n,
+                    float* out) const override;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_COMPRESS_FP16_H_

@@ -1,0 +1,77 @@
+#include "compress/onebit.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+OneBitCompressor::OneBitCompressor(size_t block_size)
+    : block_size_(block_size) {
+  BAGUA_CHECK_GT(block_size, 0u);
+}
+
+size_t OneBitCompressor::CompressedBytes(size_t n) const {
+  const size_t num_blocks = (n + block_size_ - 1) / block_size_;
+  return num_blocks * 2 * sizeof(float) + (n + 7) / 8;
+}
+
+Status OneBitCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
+                                  std::vector<uint8_t>* out) const {
+  const size_t num_blocks = (n + block_size_ - 1) / block_size_;
+  out->assign(CompressedBytes(n), 0);
+  float* scales = reinterpret_cast<float*>(out->data());
+  uint8_t* bits = out->data() + num_blocks * 2 * sizeof(float);
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size_;
+    const size_t end = std::min(n, begin + block_size_);
+    double pos_sum = 0.0, neg_sum = 0.0;
+    size_t pos_cnt = 0, neg_cnt = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (in[i] >= 0.0f) {
+        pos_sum += in[i];
+        ++pos_cnt;
+      } else {
+        neg_sum -= in[i];
+        ++neg_cnt;
+      }
+    }
+    scales[2 * b] =
+        pos_cnt > 0 ? static_cast<float>(pos_sum / pos_cnt) : 0.0f;
+    scales[2 * b + 1] =
+        neg_cnt > 0 ? static_cast<float>(neg_sum / neg_cnt) : 0.0f;
+    for (size_t i = begin; i < end; ++i) {
+      if (in[i] >= 0.0f) bits[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  return Status::OK();
+}
+
+Status OneBitCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
+                                    float* out) const {
+  if (bytes != CompressedBytes(n)) {
+    return Status::InvalidArgument(
+        StrFormat("onebit payload %zu bytes, want %zu for n=%zu", bytes,
+                  CompressedBytes(n), n));
+  }
+  const size_t num_blocks = (n + block_size_ - 1) / block_size_;
+  const float* scales = reinterpret_cast<const float*>(in);
+  const uint8_t* bits = in + num_blocks * 2 * sizeof(float);
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size_;
+    const size_t end = std::min(n, begin + block_size_);
+    const float pos = scales[2 * b];
+    const float neg = scales[2 * b + 1];
+    for (size_t i = begin; i < end; ++i) {
+      const bool set = (bits[i / 8] >> (i % 8)) & 1u;
+      out[i] = set ? pos : -neg;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

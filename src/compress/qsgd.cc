@@ -1,0 +1,98 @@
+#include "compress/qsgd.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+QsgdCompressor::QsgdCompressor(int bits, size_t block_size)
+    : bits_(bits), block_size_(block_size) {
+  BAGUA_CHECK(bits == 2 || bits == 4 || bits == 8)
+      << "QSGD supports 2/4/8-bit levels, got " << bits;
+  BAGUA_CHECK_GT(block_size, 0u);
+  levels_ = (1 << (bits - 1)) - 1;
+  name_ = StrFormat("qsgd%d", bits);
+}
+
+size_t QsgdCompressor::CompressedBytes(size_t n) const {
+  const size_t num_blocks = (n + block_size_ - 1) / block_size_;
+  const size_t level_bytes =
+      (n * static_cast<size_t>(bits_) + 7) / 8;
+  return num_blocks * sizeof(float) + level_bytes;
+}
+
+Status QsgdCompressor::Compress(const float* in, size_t n, Rng* rng,
+                                std::vector<uint8_t>* out) const {
+  const size_t num_blocks = (n + block_size_ - 1) / block_size_;
+  out->assign(CompressedBytes(n), 0);
+  float* scales = reinterpret_cast<float*>(out->data());
+  uint8_t* packed = out->data() + num_blocks * sizeof(float);
+
+  const int elems_per_byte = 8 / bits_;
+  const int mask = (1 << bits_) - 1;
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size_;
+    const size_t end = std::min(n, begin + block_size_);
+    float scale = 0.0f;
+    for (size_t i = begin; i < end; ++i) {
+      const float a = std::fabs(in[i]);
+      if (a > scale) scale = a;
+    }
+    scales[b] = scale;
+    const float inv = scale > 0.0f ? static_cast<float>(levels_) / scale : 0.0f;
+    for (size_t i = begin; i < end; ++i) {
+      // Map to [-levels, levels] with stochastic rounding (unbiased).
+      const float v = in[i] * inv;
+      float lo = std::floor(v);
+      const float frac = v - lo;
+      float level = lo;
+      if (rng != nullptr) {
+        if (rng->Uniform() < frac) level = lo + 1.0f;
+      } else {
+        level = std::nearbyint(v);
+      }
+      if (level > static_cast<float>(levels_)) level = static_cast<float>(levels_);
+      if (level < -static_cast<float>(levels_)) level = -static_cast<float>(levels_);
+      const int stored = static_cast<int>(level) + levels_;  // [0, 2*levels]
+      const size_t slot = i / elems_per_byte;
+      const int shift = static_cast<int>(i % elems_per_byte) * bits_;
+      packed[slot] |= static_cast<uint8_t>((stored & mask) << shift);
+    }
+  }
+  return Status::OK();
+}
+
+Status QsgdCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
+                                  float* out) const {
+  if (bytes != CompressedBytes(n)) {
+    return Status::InvalidArgument(
+        StrFormat("qsgd payload %zu bytes, want %zu for n=%zu", bytes,
+                  CompressedBytes(n), n));
+  }
+  const size_t num_blocks = (n + block_size_ - 1) / block_size_;
+  const float* scales = reinterpret_cast<const float*>(in);
+  const uint8_t* packed = in + num_blocks * sizeof(float);
+
+  const int elems_per_byte = 8 / bits_;
+  const int mask = (1 << bits_) - 1;
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size_;
+    const size_t end = std::min(n, begin + block_size_);
+    const float step =
+        levels_ > 0 ? scales[b] / static_cast<float>(levels_) : 0.0f;
+    for (size_t i = begin; i < end; ++i) {
+      const size_t slot = i / elems_per_byte;
+      const int shift = static_cast<int>(i % elems_per_byte) * bits_;
+      const int stored = (packed[slot] >> shift) & mask;
+      out[i] = static_cast<float>(stored - levels_) * step;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

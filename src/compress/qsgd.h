@@ -1,0 +1,40 @@
+#ifndef BAGUA_COMPRESS_QSGD_H_
+#define BAGUA_COMPRESS_QSGD_H_
+
+#include "compress/compressor.h"
+
+namespace bagua {
+
+/// \brief QSGD stochastic quantizer (Alistarh et al., NeurIPS 2017).
+///
+/// Elements are processed in blocks of `block_size`. Each block stores its
+/// max-magnitude scale (float) followed by one signed `bits`-bit level per
+/// element. Levels are assigned by *stochastic rounding*, which makes the
+/// codec unbiased: E[decode(encode(x))] = x. The paper's "QSGD" algorithm
+/// uses the 8-bit configuration.
+class QsgdCompressor : public Compressor {
+ public:
+  /// \param bits level width; supported: 2, 4, 8 (signed levels).
+  /// \param block_size elements per scale block.
+  explicit QsgdCompressor(int bits = 8, size_t block_size = 512);
+
+  const char* name() const override { return name_.c_str(); }
+  size_t CompressedBytes(size_t n) const override;
+  Status Compress(const float* in, size_t n, Rng* rng,
+                  std::vector<uint8_t>* out) const override;
+  Status Decompress(const uint8_t* in, size_t bytes, size_t n,
+                    float* out) const override;
+
+  int bits() const { return bits_; }
+  size_t block_size() const { return block_size_; }
+
+ private:
+  int bits_;
+  size_t block_size_;
+  int levels_;  // quantization levels per sign: 2^(bits-1) - 1
+  std::string name_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_COMPRESS_QSGD_H_

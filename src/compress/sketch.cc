@@ -1,0 +1,83 @@
+#include "compress/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+CountSketchCompressor::CountSketchCompressor(double compression, int rows,
+                                             uint64_t seed)
+    : compression_(compression), rows_(rows), seed_(seed) {
+  BAGUA_CHECK_GT(compression, 1.0);
+  BAGUA_CHECK_GE(rows, 1);
+  name_ = StrFormat("sketch%.0fx", compression);
+}
+
+size_t CountSketchCompressor::WidthFor(size_t n) const {
+  const size_t total =
+      static_cast<size_t>(std::ceil(static_cast<double>(n) / compression_));
+  size_t width = total / static_cast<size_t>(rows_);
+  if (width == 0) width = 1;
+  return width;
+}
+
+size_t CountSketchCompressor::CompressedBytes(size_t n) const {
+  return WidthFor(n) * static_cast<size_t>(rows_) * sizeof(float);
+}
+
+void CountSketchCompressor::HashOf(size_t i, int row, size_t width,
+                                   size_t* bucket, float* sign) const {
+  uint64_t h = MixSeed(seed_ + static_cast<uint64_t>(row) * 0x9E37u,
+                       static_cast<uint64_t>(i) + 1);
+  *bucket = static_cast<size_t>(h % width);
+  *sign = (h >> 63) ? 1.0f : -1.0f;
+}
+
+Status CountSketchCompressor::Compress(const float* in, size_t n,
+                                       Rng* /*rng*/,
+                                       std::vector<uint8_t>* out) const {
+  const size_t width = WidthFor(n);
+  out->assign(CompressedBytes(n), 0);
+  float* counters = reinterpret_cast<float*>(out->data());
+  for (int r = 0; r < rows_; ++r) {
+    float* row = counters + static_cast<size_t>(r) * width;
+    for (size_t i = 0; i < n; ++i) {
+      size_t bucket;
+      float sign;
+      HashOf(i, r, width, &bucket, &sign);
+      row[bucket] += sign * in[i];
+    }
+  }
+  return Status::OK();
+}
+
+Status CountSketchCompressor::Decompress(const uint8_t* in, size_t bytes,
+                                         size_t n, float* out) const {
+  if (bytes != CompressedBytes(n)) {
+    return Status::InvalidArgument(
+        StrFormat("sketch payload %zu bytes, want %zu for n=%zu", bytes,
+                  CompressedBytes(n), n));
+  }
+  const size_t width = WidthFor(n);
+  const float* counters = reinterpret_cast<const float*>(in);
+  std::vector<float> estimates(static_cast<size_t>(rows_));
+  for (size_t i = 0; i < n; ++i) {
+    for (int r = 0; r < rows_; ++r) {
+      size_t bucket;
+      float sign;
+      HashOf(i, r, width, &bucket, &sign);
+      estimates[static_cast<size_t>(r)] =
+          sign * counters[static_cast<size_t>(r) * width + bucket];
+    }
+    std::nth_element(estimates.begin(),
+                     estimates.begin() + rows_ / 2, estimates.end());
+    out[i] = estimates[static_cast<size_t>(rows_) / 2];
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

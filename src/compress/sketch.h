@@ -1,0 +1,49 @@
+#ifndef BAGUA_COMPRESS_SKETCH_H_
+#define BAGUA_COMPRESS_SKETCH_H_
+
+#include "compress/compressor.h"
+
+namespace bagua {
+
+/// \brief Count-Sketch gradient compressor (Ivkin et al., NeurIPS 2019 —
+/// the "sketching" relaxation of §2.3).
+///
+/// Encodes an n-vector into `rows` independent hash sketches of `width`
+/// counters each: counter[r][h_r(i)] += s_r(i) * x_i with sign hashes s_r.
+/// Decoding estimates x_i as the median of s_r(i) * counter[r][h_r(i)].
+/// Unbiased per row; the median over rows suppresses heavy-hitter
+/// collisions. Compression ratio = n / (rows * width), chosen at
+/// construction.
+class CountSketchCompressor : public Compressor {
+ public:
+  /// \param compression target ratio (payload ~= n*4 / compression bytes).
+  /// \param rows number of independent sketch rows (odd; median-friendly).
+  /// \param seed hash seed; all workers must agree for the sketches to be
+  ///        mergeable (summing sketches == sketching the sum).
+  explicit CountSketchCompressor(double compression = 10.0, int rows = 3,
+                                 uint64_t seed = 0xC0FFEE);
+
+  const char* name() const override { return name_.c_str(); }
+  size_t CompressedBytes(size_t n) const override;
+  Status Compress(const float* in, size_t n, Rng* rng,
+                  std::vector<uint8_t>* out) const override;
+  Status Decompress(const uint8_t* in, size_t bytes, size_t n,
+                    float* out) const override;
+
+  int rows() const { return rows_; }
+  size_t WidthFor(size_t n) const;
+
+ private:
+  /// Hash of (element index, row) -> (bucket, sign).
+  void HashOf(size_t i, int row, size_t width, size_t* bucket,
+              float* sign) const;
+
+  double compression_;
+  int rows_;
+  uint64_t seed_;
+  std::string name_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_COMPRESS_SKETCH_H_

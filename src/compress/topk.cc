@@ -1,0 +1,81 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
+  BAGUA_CHECK(fraction > 0.0 && fraction <= 1.0)
+      << "top-k fraction must be in (0, 1], got " << fraction;
+  name_ = StrFormat("topk%.3f", fraction);
+}
+
+size_t TopKCompressor::KeptCount(size_t n) const {
+  if (n == 0) return 0;
+  size_t k = static_cast<size_t>(std::ceil(fraction_ * static_cast<double>(n)));
+  if (k == 0) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+size_t TopKCompressor::CompressedBytes(size_t n) const {
+  // (index, value) pairs.
+  return KeptCount(n) * (sizeof(uint32_t) + sizeof(float));
+}
+
+Status TopKCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
+                                std::vector<uint8_t>* out) const {
+  if (n > UINT32_MAX) {
+    return Status::InvalidArgument("top-k supports at most 2^32 elements");
+  }
+  const size_t k = KeptCount(n);
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(), idx.begin() + (k > 0 ? k - 1 : 0), idx.end(),
+                   [in](uint32_t a, uint32_t b) {
+                     const float fa = std::fabs(in[a]), fb = std::fabs(in[b]);
+                     if (fa != fb) return fa > fb;
+                     return a < b;  // deterministic tie-break
+                   });
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+
+  out->resize(CompressedBytes(n));
+  uint32_t* indices = reinterpret_cast<uint32_t*>(out->data());
+  float* values = reinterpret_cast<float*>(out->data() + k * sizeof(uint32_t));
+  for (size_t i = 0; i < k; ++i) {
+    indices[i] = idx[i];
+    values[i] = in[idx[i]];
+  }
+  return Status::OK();
+}
+
+Status TopKCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
+                                  float* out) const {
+  if (bytes != CompressedBytes(n)) {
+    return Status::InvalidArgument(
+        StrFormat("topk payload %zu bytes, want %zu for n=%zu", bytes,
+                  CompressedBytes(n), n));
+  }
+  const size_t k = KeptCount(n);
+  const uint32_t* indices = reinterpret_cast<const uint32_t*>(in);
+  const float* values =
+      reinterpret_cast<const float*>(in + k * sizeof(uint32_t));
+  std::memset(out, 0, n * sizeof(float));
+  for (size_t i = 0; i < k; ++i) {
+    if (indices[i] >= n) {
+      return Status::InvalidArgument(
+          StrFormat("topk index %u out of range (n=%zu)", indices[i], n));
+    }
+    out[indices[i]] = values[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

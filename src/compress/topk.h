@@ -1,0 +1,37 @@
+#ifndef BAGUA_COMPRESS_TOPK_H_
+#define BAGUA_COMPRESS_TOPK_H_
+
+#include "compress/compressor.h"
+
+namespace bagua {
+
+/// \brief Top-K magnitude sparsifier (Stich et al., 2018; Alistarh et al.,
+/// 2018).
+///
+/// Keeps the ceil(fraction * n) largest-magnitude elements as
+/// (uint32 index, float value) pairs; everything else decodes to zero.
+/// Strongly biased — intended for use with error compensation, which is why
+/// the paper calls C_LP_S's δ/ε state "especially helpful when the
+/// compression function is relatively aggressive (e.g., top-K)".
+class TopKCompressor : public Compressor {
+ public:
+  explicit TopKCompressor(double fraction = 0.01);
+
+  const char* name() const override { return name_.c_str(); }
+  size_t CompressedBytes(size_t n) const override;
+  Status Compress(const float* in, size_t n, Rng* rng,
+                  std::vector<uint8_t>* out) const override;
+  Status Decompress(const uint8_t* in, size_t bytes, size_t n,
+                    float* out) const override;
+
+  double fraction() const { return fraction_; }
+  size_t KeptCount(size_t n) const;
+
+ private:
+  double fraction_;
+  std::string name_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_COMPRESS_TOPK_H_

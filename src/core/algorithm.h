@@ -1,0 +1,118 @@
+#ifndef BAGUA_CORE_ALGORITHM_H_
+#define BAGUA_CORE_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/context.h"
+#include "core/bucket.h"
+#include "core/options.h"
+#include "model/optimizer.h"
+#include "sim/calibration.h"
+#include "sim/network.h"
+
+namespace bagua {
+
+/// \brief Algorithm capability axes — the rows of the paper's Table 1.
+struct AlgorithmTraits {
+  bool synchronous = true;
+  bool full_precision = true;
+  bool centralized = true;
+  /// The communication function runs *after* the model update (the
+  /// decentralized low-precision pattern of Fig. 3).
+  bool update_before_comm = false;
+};
+
+/// \brief Everything an algorithm's communication function may touch —
+/// Listing 2's view of the system: the communicator, the optimizer, and
+/// the run configuration.
+struct BaguaContext {
+  CommContext comm;
+  Optimizer* optimizer = nullptr;
+  BaguaOptions options;
+  /// Global iteration counter (drives e.g. 1-bit Adam's warmup switch and
+  /// LocalSGD's synchronization period).
+  uint64_t step = 0;
+
+  int rank() const { return comm.rank; }
+  int world_size() const { return comm.world_size(); }
+};
+
+/// \brief A distributed training algorithm, expressed against BAGUA's
+/// primitives (the middle player of Fig. 4).
+///
+/// The runtime invokes:
+///   Init            once, after profiling/bucketing, with the final buckets;
+///   OnBucketReady   per bucket per iteration, as its gradients appear
+///                   (reverse layer order) — the registered "hook";
+///   OnStepEnd       once per iteration after every bucket fired.
+///
+/// Algorithms express communication through the C_FP_S / C_LP_S / D_FP_S /
+/// D_LP_S primitives, and model updates through ctx->optimizer. The same
+/// object also prices its communication for the timing-mode harness.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual AlgorithmTraits traits() const = 0;
+
+  virtual Status Init(BaguaContext* ctx, std::vector<Bucket>* buckets) {
+    (void)ctx;
+    (void)buckets;
+    return Status::OK();
+  }
+
+  virtual Status OnBucketReady(BaguaContext* ctx, Bucket* bucket) = 0;
+
+  virtual Status OnStepEnd(BaguaContext* ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Called when training finishes (joins helper threads, flushes state).
+  virtual Status Finish(BaguaContext* ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// --- timing-mode cost model -----------------------------------------
+
+  /// Network time of one bucket communication of `numel` elements.
+  virtual double CommCost(size_t numel, const ClusterTopology& topo,
+                          const NetworkConfig& net, bool hierarchical) const = 0;
+
+  /// Device time of codec work (compress/decompress/error-compensation
+  /// passes) for one bucket.
+  virtual double CodecCost(size_t numel, const DeviceConfig& dev) const {
+    (void)numel;
+    (void)dev;
+    return 0.0;
+  }
+
+  /// Bytes this algorithm puts on the wire per worker per iteration for an
+  /// n-element model (for the communication-volume reports).
+  virtual double WireBytes(size_t numel, const ClusterTopology& topo,
+                           bool hierarchical) const = 0;
+
+  /// How many workers must rendezvous before this algorithm's iteration can
+  /// complete: `world` for centralized synchronous algorithms, the peer-set
+  /// size for decentralized ones, 1 for asynchronous ones. Determines the
+  /// straggler-jitter tax a production cluster imposes on each barrier
+  /// (§4.3: async outperforms sync when stragglers exist; the paper's
+  /// bandwidth-independent speedups of Decen/Async stem from this).
+  virtual int BarrierGroup(int world) const {
+    const AlgorithmTraits t = traits();
+    if (!t.synchronous) return 1;
+    return world;
+  }
+
+  /// Fraction of iterations that pay the barrier (LocalSGD syncs every τ
+  /// steps, so its tax amortizes by 1/τ).
+  virtual double BarrierFreq() const { return 1.0; }
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_CORE_ALGORITHM_H_

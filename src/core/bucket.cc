@@ -1,0 +1,110 @@
+#include "core/bucket.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+namespace {
+
+Status CopyParams(const std::vector<Param>& params, Tensor* flat_value,
+                  Tensor* flat_grad, bool into_flat) {
+  size_t offset = 0;
+  for (const Param& p : params) {
+    const size_t n = p.value->numel();
+    float* fv = flat_value->data() + offset;
+    float* fg = flat_grad->data() + offset;
+    if (into_flat) {
+      std::memcpy(fv, p.value->data(), n * sizeof(float));
+      std::memcpy(fg, p.grad->data(), n * sizeof(float));
+    } else {
+      std::memcpy(p.value->data(), fv, n * sizeof(float));
+      std::memcpy(p.grad->data(), fg, n * sizeof(float));
+    }
+    offset += n;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Bucket::GatherToFlat() {
+  if (flattened) return Status::OK();
+  return CopyParams(params, &flat_value, &flat_grad, /*into_flat=*/true);
+}
+
+Status Bucket::ScatterFromFlat() {
+  if (flattened) return Status::OK();
+  return CopyParams(params, &flat_value, &flat_grad, /*into_flat=*/false);
+}
+
+std::vector<std::vector<size_t>> PlanBuckets(
+    const std::vector<ProfileRecord>& log, size_t bucket_bytes, bool fuse) {
+  std::vector<std::vector<size_t>> plan;
+  if (!fuse) {
+    // F = 0: one bucket per layer — no fusion, no flattening.
+    for (const auto& rec : log) plan.push_back({rec.layer});
+    return plan;
+  }
+  std::vector<size_t> current;
+  size_t current_bytes = 0;
+  for (const auto& rec : log) {
+    current.push_back(rec.layer);
+    current_bytes += rec.grad_numel * sizeof(float);
+    if (current_bytes >= bucket_bytes) {
+      plan.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+  }
+  if (!current.empty()) plan.push_back(std::move(current));
+  return plan;
+}
+
+Status BuildBuckets(const std::vector<std::vector<size_t>>& plan,
+                    const std::vector<std::vector<Param>>& layer_params,
+                    bool flatten, std::vector<Bucket>* buckets) {
+  buckets->clear();
+  for (size_t b = 0; b < plan.size(); ++b) {
+    Bucket bucket;
+    bucket.index = b;
+    bucket.layers = plan[b];
+    for (size_t layer : plan[b]) {
+      if (layer >= layer_params.size()) {
+        return Status::InvalidArgument(
+            StrFormat("bucket plan references layer %zu of %zu", layer,
+                      layer_params.size()));
+      }
+      for (const Param& p : layer_params[layer]) bucket.params.push_back(p);
+    }
+    size_t numel = 0;
+    for (const Param& p : bucket.params) numel += p.value->numel();
+    bucket.numel = numel;
+    if (flatten) {
+      bucket.flattened = true;
+      std::vector<Tensor*> values, grads;
+      for (const Param& p : bucket.params) {
+        values.push_back(p.value);
+        grads.push_back(p.grad);
+      }
+      RETURN_IF_ERROR(FlattenTensors(values, &bucket.flat_value,
+                                     StrFormat("bucket%zu.value", b)));
+      RETURN_IF_ERROR(FlattenTensors(grads, &bucket.flat_grad,
+                                     StrFormat("bucket%zu.grad", b)));
+    } else {
+      // Without flattening the bucket still needs flat views for the
+      // primitives; allocate staging buffers that Gather/Scatter copies
+      // through (the extra copies are the cost F=1 removes).
+      bucket.flat_value = Tensor::Zeros({numel},
+                                        StrFormat("bucket%zu.value", b));
+      bucket.flat_grad = Tensor::Zeros({numel},
+                                       StrFormat("bucket%zu.grad", b));
+    }
+    buckets->push_back(std::move(bucket));
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

@@ -1,0 +1,70 @@
+#ifndef BAGUA_CORE_BUCKET_H_
+#define BAGUA_CORE_BUCKET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/layer.h"
+#include "tensor/tensor.h"
+
+namespace bagua {
+
+/// \brief A fused communication unit: a group of layer parameters whose
+/// gradients are communicated together (§3.4, "Tensor Bucketing and Memory
+/// Flattening").
+///
+/// When fusion is on, `flat_value` / `flat_grad` view contiguous storage
+/// spanning every member tensor, so a single primitive call (and a single
+/// optimizer kernel) covers the whole bucket.
+struct Bucket {
+  size_t index = 0;
+  std::vector<Param> params;
+  /// Layer ids whose backward completion readies this bucket (descending —
+  /// buckets are formed in reverse layer order as gradients appear).
+  std::vector<size_t> layers;
+  Tensor flat_value;
+  Tensor flat_grad;
+  size_t numel = 0;
+  /// True when flat_value/flat_grad alias the member tensors (F = 1).
+  /// When false they are staging copies; use Gather/Scatter around any use.
+  bool flattened = false;
+
+  float* grad_data() { return flat_grad.data(); }
+  float* value_data() { return flat_value.data(); }
+
+  /// Copies member tensors into the staging buffers (no-op when
+  /// flattened — the views already alias).
+  Status GatherToFlat();
+  /// Copies the staging buffers back into the member tensors (no-op when
+  /// flattened).
+  Status ScatterFromFlat();
+};
+
+/// \brief The profiling-phase invocation log (§3.1, "Profiling Phase"):
+/// one record per layer-hook firing during the first backward pass.
+struct ProfileRecord {
+  size_t layer;
+  size_t grad_numel;
+};
+
+/// \brief Groups the profiled layers into buckets.
+///
+/// Layers are taken in the recorded (reverse-backward) order and packed
+/// until `bucket_bytes` of gradient payload is reached. With `fuse` off,
+/// every parameter tensor becomes its own single-tensor bucket (the F=0
+/// ablation), exactly reproducing the per-tensor communication a naive
+/// implementation would do.
+std::vector<std::vector<size_t>> PlanBuckets(
+    const std::vector<ProfileRecord>& log, size_t bucket_bytes, bool fuse);
+
+/// \brief Materializes buckets over a net's layers: collects each bucket's
+/// params and, when `flatten` is set, re-homes values and grads into
+/// contiguous buffers.
+Status BuildBuckets(const std::vector<std::vector<size_t>>& plan,
+                    const std::vector<std::vector<Param>>& layer_params,
+                    bool flatten, std::vector<Bucket>* buckets);
+
+}  // namespace bagua
+
+#endif  // BAGUA_CORE_BUCKET_H_

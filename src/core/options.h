@@ -1,0 +1,34 @@
+#ifndef BAGUA_CORE_OPTIONS_H_
+#define BAGUA_CORE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace bagua {
+
+/// \brief The execution-optimizer switches of §3.4 / Table 5.
+///
+/// O — overlap communication with the backward computation;
+/// F — fuse tensors into buckets and flatten their memory;
+/// H — hierarchical (intra-node + leader) communication.
+struct BaguaOptions {
+  bool overlap = true;       ///< O
+  bool fuse = true;          ///< F
+  bool hierarchical = true;  ///< H
+
+  /// Target bucket payload when fusing. The profiling phase sizes buckets
+  /// to amortize the measured per-collective latency; at 16-node TCP
+  /// latencies that lands near 32 MB (see bench_ablation_bucket).
+  size_t bucket_bytes = 32u << 20;
+
+  static BaguaOptions Ablation(bool o, bool f, bool h) {
+    BaguaOptions opts;
+    opts.overlap = o;
+    opts.fuse = f;
+    opts.hierarchical = h;
+    return opts;
+  }
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_CORE_OPTIONS_H_

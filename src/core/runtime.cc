@@ -1,0 +1,116 @@
+#include "core/runtime.h"
+
+#include "base/logging.h"
+
+namespace bagua {
+
+BaguaRuntime::BaguaRuntime(CommWorld* world, int rank, Net* net,
+                           Optimizer* optimizer, Algorithm* algorithm,
+                           BaguaOptions options)
+    : net_(net), algorithm_(algorithm), options_(options) {
+  ctx_.comm.world = world;
+  ctx_.comm.rank = rank;
+  ctx_.comm.space = 0;
+  ctx_.comm.step = 0;
+  ctx_.comm.hierarchical = options.hierarchical;
+  ctx_.optimizer = optimizer;
+  ctx_.options = options;
+  ctx_.step = 0;
+}
+
+Result<double> BaguaRuntime::TrainStepCE(const Tensor& x, const Tensor& y) {
+  net_->ZeroGrad();
+  Tensor logits;
+  RETURN_IF_ERROR(net_->Forward(x, &logits));
+  double loss = 0.0;
+  Tensor grad_logits;
+  RETURN_IF_ERROR(SoftmaxCrossEntropy(logits, y, &loss, &grad_logits));
+
+  if (!profiled_) {
+    RETURN_IF_ERROR(ProfilingStep(grad_logits));
+  } else {
+    RETURN_IF_ERROR(ExecutionStep(grad_logits));
+  }
+  RETURN_IF_ERROR(algorithm_->OnStepEnd(&ctx_));
+  ++ctx_.step;
+  ++ctx_.comm.step;
+  return loss;
+}
+
+Status BaguaRuntime::ProfilingStep(const Tensor& grad_out) {
+  // Profiling phase: log every hook invocation, execute unoptimized.
+  profile_log_.clear();
+  Status hook_status;
+  RETURN_IF_ERROR(net_->Backward(grad_out, [&](size_t layer) {
+    size_t numel = 0;
+    for (const Param& p : net_->layer(layer)->params()) {
+      numel += p.grad->numel();
+    }
+    if (numel > 0) profile_log_.push_back({layer, numel});
+  }));
+
+  // Bucketing + flattening over the recorded order.
+  const auto plan =
+      PlanBuckets(profile_log_, options_.bucket_bytes, options_.fuse);
+  std::vector<std::vector<Param>> layer_params(net_->num_layers());
+  for (size_t i = 0; i < net_->num_layers(); ++i) {
+    layer_params[i] = net_->layer(i)->params();
+  }
+  RETURN_IF_ERROR(
+      BuildBuckets(plan, layer_params, options_.fuse, &buckets_));
+
+  layer_to_bucket_.assign(net_->num_layers(), -1);
+  for (const Bucket& b : buckets_) {
+    for (size_t layer : b.layers) {
+      // With F=0 a layer may span several single-tensor buckets; the
+      // bucket countdown below tracks per-bucket layer membership instead.
+      layer_to_bucket_[layer] = static_cast<int>(b.index);
+    }
+  }
+  bucket_pending_.assign(buckets_.size(), 0);
+
+  RETURN_IF_ERROR(algorithm_->Init(&ctx_, &buckets_));
+  profiled_ = true;
+
+  // The profiling step still has gradients to communicate — run every
+  // bucket after the fact (unoptimized execution).
+  for (Bucket& bucket : buckets_) {
+    RETURN_IF_ERROR(FireBucket(&bucket));
+  }
+  return Status::OK();
+}
+
+Status BaguaRuntime::ExecutionStep(const Tensor& grad_out) {
+  // Reset per-iteration countdowns: a bucket fires when all of its layers
+  // have completed backward.
+  for (const Bucket& b : buckets_) {
+    bucket_pending_[b.index] = static_cast<int>(b.layers.size());
+  }
+  Status comm_status;
+  RETURN_IF_ERROR(net_->Backward(grad_out, [&](size_t layer) {
+    if (!comm_status.ok() || !options_.overlap) return;
+    const int b = layer_to_bucket_[layer];
+    if (b < 0) return;  // parameterless layer
+    if (--bucket_pending_[b] == 0) {
+      comm_status = FireBucket(&buckets_[b]);
+    }
+  }));
+  RETURN_IF_ERROR(comm_status);
+  if (!options_.overlap) {
+    // O = 0: all communication happens strictly after backward.
+    for (Bucket& bucket : buckets_) {
+      RETURN_IF_ERROR(FireBucket(&bucket));
+    }
+  }
+  return Status::OK();
+}
+
+Status BaguaRuntime::FireBucket(Bucket* bucket) {
+  RETURN_IF_ERROR(bucket->GatherToFlat());
+  RETURN_IF_ERROR(algorithm_->OnBucketReady(&ctx_, bucket));
+  return bucket->ScatterFromFlat();
+}
+
+Status BaguaRuntime::Finish() { return algorithm_->Finish(&ctx_); }
+
+}  // namespace bagua

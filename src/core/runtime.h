@@ -1,0 +1,67 @@
+#ifndef BAGUA_CORE_RUNTIME_H_
+#define BAGUA_CORE_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/bucket.h"
+#include "core/options.h"
+#include "model/loss.h"
+#include "model/net.h"
+
+namespace bagua {
+
+/// \brief The BAGUA runtime (the third player of Fig. 4): owns one worker's
+/// execution optimizer and drives training steps.
+///
+/// The first step is the *profiling phase*: every layer-hook invocation is
+/// logged, layers are grouped into buckets (Bucketing), bucket members are
+/// re-homed into contiguous memory (Flattening), and the algorithm is
+/// initialized against the final buckets. Later steps are the *execution
+/// phase*: bucket hooks fire as gradients appear during backward
+/// (Scheduling/Overlap) or after backward completes when overlap is off.
+///
+/// One BaguaRuntime per worker thread; all runtimes of a run share a
+/// CommWorld.
+class BaguaRuntime {
+ public:
+  /// Does not take ownership of any pointer; all must outlive the runtime.
+  BaguaRuntime(CommWorld* world, int rank, Net* net, Optimizer* optimizer,
+               Algorithm* algorithm, BaguaOptions options);
+
+  /// One data-parallel training step with softmax cross-entropy loss.
+  /// Collective: every worker of the CommWorld must call it in lockstep.
+  /// Returns this worker's local mini-batch loss.
+  Result<double> TrainStepCE(const Tensor& x, const Tensor& y);
+
+  /// Flushes algorithm state (e.g. async helper threads). Collective.
+  Status Finish();
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  uint64_t step() const { return ctx_.step; }
+  BaguaContext* context() { return &ctx_; }
+  Net* net() { return net_; }
+
+ private:
+  Status ProfilingStep(const Tensor& grad_out);
+  Status ExecutionStep(const Tensor& grad_out);
+  Status FireBucket(Bucket* bucket);
+
+  Net* net_;
+  Algorithm* algorithm_;
+  BaguaOptions options_;
+  BaguaContext ctx_;
+
+  bool profiled_ = false;
+  std::vector<ProfileRecord> profile_log_;
+  std::vector<Bucket> buckets_;
+  /// bucket index holding each layer (layer -> bucket), and per-iteration
+  /// countdown of outstanding layers per bucket.
+  std::vector<int> layer_to_bucket_;
+  std::vector<int> bucket_pending_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_CORE_RUNTIME_H_

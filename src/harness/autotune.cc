@@ -1,0 +1,112 @@
+#include "harness/autotune.h"
+
+#include <algorithm>
+
+#include "algorithms/registry.h"
+#include "base/logging.h"
+#include "sim/collective_cost.h"
+
+namespace bagua {
+
+namespace {
+
+/// Timing stub for the Async algorithm: prices the PS push/pull pattern
+/// without requiring a live server (the data-path twin is
+/// AsyncPsAlgorithm).
+class AsyncCostModel : public Algorithm {
+ public:
+  const std::string& name() const override { return name_; }
+  AlgorithmTraits traits() const override {
+    return {false, true, true, false};
+  }
+  Status OnBucketReady(BaguaContext*, Bucket*) override {
+    return Status::Unimplemented(
+        "cost model only; use AsyncPsAlgorithm for the data path");
+  }
+  double CommCost(size_t numel, const ClusterTopology& topo,
+                  const NetworkConfig& net,
+                  bool /*hierarchical*/) const override {
+    // Node-local aggregation is intrinsic to the PS architecture.
+    return PsPushPullCost(topo, net, numel * 4.0, topo.num_nodes,
+                          /*intra_aggregated=*/true);
+  }
+  double WireBytes(size_t numel, const ClusterTopology& topo,
+                   bool hierarchical) const override {
+    if (hierarchical) {
+      return 2.0 * numel * 4.0 * (1.0 + 1.0 / topo.devices_per_node);
+    }
+    return 2.0 * numel * 4.0;
+  }
+
+ private:
+  std::string name_ = "async";
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> MakeTimingAlgorithm(const std::string& name) {
+  if (name == "async") return std::make_unique<AsyncCostModel>();
+  auto algo = MakeAlgorithm(name);
+  BAGUA_CHECK(algo.ok()) << algo.status().ToString();
+  return std::move(algo).value();
+}
+
+std::vector<std::string> TunableAlgorithms() {
+  std::vector<std::string> names = RegisteredAlgorithms();
+  names.push_back("async");
+  return names;
+}
+
+std::vector<AlgorithmRecommendation> RankAlgorithms(
+    const TimingConfig& cfg, const BaguaOptions& options) {
+  // Reference point: the safe default everyone is running today.
+  auto allreduce = MakeTimingAlgorithm("allreduce");
+  const double allreduce_s =
+      EstimateEpoch(cfg, BaguaSpec(cfg, *allreduce, options)).epoch_s;
+
+  std::vector<AlgorithmRecommendation> ranking;
+  for (const std::string& name : TunableAlgorithms()) {
+    auto algo = MakeTimingAlgorithm(name);
+    const EpochEstimate est =
+        EstimateEpoch(cfg, BaguaSpec(cfg, *algo, options));
+    AlgorithmRecommendation rec;
+    rec.algorithm = name;
+    rec.epoch_s = est.epoch_s;
+    rec.speedup_vs_allreduce = allreduce_s / est.epoch_s;
+    const AlgorithmTraits traits = algo->traits();
+    const bool adam_workload = cfg.model.train.uses_adam;
+    if (name == "1bit-adam" && !adam_workload) {
+      rec.convergence_caution = true;
+      rec.note = "diverged on non-Adam (conv-style) tasks in Fig. 6";
+    } else if (!traits.centralized && !traits.synchronous) {
+      rec.convergence_caution = true;
+      rec.note = "gossip staleness: unproven beyond AD-PSGD assumptions";
+    } else if (!traits.centralized) {
+      rec.convergence_caution = true;
+      rec.note = "decentralized averaging showed an accuracy drop on VGG16";
+    } else if (!traits.synchronous && adam_workload) {
+      rec.convergence_caution = true;
+      rec.note = "staleness cost a convergence gap on BERT-LARGE";
+    } else if (name.rfind("local-sgd", 0) == 0) {
+      rec.convergence_caution = true;
+      rec.note = "infrequent averaging changes the effective batch dynamics";
+    }
+    ranking.push_back(std::move(rec));
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const AlgorithmRecommendation& a,
+               const AlgorithmRecommendation& b) {
+              return a.epoch_s < b.epoch_s;
+            });
+  return ranking;
+}
+
+Result<AlgorithmRecommendation> RecommendAlgorithm(
+    const TimingConfig& cfg, bool require_safe, const BaguaOptions& options) {
+  for (const AlgorithmRecommendation& rec : RankAlgorithms(cfg, options)) {
+    if (!require_safe || !rec.convergence_caution) return rec;
+  }
+  return Status::NotFound("no convergence-safe algorithm available");
+}
+
+}  // namespace bagua

@@ -1,0 +1,66 @@
+#include "harness/report.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace bagua {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  BAGUA_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::ToMarkdown() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  out += "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string ReportTable::ToCsv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      line += row[c];
+    }
+    return line + "\n";
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+void ReportTable::Print(FILE* out) const {
+  std::fputs(ToMarkdown().c_str(), out);
+  std::fputc('\n', out);
+}
+
+void PrintSection(const std::string& title, FILE* out) {
+  std::fprintf(out, "\n## %s\n\n", title.c_str());
+}
+
+}  // namespace bagua

@@ -1,0 +1,39 @@
+#ifndef BAGUA_HARNESS_REPORT_H_
+#define BAGUA_HARNESS_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bagua {
+
+/// \brief Minimal fixed-width/markdown table printer for the benchmark
+/// binaries: every bench prints the same rows/series the paper's table or
+/// figure reports.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders a GitHub-markdown table.
+  std::string ToMarkdown() const;
+
+  /// Renders comma-separated values (for plotting figures).
+  std::string ToCsv() const;
+
+  void Print(FILE* out = stdout) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Prints a section header for bench output.
+void PrintSection(const std::string& title, FILE* out = stdout);
+
+}  // namespace bagua
+
+#endif  // BAGUA_HARNESS_REPORT_H_

@@ -1,0 +1,99 @@
+#ifndef BAGUA_HARNESS_TIMING_H_
+#define BAGUA_HARNESS_TIMING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/options.h"
+#include "model/profiles.h"
+#include "sim/calibration.h"
+#include "sim/des.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// \brief Everything the epoch-time model needs about the experiment.
+struct TimingConfig {
+  ClusterTopology topo = ClusterTopology::Paper();
+  NetworkConfig net = NetworkConfig::Tcp25();
+  DeviceConfig dev;
+  ModelProfile model;
+  /// Coefficient of variation of per-iteration compute time across workers
+  /// of a busy production cluster. A synchronous barrier over G workers
+  /// waits for the slowest, costing ~cv * sqrt(2 ln G) * compute per
+  /// iteration; algorithms that rendezvous with fewer peers pay less. This
+  /// is the mechanism behind the paper's bandwidth-independent Async/Decen
+  /// speedups and its straggler experiment (§4.3).
+  double jitter_cv = 0.115;
+};
+
+/// \brief A system's execution strategy, reduced to what determines its
+/// iteration schedule. Both the BAGUA runtime (under any algorithm and any
+/// O/F/H setting) and the three baselines compile down to one of these, so
+/// every number in Tables 3-5 and Fig. 7 comes from the same simulator.
+struct SystemSpec {
+  std::string name;
+  /// Network time of one bucket communication (numel elements).
+  std::function<double(size_t)> comm_cost;
+  /// Device-side codec work (compression, error compensation) per bucket.
+  std::function<double(size_t)> codec_cost = [](size_t) { return 0.0; };
+  /// Bucket payload target; ignored when per_tensor is set.
+  size_t bucket_bytes = 10u << 20;
+  /// F = 0: communicate tensor by tensor instead of fused buckets.
+  bool per_tensor = false;
+  /// O: start a bucket's communication as soon as its gradients are ready.
+  bool overlap_backward = true;
+  /// BytePS-style: the next iteration's forward may start for layers whose
+  /// parameters have already been pulled.
+  bool overlap_forward = false;
+  /// Async: communication never blocks on (or blocks) local compute.
+  bool async = false;
+  /// Decentralized pattern: the local update precedes communication.
+  bool update_before_comm = false;
+  /// Memory passes per element of the optimizer update (SGD ~3, Adam ~5).
+  double update_passes = 3.0;
+  /// Extra serialized time per full-model exchange (BytePS summation
+  /// service on the host CPU), seconds per full gradient.
+  double server_cpu_s = 0.0;
+  /// Host-side cost per communication unit on the training thread (hook
+  /// dispatch, pack/unpack launches, allocator traffic). Fused buckets pay
+  /// it once per bucket; the F=0 per-tensor path pays it per tensor, which
+  /// is what makes unfused BERT-LARGE (~400 tensors) collapse in Table 5.
+  double host_per_unit_s = 1e-4;
+  /// Workers that must rendezvous per iteration (-1 = whole world).
+  int barrier_group = -1;
+  /// Fraction of iterations that pay the barrier (LocalSGD: 1/τ).
+  double barrier_freq = 1.0;
+};
+
+/// \brief Result of the epoch-time model.
+struct EpochEstimate {
+  std::string system;
+  double iteration_s = 0.0;    ///< steady-state time per iteration
+  double epoch_s = 0.0;        ///< iteration_s * iterations
+  size_t iterations = 0;
+  double compute_s = 0.0;      ///< per-iteration device busy time
+  double comm_s = 0.0;         ///< per-iteration comm-stream busy time
+};
+
+/// \brief Prices one epoch of `cfg.model` under `spec`.
+///
+/// Internally builds the op graph of three consecutive iterations on
+/// (compute, comm) stream resources and reports the steady-state iteration
+/// time (difference between the last two iteration finish times), so
+/// pipelining across iterations — the whole point of the O/BytePS
+/// scheduling tricks — is captured.
+EpochEstimate EstimateEpoch(const TimingConfig& cfg, const SystemSpec& spec);
+
+/// \brief Compiles a BAGUA algorithm + optimizer-framework options into a
+/// SystemSpec (what the execution optimizer's profiling phase effectively
+/// does for the schedule).
+SystemSpec BaguaSpec(const TimingConfig& cfg, const Algorithm& algo,
+                     const BaguaOptions& options);
+
+}  // namespace bagua
+
+#endif  // BAGUA_HARNESS_TIMING_H_

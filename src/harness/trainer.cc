@@ -1,0 +1,127 @@
+#include "harness/trainer.h"
+
+#include <cmath>
+#include <memory>
+
+#include "algorithms/algorithms.h"
+#include "algorithms/registry.h"
+#include "compress/qsgd.h"
+#include "base/logging.h"
+#include "base/sync.h"
+#include "core/runtime.h"
+#include "model/loss.h"
+#include "model/net.h"
+
+namespace bagua {
+
+namespace {
+
+struct WorkerState {
+  std::unique_ptr<Net> net;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<Algorithm> algorithm;
+  std::unique_ptr<BaguaRuntime> runtime;
+};
+
+}  // namespace
+
+Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
+  const int world = opts.topo.world_size();
+  CommWorld comm_world(opts.topo, opts.seed);
+  SyntheticClassification dataset(opts.data);
+
+  // Model dims: input must match the dataset.
+  std::vector<size_t> dims = opts.dims;
+  dims.front() = opts.data.dim;
+  dims.back() = opts.data.classes;
+
+  const bool use_adam = opts.adam || opts.algorithm == "1bit-adam";
+
+  // Async needs one shared server sized to the model.
+  std::shared_ptr<ShardedParameterServer> server;
+  if (opts.algorithm == "async" || opts.algorithm == "async-lp") {
+    Net probe = Net::Mlp(dims);
+    server = std::make_shared<ShardedParameterServer>(
+        probe.NumParams(), std::max(1, opts.topo.num_nodes), world);
+  }
+
+  std::vector<WorkerState> workers(world);
+  for (int r = 0; r < world; ++r) {
+    WorkerState& w = workers[r];
+    w.net = std::make_unique<Net>(Net::Mlp(dims));
+    w.net->InitParams(MixSeed(opts.seed, 17));
+    if (use_adam) {
+      w.optimizer = std::make_unique<AdamOptimizer>(opts.lr);
+    } else {
+      w.optimizer = std::make_unique<SgdOptimizer>(opts.lr);
+    }
+    if (opts.algorithm == "async") {
+      w.algorithm = std::make_unique<AsyncPsAlgorithm>(server, opts.lr);
+    } else if (opts.algorithm == "async-lp") {
+      static const QsgdCompressor kAsyncLpCodec(8);
+      w.algorithm =
+          std::make_unique<AsyncPsAlgorithm>(server, opts.lr, &kAsyncLpCodec);
+    } else if (opts.algorithm == "1bit-adam") {
+      w.algorithm = std::make_unique<OneBitAdamAlgorithm>(opts.onebit_warmup);
+    } else {
+      ASSIGN_OR_RETURN(w.algorithm, MakeAlgorithm(opts.algorithm));
+    }
+    w.runtime = std::make_unique<BaguaRuntime>(&comm_world, r, w.net.get(),
+                                               w.optimizer.get(),
+                                               w.algorithm.get(), opts.bagua);
+  }
+
+  ConvergenceResult result;
+  result.algorithm = opts.algorithm;
+  result.epoch_loss.assign(opts.epochs, 0.0);
+
+  std::vector<Status> statuses(world);
+  std::vector<std::vector<double>> per_epoch(world,
+                                             std::vector<double>(opts.epochs));
+  ParallelFor(world, [&](size_t r) {
+    auto run = [&]() -> Status {
+      const size_t batches =
+          dataset.BatchesPerEpoch(static_cast<int>(r), world, opts.batch_size);
+      if (batches == 0) {
+        return Status::InvalidArgument("shard smaller than one batch");
+      }
+      for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+        double sum = 0.0;
+        for (size_t b = 0; b < batches; ++b) {
+          Tensor x, y;
+          RETURN_IF_ERROR(dataset.GetShardBatch(static_cast<int>(r), world,
+                                                epoch, b, opts.batch_size, &x,
+                                                &y));
+          ASSIGN_OR_RETURN(const double loss,
+                           workers[r].runtime->TrainStepCE(x, y));
+          sum += loss;
+        }
+        per_epoch[r][epoch] = sum / static_cast<double>(batches);
+      }
+      return workers[r].runtime->Finish();
+    };
+    statuses[r] = run();
+  });
+  for (const Status& s : statuses) RETURN_IF_ERROR(s);
+
+  for (size_t e = 0; e < opts.epochs; ++e) {
+    double sum = 0.0;
+    for (int r = 0; r < world; ++r) sum += per_epoch[r][e];
+    result.epoch_loss[e] = sum / world;
+    if (!std::isfinite(result.epoch_loss[e]) ||
+        result.epoch_loss[e] > 50.0 * result.epoch_loss[0] + 50.0) {
+      result.diverged = true;
+    }
+  }
+
+  // Full-dataset accuracy of rank 0's final model.
+  Tensor all_x, all_y;
+  RETURN_IF_ERROR(dataset.GetAll(&all_x, &all_y));
+  Tensor logits;
+  RETURN_IF_ERROR(workers[0].net->Forward(all_x, &logits));
+  ASSIGN_OR_RETURN(const double acc, Accuracy(logits, all_y));
+  result.epoch_accuracy.push_back(acc);
+  return result;
+}
+
+}  // namespace bagua

@@ -1,0 +1,55 @@
+#ifndef BAGUA_HARNESS_TRAINER_H_
+#define BAGUA_HARNESS_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "model/data.h"
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// \brief Configuration of one convergence experiment (Figs. 5-6): real
+/// training of a real model through the chosen algorithm on a simulated
+/// cluster of worker threads.
+struct ConvergenceOptions {
+  /// Algorithm name per algorithms/registry.h, plus "async".
+  std::string algorithm = "allreduce";
+  ClusterTopology topo = ClusterTopology::Make(8, 1);
+  BaguaOptions bagua;
+  /// MLP dims for the task model.
+  std::vector<size_t> dims = {32, 64, 32, 8};
+  double lr = 0.05;
+  bool adam = false;  ///< use Adam instead of SGD (forced on for 1bit-adam)
+  size_t epochs = 10;
+  size_t batch_size = 16;
+  uint64_t seed = 2021;
+  /// Warmup steps for 1-bit Adam (the paper's recipe warms up for a
+  /// sizeable fraction of training before switching to compression).
+  uint64_t onebit_warmup = 64;
+  SyntheticClassification::Options data;
+
+  ConvergenceOptions() {
+    data.num_samples = 4096;
+    data.dim = 32;
+    data.classes = 8;
+    data.seed = 7;
+  }
+};
+
+/// \brief Per-epoch trajectory of one run.
+struct ConvergenceResult {
+  std::string algorithm;
+  std::vector<double> epoch_loss;      ///< mean training loss per epoch
+  std::vector<double> epoch_accuracy;  ///< rank-0 full-dataset accuracy
+  bool diverged = false;               ///< loss became NaN/inf or exploded
+};
+
+/// \brief Runs the experiment: spawns one thread per worker, trains
+/// `epochs` epochs, returns the loss/accuracy trajectory.
+Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts);
+
+}  // namespace bagua
+
+#endif  // BAGUA_HARNESS_TRAINER_H_

@@ -1,0 +1,110 @@
+#include "model/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'G', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IoError("checkpoint write failed");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::IoError("checkpoint truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(Net* net, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  RETURN_IF_ERROR(WriteAll(f.get(), kMagic, 4));
+  RETURN_IF_ERROR(WriteAll(f.get(), &kVersion, 4));
+  const auto params = net->params();
+  const uint64_t count = params.size();
+  RETURN_IF_ERROR(WriteAll(f.get(), &count, 8));
+  for (const Param& p : params) {
+    const uint32_t name_len = static_cast<uint32_t>(p.name.size());
+    RETURN_IF_ERROR(WriteAll(f.get(), &name_len, 4));
+    RETURN_IF_ERROR(WriteAll(f.get(), p.name.data(), name_len));
+    const uint64_t numel = p.value->numel();
+    RETURN_IF_ERROR(WriteAll(f.get(), &numel, 8));
+    RETURN_IF_ERROR(WriteAll(f.get(), p.value->data(), numel * 4));
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Net* net, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open checkpoint: " + path);
+  }
+  char magic[4];
+  uint32_t version;
+  RETURN_IF_ERROR(ReadAll(f.get(), magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a BAGUA checkpoint: " + path);
+  }
+  RETURN_IF_ERROR(ReadAll(f.get(), &version, 4));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+  uint64_t count;
+  RETURN_IF_ERROR(ReadAll(f.get(), &count, 8));
+  const auto params = net->params();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %llu tensors, model has %zu",
+                  (unsigned long long)count, params.size()));
+  }
+  for (const Param& p : params) {
+    uint32_t name_len;
+    RETURN_IF_ERROR(ReadAll(f.get(), &name_len, 4));
+    if (name_len > 4096) {
+      return Status::InvalidArgument("corrupt checkpoint: name too long");
+    }
+    std::string name(name_len, '\0');
+    RETURN_IF_ERROR(ReadAll(f.get(), name.data(), name_len));
+    if (name != p.name) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint tensor '%s' does not match model tensor '%s'",
+                    name.c_str(), p.name.c_str()));
+    }
+    uint64_t numel;
+    RETURN_IF_ERROR(ReadAll(f.get(), &numel, 8));
+    if (numel != p.value->numel()) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint tensor '%s' has %llu elements, model has %zu",
+                    name.c_str(), (unsigned long long)numel,
+                    p.value->numel()));
+    }
+    RETURN_IF_ERROR(ReadAll(f.get(), p.value->data(), numel * 4));
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

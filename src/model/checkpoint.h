@@ -1,0 +1,26 @@
+#ifndef BAGUA_MODEL_CHECKPOINT_H_
+#define BAGUA_MODEL_CHECKPOINT_H_
+
+#include <string>
+
+#include "model/net.h"
+
+namespace bagua {
+
+/// Binary checkpointing of a Net's parameters.
+///
+/// Format: magic "BGCK" + u32 version + u64 param-tensor count, then per
+/// tensor: u32 name length, name bytes, u64 numel, numel floats. Loading
+/// validates the structure against the target net (names and sizes must
+/// match exactly), so loading into the wrong architecture fails cleanly
+/// instead of silently corrupting weights.
+
+/// \brief Writes `net`'s parameter values to `path` (overwrites).
+Status SaveCheckpoint(Net* net, const std::string& path);
+
+/// \brief Restores parameter values from `path` into `net`.
+Status LoadCheckpoint(Net* net, const std::string& path);
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_CHECKPOINT_H_

@@ -1,0 +1,67 @@
+#ifndef BAGUA_MODEL_CONV_H_
+#define BAGUA_MODEL_CONV_H_
+
+#include "model/layer.h"
+
+namespace bagua {
+
+/// \brief 2-D convolution (NCHW, square kernel, stride 1, zero padding)
+/// with optional fused activation, implemented as im2col + GEMM — the
+/// layer type behind the paper's VGG16 / AlexNet workloads.
+///
+/// Input tensors are flat [batch, in_c * h * w]; output is
+/// [batch, out_c * h_out * w_out] with h_out = h + 2*pad - k + 1.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(std::string name, size_t in_c, size_t out_c, size_t h, size_t w,
+              size_t k, size_t pad = 0, Activation act = Activation::kNone);
+
+  const std::string& name() const override { return name_; }
+  Status Forward(const Tensor& in, Tensor* out) override;
+  Status Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  std::vector<Param> params() override;
+  void InitParams(Rng* rng) override;
+
+  size_t out_h() const { return out_h_; }
+  size_t out_w() const { return out_w_; }
+  size_t out_dim() const { return out_c_ * out_h_ * out_w_; }
+
+ private:
+  /// Expands one image [in_c, h, w] into columns [in_c*k*k, out_h*out_w].
+  void Im2Col(const float* image, float* cols) const;
+  /// Scatters column gradients back into an image (the adjoint of Im2Col).
+  void Col2Im(const float* cols, float* image) const;
+
+  std::string name_;
+  size_t in_c_, out_c_, h_, w_, k_, pad_;
+  size_t out_h_, out_w_;
+  Activation act_;
+  Tensor weight_;  // [out_c, in_c*k*k]
+  Tensor bias_;    // [out_c]
+  Tensor gw_, gb_;
+  Tensor input_;   // cached forward input
+  Tensor output_;  // cached post-activation output
+};
+
+/// \brief 2x2 max pooling with stride 2 (NCHW, flat tensors). `h` and `w`
+/// must be even.
+class MaxPool2dLayer : public Layer {
+ public:
+  MaxPool2dLayer(std::string name, size_t channels, size_t h, size_t w);
+
+  const std::string& name() const override { return name_; }
+  Status Forward(const Tensor& in, Tensor* out) override;
+  Status Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+  size_t out_dim() const { return channels_ * (h_ / 2) * (w_ / 2); }
+
+ private:
+  std::string name_;
+  size_t channels_, h_, w_;
+  std::vector<uint32_t> argmax_;  // winner index per output element
+  size_t batch_ = 0;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_CONV_H_

@@ -1,0 +1,110 @@
+#include "model/data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+SyntheticClassification::SyntheticClassification(const Options& opts)
+    : opts_(opts) {
+  BAGUA_CHECK_GT(opts.num_samples, 0u);
+  BAGUA_CHECK_GT(opts.dim, 0u);
+  BAGUA_CHECK_GE(opts.classes, 2u);
+  Rng rng(opts.seed);
+
+  // Random cluster centers.
+  std::vector<float> centers(opts.classes * opts.dim);
+  for (auto& c : centers) c = static_cast<float>(rng.Normal() * 2.0);
+
+  // Fixed random rotation-ish mixing matrix for a mild nonlinearity below.
+  std::vector<float> mix(opts.dim * opts.dim);
+  for (auto& m : mix) {
+    m = static_cast<float>(rng.Normal() / std::sqrt(double(opts.dim)));
+  }
+
+  features_.resize(opts.num_samples * opts.dim);
+  labels_.resize(opts.num_samples);
+  std::vector<float> raw(opts.dim);
+  for (size_t s = 0; s < opts.num_samples; ++s) {
+    const size_t cls = rng.UniformInt(opts.classes);
+    labels_[s] = static_cast<float>(cls);
+    const float* center = centers.data() + cls * opts.dim;
+    for (size_t d = 0; d < opts.dim; ++d) {
+      raw[d] = center[d] +
+               static_cast<float>(rng.Normal() * opts.cluster_spread);
+    }
+    // tanh of a random mix — keeps clusters separable but not linearly.
+    float* out = features_.data() + s * opts.dim;
+    for (size_t d = 0; d < opts.dim; ++d) {
+      double acc = 0.0;
+      for (size_t k = 0; k < opts.dim; ++k) {
+        acc += mix[d * opts.dim + k] * raw[k];
+      }
+      out[d] = std::tanh(static_cast<float>(acc)) + 0.1f * raw[d];
+    }
+    if (rng.Bernoulli(opts.label_noise)) {
+      labels_[s] = static_cast<float>(rng.UniformInt(opts.classes));
+    }
+  }
+}
+
+size_t SyntheticClassification::ShardSize(int rank, int world) const {
+  BAGUA_CHECK_GE(rank, 0);
+  BAGUA_CHECK_LT(rank, world);
+  // Strided sharding: worker r owns samples r, r+world, ...
+  return (opts_.num_samples + static_cast<size_t>(world) -
+          static_cast<size_t>(rank) - 1) /
+         static_cast<size_t>(world);
+}
+
+size_t SyntheticClassification::BatchesPerEpoch(int rank, int world,
+                                                size_t batch_size) const {
+  return ShardSize(rank, world) / batch_size;
+}
+
+Status SyntheticClassification::GetShardBatch(int rank, int world,
+                                              size_t epoch,
+                                              size_t batch_index,
+                                              size_t batch_size, Tensor* x,
+                                              Tensor* y) const {
+  if (rank < 0 || rank >= world) {
+    return Status::InvalidArgument("bad rank/world");
+  }
+  const size_t shard = ShardSize(rank, world);
+  if ((batch_index + 1) * batch_size > shard) {
+    return Status::OutOfRange(
+        StrFormat("batch %zu x %zu exceeds shard %zu", batch_index,
+                  batch_size, shard));
+  }
+  // Per-(epoch, rank) shuffle of the shard-local indices.
+  Rng rng(MixSeed(opts_.seed, MixSeed(epoch + 1, rank + 1)));
+  std::vector<uint32_t> order(shard);
+  rng.Permutation(shard, order.data());
+
+  *x = Tensor::Zeros({batch_size, opts_.dim}, "batch.x");
+  *y = Tensor::Zeros({batch_size}, "batch.y");
+  for (size_t b = 0; b < batch_size; ++b) {
+    const size_t local = order[batch_index * batch_size + b];
+    const size_t global = static_cast<size_t>(rank) +
+                          local * static_cast<size_t>(world);
+    std::memcpy(x->data() + b * opts_.dim,
+                features_.data() + global * opts_.dim,
+                opts_.dim * sizeof(float));
+    (*y)[b] = labels_[global];
+  }
+  return Status::OK();
+}
+
+Status SyntheticClassification::GetAll(Tensor* x, Tensor* y) const {
+  *x = Tensor::Zeros({opts_.num_samples, opts_.dim}, "all.x");
+  *y = Tensor::Zeros({opts_.num_samples}, "all.y");
+  std::memcpy(x->data(), features_.data(), features_.size() * sizeof(float));
+  std::memcpy(y->data(), labels_.data(), labels_.size() * sizeof(float));
+  return Status::OK();
+}
+
+}  // namespace bagua

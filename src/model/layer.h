@@ -1,0 +1,79 @@
+#ifndef BAGUA_MODEL_LAYER_H_
+#define BAGUA_MODEL_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace bagua {
+
+/// \brief A trainable parameter slot: value + gradient tensors.
+///
+/// Slots expose *pointers to the owning layer's members*, so the runtime's
+/// flattening pass can re-home them into bucket buffers in place and the
+/// layer transparently computes on the flattened storage afterwards.
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+/// \brief Activation applied by a DenseLayer after the affine transform.
+enum class Activation { kNone, kRelu, kTanh };
+
+/// \brief Base class of differentiable layers (the per-layer unit the
+/// BAGUA runtime hooks into, mirroring how its PyTorch integration hooks
+/// each module's backward).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Computes the layer output for a [batch, in] input.
+  virtual Status Forward(const Tensor& in, Tensor* out) = 0;
+
+  /// Consumes d(loss)/d(out), accumulates parameter gradients, and produces
+  /// d(loss)/d(in). Must be called after the matching Forward.
+  virtual Status Backward(const Tensor& grad_out, Tensor* grad_in) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Deterministically (re-)initializes parameters from `rng`.
+  virtual void InitParams(Rng* rng) { (void)rng; }
+};
+
+/// \brief Fully connected layer with optional fused activation:
+/// out = act(in * W + b), W: [in, out] row-major.
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(std::string name, size_t in_dim, size_t out_dim,
+             Activation act = Activation::kNone);
+
+  const std::string& name() const override { return name_; }
+  Status Forward(const Tensor& in, Tensor* out) override;
+  Status Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  std::vector<Param> params() override;
+  void InitParams(Rng* rng) override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  std::string name_;
+  size_t in_dim_;
+  size_t out_dim_;
+  Activation act_;
+  Tensor w_, b_, gw_, gb_;
+  Tensor input_;   // cached forward input
+  Tensor output_;  // cached post-activation output (for act')
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_LAYER_H_

@@ -1,0 +1,85 @@
+#include "model/loss.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+Status SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels,
+                           double* loss, Tensor* grad_logits) {
+  const size_t batch = labels.numel();
+  if (batch == 0 || logits.numel() % batch != 0) {
+    return Status::InvalidArgument("cross-entropy shape mismatch");
+  }
+  const size_t classes = logits.numel() / batch;
+  if (grad_logits != nullptr) {
+    *grad_logits = Tensor::Zeros({batch, classes}, "ce.grad");
+  }
+  double total = 0.0;
+  for (size_t r = 0; r < batch; ++r) {
+    const float* row = logits.data() + r * classes;
+    const long label = std::lround(labels[r]);
+    if (label < 0 || static_cast<size_t>(label) >= classes) {
+      return Status::InvalidArgument(
+          StrFormat("label %ld out of range [0, %zu)", label, classes));
+    }
+    float maxv = row[0];
+    for (size_t c = 1; c < classes; ++c) maxv = std::max(maxv, row[c]);
+    double denom = 0.0;
+    for (size_t c = 0; c < classes; ++c) denom += std::exp(row[c] - maxv);
+    const double log_denom = std::log(denom);
+    total += -(row[label] - maxv - log_denom);
+    if (grad_logits != nullptr) {
+      float* grow = grad_logits->data() + r * classes;
+      for (size_t c = 0; c < classes; ++c) {
+        const double p = std::exp(row[c] - maxv) / denom;
+        grow[c] = static_cast<float>(
+            (p - (static_cast<size_t>(label) == c ? 1.0 : 0.0)) / batch);
+      }
+    }
+  }
+  *loss = total / static_cast<double>(batch);
+  return Status::OK();
+}
+
+Status MseLoss(const Tensor& pred, const Tensor& target, double* loss,
+               Tensor* grad_pred) {
+  if (pred.numel() != target.numel() || pred.numel() == 0) {
+    return Status::InvalidArgument("mse shape mismatch");
+  }
+  const size_t n = pred.numel();
+  if (grad_pred != nullptr) {
+    *grad_pred = Tensor::Zeros(pred.shape(), "mse.grad");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    total += d * d;
+    if (grad_pred != nullptr) {
+      (*grad_pred)[i] = static_cast<float>(2.0 * d / n);
+    }
+  }
+  *loss = total / static_cast<double>(n);
+  return Status::OK();
+}
+
+Result<double> Accuracy(const Tensor& logits, const Tensor& labels) {
+  const size_t batch = labels.numel();
+  if (batch == 0 || logits.numel() % batch != 0) {
+    return Status::InvalidArgument("accuracy shape mismatch");
+  }
+  const size_t classes = logits.numel() / batch;
+  size_t correct = 0;
+  for (size_t r = 0; r < batch; ++r) {
+    const float* row = logits.data() + r * classes;
+    size_t best = 0;
+    for (size_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (best == static_cast<size_t>(std::lround(labels[r]))) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace bagua

@@ -1,0 +1,27 @@
+#ifndef BAGUA_MODEL_LOSS_H_
+#define BAGUA_MODEL_LOSS_H_
+
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace bagua {
+
+/// \brief Softmax cross-entropy over logits [batch, classes] against integer
+/// labels stored as floats in `labels[batch]`.
+///
+/// Returns the mean loss; `grad_logits` (if non-null) receives
+/// d(mean loss)/d(logits), ready to feed Net::Backward.
+Status SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels,
+                           double* loss, Tensor* grad_logits);
+
+/// \brief Mean squared error over predictions [batch, dim] against targets
+/// of the same shape. Loss = mean over all elements of (pred - target)^2.
+Status MseLoss(const Tensor& pred, const Tensor& target, double* loss,
+               Tensor* grad_pred);
+
+/// \brief Fraction of rows whose argmax matches the label.
+Result<double> Accuracy(const Tensor& logits, const Tensor& labels);
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_LOSS_H_

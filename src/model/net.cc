@@ -1,0 +1,71 @@
+#include "model/net.h"
+
+#include "base/strings.h"
+
+namespace bagua {
+
+Net& Net::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Net Net::Mlp(const std::vector<size_t>& dims, Activation hidden_act) {
+  Net net;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    net.Add(std::make_unique<DenseLayer>(StrFormat("fc%zu", i), dims[i],
+                                         dims[i + 1],
+                                         last ? Activation::kNone : hidden_act));
+  }
+  return net;
+}
+
+std::vector<Param> Net::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_) {
+    for (Param& p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+size_t Net::NumParams() {
+  size_t n = 0;
+  for (const Param& p : params()) n += p.value->numel();
+  return n;
+}
+
+void Net::InitParams(uint64_t seed) {
+  Rng rng(seed);
+  for (auto& layer : layers_) layer->InitParams(&rng);
+}
+
+void Net::ZeroGrad() {
+  for (const Param& p : params()) p.grad->Fill(0.0f);
+}
+
+Status Net::Forward(const Tensor& in, Tensor* out) {
+  Tensor cur = in;
+  Tensor next;
+  for (auto& layer : layers_) {
+    RETURN_IF_ERROR(layer->Forward(cur, &next));
+    cur = next;
+  }
+  *out = cur;
+  return Status::OK();
+}
+
+Status Net::Backward(const Tensor& grad_out,
+                     const std::function<void(size_t)>& layer_hook) {
+  Tensor g = grad_out;
+  Tensor g_in;
+  for (size_t i = layers_.size(); i > 0; --i) {
+    const size_t idx = i - 1;
+    Tensor* gin = (idx == 0) ? nullptr : &g_in;
+    RETURN_IF_ERROR(layers_[idx]->Backward(g, gin));
+    if (layer_hook) layer_hook(idx);
+    if (idx > 0) g = g_in;
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

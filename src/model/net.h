@@ -1,0 +1,60 @@
+#ifndef BAGUA_MODEL_NET_H_
+#define BAGUA_MODEL_NET_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "model/layer.h"
+
+namespace bagua {
+
+/// \brief A sequential network — the "neural network specified as a graph"
+/// the end-user hands to BAGUA (Listing 1's MyNet).
+///
+/// Backward() invokes an optional per-layer hook as each layer's gradients
+/// become ready, in reverse layer order — the exact integration point the
+/// BAGUA runtime uses to trigger communication functions (§3.1: "registering
+/// this communication function as hooks ... after the backward computation
+/// of each layer").
+class Net {
+ public:
+  Net() = default;
+
+  /// Appends a layer; returns *this for builder-style chaining.
+  Net& Add(std::unique_ptr<Layer> layer);
+
+  /// Convenience builder: an MLP with the given dims and hidden activation.
+  static Net Mlp(const std::vector<size_t>& dims,
+                 Activation hidden_act = Activation::kRelu);
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  /// All parameters, layer-major (layer 0 first).
+  std::vector<Param> params();
+
+  /// Total trainable elements.
+  size_t NumParams();
+
+  /// Deterministic initialization — every worker seeds identically so that
+  /// model replicas start in sync.
+  void InitParams(uint64_t seed);
+
+  /// Zeroes all gradients.
+  void ZeroGrad();
+
+  Status Forward(const Tensor& in, Tensor* out);
+
+  /// Backpropagates from d(loss)/d(out). `layer_hook(i)` fires right after
+  /// layer i's gradients are computed (i descending).
+  Status Backward(const Tensor& grad_out,
+                  const std::function<void(size_t)>& layer_hook = nullptr);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_NET_H_

@@ -1,0 +1,104 @@
+#include "model/optimizer.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+double ClipGradNorm(float* grad, size_t n, double max_norm) {
+  double sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sq += static_cast<double>(grad[i]) * grad[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (size_t i = 0; i < n; ++i) grad[i] *= scale;
+  }
+  return norm;
+}
+
+SgdOptimizer::SgdOptimizer(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+Status SgdOptimizer::Step(size_t slot, float* param, const float* grad,
+                          size_t n) {
+  if (weight_decay_ > 0.0) {
+    // Decoupled decay (applied to the parameter, not folded into momentum).
+    const float shrink = static_cast<float>(1.0 - lr_ * weight_decay_);
+    for (size_t i = 0; i < n; ++i) param[i] *= shrink;
+  }
+  if (momentum_ <= 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      param[i] -= static_cast<float>(lr_) * grad[i];
+    }
+    return Status::OK();
+  }
+  if (slot >= velocity_.size()) velocity_.resize(slot + 1);
+  auto& v = velocity_[slot];
+  if (v.empty()) {
+    v.assign(n, 0.0f);
+  } else if (v.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("sgd slot %zu size changed: %zu -> %zu", slot, v.size(), n));
+  }
+  const float mu = static_cast<float>(momentum_);
+  const float lr = static_cast<float>(lr_);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = mu * v[i] + grad[i];
+    param[i] -= lr * v[i];
+  }
+  return Status::OK();
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+Status AdamOptimizer::Step(size_t slot, float* param, const float* grad,
+                           size_t n) {
+  if (slot >= states_.size()) states_.resize(slot + 1);
+  State& s = states_[slot];
+  if (s.m.empty()) {
+    s.m.assign(n, 0.0f);
+    s.v.assign(n, 0.0f);
+  } else if (s.m.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("adam slot %zu size changed: %zu -> %zu", slot, s.m.size(),
+                  n));
+  }
+  ++s.t;
+  const double b1 = beta1_, b2 = beta2_;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(s.t));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(s.t));
+  for (size_t i = 0; i < n; ++i) {
+    s.m[i] = static_cast<float>(b1 * s.m[i] + (1.0 - b1) * grad[i]);
+    if (!variance_frozen_) {
+      s.v[i] = static_cast<float>(b2 * s.v[i] +
+                                  (1.0 - b2) * grad[i] * grad[i]);
+    }
+    const double mhat = s.m[i] / bias1;
+    const double vhat = s.v[i] / (variance_frozen_ ? 1.0 : bias2);
+    param[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+  }
+  return Status::OK();
+}
+
+const std::vector<float>& AdamOptimizer::variance(size_t slot) const {
+  static const std::vector<float> kEmpty;
+  if (slot >= states_.size()) return kEmpty;
+  return states_[slot].v;
+}
+
+const std::vector<float>& AdamOptimizer::momentum(size_t slot) const {
+  static const std::vector<float> kEmpty;
+  if (slot >= states_.size()) return kEmpty;
+  return states_[slot].m;
+}
+
+int64_t AdamOptimizer::step_count(size_t slot) const {
+  if (slot >= states_.size()) return 0;
+  return states_[slot].t;
+}
+
+}  // namespace bagua

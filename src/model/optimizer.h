@@ -1,0 +1,106 @@
+#ifndef BAGUA_MODEL_OPTIMIZER_H_
+#define BAGUA_MODEL_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace bagua {
+
+/// \brief Optimizers operate on flat (param, grad) spans so the runtime can
+/// run them per bucket over flattened storage (§3.4: "the SG based optimizer
+/// for model update is also conducted at the level of buckets").
+///
+/// State (momentum/Adam moments) is keyed by the param pointer's span, so an
+/// optimizer instance must see consistent spans across steps.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: param -= f(grad). `slot` identifies the span for
+  /// stateful optimizers (callers pass a stable id per bucket/param).
+  virtual Status Step(size_t slot, float* param, const float* grad,
+                      size_t n) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// FLOPs per element of one update (for the timing model).
+  virtual double FlopsPerElement() const = 0;
+};
+
+/// \brief Clips a gradient span to a maximum L2 norm in place; returns the
+/// pre-clip norm. The standard stabilizer for RNN training (and a useful
+/// guard around aggressive compression noise).
+double ClipGradNorm(float* grad, size_t n, double max_norm);
+
+/// \brief Plain SGD with optional momentum and decoupled weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr, double momentum = 0.0,
+                        double weight_decay = 0.0);
+
+  Status Step(size_t slot, float* param, const float* grad,
+              size_t n) override;
+  const char* name() const override { return "sgd"; }
+  double FlopsPerElement() const override { return momentum_ > 0 ? 4 : 2; }
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<float>> velocity_;  // per slot
+};
+
+/// \brief Adam (Kingma & Ba). The base optimizer of 1-bit Adam's warmup
+/// stage; its per-coordinate second moment is what 1-bit Adam freezes.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  Status Step(size_t slot, float* param, const float* grad,
+              size_t n) override;
+  const char* name() const override { return "adam"; }
+  double FlopsPerElement() const override { return 10; }
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+  /// Freezes the second-moment estimate: subsequent steps keep v fixed and
+  /// only update the first moment — the "compression stage" behaviour of
+  /// 1-bit Adam [79].
+  void FreezeVariance() { variance_frozen_ = true; }
+  bool variance_frozen() const { return variance_frozen_; }
+
+  /// Read-only view of a slot's second moment (empty until first step).
+  const std::vector<float>& variance(size_t slot) const;
+
+  /// Read-only view of a slot's first moment (empty until first step).
+  const std::vector<float>& momentum(size_t slot) const;
+
+  /// Steps taken on a slot (for bias-correction terms).
+  int64_t step_count(size_t slot) const;
+
+  double beta1() const { return beta1_; }
+  double beta2() const { return beta2_; }
+  double eps() const { return eps_; }
+
+ private:
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+    int64_t t = 0;
+  };
+  double lr_, beta1_, beta2_, eps_;
+  bool variance_frozen_ = false;
+  std::vector<State> states_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_OPTIMIZER_H_

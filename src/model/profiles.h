@@ -1,0 +1,63 @@
+#ifndef BAGUA_MODEL_PROFILES_H_
+#define BAGUA_MODEL_PROFILES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bagua {
+
+/// \brief One block of a profiled model: a communication/compute unit of
+/// the timing simulation.
+///
+/// `flops` is the per-sample forward+backward cost of the block;
+/// `num_tensors` is how many separate parameter tensors the block holds
+/// (what per-tensor kernel overhead and the F ablation operate on).
+struct BlockProfile {
+  std::string name;
+  size_t params = 0;     ///< trainable elements
+  double flops = 0.0;    ///< fwd+bwd FLOPs per sample
+  int num_tensors = 2;   ///< parameter tensors in this block
+};
+
+/// \brief Per-model training configuration used by the epoch-time harness.
+///
+/// `efficiency` is the achieved fraction of device peak for this model's
+/// kernels — the per-model calibration constant of DESIGN.md §4.3 (conv
+/// nets run hot, small-batch attention runs cold on fp32 V100s).
+struct TrainingConfig {
+  size_t samples_per_epoch = 0;
+  size_t batch_per_device = 32;
+  double efficiency = 0.45;
+  bool uses_adam = false;  ///< update cost: Adam vs momentum-SGD
+};
+
+/// \brief Static profile of a benchmark model: per-block parameter and FLOP
+/// budgets matching the paper's Table 2, listed front-to-back.
+struct ModelProfile {
+  std::string name;
+  std::vector<BlockProfile> blocks;
+  TrainingConfig train;
+
+  size_t TotalParams() const;
+  double TotalFlops() const;
+  int TotalTensors() const;
+  double GradientBytes() const { return TotalParams() * 4.0; }
+  size_t IterationsPerEpoch(int world_size) const;
+
+  /// The paper's five workloads (Table 2).
+  static ModelProfile Vgg16();
+  static ModelProfile BertLarge();
+  static ModelProfile BertBase();
+  static ModelProfile Transformer();
+  static ModelProfile LstmAlexNet();
+  static std::vector<ModelProfile> AllPaperModels();
+
+  /// Looks a profile up by name ("vgg16", "bert-large", "bert-base",
+  /// "transformer", "lstm-alexnet"); aborts on unknown names.
+  static ModelProfile ByName(const std::string& name);
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_PROFILES_H_

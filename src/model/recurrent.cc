@@ -1,0 +1,230 @@
+#include "model/recurrent.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+
+namespace {
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+// -------------------------------------------------------------- Embedding
+
+EmbeddingLayer::EmbeddingLayer(std::string name, size_t vocab, size_t dim)
+    : name_(std::move(name)), vocab_(vocab), dim_(dim) {
+  table_ = Tensor::Zeros({vocab, dim}, name_ + ".table");
+  gtable_ = Tensor::Zeros({vocab, dim}, name_ + ".table.grad");
+}
+
+void EmbeddingLayer::InitParams(Rng* rng) {
+  for (size_t i = 0; i < table_.numel(); ++i) {
+    table_[i] = static_cast<float>(rng->Normal() * 0.1);
+  }
+}
+
+Status EmbeddingLayer::Forward(const Tensor& in, Tensor* out) {
+  const size_t tokens = in.numel();
+  input_ = in.Clone();
+  *out = Tensor::Zeros({tokens, dim_}, name_ + ".out");
+  for (size_t t = 0; t < tokens; ++t) {
+    const long id = std::lround(in[t]);
+    if (id < 0 || static_cast<size_t>(id) >= vocab_) {
+      return Status::InvalidArgument(
+          StrFormat("%s: token id %ld out of vocab %zu", name_.c_str(), id,
+                    vocab_));
+    }
+    std::memcpy(out->data() + t * dim_, table_.data() + id * dim_,
+                dim_ * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  if (!input_.defined()) {
+    return Status::FailedPrecondition(name_ + ": Backward before Forward");
+  }
+  const size_t tokens = input_.numel();
+  if (grad_out.numel() != tokens * dim_) {
+    return Status::InvalidArgument(name_ + ": grad_out shape mismatch");
+  }
+  for (size_t t = 0; t < tokens; ++t) {
+    const long id = std::lround(input_[t]);
+    Axpy(1.0f, grad_out.data() + t * dim_, gtable_.data() + id * dim_, dim_);
+  }
+  if (grad_in != nullptr) {
+    // Token ids are not differentiable; propagate zeros of the input shape.
+    *grad_in = Tensor::Zeros(input_.shape(), name_ + ".gin");
+  }
+  return Status::OK();
+}
+
+std::vector<Param> EmbeddingLayer::params() {
+  return {{&table_, &gtable_, table_.name()}};
+}
+
+// ------------------------------------------------------------------- LSTM
+
+LstmLayer::LstmLayer(std::string name, size_t input_dim, size_t hidden,
+                     size_t seq)
+    : name_(std::move(name)), input_dim_(input_dim), hidden_(hidden),
+      seq_(seq) {
+  BAGUA_CHECK_GT(seq, 0u);
+  wx_ = Tensor::Zeros({input_dim, 4 * hidden}, name_ + ".wx");
+  wh_ = Tensor::Zeros({hidden, 4 * hidden}, name_ + ".wh");
+  b_ = Tensor::Zeros({4 * hidden}, name_ + ".b");
+  gwx_ = Tensor::Zeros({input_dim, 4 * hidden}, name_ + ".wx.grad");
+  gwh_ = Tensor::Zeros({hidden, 4 * hidden}, name_ + ".wh.grad");
+  gb_ = Tensor::Zeros({4 * hidden}, name_ + ".b.grad");
+}
+
+void LstmLayer::InitParams(Rng* rng) {
+  const float bx = std::sqrt(6.0f / static_cast<float>(input_dim_ + hidden_));
+  for (size_t i = 0; i < wx_.numel(); ++i) {
+    wx_[i] = static_cast<float>(rng->Uniform(-bx, bx));
+  }
+  const float bh = std::sqrt(3.0f / static_cast<float>(hidden_));
+  for (size_t i = 0; i < wh_.numel(); ++i) {
+    wh_[i] = static_cast<float>(rng->Uniform(-bh, bh));
+  }
+  b_.Fill(0.0f);
+  // Forget-gate bias 1: the standard trick for gradient flow.
+  for (size_t i = hidden_; i < 2 * hidden_; ++i) b_[i] = 1.0f;
+}
+
+Status LstmLayer::Forward(const Tensor& in, Tensor* out) {
+  const size_t step_dim = input_dim_;
+  if (in.numel() % (seq_ * step_dim) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: input numel %zu not divisible by seq*input %zu",
+                  name_.c_str(), in.numel(), seq_ * step_dim));
+  }
+  batch_ = in.numel() / (seq_ * step_dim);
+  const size_t bh = batch_ * hidden_;
+  const size_t b4h = batch_ * 4 * hidden_;
+  xs_.assign(seq_ * batch_ * step_dim, 0.0f);
+  hs_.assign((seq_ + 1) * bh, 0.0f);
+  cs_.assign((seq_ + 1) * bh, 0.0f);
+  gates_.assign(seq_ * b4h, 0.0f);
+
+  // Input arrives as [batch, seq*input]; repack to [seq][batch, input].
+  for (size_t bb = 0; bb < batch_; ++bb) {
+    for (size_t t = 0; t < seq_; ++t) {
+      std::memcpy(xs_.data() + (t * batch_ + bb) * step_dim,
+                  in.data() + bb * seq_ * step_dim + t * step_dim,
+                  step_dim * sizeof(float));
+    }
+  }
+
+  std::vector<float> pre(b4h);
+  for (size_t t = 0; t < seq_; ++t) {
+    const float* xt = xs_.data() + t * batch_ * step_dim;
+    const float* hprev = hs_.data() + t * bh;
+    // pre = x_t Wx + h_{t-1} Wh + b
+    Gemm(xt, wx_.data(), pre.data(), batch_, step_dim, 4 * hidden_);
+    Gemm(hprev, wh_.data(), pre.data(), batch_, hidden_, 4 * hidden_,
+         /*accumulate=*/true);
+    float* gates = gates_.data() + t * b4h;
+    float* h = hs_.data() + (t + 1) * bh;
+    float* c = cs_.data() + (t + 1) * bh;
+    const float* cprev = cs_.data() + t * bh;
+    for (size_t bb = 0; bb < batch_; ++bb) {
+      const float* p = pre.data() + bb * 4 * hidden_;
+      float* g = gates + bb * 4 * hidden_;
+      for (size_t j = 0; j < hidden_; ++j) {
+        const float gi = Sigmoid(p[j] + b_[j]);
+        const float gf = Sigmoid(p[hidden_ + j] + b_[hidden_ + j]);
+        const float gg = std::tanh(p[2 * hidden_ + j] + b_[2 * hidden_ + j]);
+        const float go = Sigmoid(p[3 * hidden_ + j] + b_[3 * hidden_ + j]);
+        g[j] = gi;
+        g[hidden_ + j] = gf;
+        g[2 * hidden_ + j] = gg;
+        g[3 * hidden_ + j] = go;
+        const float cc = gf * cprev[bb * hidden_ + j] + gi * gg;
+        c[bb * hidden_ + j] = cc;
+        h[bb * hidden_ + j] = go * std::tanh(cc);
+      }
+    }
+  }
+  *out = Tensor::Zeros({batch_, hidden_}, name_ + ".out");
+  std::memcpy(out->data(), hs_.data() + seq_ * bh, bh * sizeof(float));
+  return Status::OK();
+}
+
+Status LstmLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  if (batch_ == 0) {
+    return Status::FailedPrecondition(name_ + ": Backward before Forward");
+  }
+  const size_t bh = batch_ * hidden_;
+  const size_t b4h = batch_ * 4 * hidden_;
+  if (grad_out.numel() != bh) {
+    return Status::InvalidArgument(name_ + ": grad_out shape mismatch");
+  }
+  std::vector<float> dh(grad_out.data(), grad_out.data() + bh);
+  std::vector<float> dc(bh, 0.0f);
+  std::vector<float> dpre(b4h);
+  std::vector<float> dx(seq_ * batch_ * input_dim_, 0.0f);
+  std::vector<float> dh_prev(bh);
+
+  for (size_t t = seq_; t > 0; --t) {
+    const float* gates = gates_.data() + (t - 1) * b4h;
+    const float* c = cs_.data() + t * bh;
+    const float* cprev = cs_.data() + (t - 1) * bh;
+    for (size_t bb = 0; bb < batch_; ++bb) {
+      const float* g = gates + bb * 4 * hidden_;
+      float* dp = dpre.data() + bb * 4 * hidden_;
+      for (size_t j = 0; j < hidden_; ++j) {
+        const size_t idx = bb * hidden_ + j;
+        const float gi = g[j], gf = g[hidden_ + j], gg = g[2 * hidden_ + j],
+                    go = g[3 * hidden_ + j];
+        const float tc = std::tanh(c[idx]);
+        // dL/dc accumulates through h = o * tanh(c) and the next step.
+        const float dct = dc[idx] + dh[idx] * go * (1.0f - tc * tc);
+        dp[j] = dct * gg * gi * (1.0f - gi);                   // input gate
+        dp[hidden_ + j] = dct * cprev[idx] * gf * (1.0f - gf);  // forget
+        dp[2 * hidden_ + j] = dct * gi * (1.0f - gg * gg);      // cell
+        dp[3 * hidden_ + j] = dh[idx] * tc * go * (1.0f - go);  // output
+        dc[idx] = dct * gf;  // to step t-1
+      }
+    }
+    const float* xt = xs_.data() + (t - 1) * batch_ * input_dim_;
+    const float* hprev = hs_.data() + (t - 1) * bh;
+    // Parameter gradients: gwx += x_t^T dpre; gwh += h_{t-1}^T dpre.
+    GemmTransA(xt, dpre.data(), gwx_.data(), input_dim_, batch_, 4 * hidden_,
+               /*accumulate=*/true);
+    GemmTransA(hprev, dpre.data(), gwh_.data(), hidden_, batch_, 4 * hidden_,
+               /*accumulate=*/true);
+    for (size_t bb = 0; bb < batch_; ++bb) {
+      Axpy(1.0f, dpre.data() + bb * 4 * hidden_, gb_.data(), 4 * hidden_);
+    }
+    // dx_t = dpre Wx^T; dh_{t-1} = dpre Wh^T.
+    GemmTransB(dpre.data(), wx_.data(), dx.data() + (t - 1) * batch_ *
+               input_dim_, batch_, 4 * hidden_, input_dim_);
+    GemmTransB(dpre.data(), wh_.data(), dh_prev.data(), batch_, 4 * hidden_,
+               hidden_);
+    dh = dh_prev;
+  }
+  if (grad_in != nullptr) {
+    *grad_in = Tensor::Zeros({batch_, seq_ * input_dim_}, name_ + ".gin");
+    for (size_t bb = 0; bb < batch_; ++bb) {
+      for (size_t t = 0; t < seq_; ++t) {
+        std::memcpy(grad_in->data() + bb * seq_ * input_dim_ + t * input_dim_,
+                    dx.data() + (t * batch_ + bb) * input_dim_,
+                    input_dim_ * sizeof(float));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Param> LstmLayer::params() {
+  return {{&wx_, &gwx_, wx_.name()},
+          {&wh_, &gwh_, wh_.name()},
+          {&b_, &gb_, b_.name()}};
+}
+
+}  // namespace bagua

@@ -1,0 +1,67 @@
+#ifndef BAGUA_MODEL_RECURRENT_H_
+#define BAGUA_MODEL_RECURRENT_H_
+
+#include "model/layer.h"
+
+namespace bagua {
+
+/// \brief Token embedding table: maps integer ids (stored as floats) to
+/// dense rows. Input [batch, seq]; output [batch, seq * dim].
+///
+/// Backward scatter-adds into the table gradient — the sparse-update
+/// pattern whose gradients compress so well (most rows are zero each
+/// step), motivating the top-K relaxation.
+class EmbeddingLayer : public Layer {
+ public:
+  EmbeddingLayer(std::string name, size_t vocab, size_t dim);
+
+  const std::string& name() const override { return name_; }
+  Status Forward(const Tensor& in, Tensor* out) override;
+  Status Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  std::vector<Param> params() override;
+  void InitParams(Rng* rng) override;
+
+  size_t vocab() const { return vocab_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  std::string name_;
+  size_t vocab_, dim_;
+  Tensor table_, gtable_;
+  Tensor input_;  // cached ids
+};
+
+/// \brief Single-layer LSTM over a fixed-length sequence (the paper's
+/// LSTM+AlexNet text tower). Input [batch, seq * input_dim]; output is the
+/// FINAL hidden state [batch, hidden]. Full BPTT backward.
+class LstmLayer : public Layer {
+ public:
+  LstmLayer(std::string name, size_t input_dim, size_t hidden, size_t seq);
+
+  const std::string& name() const override { return name_; }
+  Status Forward(const Tensor& in, Tensor* out) override;
+  Status Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  std::vector<Param> params() override;
+  void InitParams(Rng* rng) override;
+
+  size_t hidden() const { return hidden_; }
+
+ private:
+  std::string name_;
+  size_t input_dim_, hidden_, seq_;
+  // Gate order within the 4H blocks: input, forget, cell(g), output.
+  Tensor wx_;  // [input_dim, 4H]
+  Tensor wh_;  // [hidden, 4H]
+  Tensor b_;   // [4H]
+  Tensor gwx_, gwh_, gb_;
+  // Per-step caches for BPTT.
+  size_t batch_ = 0;
+  std::vector<float> xs_;     // [seq][batch, input_dim]
+  std::vector<float> hs_;     // [seq+1][batch, H] (hs_[0] = 0)
+  std::vector<float> cs_;     // [seq+1][batch, H]
+  std::vector<float> gates_;  // [seq][batch, 4H] post-activation
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_RECURRENT_H_

@@ -1,0 +1,21 @@
+#include "model/scheduler.h"
+
+#include <cmath>
+
+namespace bagua {
+
+double LrScheduler::LrAt(uint64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  if (total_steps_ == 0) return base_lr_;
+  if (step >= total_steps_) return base_lr_ * final_fraction_;
+  const double progress =
+      static_cast<double>(step - warmup_steps_) /
+      static_cast<double>(total_steps_ - warmup_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+  return base_lr_ * (final_fraction_ + (1.0 - final_fraction_) * cosine);
+}
+
+}  // namespace bagua

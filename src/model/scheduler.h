@@ -1,0 +1,43 @@
+#ifndef BAGUA_MODEL_SCHEDULER_H_
+#define BAGUA_MODEL_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "base/logging.h"
+
+namespace bagua {
+
+/// \brief Learning-rate schedule: linear warmup followed by cosine decay —
+/// the schedule the paper's BERT finetune and 1-bit Adam recipes rely on
+/// (warmup is what keeps aggressive compression stable early on).
+class LrScheduler {
+ public:
+  /// \param base_lr the plateau learning rate after warmup.
+  /// \param warmup_steps linear ramp 0 -> base_lr over this many steps.
+  /// \param total_steps cosine-decays to `final_fraction * base_lr` by here;
+  ///        0 disables decay (constant after warmup).
+  LrScheduler(double base_lr, uint64_t warmup_steps, uint64_t total_steps = 0,
+              double final_fraction = 0.0)
+      : base_lr_(base_lr),
+        warmup_steps_(warmup_steps),
+        total_steps_(total_steps),
+        final_fraction_(final_fraction) {
+    BAGUA_CHECK_GE(base_lr, 0.0);
+    if (total_steps > 0) BAGUA_CHECK_GE(total_steps, warmup_steps);
+  }
+
+  /// Learning rate at (0-indexed) step `step`.
+  double LrAt(uint64_t step) const;
+
+  double base_lr() const { return base_lr_; }
+
+ private:
+  double base_lr_;
+  uint64_t warmup_steps_;
+  uint64_t total_steps_;
+  double final_fraction_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_SCHEDULER_H_

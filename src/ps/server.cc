@@ -1,0 +1,116 @@
+#include "ps/server.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+ShardedParameterServer::ShardedParameterServer(size_t total_numel,
+                                               int num_shards,
+                                               int num_workers)
+    : total_numel_(total_numel),
+      num_shards_(num_shards),
+      num_workers_(num_workers) {
+  BAGUA_CHECK_GT(num_shards, 0);
+  BAGUA_CHECK_GT(num_workers, 0);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const Chunk c = ChunkOf(total_numel, num_shards, s);
+    shard->weights.assign(c.count, 0.0f);
+    shard->pending_sum.assign(c.count, 0.0f);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Status ShardedParameterServer::InitWeights(const float* weights, size_t n) {
+  if (n != total_numel_) {
+    return Status::InvalidArgument(
+        StrFormat("InitWeights size %zu != %zu", n, total_numel_));
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    const Chunk c = ChunkOf(total_numel_, num_shards_, s);
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    std::memcpy(shards_[s]->weights.data(), weights + c.begin,
+                c.count * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status ShardedParameterServer::PushGradAsync(const float* grad, size_t n,
+                                             double lr) {
+  if (n != total_numel_) {
+    return Status::InvalidArgument("PushGradAsync size mismatch");
+  }
+  const float step = static_cast<float>(lr);
+  for (int s = 0; s < num_shards_; ++s) {
+    const Chunk c = ChunkOf(total_numel_, num_shards_, s);
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    float* w = shards_[s]->weights.data();
+    const float* g = grad + c.begin;
+    for (size_t i = 0; i < c.count; ++i) w[i] -= step * g[i];
+  }
+  async_pushes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedParameterServer::PushGradSync(const float* grad, size_t n,
+                                            double lr, uint64_t round) {
+  if (n != total_numel_) {
+    return Status::InvalidArgument("PushGradSync size mismatch");
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    const Chunk c = ChunkOf(total_numel_, num_shards_, s);
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    // A worker may only push round r once rounds < r are applied; callers
+    // drive rounds in lockstep so this wait is a cheap safety net.
+    shard.cv.wait(lock, [&] { return shard.applied_round + 1 == round; });
+    const float* g = grad + c.begin;
+    float* acc = shard.pending_sum.data();
+    for (size_t i = 0; i < c.count; ++i) acc[i] += g[i];
+    if (++shard.pending_count == num_workers_) {
+      const float step =
+          static_cast<float>(lr / static_cast<double>(num_workers_));
+      float* w = shard.weights.data();
+      for (size_t i = 0; i < c.count; ++i) {
+        w[i] -= step * acc[i];
+        acc[i] = 0.0f;
+      }
+      shard.pending_count = 0;
+      shard.applied_round = round;
+      shard.cv.notify_all();
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedParameterServer::WaitRound(uint64_t round) {
+  for (int s = 0; s < num_shards_; ++s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.cv.wait(lock, [&] { return shard.applied_round >= round; });
+  }
+  return Status::OK();
+}
+
+Status ShardedParameterServer::Pull(float* out, size_t n) const {
+  if (n != total_numel_) {
+    return Status::InvalidArgument("Pull size mismatch");
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    const Chunk c = ChunkOf(total_numel_, num_shards_, s);
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    std::memcpy(out + c.begin, shards_[s]->weights.data(),
+                c.count * sizeof(float));
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedParameterServer::num_async_pushes() const {
+  return async_pushes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace bagua

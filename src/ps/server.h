@@ -1,0 +1,77 @@
+#ifndef BAGUA_PS_SERVER_H_
+#define BAGUA_PS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/status.h"
+#include "collectives/collectives.h"
+
+namespace bagua {
+
+/// \brief Sharded parameter server — the substrate behind the Async
+/// algorithm and the BytePS baseline.
+///
+/// The model is partitioned into `num_shards` contiguous shards (BytePS
+/// places one shard per node). Workers interact through push/pull:
+///
+///   - *async* mode (PushGradAsync): the shard applies the update
+///     immediately under its own lock — no coordination with other
+///     workers. This is the asynchronous DP-SG of §2.1: a worker always
+///     pulls the latest state, which may embed staleness.
+///   - *sync* mode (PushGradSync + WaitRound): pushes accumulate; when
+///     every worker of the round has pushed, the shard applies the summed
+///     gradient once and publishes a new version.
+///
+/// Thread safety: each shard has its own mutex; methods may be called from
+/// any worker thread concurrently.
+class ShardedParameterServer {
+ public:
+  ShardedParameterServer(size_t total_numel, int num_shards, int num_workers);
+
+  size_t total_numel() const { return total_numel_; }
+  int num_shards() const { return num_shards_; }
+
+  /// Seeds the server weights (typically from rank 0's initialized model).
+  Status InitWeights(const float* weights, size_t n);
+
+  /// Async push: w -= lr * grad, applied immediately shard by shard.
+  Status PushGradAsync(const float* grad, size_t n, double lr);
+
+  /// Sync push for `round`: accumulates; the last worker's push applies the
+  /// aggregate update w -= lr * (sum/num_workers) and releases the round.
+  Status PushGradSync(const float* grad, size_t n, double lr, uint64_t round);
+
+  /// Blocks until `round`'s update has been applied (sync mode only).
+  Status WaitRound(uint64_t round);
+
+  /// Copies the current weights (async: possibly mid-update mosaic across
+  /// shards — exactly the consistency async-SGD tolerates).
+  Status Pull(float* out, size_t n) const;
+
+  /// Number of async pushes applied so far (staleness diagnostics).
+  uint64_t num_async_pushes() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<float> weights;
+    std::vector<float> pending_sum;  // sync-mode accumulator
+    int pending_count = 0;
+    uint64_t applied_round = 0;      // rounds [1..applied_round] done
+    std::condition_variable cv;
+  };
+
+  size_t total_numel_;
+  int num_shards_;
+  int num_workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> async_pushes_{0};
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_PS_SERVER_H_

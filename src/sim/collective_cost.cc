@@ -1,0 +1,213 @@
+#include "sim/collective_cost.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bagua {
+
+namespace {
+
+std::vector<int> AllRanks(const ClusterTopology& topo) {
+  std::vector<int> ranks(topo.world_size());
+  for (int r = 0; r < topo.world_size(); ++r) ranks[r] = r;
+  return ranks;
+}
+
+std::vector<int> LeaderRanks(const ClusterTopology& topo) {
+  std::vector<int> ranks(topo.num_nodes);
+  for (int n = 0; n < topo.num_nodes; ++n) ranks[n] = n * topo.devices_per_node;
+  return ranks;
+}
+
+/// Ring allreduce over an explicit rank list, pipelined alpha-beta model
+/// (NCCL slices the buffer, so latency is the critical path twice around
+/// the ring, not 2(n-1) synchronous steps):
+///   T = 2 * sum(link latencies) + 2 * S * (n-1) / (n * B_bottleneck)
+/// The bottleneck link is the NIC whenever the ring crosses nodes (each
+/// NIC carries exactly one ring flow per direction), NVLink otherwise.
+double RingAllreduceOver(const ClusterTopology& topo, const NetworkConfig& net,
+                         const std::vector<int>& ranks, double bytes) {
+  const size_t n = ranks.size();
+  if (n <= 1) return 0.0;
+  double path_latency = 0.0;
+  bool crosses_nodes = false;
+  for (size_t i = 0; i < n; ++i) {
+    const int a = ranks[i], b = ranks[(i + 1) % n];
+    if (topo.SameNode(a, b)) {
+      path_latency += net.intra_latency_s;
+    } else {
+      path_latency += net.inter_latency_s;
+      crosses_nodes = true;
+    }
+  }
+  const double bw = crosses_nodes ? net.inter_bw_Bps : net.intra_bw_Bps;
+  const double frac = static_cast<double>(n - 1) / static_cast<double>(n);
+  return 2.0 * path_latency + 2.0 * bytes * frac / bw;
+}
+
+/// All-to-all over `ranks`: every rank sends `bytes_per_pair` to every other.
+double AllToAllCost(const ClusterTopology& topo, const NetworkConfig& net,
+                    const std::vector<int>& ranks, double bytes_per_pair) {
+  std::vector<Flow> flows;
+  flows.reserve(ranks.size() * ranks.size());
+  for (int src : ranks) {
+    for (int dst : ranks) {
+      if (src != dst) flows.push_back({src, dst, bytes_per_pair});
+    }
+  }
+  return FlowSetTime(topo, net, flows);
+}
+
+}  // namespace
+
+double RingAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         double bytes) {
+  return RingAllreduceOver(topo, net, AllRanks(topo), bytes);
+}
+
+double IntraNodeAllreduceCost(const ClusterTopology& topo,
+                              const NetworkConfig& net, double bytes) {
+  const int d = topo.devices_per_node;
+  if (d <= 1) return 0.0;
+  // All nodes run their intra ring concurrently; cost equals one node's
+  // NVLink ring (pipelined alpha-beta, as RingAllreduceOver).
+  const double frac = static_cast<double>(d - 1) / static_cast<double>(d);
+  return 2.0 * d * net.intra_latency_s + 2.0 * bytes * frac / net.intra_bw_Bps;
+}
+
+double LeaderRingAllreduceCost(const ClusterTopology& topo,
+                               const NetworkConfig& net, double bytes) {
+  return RingAllreduceOver(topo, net, LeaderRanks(topo), bytes);
+}
+
+double IntraNodeBroadcastCost(const ClusterTopology& topo,
+                              const NetworkConfig& net, double bytes) {
+  const int d = topo.devices_per_node;
+  if (d <= 1) return 0.0;
+  std::vector<Flow> flows;
+  for (int n = 0; n < topo.num_nodes; ++n) {
+    const int leader = n * d;
+    for (int i = 1; i < d; ++i) flows.push_back({leader, n * d + i, bytes});
+  }
+  return FlowSetTime(topo, net, flows);
+}
+
+double HierAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         double bytes) {
+  return IntraNodeAllreduceCost(topo, net, bytes) +
+         LeaderRingAllreduceCost(topo, net, bytes) +
+         IntraNodeBroadcastCost(topo, net, bytes);
+}
+
+double ScatterReduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         double phase1_bytes, double phase2_bytes) {
+  const auto ranks = AllRanks(topo);
+  const double n = static_cast<double>(ranks.size());
+  if (ranks.size() <= 1) return 0.0;
+  return AllToAllCost(topo, net, ranks, phase1_bytes / n) +
+         AllToAllCost(topo, net, ranks, phase2_bytes / n);
+}
+
+double LeaderScatterReduceCost(const ClusterTopology& topo,
+                               const NetworkConfig& net, double phase1_bytes,
+                               double phase2_bytes) {
+  const auto ranks = LeaderRanks(topo);
+  const double n = static_cast<double>(ranks.size());
+  if (ranks.size() <= 1) return 0.0;
+  return AllToAllCost(topo, net, ranks, phase1_bytes / n) +
+         AllToAllCost(topo, net, ranks, phase2_bytes / n);
+}
+
+double DecenRingCost(const ClusterTopology& topo, const NetworkConfig& net,
+                     double full_bytes, double wire_bytes, bool hierarchical) {
+  if (hierarchical) {
+    // Intra-node allreduce (full precision), leaders exchange on the
+    // inter-node ring, then broadcast inside each node.
+    const auto leaders = LeaderRanks(topo);
+    std::vector<Flow> flows;
+    const size_t m = leaders.size();
+    for (size_t i = 0; i < m; ++i) {
+      flows.push_back({leaders[i], leaders[(i + 1) % m], wire_bytes});
+      flows.push_back({leaders[(i + 1) % m], leaders[i], wire_bytes});
+    }
+    return IntraNodeAllreduceCost(topo, net, full_bytes) +
+           FlowSetTime(topo, net, flows) +
+           IntraNodeBroadcastCost(topo, net, full_bytes);
+  }
+  const auto ranks = AllRanks(topo);
+  std::vector<Flow> flows;
+  const size_t n = ranks.size();
+  for (size_t i = 0; i < n; ++i) {
+    flows.push_back({ranks[i], ranks[(i + 1) % n], wire_bytes});
+    flows.push_back({ranks[(i + 1) % n], ranks[i], wire_bytes});
+  }
+  return FlowSetTime(topo, net, flows);
+}
+
+double DecenRandomCost(const ClusterTopology& topo, const NetworkConfig& net,
+                       double full_bytes, double wire_bytes,
+                       bool hierarchical) {
+  if (hierarchical) {
+    // Leaders pair up pseudo-randomly; with >= 2 nodes nearly every pairing
+    // crosses the NIC, so model the representative perfect matching where
+    // node i swaps with node (i + m/2) mod m.
+    const auto leaders = LeaderRanks(topo);
+    const size_t m = leaders.size();
+    std::vector<Flow> flows;
+    if (m > 1) {
+      const size_t half = std::max<size_t>(1, m / 2);
+      for (size_t i = 0; i < m; ++i) {
+        const size_t peer = (i + half) % m;
+        flows.push_back({leaders[i], leaders[peer], wire_bytes});
+      }
+    }
+    return IntraNodeAllreduceCost(topo, net, full_bytes) +
+           FlowSetTime(topo, net, flows) +
+           IntraNodeBroadcastCost(topo, net, full_bytes);
+  }
+  const auto ranks = AllRanks(topo);
+  const size_t n = ranks.size();
+  std::vector<Flow> flows;
+  if (n > 1) {
+    const size_t half = std::max<size_t>(1, n / 2);
+    for (size_t i = 0; i < n; ++i) {
+      flows.push_back({ranks[i], ranks[(i + half) % n], wire_bytes});
+    }
+  }
+  return FlowSetTime(topo, net, flows);
+}
+
+double PsPushPullCost(const ClusterTopology& topo, const NetworkConfig& net,
+                      double bytes, int num_servers, bool intra_aggregated) {
+  if (num_servers <= 0) num_servers = topo.num_nodes;
+  // Server shard s lives on node (s % num_nodes), local rank 0 stands in for
+  // the co-located server process.
+  std::vector<Flow> push, pull;
+  const double per_server = bytes / static_cast<double>(num_servers);
+  auto server_rank = [&](int s) {
+    return (s % topo.num_nodes) * topo.devices_per_node;
+  };
+  if (intra_aggregated) {
+    // One pusher per node (after local reduce); pull is one copy per node.
+    for (int nd = 0; nd < topo.num_nodes; ++nd) {
+      const int pusher = nd * topo.devices_per_node;
+      for (int s = 0; s < num_servers; ++s) {
+        push.push_back({pusher, server_rank(s), per_server});
+        pull.push_back({server_rank(s), pusher, per_server});
+      }
+    }
+    const double local =
+        IntraNodeAllreduceCost(topo, net, bytes) +
+        IntraNodeBroadcastCost(topo, net, bytes);
+    return local + FlowSetTime(topo, net, push) + FlowSetTime(topo, net, pull);
+  }
+  for (int w = 0; w < topo.world_size(); ++w) {
+    for (int s = 0; s < num_servers; ++s) {
+      push.push_back({w, server_rank(s), per_server});
+      pull.push_back({server_rank(s), w, per_server});
+    }
+  }
+  return FlowSetTime(topo, net, push) + FlowSetTime(topo, net, pull);
+}
+
+}  // namespace bagua

@@ -1,0 +1,78 @@
+#ifndef BAGUA_SIM_COLLECTIVE_COST_H_
+#define BAGUA_SIM_COLLECTIVE_COST_H_
+
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// Cost functions pricing one execution of each communication pattern used
+/// by the primitives and baseline systems. All take the *full-precision*
+/// per-rank tensor size in bytes unless stated otherwise; compressed phases
+/// take their compressed sizes explicitly so codecs stay decoupled from the
+/// network model.
+///
+/// Every cost is assembled from FlowSetTime over the actual flow sets of
+/// the pattern, so NIC contention, NVLink, and latency counts are derived
+/// rather than hand-tuned per collective.
+
+/// Flat ring allreduce over all `world` ranks (reduce-scatter + allgather,
+/// 2(world-1) steps). This is the PyTorch-DDP / Horovod pattern.
+double RingAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         double bytes);
+
+/// Ring allreduce among the device ranks of every node concurrently
+/// (NVLink only).
+double IntraNodeAllreduceCost(const ClusterTopology& topo,
+                              const NetworkConfig& net, double bytes);
+
+/// Ring allreduce among the node leaders only (NIC only).
+double LeaderRingAllreduceCost(const ClusterTopology& topo,
+                               const NetworkConfig& net, double bytes);
+
+/// Leader broadcasts `bytes` to the other devices of its node (NVLink).
+double IntraNodeBroadcastCost(const ClusterTopology& topo,
+                              const NetworkConfig& net, double bytes);
+
+/// Hierarchical allreduce: intra-node allreduce, leader ring allreduce,
+/// intra-node broadcast. The H optimization of §3.4 applied to C_FP_S.
+double HierAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         double bytes);
+
+/// Flat ScatterReduce (§3.3) over all ranks: all-to-all of per-rank
+/// partitions (phase 1), then all-to-all of merged partitions (phase 2).
+/// `phase1_bytes` / `phase2_bytes` are the *total per-rank payload* bytes in
+/// each phase (i.e. already compressed if the caller compresses).
+double ScatterReduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         double phase1_bytes, double phase2_bytes);
+
+/// ScatterReduce among node leaders only.
+double LeaderScatterReduceCost(const ClusterTopology& topo,
+                               const NetworkConfig& net, double phase1_bytes,
+                               double phase2_bytes);
+
+/// Decentralized ring exchange: every rank sends its whole (possibly
+/// compressed) tensor of `bytes` to both ring neighbors.
+/// With `hierarchical`, nodes first allreduce internally and only leaders
+/// exchange on the inter-node ring, then broadcast (per §3.4: "for
+/// decentralized primitives, the workers within a node would always be
+/// changed to the centralized Allreduce fashion").
+double DecenRingCost(const ClusterTopology& topo, const NetworkConfig& net,
+                     double full_bytes, double wire_bytes, bool hierarchical);
+
+/// Decentralized random-peer exchange (the "random probing" strategy):
+/// every rank swaps tensors with one pseudo-randomly chosen peer.
+double DecenRandomCost(const ClusterTopology& topo, const NetworkConfig& net,
+                       double full_bytes, double wire_bytes,
+                       bool hierarchical);
+
+/// Parameter-server push+pull of `bytes` per worker against `num_servers`
+/// shards (one per node, BytePS-style). If `intra_aggregated`, each node
+/// locally reduces before pushing (BytePS's local communication), so the
+/// NIC carries one copy per node instead of one per device.
+double PsPushPullCost(const ClusterTopology& topo, const NetworkConfig& net,
+                      double bytes, int num_servers, bool intra_aggregated);
+
+}  // namespace bagua
+
+#endif  // BAGUA_SIM_COLLECTIVE_COST_H_

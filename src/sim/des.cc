@@ -1,0 +1,102 @@
+#include "sim/des.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+int IterationSim::AddResource(std::string name) {
+  resources_.push_back(std::move(name));
+  return static_cast<int>(resources_.size()) - 1;
+}
+
+int IterationSim::AddOp(std::string label, int resource, double duration_s,
+                        std::vector<int> deps) {
+  BAGUA_CHECK_GE(resource, 0);
+  BAGUA_CHECK_LT(static_cast<size_t>(resource), resources_.size());
+  BAGUA_CHECK_GE(duration_s, 0.0);
+  const int id = static_cast<int>(ops_.size());
+  for (int d : deps) {
+    BAGUA_CHECK(d >= 0 && d < id) << "op dep must reference an earlier op";
+  }
+  ops_.push_back(Op{std::move(label), resource, duration_s, std::move(deps),
+                    -1.0, -1.0});
+  ran_ = false;
+  return id;
+}
+
+Status IterationSim::Run() {
+  std::vector<double> resource_free(resources_.size(), 0.0);
+  // Submission order == topological order (deps reference earlier ops only),
+  // and streams are FIFO, so a single pass assigns all times.
+  for (Op& op : ops_) {
+    double ready = resource_free[op.resource];
+    for (int d : op.deps) ready = std::max(ready, ops_[d].finish);
+    op.start = ready;
+    op.finish = ready + op.duration;
+    resource_free[op.resource] = op.finish;
+  }
+  ran_ = true;
+  return Status::OK();
+}
+
+double IterationSim::FinishTime(int op) const {
+  BAGUA_CHECK(ran_) << "call Run() first";
+  return ops_[op].finish;
+}
+
+double IterationSim::StartTime(int op) const {
+  BAGUA_CHECK(ran_) << "call Run() first";
+  return ops_[op].start;
+}
+
+double IterationSim::Makespan() const {
+  BAGUA_CHECK(ran_) << "call Run() first";
+  double m = 0.0;
+  for (const Op& op : ops_) m = std::max(m, op.finish);
+  return m;
+}
+
+double IterationSim::ResourceBusy(int resource) const {
+  double busy = 0.0;
+  for (const Op& op : ops_) {
+    if (op.resource == resource) busy += op.duration;
+  }
+  return busy;
+}
+
+std::string IterationSim::ToChromeTrace() const {
+  BAGUA_CHECK(ran_) << "call Run() first";
+  std::string out = "[";
+  bool first = true;
+  for (size_t i = 0; i < resources_.size(); ++i) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+        "\"args\":{\"name\":\"%s\"}}",
+        i, resources_[i].c_str());
+  }
+  for (const Op& op : ops_) {
+    out += StrFormat(
+        ",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f}",
+        op.label.c_str(), op.resource, op.start * 1e6, op.duration * 1e6);
+  }
+  out += "]";
+  return out;
+}
+
+std::string IterationSim::ToString() const {
+  std::string out;
+  for (const Op& op : ops_) {
+    out += StrFormat("%-28s %-10s %10.3f ms -> %10.3f ms\n", op.label.c_str(),
+                     resources_[op.resource].c_str(), op.start * 1e3,
+                     op.finish * 1e3);
+  }
+  return out;
+}
+
+}  // namespace bagua

@@ -1,0 +1,49 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace bagua {
+
+double FlowSetTime(const ClusterTopology& topo, const NetworkConfig& net,
+                   const std::vector<Flow>& flows) {
+  const int nodes = topo.num_nodes;
+  const int world = topo.world_size();
+  std::vector<double> nic_out(nodes, 0.0), nic_in(nodes, 0.0);
+  std::vector<double> nv_out(world, 0.0), nv_in(world, 0.0);
+  bool any_inter = false, any_intra = false;
+
+  for (const Flow& f : flows) {
+    if (f.bytes <= 0.0 || f.src == f.dst) continue;
+    if (topo.SameNode(f.src, f.dst)) {
+      any_intra = true;
+      nv_out[f.src] += f.bytes;
+      nv_in[f.dst] += f.bytes;
+    } else {
+      any_inter = true;
+      nic_out[topo.NodeOf(f.src)] += f.bytes;
+      nic_in[topo.NodeOf(f.dst)] += f.bytes;
+    }
+  }
+
+  double inter_time = 0.0;
+  if (any_inter) {
+    double worst = 0.0;
+    for (int n = 0; n < nodes; ++n) {
+      worst = std::max(worst, std::max(nic_out[n], nic_in[n]));
+    }
+    inter_time = net.inter_latency_s + worst / net.inter_bw_Bps;
+  }
+
+  double intra_time = 0.0;
+  if (any_intra) {
+    double worst = 0.0;
+    for (int r = 0; r < world; ++r) {
+      worst = std::max(worst, std::max(nv_out[r], nv_in[r]));
+    }
+    intra_time = net.intra_latency_s + worst / net.intra_bw_Bps;
+  }
+
+  return std::max(inter_time, intra_time);
+}
+
+}  // namespace bagua

@@ -1,0 +1,62 @@
+#ifndef BAGUA_SIM_NETWORK_H_
+#define BAGUA_SIM_NETWORK_H_
+
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// \brief Link parameters of the simulated fabric.
+///
+/// Two tiers, mirroring the paper's testbed: NVLink inside a node and a
+/// TCP/IP NIC between nodes. Bandwidths are *effective* (protocol overheads
+/// folded into `efficiency`-style calibration, see sim/calibration.h).
+struct NetworkConfig {
+  /// Per-node NIC bandwidth, bytes/second, full duplex.
+  double inter_bw_Bps = 25e9 / 8;
+  /// One-way inter-node message latency, seconds (TCP/IP kernel stack).
+  double inter_latency_s = 50e-6;
+  /// Per-device NVLink bandwidth, bytes/second.
+  double intra_bw_Bps = 130e9;
+  /// One-way intra-node latency, seconds.
+  double intra_latency_s = 5e-6;
+
+  /// Named presets for the paper's three network conditions.
+  static NetworkConfig Tcp(double gbps, double latency_s = 50e-6) {
+    NetworkConfig cfg;
+    cfg.inter_bw_Bps = gbps * 1e9 / 8.0;
+    cfg.inter_latency_s = latency_s;
+    return cfg;
+  }
+  static NetworkConfig Tcp100() { return Tcp(100.0); }
+  static NetworkConfig Tcp25() { return Tcp(25.0); }
+  static NetworkConfig Tcp10() { return Tcp(10.0); }
+};
+
+/// \brief One point-to-point transfer within a communication step.
+struct Flow {
+  int src = 0;
+  int dst = 0;
+  double bytes = 0.0;
+};
+
+/// \brief Completion time of a set of flows that start simultaneously.
+///
+/// Contention model (alpha-beta with NIC serialization):
+///   - every inter-node flow shares its source node's NIC egress and its
+///     destination node's NIC ingress (full duplex, so the two directions
+///     are independent); a node's NIC therefore serializes the sum of bytes
+///     it must move in each direction;
+///   - intra-node flows ride NVLink, serialized per device port;
+///   - one latency term per tier is paid (flows within a step are assumed
+///     to be issued together).
+///
+/// This is what makes flat 128-way collectives pay 8x NIC pressure compared
+/// to hierarchical ones — the effect behind the paper's H ablation (Table 5).
+double FlowSetTime(const ClusterTopology& topo, const NetworkConfig& net,
+                   const std::vector<Flow>& flows);
+
+}  // namespace bagua
+
+#endif  // BAGUA_SIM_NETWORK_H_

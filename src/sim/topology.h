@@ -1,0 +1,39 @@
+#ifndef BAGUA_SIM_TOPOLOGY_H_
+#define BAGUA_SIM_TOPOLOGY_H_
+
+#include <cstddef>
+
+#include "base/logging.h"
+
+namespace bagua {
+
+/// \brief Shape of the simulated cluster: `num_nodes` machines, each with
+/// `devices_per_node` accelerators.
+///
+/// Mirrors the paper's testbed (16 nodes x 8 V100). Global worker ranks are
+/// laid out node-major: rank = node * devices_per_node + local.
+struct ClusterTopology {
+  int num_nodes = 1;
+  int devices_per_node = 1;
+
+  int world_size() const { return num_nodes * devices_per_node; }
+  int NodeOf(int rank) const { return rank / devices_per_node; }
+  int LocalRank(int rank) const { return rank % devices_per_node; }
+  bool SameNode(int a, int b) const { return NodeOf(a) == NodeOf(b); }
+  /// The node-leader (local rank 0) of the node hosting `rank`.
+  int LeaderOf(int rank) const { return NodeOf(rank) * devices_per_node; }
+  bool IsLeader(int rank) const { return LocalRank(rank) == 0; }
+
+  static ClusterTopology Make(int num_nodes, int devices_per_node) {
+    BAGUA_CHECK_GT(num_nodes, 0);
+    BAGUA_CHECK_GT(devices_per_node, 0);
+    return ClusterTopology{num_nodes, devices_per_node};
+  }
+
+  /// The paper's production cluster: 16 machines x 8 GPUs.
+  static ClusterTopology Paper() { return Make(16, 8); }
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_SIM_TOPOLOGY_H_

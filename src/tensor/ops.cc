@@ -1,0 +1,127 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float* x, float alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void Add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Sub(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+double Sum(const float* x, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+double Dot(const float* a, const float* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double L2Norm(const float* x, size_t n) { return std::sqrt(Dot(x, x, n)); }
+
+float AbsMax(const float* x, size_t n) {
+  float m = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+float AbsMean(const float* x, size_t n) {
+  if (n == 0) return 0.0f;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::fabs(x[i]);
+  return static_cast<float>(s / static_cast<double>(n));
+}
+
+Status AxpyTensor(float alpha, const Tensor& x, Tensor* y) {
+  if (x.numel() != y->numel()) {
+    return Status::InvalidArgument(StrFormat("Axpy size mismatch: %zu vs %zu",
+                                             x.numel(), y->numel()));
+  }
+  Axpy(alpha, x.data(), y->data(), x.numel());
+  return Status::OK();
+}
+
+Status AddTensor(const Tensor& a, const Tensor& b, Tensor* out) {
+  if (a.numel() != b.numel() || a.numel() != out->numel()) {
+    return Status::InvalidArgument("Add size mismatch");
+  }
+  Add(a.data(), b.data(), out->data(), a.numel());
+  return Status::OK();
+}
+
+double L2NormTensor(const Tensor& x) { return L2Norm(x.data(), x.numel()); }
+
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  }
+  // i-k-j loop order for cache-friendly access of b and c.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  }
+  // A stored [k, m]; C[i, j] += A[p, i] * B[p, j].
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0f) continue;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  }
+  // B stored [n, k]; C[i, j] += A[i, p] * B[j, p].
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+}  // namespace bagua

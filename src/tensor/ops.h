@@ -1,0 +1,61 @@
+#ifndef BAGUA_TENSOR_OPS_H_
+#define BAGUA_TENSOR_OPS_H_
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace bagua {
+
+/// Elementwise kernels over flat float spans. These are the compute
+/// building blocks used by reductions, optimizers and compressors.
+
+/// y += alpha * x
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// x *= alpha
+void Scale(float* x, float alpha, size_t n);
+
+/// out = a + b
+void Add(const float* a, const float* b, float* out, size_t n);
+
+/// out = a - b
+void Sub(const float* a, const float* b, float* out, size_t n);
+
+/// Sum of elements.
+double Sum(const float* x, size_t n);
+
+/// Dot product.
+double Dot(const float* a, const float* b, size_t n);
+
+/// L2 norm.
+double L2Norm(const float* x, size_t n);
+
+/// Max |x_i|; 0 for empty spans.
+float AbsMax(const float* x, size_t n);
+
+/// Mean of |x_i|; 0 for empty spans.
+float AbsMean(const float* x, size_t n);
+
+/// Tensor-level conveniences (sizes must match; checked).
+Status AxpyTensor(float alpha, const Tensor& x, Tensor* y);
+Status AddTensor(const Tensor& a, const Tensor& b, Tensor* out);
+double L2NormTensor(const Tensor& x);
+
+/// Row-major GEMM: C[m,n] = A[m,k] * B[k,n] (+ C if accumulate).
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool accumulate = false);
+
+/// Row-major GEMM with A transposed: C[m,n] = A^T[m,k] * B[k,n], where A is
+/// stored as [k,m].
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate = false);
+
+/// Row-major GEMM with B transposed: C[m,n] = A[m,k] * B^T[k,n], where B is
+/// stored as [n,k].
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate = false);
+
+}  // namespace bagua
+
+#endif  // BAGUA_TENSOR_OPS_H_

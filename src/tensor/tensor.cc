@@ -1,0 +1,112 @@
+#include "tensor/tensor.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+namespace {
+size_t NumelOf(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+std::shared_ptr<Buffer> Buffer::Allocate(size_t size) {
+  const size_t bytes = size * sizeof(float);
+  void* ptr = nullptr;
+  const size_t aligned = (bytes + 63) / 64 * 64;
+  if (posix_memalign(&ptr, 64, aligned > 0 ? aligned : 64) != 0) {
+    LOG_FATAL << "Buffer allocation of " << bytes << " bytes failed";
+  }
+  std::memset(ptr, 0, aligned > 0 ? aligned : 64);
+  return std::shared_ptr<Buffer>(new Buffer(static_cast<float*>(ptr), size));
+}
+
+Buffer::~Buffer() { std::free(data_); }
+
+Tensor Tensor::Zeros(std::vector<size_t> shape, std::string name) {
+  Tensor t;
+  t.numel_ = NumelOf(shape);
+  t.shape_ = std::move(shape);
+  t.buffer_ = Buffer::Allocate(t.numel_);
+  t.offset_ = 0;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Result<Tensor> Tensor::View(std::shared_ptr<Buffer> buffer, size_t offset,
+                            std::vector<size_t> shape, std::string name) {
+  const size_t numel = NumelOf(shape);
+  if (buffer == nullptr) {
+    return Status::InvalidArgument("View over null buffer");
+  }
+  if (offset + numel > buffer->size()) {
+    return Status::OutOfRange(
+        StrFormat("View [%zu, %zu) exceeds buffer size %zu", offset,
+                  offset + numel, buffer->size()));
+  }
+  Tensor t;
+  t.buffer_ = std::move(buffer);
+  t.offset_ = offset;
+  t.numel_ = numel;
+  t.shape_ = std::move(shape);
+  t.name_ = std::move(name);
+  return t;
+}
+
+bool Tensor::IsContiguousWith(const Tensor& other) const {
+  return buffer_ != nullptr && buffer_ == other.buffer_ &&
+         offset_ + numel_ == other.offset_;
+}
+
+Status Tensor::CopyFrom(const Tensor& other) {
+  if (numel_ != other.numel_) {
+    return Status::InvalidArgument(
+        StrFormat("CopyFrom size mismatch: %zu vs %zu", numel_, other.numel_));
+  }
+  std::memcpy(data(), other.data(), numel_ * sizeof(float));
+  return Status::OK();
+}
+
+void Tensor::Fill(float value) {
+  float* p = data();
+  for (size_t i = 0; i < numel_; ++i) p[i] = value;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t = Zeros(shape_, name_);
+  std::memcpy(t.data(), data(), numel_ * sizeof(float));
+  return t;
+}
+
+Status FlattenTensors(std::vector<Tensor*> tensors, Tensor* flat,
+                      const std::string& flat_name) {
+  size_t total = 0;
+  for (const Tensor* t : tensors) {
+    if (t == nullptr || !t->defined()) {
+      return Status::InvalidArgument("FlattenTensors: undefined tensor");
+    }
+    total += t->numel();
+  }
+  auto buffer = Buffer::Allocate(total);
+  size_t offset = 0;
+  for (Tensor* t : tensors) {
+    ASSIGN_OR_RETURN(Tensor view,
+                     Tensor::View(buffer, offset, t->shape(), t->name()));
+    RETURN_IF_ERROR(view.CopyFrom(*t));
+    *t = view;
+    offset += t->numel();
+  }
+  if (flat != nullptr) {
+    ASSIGN_OR_RETURN(*flat, Tensor::View(buffer, 0, {total}, flat_name));
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

@@ -1,0 +1,104 @@
+#ifndef BAGUA_TENSOR_TENSOR_H_
+#define BAGUA_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace bagua {
+
+/// \brief Reference-counted, 64-byte-aligned float storage.
+///
+/// Several tensors may view disjoint ranges of one Buffer; this is how the
+/// runtime's memory *flattening* works (§3.4): all tensors of a bucket are
+/// re-homed into one contiguous Buffer so the bucket can be communicated,
+/// compressed and updated as a single flat span.
+class Buffer {
+ public:
+  /// Allocates `size` floats, zero-initialized.
+  static std::shared_ptr<Buffer> Allocate(size_t size);
+
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  Buffer(float* data, size_t size) : data_(data), size_(size) {}
+  float* data_;
+  size_t size_;
+};
+
+/// \brief A named, shaped view over float storage.
+///
+/// Tensors are the unit the communication primitives operate on. A Tensor
+/// either owns (a view of) a Buffer or is created over one by flattening.
+/// Shape is retained for the model layers; communication treats tensors as
+/// flat spans.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a new zeroed tensor with the given shape.
+  static Tensor Zeros(std::vector<size_t> shape, std::string name = "");
+
+  /// Creates a view over `[offset, offset + numel)` of an existing buffer.
+  static Result<Tensor> View(std::shared_ptr<Buffer> buffer, size_t offset,
+                             std::vector<size_t> shape, std::string name = "");
+
+  bool defined() const { return buffer_ != nullptr; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t numel() const { return numel_; }
+  size_t size_bytes() const { return numel_ * sizeof(float); }
+
+  float* data() { return buffer_->data() + offset_; }
+  const float* data() const { return buffer_->data() + offset_; }
+
+  float& operator[](size_t i) { return data()[i]; }
+  float operator[](size_t i) const { return data()[i]; }
+
+  const std::shared_ptr<Buffer>& buffer() const { return buffer_; }
+  size_t offset() const { return offset_; }
+
+  /// True if this tensor and `other` occupy adjacent ranges of one buffer.
+  bool IsContiguousWith(const Tensor& other) const;
+
+  /// Copies `other`'s contents into this tensor (sizes must match).
+  Status CopyFrom(const Tensor& other);
+
+  /// Fills with a constant.
+  void Fill(float value);
+
+  /// Returns an owning deep copy.
+  Tensor Clone() const;
+
+ private:
+  std::shared_ptr<Buffer> buffer_;
+  size_t offset_ = 0;
+  size_t numel_ = 0;
+  std::vector<size_t> shape_;
+  std::string name_;
+};
+
+/// \brief Re-homes `tensors` into one contiguous buffer, preserving values.
+///
+/// After the call every tensor views a disjoint range of the returned buffer
+/// in order, and `flat` (if non-null) is set to a single tensor spanning all
+/// of them. This is the memory-flattening optimization (F) of §3.4.
+Status FlattenTensors(std::vector<Tensor*> tensors, Tensor* flat,
+                      const std::string& flat_name = "flat");
+
+}  // namespace bagua
+
+#endif  // BAGUA_TENSOR_TENSOR_H_

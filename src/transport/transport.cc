@@ -1,0 +1,105 @@
+#include "transport/transport.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+TransportGroup::TransportGroup(int world_size) : world_size_(world_size) {
+  BAGUA_CHECK_GT(world_size, 0);
+  boxes_.reserve(world_size);
+  for (int i = 0; i < world_size; ++i) {
+    boxes_.push_back(std::make_unique<Box>());
+  }
+}
+
+Status TransportGroup::Send(int src, int dst, uint64_t tag, const void* data,
+                            size_t bytes) {
+  if (src < 0 || src >= world_size_ || dst < 0 || dst >= world_size_) {
+    return Status::InvalidArgument(
+        StrFormat("Send with bad ranks src=%d dst=%d (world=%d)", src, dst,
+                  world_size_));
+  }
+  if (shutdown_.load()) return Status::Cancelled("transport shut down");
+  std::vector<uint8_t> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  Box& box = *boxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TransportGroup::Recv(int src, int dst, uint64_t tag,
+                            std::vector<uint8_t>* out) {
+  if (src < 0 || src >= world_size_ || dst < 0 || dst >= world_size_) {
+    return Status::InvalidArgument(
+        StrFormat("Recv with bad ranks src=%d dst=%d (world=%d)", src, dst,
+                  world_size_));
+  }
+  Box& box = *boxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    if (shutdown_.load()) return true;
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  if (shutdown_.load()) return Status::Cancelled("transport shut down");
+  auto it = box.queues.find(key);
+  *out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) box.queues.erase(it);
+  return Status::OK();
+}
+
+Status TransportGroup::TryRecvAny(int dst, uint64_t tag,
+                                  std::vector<uint8_t>* out, int* src_out) {
+  if (dst < 0 || dst >= world_size_) {
+    return Status::InvalidArgument("TryRecvAny with bad dst");
+  }
+  if (shutdown_.load()) return Status::Cancelled("transport shut down");
+  Box& box = *boxes_[dst];
+  std::lock_guard<std::mutex> lock(box.mu);
+  for (auto it = box.queues.begin(); it != box.queues.end(); ++it) {
+    if (it->first.second != tag || it->second.empty()) continue;
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    if (src_out != nullptr) *src_out = it->first.first;
+    if (it->second.empty()) box.queues.erase(it);
+    return Status::OK();
+  }
+  return Status::NotFound("no pending message");
+}
+
+Status TransportGroup::RecvFloats(int src, int dst, uint64_t tag, float* out,
+                                  size_t n) {
+  std::vector<uint8_t> payload;
+  RETURN_IF_ERROR(Recv(src, dst, tag, &payload));
+  if (payload.size() != n * sizeof(float)) {
+    return Status::Internal(
+        StrFormat("RecvFloats: payload %zu bytes, want %zu", payload.size(),
+                  n * sizeof(float)));
+  }
+  std::memcpy(out, payload.data(), payload.size());
+  return Status::OK();
+}
+
+void TransportGroup::Shutdown() {
+  shutdown_.store(true);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+uint64_t TransportGroup::TotalBytesSent() const {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace bagua

@@ -1,0 +1,87 @@
+#ifndef BAGUA_TRANSPORT_TRANSPORT_H_
+#define BAGUA_TRANSPORT_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/status.h"
+
+namespace bagua {
+
+/// \brief A point-to-point message: raw bytes plus routing metadata.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  uint64_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// \brief In-memory NCCL/MPI substitute: point-to-point send/recv between
+/// the worker threads of a simulated cluster.
+///
+/// Semantics mirror MPI two-sided messaging with tag matching: Send never
+/// blocks (buffered); Recv blocks until a message from (src, tag) arrives.
+/// Messages between one (src, dst, tag) triple are FIFO. All collectives
+/// and the four BAGUA primitives are built on exactly these two calls, as
+/// §3.3 describes for the NCCL send/recv implementation.
+class TransportGroup {
+ public:
+  explicit TransportGroup(int world_size);
+
+  int world_size() const { return world_size_; }
+
+  /// Buffered send; copies the payload.
+  Status Send(int src, int dst, uint64_t tag, const void* data, size_t bytes);
+
+  /// Blocking receive of the next message from `src` with tag `tag`
+  /// addressed to `dst`.
+  Status Recv(int src, int dst, uint64_t tag, std::vector<uint8_t>* out);
+
+  /// Non-blocking receive: pops the next message addressed to `dst` with
+  /// tag `tag` from ANY source. Returns NotFound when none is pending.
+  /// `src_out` (optional) receives the sender's rank. This is the building
+  /// block of the asynchronous gossip algorithms, which drain whatever
+  /// peer models have arrived without waiting.
+  Status TryRecvAny(int dst, uint64_t tag, std::vector<uint8_t>* out,
+                    int* src_out = nullptr);
+
+  /// Receives into a float span (payload must be exactly n*4 bytes).
+  Status RecvFloats(int src, int dst, uint64_t tag, float* out, size_t n);
+
+  /// Marks the group shut down; pending and future Recv calls return
+  /// Cancelled. Used for orderly teardown on failure paths.
+  void Shutdown();
+
+  /// Total bytes accepted by Send since construction (traffic accounting
+  /// used by tests and by the communication-volume reports).
+  uint64_t TotalBytesSent() const;
+
+ private:
+  struct Box {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Keyed by (src, tag) for O(log) matching.
+    std::map<std::pair<int, uint64_t>, std::deque<std::vector<uint8_t>>> queues;
+  };
+
+  int world_size_;
+  std::vector<std::unique_ptr<Box>> boxes_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+};
+
+/// \brief Tag namespaces so concurrent collectives never cross-match.
+/// Callers compose: MakeTag(space, step) where `space` identifies the
+/// operation instance and `step` the round within it.
+constexpr uint64_t MakeTag(uint32_t space, uint32_t step) {
+  return (static_cast<uint64_t>(space) << 32) | step;
+}
+
+}  // namespace bagua
+
+#endif  // BAGUA_TRANSPORT_TRANSPORT_H_

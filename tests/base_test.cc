@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "base/sync.h"
+
+namespace bagua {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad size");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kIoError); ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status Chained(bool fail) {
+  RETURN_IF_ERROR(FailIf(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(false).ok());
+  EXPECT_EQ(Chained(true).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*DoubleIt(5), 10);
+  EXPECT_FALSE(DoubleIt(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversAll) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  std::vector<uint32_t> p(100);
+  rng.Permutation(p.size(), p.data());
+  std::set<uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, MixSeedSeparatesStreams) {
+  EXPECT_NE(MixSeed(1, 2), MixSeed(2, 1));
+  EXPECT_NE(MixSeed(0, 1), MixSeed(0, 2));
+}
+
+// ------------------------------------------------------------------ Sync
+
+TEST(BarrierTest, ReleasesAllThreads) {
+  constexpr int kThreads = 8;
+  Barrier barrier(kThreads);
+  std::atomic<int> arrived{0}, released{0}, winners{0};
+  ParallelFor(kThreads, [&](size_t) {
+    arrived.fetch_add(1);
+    if (barrier.Wait()) winners.fetch_add(1);
+    released.fetch_add(1);
+  });
+  EXPECT_EQ(arrived.load(), kThreads);
+  EXPECT_EQ(released.load(), kThreads);
+  EXPECT_EQ(winners.load(), 1);  // exactly one last-arriver per generation
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  constexpr int kThreads = 4, kRounds = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> out_of_phase{false};
+  ParallelFor(kThreads, [&](size_t) {
+    for (int r = 0; r < kRounds; ++r) {
+      counter.fetch_add(1);
+      barrier.Wait();
+      // Between the two barriers the counter must be exactly (r+1)*kThreads.
+      if (counter.load() != (r + 1) * kThreads) out_of_phase.store(true);
+      barrier.Wait();
+    }
+  });
+  EXPECT_FALSE(out_of_phase.load());
+}
+
+TEST(LatchTest, WaitBlocksUntilZero) {
+  Latch latch(3);
+  EXPECT_FALSE(latch.TryWait());
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(latch.TryWait());
+  latch.CountDown();
+  EXPECT_TRUE(latch.TryWait());
+  latch.Wait();  // must not block
+}
+
+// --------------------------------------------------------------- Strings
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(1536 * 1024), "1.50 MB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(2.0), "2.00 s");
+  EXPECT_EQ(HumanSeconds(0.002), "2.00 ms");
+  EXPECT_EQ(HumanSeconds(3e-6), "3.00 us");
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "model/checkpoint.h"
+#include "model/net.h"
+#include "model/scheduler.h"
+
+namespace bagua {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/bagua_ckpt_") + name;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  Net a = Net::Mlp({8, 16, 4});
+  a.InitParams(42);
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveCheckpoint(&a, path).ok());
+
+  Net b = Net::Mlp({8, 16, 4});
+  b.InitParams(7);  // different init
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  auto pa = a.params(), pb = b.params();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (size_t j = 0; j < pa[i].value->numel(); ++j) {
+      ASSERT_EQ((*pa[i].value)[j], (*pb[i].value)[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsArchitectureMismatch) {
+  Net a = Net::Mlp({8, 16, 4});
+  a.InitParams(1);
+  const std::string path = TempPath("mismatch");
+  ASSERT_TRUE(SaveCheckpoint(&a, path).ok());
+  Net wrong_size = Net::Mlp({8, 32, 4});
+  EXPECT_FALSE(LoadCheckpoint(&wrong_size, path).ok());
+  Net wrong_depth = Net::Mlp({8, 16, 16, 4});
+  EXPECT_FALSE(LoadCheckpoint(&wrong_depth, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsMissingAndCorruptFiles) {
+  Net net = Net::Mlp({4, 2});
+  EXPECT_TRUE(LoadCheckpoint(&net, "/tmp/definitely_missing_ckpt").IsNotFound());
+  const std::string path = TempPath("corrupt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  auto status = LoadCheckpoint(&net, path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileFailsCleanly) {
+  Net a = Net::Mlp({8, 16, 4});
+  a.InitParams(2);
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(SaveCheckpoint(&a, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+  Net b = Net::Mlp({8, 16, 4});
+  EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(LrSchedulerTest, LinearWarmup) {
+  LrScheduler sched(0.1, 10);
+  EXPECT_NEAR(sched.LrAt(0), 0.01, 1e-12);
+  EXPECT_NEAR(sched.LrAt(4), 0.05, 1e-12);
+  EXPECT_NEAR(sched.LrAt(9), 0.1, 1e-12);
+  EXPECT_NEAR(sched.LrAt(100), 0.1, 1e-12);  // constant after warmup
+}
+
+TEST(LrSchedulerTest, CosineDecayReachesFinalFraction) {
+  LrScheduler sched(0.1, 10, 110, 0.1);
+  EXPECT_NEAR(sched.LrAt(10), 0.1, 1e-9);           // plateau start
+  EXPECT_NEAR(sched.LrAt(60), 0.055, 1e-3);         // halfway
+  EXPECT_NEAR(sched.LrAt(110), 0.01, 1e-9);         // floor
+  EXPECT_NEAR(sched.LrAt(1000), 0.01, 1e-9);        // stays at floor
+}
+
+TEST(LrSchedulerTest, MonotoneDecayAfterWarmup) {
+  LrScheduler sched(0.05, 5, 100);
+  double prev = 1e9;
+  for (uint64_t s = 5; s <= 100; ++s) {
+    const double lr = sched.LrAt(s);
+    EXPECT_LE(lr, prev + 1e-12);
+    prev = lr;
+  }
+}
+
+TEST(LrSchedulerTest, NoWarmupNoDecay) {
+  LrScheduler sched(0.3, 0);
+  EXPECT_DOUBLE_EQ(sched.LrAt(0), 0.3);
+  EXPECT_DOUBLE_EQ(sched.LrAt(12345), 0.3);
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "base/sync.h"
+#include "collectives/collectives.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+std::vector<int> Iota(int n, int start = 0) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(ChunkTest, EvenSplit) {
+  EXPECT_EQ(ChunkOf(12, 4, 0).begin, 0u);
+  EXPECT_EQ(ChunkOf(12, 4, 0).count, 3u);
+  EXPECT_EQ(ChunkOf(12, 4, 3).begin, 9u);
+  EXPECT_EQ(ChunkOf(12, 4, 3).count, 3u);
+}
+
+TEST(ChunkTest, RemainderGoesToFirstChunks) {
+  // n=10, m=4 -> sizes 3,3,2,2
+  EXPECT_EQ(ChunkOf(10, 4, 0).count, 3u);
+  EXPECT_EQ(ChunkOf(10, 4, 1).count, 3u);
+  EXPECT_EQ(ChunkOf(10, 4, 2).count, 2u);
+  EXPECT_EQ(ChunkOf(10, 4, 3).count, 2u);
+  // Chunks tile [0, n).
+  size_t total = 0;
+  for (size_t c = 0; c < 4; ++c) total += ChunkOf(10, 4, c).count;
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(ChunkOf(10, 4, 2).begin, 6u);
+}
+
+TEST(ChunkTest, MoreChunksThanElements) {
+  EXPECT_EQ(ChunkOf(2, 4, 0).count, 1u);
+  EXPECT_EQ(ChunkOf(2, 4, 1).count, 1u);
+  EXPECT_EQ(ChunkOf(2, 4, 2).count, 0u);
+  EXPECT_EQ(ChunkOf(2, 4, 3).count, 0u);
+}
+
+TEST(IndexInTest, FindsAndMisses) {
+  const std::vector<int> ranks{3, 5, 9};
+  EXPECT_EQ(IndexIn(ranks, 5), 1);
+  EXPECT_EQ(IndexIn(ranks, 4), -1);
+}
+
+class RingAllreduceParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingAllreduceParamTest, SumsAcrossGroupSizes) {
+  const int world = GetParam();
+  const size_t n = 37;  // not divisible by any world size: exercises chunks
+  TransportGroup group(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n));
+  for (int r = 0; r < world; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      data[r][i] = static_cast<float>(r + 1) * static_cast<float>(i);
+    }
+  }
+  const auto ranks = Iota(world);
+  std::vector<Status> st(world);
+  ParallelFor(world, [&](size_t r) {
+    st[r] = RingAllreduce(&group, ranks, static_cast<int>(r), 1,
+                          data[r].data(), n);
+  });
+  const float rank_sum = world * (world + 1) / 2.0f;
+  for (int r = 0; r < world; ++r) {
+    ASSERT_TRUE(st[r].ok()) << st[r].ToString();
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_FLOAT_EQ(data[r][i], rank_sum * static_cast<float>(i))
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, RingAllreduceParamTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(RingAllreduceTest, WorksOnSubgroup) {
+  // Only even ranks participate.
+  TransportGroup group(6);
+  const std::vector<int> ranks{0, 2, 4};
+  std::vector<std::vector<float>> data(6, std::vector<float>(8, 1.0f));
+  std::vector<Status> st(3);
+  ParallelFor(3, [&](size_t i) {
+    st[i] = RingAllreduce(&group, ranks, ranks[i], 2, data[ranks[i]].data(),
+                          8);
+  });
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(st[i].ok());
+  for (int r : ranks) {
+    for (float v : data[r]) EXPECT_FLOAT_EQ(v, 3.0f);
+  }
+  // Non-participants untouched.
+  EXPECT_FLOAT_EQ(data[1][0], 1.0f);
+}
+
+TEST(RingAllreduceTest, RejectsOutsideRank) {
+  TransportGroup group(4);
+  std::vector<float> x(4);
+  EXPECT_FALSE(RingAllreduce(&group, {0, 1}, 3, 1, x.data(), 4).ok());
+  EXPECT_FALSE(RingAllreduce(&group, {}, 0, 1, x.data(), 4).ok());
+}
+
+TEST(BroadcastTest, RootValuePropagates) {
+  const int world = 5;
+  TransportGroup group(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(10, -1.0f));
+  for (size_t i = 0; i < 10; ++i) data[2][i] = static_cast<float>(i);
+  const auto ranks = Iota(world);
+  std::vector<Status> st(world);
+  ParallelFor(world, [&](size_t r) {
+    st[r] = Broadcast(&group, ranks, static_cast<int>(r), /*root_index=*/2, 3,
+                      data[r].data(), 10);
+  });
+  for (int r = 0; r < world; ++r) {
+    ASSERT_TRUE(st[r].ok());
+    for (size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(data[r][i], i);
+  }
+}
+
+TEST(BroadcastTest, RejectsBadRoot) {
+  TransportGroup group(2);
+  std::vector<float> x(4);
+  EXPECT_FALSE(Broadcast(&group, {0, 1}, 0, 5, 1, x.data(), 4).ok());
+}
+
+TEST(ReduceTest, SumsToRootOnly) {
+  const int world = 4;
+  TransportGroup group(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(6, 1.0f));
+  const auto ranks = Iota(world);
+  std::vector<Status> st(world);
+  ParallelFor(world, [&](size_t r) {
+    st[r] = Reduce(&group, ranks, static_cast<int>(r), /*root_index=*/1, 4,
+                   data[r].data(), 6);
+  });
+  for (int r = 0; r < world; ++r) ASSERT_TRUE(st[r].ok());
+  for (float v : data[1]) EXPECT_FLOAT_EQ(v, 4.0f);
+  for (float v : data[0]) EXPECT_FLOAT_EQ(v, 1.0f);  // non-roots unchanged
+  for (float v : data[3]) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(RingAllgatherTest, GathersChunks) {
+  const int world = 4;
+  const size_t n = 8;  // chunk = 2
+  TransportGroup group(world);
+  std::vector<std::vector<float>> data(world, std::vector<float>(n, 0.0f));
+  for (int r = 0; r < world; ++r) {
+    data[r][2 * r] = static_cast<float>(100 + r);
+    data[r][2 * r + 1] = static_cast<float>(200 + r);
+  }
+  const auto ranks = Iota(world);
+  std::vector<Status> st(world);
+  ParallelFor(world, [&](size_t r) {
+    st[r] = RingAllgather(&group, ranks, static_cast<int>(r), 5,
+                          data[r].data(), n);
+  });
+  for (int r = 0; r < world; ++r) {
+    ASSERT_TRUE(st[r].ok());
+    for (int c = 0; c < world; ++c) {
+      EXPECT_FLOAT_EQ(data[r][2 * c], 100 + c);
+      EXPECT_FLOAT_EQ(data[r][2 * c + 1], 200 + c);
+    }
+  }
+}
+
+TEST(RingAllgatherTest, RejectsIndivisibleSize) {
+  TransportGroup group(3);
+  std::vector<float> x(7);
+  EXPECT_FALSE(RingAllgather(&group, {0, 1, 2}, 0, 1, x.data(), 7).ok());
+}
+
+TEST(GatherBytesTest, VariableSizePayloads) {
+  const int world = 3;
+  TransportGroup group(world);
+  const auto ranks = Iota(world);
+  std::vector<std::vector<std::vector<uint8_t>>> gathered(world);
+  std::vector<Status> st(world);
+  ParallelFor(world, [&](size_t r) {
+    std::vector<uint8_t> payload(r + 1, static_cast<uint8_t>(r));
+    st[r] = GatherBytes(&group, ranks, static_cast<int>(r), /*root_index=*/0,
+                        6, payload, r == 0 ? &gathered[0] : nullptr);
+  });
+  for (int r = 0; r < world; ++r) ASSERT_TRUE(st[r].ok());
+  ASSERT_EQ(gathered[0].size(), 3u);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(gathered[0][r].size(), static_cast<size_t>(r + 1));
+    for (uint8_t b : gathered[0][r]) EXPECT_EQ(b, r);
+  }
+}
+
+TEST(CollectivesTest, ConcurrentCollectivesDifferentSpaces) {
+  // Two allreduces in flight on one transport must not interfere.
+  const int world = 4;
+  TransportGroup group(world);
+  std::vector<std::vector<float>> a(world, std::vector<float>(16, 1.0f));
+  std::vector<std::vector<float>> b(world, std::vector<float>(16, 2.0f));
+  const auto ranks = Iota(world);
+  std::vector<Status> st(world * 2);
+  ParallelFor(world, [&](size_t r) {
+    st[2 * r] = RingAllreduce(&group, ranks, static_cast<int>(r), 100,
+                              a[r].data(), 16);
+    st[2 * r + 1] = RingAllreduce(&group, ranks, static_cast<int>(r), 200,
+                                  b[r].data(), 16);
+  });
+  for (const auto& s : st) ASSERT_TRUE(s.ok());
+  for (int r = 0; r < world; ++r) {
+    EXPECT_FLOAT_EQ(a[r][0], 4.0f);
+    EXPECT_FLOAT_EQ(b[r][0], 8.0f);
+  }
+}
+
+}  // namespace
+}  // namespace bagua

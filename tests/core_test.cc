@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "base/sync.h"
+#include "core/bucket.h"
+#include "core/runtime.h"
+#include "model/data.h"
+#include "model/net.h"
+
+namespace bagua {
+namespace {
+
+// --------------------------------------------------------------- bucketing
+
+std::vector<ProfileRecord> FakeLog() {
+  // Reverse-backward order: layer 3 first.
+  return {{3, 1000}, {2, 2000}, {1, 500}, {0, 4000}};
+}
+
+TEST(PlanBucketsTest, FuseRespectsByteBudget) {
+  // 6 KB budget: {3, 2} (4k+8k bytes >= 6k after layer 2), {1, 0}, ...
+  const auto plan = PlanBuckets(FakeLog(), 6000, /*fuse=*/true);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(plan[1], (std::vector<size_t>{1, 0}));
+}
+
+TEST(PlanBucketsTest, HugeBudgetSingleBucket) {
+  const auto plan = PlanBuckets(FakeLog(), 1 << 30, true);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].size(), 4u);
+}
+
+TEST(PlanBucketsTest, TinyBudgetOneBucketPerLayer) {
+  const auto plan = PlanBuckets(FakeLog(), 1, true);
+  EXPECT_EQ(plan.size(), 4u);
+}
+
+TEST(PlanBucketsTest, NoFuseIsPerLayer) {
+  const auto plan = PlanBuckets(FakeLog(), 1 << 30, /*fuse=*/false);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0], (std::vector<size_t>{3}));
+}
+
+TEST(BuildBucketsTest, FlattenAliasesParamStorage) {
+  Net net = Net::Mlp({4, 6, 2});
+  net.InitParams(1);
+  std::vector<std::vector<Param>> layer_params;
+  for (size_t i = 0; i < net.num_layers(); ++i) {
+    layer_params.push_back(net.layer(i)->params());
+  }
+  std::vector<Bucket> buckets;
+  ASSERT_TRUE(
+      BuildBuckets({{1, 0}}, layer_params, /*flatten=*/true, &buckets).ok());
+  ASSERT_EQ(buckets.size(), 1u);
+  Bucket& b = buckets[0];
+  EXPECT_TRUE(b.flattened);
+  EXPECT_EQ(b.numel, net.NumParams());
+  // Writing through the flat view must hit the layer's own tensors.
+  b.flat_value.Fill(7.0f);
+  auto params = net.layer(0)->params();
+  EXPECT_EQ((*params[0].value)[0], 7.0f);
+  // Values preserved order: bucket lists layer 1 first.
+  b.flat_grad.Fill(0.0f);
+  auto p1 = net.layer(1)->params();
+  (*p1[0].grad)[0] = 3.0f;
+  EXPECT_EQ(b.flat_grad[0], 3.0f);
+}
+
+TEST(BuildBucketsTest, UnflattenedNeedsGatherScatter) {
+  Net net = Net::Mlp({4, 6, 2});
+  net.InitParams(2);
+  std::vector<std::vector<Param>> layer_params;
+  for (size_t i = 0; i < net.num_layers(); ++i) {
+    layer_params.push_back(net.layer(i)->params());
+  }
+  std::vector<Bucket> buckets;
+  ASSERT_TRUE(
+      BuildBuckets({{1}, {0}}, layer_params, /*flatten=*/false, &buckets).ok());
+  Bucket& b = buckets[1];
+  EXPECT_FALSE(b.flattened);
+  auto p0 = net.layer(0)->params();
+  (*p0[0].value)[0] = 9.0f;
+  EXPECT_NE(b.flat_value[0], 9.0f);  // staging, not aliased
+  ASSERT_TRUE(b.GatherToFlat().ok());
+  EXPECT_EQ(b.flat_value[0], 9.0f);
+  b.flat_value[0] = -1.0f;
+  ASSERT_TRUE(b.ScatterFromFlat().ok());
+  EXPECT_EQ((*p0[0].value)[0], -1.0f);
+}
+
+TEST(BuildBucketsTest, RejectsBadLayerIndex) {
+  std::vector<Bucket> buckets;
+  EXPECT_FALSE(BuildBuckets({{5}}, {{}, {}}, true, &buckets).ok());
+}
+
+// ----------------------------------------------------------------- runtime
+
+struct Worker {
+  std::unique_ptr<Net> net;
+  std::unique_ptr<Optimizer> opt;
+  std::unique_ptr<Algorithm> algo;
+  std::unique_ptr<BaguaRuntime> runtime;
+};
+
+std::vector<Worker> MakeWorkers(CommWorld* world, const BaguaOptions& options,
+                                double lr = 0.1) {
+  std::vector<Worker> workers(world->world_size());
+  for (int r = 0; r < world->world_size(); ++r) {
+    Worker& w = workers[r];
+    w.net = std::make_unique<Net>(Net::Mlp({16, 32, 4}));
+    w.net->InitParams(77);  // all replicas identical
+    w.opt = std::make_unique<SgdOptimizer>(lr);
+    w.algo = std::make_unique<AllreduceAlgorithm>();
+    w.runtime = std::make_unique<BaguaRuntime>(world, r, w.net.get(),
+                                               w.opt.get(), w.algo.get(),
+                                               options);
+  }
+  return workers;
+}
+
+SyntheticClassification MakeData() {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 512;
+  opts.dim = 16;
+  opts.classes = 4;
+  opts.seed = 21;
+  return SyntheticClassification(opts);
+}
+
+/// Runs `steps` synchronized steps on `world_size` workers; returns the
+/// final parameters of each worker.
+std::vector<std::vector<float>> RunTraining(int world_size,
+                                            const BaguaOptions& options,
+                                            int steps,
+                                            std::vector<double>* losses) {
+  CommWorld world(ClusterTopology::Make(world_size, 1), 4242);
+  auto workers = MakeWorkers(&world, options);
+  auto data = MakeData();
+  std::vector<std::vector<double>> local_losses(world_size);
+  ParallelFor(world_size, [&](size_t r) {
+    for (int s = 0; s < steps; ++s) {
+      Tensor x, y;
+      BAGUA_CHECK(data.GetShardBatch(static_cast<int>(r), world_size, 0, s % 4,
+                                     16, &x, &y)
+                      .ok());
+      auto loss = workers[r].runtime->TrainStepCE(x, y);
+      BAGUA_CHECK(loss.ok()) << loss.status().ToString();
+      local_losses[r].push_back(*loss);
+    }
+  });
+  if (losses != nullptr) {
+    // Mean loss across workers per step.
+    losses->clear();
+    for (int s = 0; s < steps; ++s) {
+      double sum = 0;
+      for (int r = 0; r < world_size; ++r) sum += local_losses[r][s];
+      losses->push_back(sum / world_size);
+    }
+  }
+  std::vector<std::vector<float>> params(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    for (const Param& p : workers[r].net->params()) {
+      for (size_t i = 0; i < p.value->numel(); ++i) {
+        params[r].push_back((*p.value)[i]);
+      }
+    }
+  }
+  return params;
+}
+
+TEST(RuntimeTest, ProfilingBuildsBuckets) {
+  CommWorld world(ClusterTopology::Make(1, 1), 1);
+  BaguaOptions options;
+  options.bucket_bytes = 512;  // force multiple buckets
+  auto workers = MakeWorkers(&world, options);
+  auto data = MakeData();
+  Tensor x, y;
+  ASSERT_TRUE(data.GetShardBatch(0, 1, 0, 0, 8, &x, &y).ok());
+  ASSERT_TRUE(workers[0].runtime->TrainStepCE(x, y).ok());
+  EXPECT_GE(workers[0].runtime->buckets().size(), 2u);
+  // Reverse order: first bucket contains the LAST layer.
+  EXPECT_EQ(workers[0].runtime->buckets()[0].layers[0], 1u);
+  EXPECT_EQ(workers[0].runtime->step(), 1u);
+}
+
+TEST(RuntimeTest, ReplicasStayInSync) {
+  std::vector<double> losses;
+  const auto params = RunTraining(4, BaguaOptions(), 8, &losses);
+  for (int r = 1; r < 4; ++r) {
+    ASSERT_EQ(params[r].size(), params[0].size());
+    for (size_t i = 0; i < params[0].size(); ++i) {
+      ASSERT_FLOAT_EQ(params[r][i], params[0][i]) << "rank " << r;
+    }
+  }
+}
+
+TEST(RuntimeTest, LossDecreases) {
+  std::vector<double> losses;
+  RunTraining(4, BaguaOptions(), 40, &losses);
+  EXPECT_LT(losses.back(), 0.7 * losses.front());
+}
+
+TEST(RuntimeTest, OverlapOnOffSameResult) {
+  // O only changes *when* communication happens, never *what* is computed.
+  std::vector<double> l1, l2;
+  const auto with_overlap =
+      RunTraining(2, BaguaOptions::Ablation(true, true, true), 6, &l1);
+  const auto without_overlap =
+      RunTraining(2, BaguaOptions::Ablation(false, true, true), 6, &l2);
+  ASSERT_EQ(with_overlap[0].size(), without_overlap[0].size());
+  for (size_t i = 0; i < with_overlap[0].size(); ++i) {
+    ASSERT_FLOAT_EQ(with_overlap[0][i], without_overlap[0][i]);
+  }
+}
+
+TEST(RuntimeTest, FusionOnOffSameResult) {
+  std::vector<double> l1, l2;
+  const auto fused =
+      RunTraining(2, BaguaOptions::Ablation(true, true, true), 6, &l1);
+  const auto unfused =
+      RunTraining(2, BaguaOptions::Ablation(true, false, true), 6, &l2);
+  for (size_t i = 0; i < fused[0].size(); ++i) {
+    ASSERT_NEAR(fused[0][i], unfused[0][i], 1e-5);
+  }
+}
+
+TEST(RuntimeTest, HierarchicalMatchesFlat) {
+  // On a (2 nodes x 2 devices) topology, hierarchical C_FP_S computes the
+  // same sum as flat — full precision is associative enough at this scale.
+  std::vector<double> l1, l2;
+  CommWorld flat_world(ClusterTopology::Make(4, 1), 9);
+  CommWorld hier_world(ClusterTopology::Make(2, 2), 9);
+  auto run = [&](CommWorld* world, bool hier) {
+    auto workers =
+        MakeWorkers(world, BaguaOptions::Ablation(true, true, hier));
+    auto data = MakeData();
+    ParallelFor(4, [&](size_t r) {
+      for (int s = 0; s < 5; ++s) {
+        Tensor x, y;
+        BAGUA_CHECK(
+            data.GetShardBatch(static_cast<int>(r), 4, 0, s, 16, &x, &y).ok());
+        BAGUA_CHECK(workers[r].runtime->TrainStepCE(x, y).ok());
+      }
+    });
+    std::vector<float> out;
+    for (const Param& p : workers[0].net->params()) {
+      for (size_t i = 0; i < p.value->numel(); ++i) {
+        out.push_back((*p.value)[i]);
+      }
+    }
+    return out;
+  };
+  const auto flat = run(&flat_world, false);
+  const auto hier = run(&hier_world, true);
+  ASSERT_EQ(flat.size(), hier.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    ASSERT_NEAR(flat[i], hier[i], 1e-4);
+  }
+}
+
+TEST(RuntimeTest, TransportShutdownSurfacesCancelled) {
+  // Failure injection: killing the transport mid-training must surface as
+  // a clean Cancelled status from the training step, not a hang or crash.
+  CommWorld world(ClusterTopology::Make(2, 1), 3);
+  auto workers = MakeWorkers(&world, BaguaOptions());
+  auto data = MakeData();
+  std::vector<Status> statuses(2);
+  ParallelFor(2, [&](size_t r) {
+    for (int s = 0; s < 50; ++s) {
+      Tensor x, y;
+      BAGUA_CHECK(
+          data.GetShardBatch(static_cast<int>(r), 2, 0, s % 8, 16, &x, &y)
+              .ok());
+      if (r == 0 && s == 3) world.group()->Shutdown();
+      auto loss = workers[r].runtime->TrainStepCE(x, y);
+      if (!loss.ok()) {
+        statuses[r] = loss.status();
+        return;
+      }
+    }
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_TRUE(statuses[r].IsCancelled()) << statuses[r].ToString();
+  }
+}
+
+TEST(RuntimeTest, MismatchedInputShapeFailsCleanly) {
+  CommWorld world(ClusterTopology::Make(1, 1), 5);
+  auto workers = MakeWorkers(&world, BaguaOptions());
+  Tensor x = Tensor::Zeros({4, 7});  // model expects 16 features
+  Tensor y = Tensor::Zeros({4});
+  auto result = workers[0].runtime->TrainStepCE(x, y);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RuntimeTest, StepCounterAdvancesOnlyOnSuccess) {
+  CommWorld world(ClusterTopology::Make(1, 1), 6);
+  auto workers = MakeWorkers(&world, BaguaOptions());
+  auto data = MakeData();
+  Tensor x, y;
+  ASSERT_TRUE(data.GetShardBatch(0, 1, 0, 0, 16, &x, &y).ok());
+  ASSERT_TRUE(workers[0].runtime->TrainStepCE(x, y).ok());
+  EXPECT_EQ(workers[0].runtime->step(), 1u);
+  Tensor bad = Tensor::Zeros({4, 7});
+  Tensor bad_y = Tensor::Zeros({4});
+  ASSERT_FALSE(workers[0].runtime->TrainStepCE(bad, bad_y).ok());
+  EXPECT_EQ(workers[0].runtime->step(), 1u);  // unchanged after failure
+}
+
+TEST(RuntimeTest, MatchesSingleWorkerLargeBatch) {
+  // The DP-SG equivalence: n workers averaging gradients over batch b each
+  // == one worker on the concatenated batch of n*b (same init, same lr).
+  const int kSteps = 4;
+  auto data = MakeData();
+
+  // Distributed run: 2 workers, batch 16 each.
+  CommWorld world(ClusterTopology::Make(2, 1), 7);
+  auto workers = MakeWorkers(&world, BaguaOptions());
+  ParallelFor(2, [&](size_t r) {
+    for (int s = 0; s < kSteps; ++s) {
+      Tensor x, y;
+      BAGUA_CHECK(
+          data.GetShardBatch(static_cast<int>(r), 2, 0, s, 16, &x, &y).ok());
+      BAGUA_CHECK(workers[r].runtime->TrainStepCE(x, y).ok());
+    }
+  });
+
+  // Single-worker run on the concatenated batches.
+  CommWorld solo_world(ClusterTopology::Make(1, 1), 7);
+  auto solo = MakeWorkers(&solo_world, BaguaOptions());
+  for (int s = 0; s < kSteps; ++s) {
+    Tensor x0, y0, x1, y1;
+    ASSERT_TRUE(data.GetShardBatch(0, 2, 0, s, 16, &x0, &y0).ok());
+    ASSERT_TRUE(data.GetShardBatch(1, 2, 0, s, 16, &x1, &y1).ok());
+    Tensor x = Tensor::Zeros({32, 16}), y = Tensor::Zeros({32});
+    std::memcpy(x.data(), x0.data(), x0.size_bytes());
+    std::memcpy(x.data() + x0.numel(), x1.data(), x1.size_bytes());
+    std::memcpy(y.data(), y0.data(), y0.size_bytes());
+    std::memcpy(y.data() + 16, y1.data(), y1.size_bytes());
+    ASSERT_TRUE(solo[0].runtime->TrainStepCE(x, y).ok());
+  }
+
+  auto dist_params = workers[0].net->params();
+  auto solo_params = solo[0].net->params();
+  for (size_t p = 0; p < dist_params.size(); ++p) {
+    for (size_t i = 0; i < dist_params[p].value->numel(); ++i) {
+      ASSERT_NEAR((*dist_params[p].value)[i], (*solo_params[p].value)[i],
+                  2e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "harness/autotune.h"
+#include "harness/report.h"
+#include "harness/timing.h"
+#include "harness/trainer.h"
+
+namespace bagua {
+namespace {
+
+TimingConfig BertLargeAt(double gbps) {
+  TimingConfig cfg;
+  cfg.model = ModelProfile::BertLarge();
+  cfg.net = NetworkConfig::Tcp(gbps);
+  return cfg;
+}
+
+SystemSpec SimpleSpec(double per_unit_comm_s) {
+  SystemSpec spec;
+  spec.name = "test";
+  spec.comm_cost = [per_unit_comm_s](size_t) { return per_unit_comm_s; };
+  return spec;
+}
+
+// ------------------------------------------------------------ EstimateEpoch
+
+TEST(EstimateEpochTest, EpochIsIterationTimesIterations) {
+  auto cfg = BertLargeAt(25);
+  const EpochEstimate est = EstimateEpoch(cfg, SimpleSpec(0.001));
+  EXPECT_EQ(est.iterations, cfg.model.IterationsPerEpoch(128));
+  EXPECT_NEAR(est.epoch_s, est.iteration_s * est.iterations, 1e-9);
+  EXPECT_GT(est.compute_s, 0.0);
+}
+
+TEST(EstimateEpochTest, OverlapNeverSlower) {
+  auto cfg = BertLargeAt(10);
+  auto algo = MakeTimingAlgorithm("allreduce");
+  const double with_o =
+      EstimateEpoch(cfg, BaguaSpec(cfg, *algo,
+                                   BaguaOptions::Ablation(true, true, true)))
+          .epoch_s;
+  const double without_o =
+      EstimateEpoch(cfg, BaguaSpec(cfg, *algo,
+                                   BaguaOptions::Ablation(false, true, true)))
+          .epoch_s;
+  EXPECT_LE(with_o, without_o);
+  EXPECT_LT(with_o, 0.95 * without_o);  // and strictly better when comm-bound
+}
+
+TEST(EstimateEpochTest, BandwidthMonotonicity) {
+  auto algo = MakeTimingAlgorithm("allreduce");
+  double prev = 0.0;
+  for (double gbps : {100.0, 25.0, 10.0, 5.0, 1.0}) {
+    auto cfg = BertLargeAt(gbps);
+    const double s =
+        EstimateEpoch(cfg, BaguaSpec(cfg, *algo, BaguaOptions())).epoch_s;
+    EXPECT_GE(s, prev) << gbps;  // slower network, slower (or equal) epoch
+    prev = s;
+  }
+}
+
+TEST(EstimateEpochTest, CompressionWinsAtLowBandwidthOnly) {
+  auto ar = MakeTimingAlgorithm("allreduce");
+  auto onebit = MakeTimingAlgorithm("1bit-adam");
+  auto low = BertLargeAt(2);
+  auto high = BertLargeAt(100);
+  const double ar_low =
+      EstimateEpoch(low, BaguaSpec(low, *ar, BaguaOptions())).epoch_s;
+  const double ob_low =
+      EstimateEpoch(low, BaguaSpec(low, *onebit, BaguaOptions())).epoch_s;
+  const double ar_high =
+      EstimateEpoch(high, BaguaSpec(high, *ar, BaguaOptions())).epoch_s;
+  const double ob_high =
+      EstimateEpoch(high, BaguaSpec(high, *onebit, BaguaOptions())).epoch_s;
+  EXPECT_LT(ob_low, 0.2 * ar_low);           // huge win on slow network
+  EXPECT_NEAR(ob_high, ar_high, 0.1 * ar_high);  // parity on fast network
+}
+
+TEST(EstimateEpochTest, JitterTaxesLargeBarriersOnly) {
+  auto cfg = BertLargeAt(100);
+  SystemSpec world_barrier = SimpleSpec(0.0);
+  SystemSpec pair_barrier = SimpleSpec(0.0);
+  pair_barrier.barrier_group = 2;
+  SystemSpec no_barrier = SimpleSpec(0.0);
+  no_barrier.barrier_group = 1;
+  const double w = EstimateEpoch(cfg, world_barrier).iteration_s;
+  const double p = EstimateEpoch(cfg, pair_barrier).iteration_s;
+  const double n = EstimateEpoch(cfg, no_barrier).iteration_s;
+  EXPECT_GT(w, p);
+  EXPECT_GT(p, n);
+  // The world barrier tax is cv*sqrt(2 ln 128) of compute.
+  const EpochEstimate base = EstimateEpoch(cfg, no_barrier);
+  EXPECT_NEAR(w - n,
+              cfg.jitter_cv * std::sqrt(2.0 * std::log(128.0)) *
+                  base.compute_s,
+              1e-6);
+}
+
+TEST(EstimateEpochTest, ZeroJitterDisablesTax) {
+  auto cfg = BertLargeAt(100);
+  cfg.jitter_cv = 0.0;
+  SystemSpec a = SimpleSpec(0.0);
+  SystemSpec b = SimpleSpec(0.0);
+  b.barrier_group = 1;
+  EXPECT_DOUBLE_EQ(EstimateEpoch(cfg, a).iteration_s,
+                   EstimateEpoch(cfg, b).iteration_s);
+}
+
+TEST(EstimateEpochTest, PerTensorModeMakesMoreUnitsCostly) {
+  auto cfg = BertLargeAt(100);
+  auto algo = MakeTimingAlgorithm("allreduce");
+  SystemSpec fused = BaguaSpec(cfg, *algo, BaguaOptions());
+  SystemSpec unfused =
+      BaguaSpec(cfg, *algo, BaguaOptions::Ablation(true, false, true));
+  EXPECT_GT(EstimateEpoch(cfg, unfused).epoch_s,
+            EstimateEpoch(cfg, fused).epoch_s);
+}
+
+TEST(EstimateEpochTest, AsyncDecouplesCommFromIteration) {
+  // When communication fits under compute, async and sync tie; when it
+  // exceeds compute, async degrades to comm-rate instead of sum-rate.
+  auto cfg = BertLargeAt(100);
+  cfg.jitter_cv = 0.0;
+  SystemSpec sync_spec = SimpleSpec(0.010);  // 10 ms per unit
+  SystemSpec async_spec = sync_spec;
+  async_spec.async = true;
+  async_spec.barrier_group = 1;
+  const EpochEstimate sync_est = EstimateEpoch(cfg, sync_spec);
+  const EpochEstimate async_est = EstimateEpoch(cfg, async_spec);
+  EXPECT_LE(async_est.iteration_s, sync_est.iteration_s);
+  EXPECT_GE(async_est.iteration_s,
+            std::max(async_est.compute_s, async_est.comm_s) * 0.99);
+}
+
+TEST(EstimateEpochTest, StragglerSlowsComputeProportionally) {
+  auto cfg = BertLargeAt(100);
+  const double healthy = EstimateEpoch(cfg, SimpleSpec(0.0)).compute_s;
+  cfg.dev.speed_multiplier = 0.5;
+  const double slow = EstimateEpoch(cfg, SimpleSpec(0.0)).compute_s;
+  EXPECT_NEAR(slow, 2.0 * healthy, 0.05 * healthy);
+}
+
+// ------------------------------------------------------------- BaguaSpec
+
+TEST(BaguaSpecTest, TraitsMapToSchedule) {
+  auto cfg = BertLargeAt(25);
+  auto decen = MakeTimingAlgorithm("decen-8bits");
+  const SystemSpec spec = BaguaSpec(cfg, *decen, BaguaOptions());
+  EXPECT_TRUE(spec.update_before_comm);
+  EXPECT_FALSE(spec.async);
+  EXPECT_EQ(spec.barrier_group, 3);  // ring peers
+
+  auto async = MakeTimingAlgorithm("async");
+  const SystemSpec aspec = BaguaSpec(cfg, *async, BaguaOptions());
+  EXPECT_TRUE(aspec.async);
+  EXPECT_EQ(aspec.barrier_group, 1);
+}
+
+TEST(BaguaSpecTest, LocalSgdAmortizesBarrier) {
+  auto cfg = BertLargeAt(25);
+  auto local = MakeTimingAlgorithm("local-sgd-4");
+  const SystemSpec spec = BaguaSpec(cfg, *local, BaguaOptions());
+  EXPECT_DOUBLE_EQ(spec.barrier_freq, 0.25);
+}
+
+// -------------------------------------------------------------- autotune
+
+TEST(AutotuneTest, RankingSortedByEpochTime) {
+  auto cfg = BertLargeAt(10);
+  const auto ranking = RankAlgorithms(cfg);
+  ASSERT_GE(ranking.size(), 8u);
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].epoch_s, ranking[i].epoch_s);
+  }
+}
+
+TEST(AutotuneTest, PicksCompressionOnSlowNetworkForAdamWorkload) {
+  auto cfg = BertLargeAt(2);
+  auto rec = RecommendAlgorithm(cfg, /*require_safe=*/true);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->algorithm, "1bit-adam");
+  EXPECT_GT(rec->speedup_vs_allreduce, 5.0);
+}
+
+TEST(AutotuneTest, OneBitAdamFlaggedOnNonAdamWorkloads) {
+  TimingConfig cfg;
+  cfg.model = ModelProfile::Vgg16();  // SGD workload
+  cfg.net = NetworkConfig::Tcp(2);
+  for (const auto& rec : RankAlgorithms(cfg)) {
+    if (rec.algorithm == "1bit-adam") {
+      EXPECT_TRUE(rec.convergence_caution);
+    }
+  }
+  auto safe = RecommendAlgorithm(cfg, true);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_NE(safe->algorithm, "1bit-adam");
+}
+
+TEST(AutotuneTest, UnsafePickCanDifferFromSafePick) {
+  TimingConfig cfg;
+  cfg.model = ModelProfile::Vgg16();
+  cfg.net = NetworkConfig::Tcp(2);
+  auto any = RecommendAlgorithm(cfg, /*require_safe=*/false);
+  ASSERT_TRUE(any.ok());
+  // Fastest overall on a 2 Gbps conv workload is an aggressive compressor.
+  EXPECT_TRUE(any->algorithm == "1bit-adam" || !any->convergence_caution);
+}
+
+TEST(AutotuneTest, TimingAlgorithmFactoryCoversAllNames) {
+  for (const auto& name : TunableAlgorithms()) {
+    auto algo = MakeTimingAlgorithm(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_GT(algo->WireBytes(1 << 20, ClusterTopology::Paper(), true), 0.0)
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------- trainer
+
+TEST(TrainerTest, AllreduceConverges) {
+  ConvergenceOptions opts;
+  opts.algorithm = "allreduce";
+  opts.epochs = 4;
+  opts.topo = ClusterTopology::Make(4, 1);
+  opts.data.num_samples = 1024;
+  auto result = RunConvergence(opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->epoch_loss.back(), 0.7 * result->epoch_loss.front());
+  EXPECT_GT(result->epoch_accuracy.back(), 0.6);
+  EXPECT_FALSE(result->diverged);
+}
+
+TEST(TrainerTest, RejectsUnknownAlgorithm) {
+  ConvergenceOptions opts;
+  opts.algorithm = "nonsense";
+  EXPECT_FALSE(RunConvergence(opts).ok());
+}
+
+TEST(TrainerTest, RejectsShardSmallerThanBatch) {
+  ConvergenceOptions opts;
+  opts.data.num_samples = 64;
+  opts.batch_size = 64;  // 8 workers x 64 > 64 samples
+  EXPECT_FALSE(RunConvergence(opts).ok());
+}
+
+TEST(TrainerTest, AsyncVariantsConverge) {
+  for (const char* algo : {"async", "async-lp", "async-decen"}) {
+    ConvergenceOptions opts;
+    opts.algorithm = algo;
+    opts.epochs = 5;
+    opts.topo = ClusterTopology::Make(4, 1);
+    opts.data.num_samples = 1024;
+    opts.lr = 0.05;
+    auto result = RunConvergence(opts);
+    ASSERT_TRUE(result.ok()) << algo << ": " << result.status().ToString();
+    EXPECT_LT(result->epoch_loss.back(), 0.8 * result->epoch_loss.front())
+        << algo;
+  }
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(ReportTest, MarkdownShape) {
+  ReportTable t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(md.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ReportTest, CsvShape) {
+  ReportTable t({"x", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n");
+}
+
+}  // namespace
+}  // namespace bagua

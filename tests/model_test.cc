@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "model/data.h"
+#include "model/layer.h"
+#include "model/loss.h"
+#include "model/net.h"
+#include "model/optimizer.h"
+#include "model/profiles.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+namespace {
+
+// ------------------------------------------------------------------ layers
+
+TEST(DenseLayerTest, ForwardAffine) {
+  DenseLayer fc("fc", 2, 3);
+  auto params = fc.params();
+  // W = [[1,2,3],[4,5,6]], b = [0.5, 0.5, 0.5]
+  for (size_t i = 0; i < 6; ++i) (*params[0].value)[i] = static_cast<float>(i + 1);
+  params[1].value->Fill(0.5f);
+  Tensor in = Tensor::Zeros({1, 2});
+  in[0] = 1.0f;
+  in[1] = 2.0f;
+  Tensor out;
+  ASSERT_TRUE(fc.Forward(in, &out).ok());
+  EXPECT_FLOAT_EQ(out[0], 1 * 1 + 2 * 4 + 0.5f);
+  EXPECT_FLOAT_EQ(out[1], 1 * 2 + 2 * 5 + 0.5f);
+  EXPECT_FLOAT_EQ(out[2], 1 * 3 + 2 * 6 + 0.5f);
+}
+
+TEST(DenseLayerTest, ReluClampsNegatives) {
+  DenseLayer fc("fc", 1, 2, Activation::kRelu);
+  auto params = fc.params();
+  (*params[0].value)[0] = 1.0f;
+  (*params[0].value)[1] = -1.0f;
+  Tensor in = Tensor::Zeros({1, 1});
+  in[0] = 2.0f;
+  Tensor out;
+  ASSERT_TRUE(fc.Forward(in, &out).ok());
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(DenseLayerTest, BackwardBeforeForwardFails) {
+  DenseLayer fc("fc", 2, 2);
+  Tensor g = Tensor::Zeros({1, 2});
+  Tensor gin;
+  EXPECT_FALSE(fc.Backward(g, &gin).ok());
+}
+
+/// Numerical gradient check: the canonical correctness test for backward.
+class GradCheckTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(GradCheckTest, MatchesNumericalGradient) {
+  const size_t in_dim = 4, out_dim = 3, batch = 2;
+  DenseLayer fc("fc", in_dim, out_dim, GetParam());
+  Rng rng(11);
+  fc.InitParams(&rng);
+  Tensor x = Tensor::Zeros({batch, in_dim});
+  for (size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.Normal());
+  }
+  // Loss = sum(out) -> dL/dout = 1.
+  auto loss_of = [&]() {
+    Tensor out;
+    BAGUA_CHECK(fc.Forward(x, &out).ok());
+    return Sum(out.data(), out.numel());
+  };
+  const double base = loss_of();
+  (void)base;
+  Tensor out;
+  ASSERT_TRUE(fc.Forward(x, &out).ok());
+  Tensor ones = Tensor::Zeros(out.shape());
+  ones.Fill(1.0f);
+  Tensor gin;
+  ASSERT_TRUE(fc.Backward(ones, &gin).ok());
+
+  auto params = fc.params();
+  const double eps = 1e-3;
+  // Check a sample of weight coordinates.
+  for (size_t i = 0; i < params[0].value->numel(); i += 5) {
+    Tensor& w = *params[0].value;
+    const float orig = w[i];
+    w[i] = orig + static_cast<float>(eps);
+    const double plus = loss_of();
+    w[i] = orig - static_cast<float>(eps);
+    const double minus = loss_of();
+    w[i] = orig;
+    const double numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR((*params[0].grad)[i], numeric, 2e-2) << "w[" << i << "]";
+  }
+  // Input gradient.
+  for (size_t i = 0; i < x.numel(); i += 3) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double plus = loss_of();
+    x[i] = orig - static_cast<float>(eps);
+    const double minus = loss_of();
+    x[i] = orig;
+    EXPECT_NEAR(gin[i], (plus - minus) / (2 * eps), 2e-2) << "x[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, GradCheckTest,
+                         ::testing::Values(Activation::kNone,
+                                           Activation::kRelu,
+                                           Activation::kTanh));
+
+TEST(DenseLayerTest, GradientsAccumulateAcrossBackward) {
+  DenseLayer fc("fc", 2, 2);
+  Rng rng(3);
+  fc.InitParams(&rng);
+  Tensor x = Tensor::Zeros({1, 2});
+  x[0] = 1.0f;
+  x[1] = 1.0f;
+  Tensor out, g;
+  ASSERT_TRUE(fc.Forward(x, &out).ok());
+  g = Tensor::Zeros(out.shape());
+  g.Fill(1.0f);
+  ASSERT_TRUE(fc.Backward(g, nullptr).ok());
+  auto params = fc.params();
+  const float once = (*params[0].grad)[0];
+  ASSERT_TRUE(fc.Forward(x, &out).ok());
+  ASSERT_TRUE(fc.Backward(g, nullptr).ok());
+  EXPECT_FLOAT_EQ((*params[0].grad)[0], 2 * once);
+}
+
+// --------------------------------------------------------------------- net
+
+TEST(NetTest, MlpBuilderShape) {
+  Net net = Net::Mlp({8, 16, 4});
+  EXPECT_EQ(net.num_layers(), 2u);
+  EXPECT_EQ(net.NumParams(), 8u * 16 + 16 + 16 * 4 + 4);
+}
+
+TEST(NetTest, InitIsDeterministic) {
+  Net a = Net::Mlp({4, 8, 2});
+  Net b = Net::Mlp({4, 8, 2});
+  a.InitParams(7);
+  b.InitParams(7);
+  auto pa = a.params(), pb = b.params();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (size_t j = 0; j < pa[i].value->numel(); ++j) {
+      ASSERT_EQ((*pa[i].value)[j], (*pb[i].value)[j]);
+    }
+  }
+}
+
+TEST(NetTest, BackwardHookFiresInReverseOrder) {
+  Net net = Net::Mlp({4, 8, 8, 2});
+  net.InitParams(1);
+  Tensor x = Tensor::Zeros({2, 4});
+  Tensor out;
+  ASSERT_TRUE(net.Forward(x, &out).ok());
+  Tensor g = Tensor::Zeros(out.shape());
+  g.Fill(0.1f);
+  std::vector<size_t> order;
+  ASSERT_TRUE(net.Backward(g, [&](size_t l) { order.push_back(l); }).ok());
+  EXPECT_EQ(order, (std::vector<size_t>{2, 1, 0}));
+}
+
+TEST(NetTest, SingleWorkerTrainingReducesLoss) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 512;
+  opts.dim = 16;
+  opts.classes = 4;
+  opts.seed = 5;
+  SyntheticClassification data(opts);
+  Net net = Net::Mlp({16, 32, 4});
+  net.InitParams(3);
+  SgdOptimizer opt(0.1);
+
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 60; ++step) {
+    Tensor x, y;
+    ASSERT_TRUE(
+        data.GetShardBatch(0, 1, step / 16, step % 16, 32, &x, &y).ok());
+    net.ZeroGrad();
+    Tensor logits;
+    ASSERT_TRUE(net.Forward(x, &logits).ok());
+    double loss;
+    Tensor grad;
+    ASSERT_TRUE(SoftmaxCrossEntropy(logits, y, &loss, &grad).ok());
+    ASSERT_TRUE(net.Backward(grad).ok());
+    auto params = net.params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      ASSERT_TRUE(opt.Step(i, params[i].value->data(), params[i].grad->data(),
+                           params[i].value->numel())
+                      .ok());
+    }
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, 0.6 * first_loss);
+}
+
+// -------------------------------------------------------------------- loss
+
+TEST(LossTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor labels = Tensor::Zeros({2});
+  labels[0] = 1;
+  labels[1] = 3;
+  double loss;
+  Tensor grad;
+  ASSERT_TRUE(SoftmaxCrossEntropy(logits, labels, &loss, &grad).ok());
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+  // Gradient sums to zero per row; true class negative.
+  EXPECT_LT(grad[1], 0.0f);
+  EXPECT_GT(grad[0], 0.0f);
+  double rowsum = grad[0] + grad[1] + grad[2] + grad[3];
+  EXPECT_NEAR(rowsum, 0.0, 1e-6);
+}
+
+TEST(LossTest, CrossEntropyRejectsBadLabel) {
+  Tensor logits = Tensor::Zeros({1, 3});
+  Tensor labels = Tensor::Zeros({1});
+  labels[0] = 5;
+  double loss;
+  EXPECT_FALSE(SoftmaxCrossEntropy(logits, labels, &loss, nullptr).ok());
+}
+
+TEST(LossTest, CrossEntropyGradientNumericalCheck) {
+  Rng rng(13);
+  Tensor logits = Tensor::Zeros({3, 5});
+  for (size_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = static_cast<float>(rng.Normal());
+  }
+  Tensor labels = Tensor::Zeros({3});
+  labels[0] = 2;
+  labels[1] = 0;
+  labels[2] = 4;
+  double loss;
+  Tensor grad;
+  ASSERT_TRUE(SoftmaxCrossEntropy(logits, labels, &loss, &grad).ok());
+  const double eps = 1e-3;
+  for (size_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    double lp, lm;
+    logits[i] = orig + static_cast<float>(eps);
+    ASSERT_TRUE(SoftmaxCrossEntropy(logits, labels, &lp, nullptr).ok());
+    logits[i] = orig - static_cast<float>(eps);
+    ASSERT_TRUE(SoftmaxCrossEntropy(logits, labels, &lm, nullptr).ok());
+    logits[i] = orig;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-4);
+  }
+}
+
+TEST(LossTest, MseBasics) {
+  Tensor pred = Tensor::Zeros({2, 2});
+  Tensor target = Tensor::Zeros({2, 2});
+  pred[0] = 1.0f;
+  pred[3] = -1.0f;
+  double loss;
+  Tensor grad;
+  ASSERT_TRUE(MseLoss(pred, target, &loss, &grad).ok());
+  EXPECT_NEAR(loss, (1.0 + 1.0) / 4, 1e-6);
+  EXPECT_NEAR(grad[0], 2.0 * 1.0 / 4, 1e-6);
+  EXPECT_NEAR(grad[3], -2.0 * 1.0 / 4, 1e-6);
+}
+
+TEST(LossTest, AccuracyCountsArgmax) {
+  Tensor logits = Tensor::Zeros({2, 3});
+  logits[0] = 1.0f;             // row 0 argmax = 0
+  logits[3 + 2] = 2.0f;         // row 1 argmax = 2
+  Tensor labels = Tensor::Zeros({2});
+  labels[0] = 0;
+  labels[1] = 1;
+  auto acc = Accuracy(logits, labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 0.5);
+}
+
+// --------------------------------------------------------------- optimizers
+
+TEST(OptimizerTest, SgdStep) {
+  SgdOptimizer opt(0.5);
+  float param[2] = {1.0f, 2.0f};
+  const float grad[2] = {0.2f, -0.4f};
+  ASSERT_TRUE(opt.Step(0, param, grad, 2).ok());
+  EXPECT_FLOAT_EQ(param[0], 0.9f);
+  EXPECT_FLOAT_EQ(param[1], 2.2f);
+}
+
+TEST(OptimizerTest, SgdMomentumAccumulates) {
+  SgdOptimizer opt(1.0, 0.9);
+  float param[1] = {0.0f};
+  const float grad[1] = {1.0f};
+  ASSERT_TRUE(opt.Step(0, param, grad, 1).ok());
+  EXPECT_FLOAT_EQ(param[0], -1.0f);  // v = 1
+  ASSERT_TRUE(opt.Step(0, param, grad, 1).ok());
+  EXPECT_FLOAT_EQ(param[0], -2.9f);  // v = 1.9
+}
+
+TEST(OptimizerTest, SgdSlotSizeChangeRejected) {
+  SgdOptimizer opt(0.1, 0.9);
+  float param[4] = {};
+  const float grad[4] = {};
+  ASSERT_TRUE(opt.Step(0, param, grad, 4).ok());
+  EXPECT_FALSE(opt.Step(0, param, grad, 2).ok());
+}
+
+TEST(OptimizerTest, WeightDecayShrinksParams) {
+  SgdOptimizer opt(0.1, 0.0, /*weight_decay=*/0.5);
+  float param[1] = {2.0f};
+  const float grad[1] = {0.0f};
+  ASSERT_TRUE(opt.Step(0, param, grad, 1).ok());
+  // Decoupled: param *= (1 - lr*wd) = 0.95.
+  EXPECT_FLOAT_EQ(param[0], 1.9f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesWhenAbove) {
+  float grad[2] = {3.0f, 4.0f};  // norm 5
+  const double norm = ClipGradNorm(grad, 2, 2.5);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(grad[0], 1.5f, 1e-6);
+  EXPECT_NEAR(grad[1], 2.0f, 1e-6);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenBelow) {
+  float grad[2] = {0.3f, 0.4f};
+  const double norm = ClipGradNorm(grad, 2, 2.5);
+  EXPECT_NEAR(norm, 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(grad[0], 0.3f);
+  EXPECT_FLOAT_EQ(grad[1], 0.4f);
+}
+
+TEST(OptimizerTest, AdamFirstStepIsLrSized) {
+  AdamOptimizer opt(0.001);
+  float param[1] = {1.0f};
+  const float grad[1] = {0.5f};
+  ASSERT_TRUE(opt.Step(0, param, grad, 1).ok());
+  // After bias correction the first Adam step ~= lr * sign(grad).
+  EXPECT_NEAR(param[0], 1.0f - 0.001f, 1e-5);
+}
+
+TEST(OptimizerTest, AdamVarianceFreeze) {
+  AdamOptimizer opt(0.01);
+  float param[1] = {0.0f};
+  const float g1[1] = {1.0f};
+  ASSERT_TRUE(opt.Step(0, param, g1, 1).ok());
+  const float v_before = opt.variance(0)[0];
+  opt.FreezeVariance();
+  const float g2[1] = {100.0f};
+  ASSERT_TRUE(opt.Step(0, param, g2, 1).ok());
+  EXPECT_FLOAT_EQ(opt.variance(0)[0], v_before);  // unchanged when frozen
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  AdamOptimizer opt(0.1);
+  float x[1] = {5.0f};
+  for (int i = 0; i < 300; ++i) {
+    const float grad[1] = {2.0f * x[0]};  // d/dx x^2
+    ASSERT_TRUE(opt.Step(0, x, grad, 1).ok());
+  }
+  EXPECT_NEAR(x[0], 0.0f, 0.05f);
+}
+
+// -------------------------------------------------------------------- data
+
+TEST(DataTest, DeterministicAcrossInstances) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 128;
+  opts.dim = 8;
+  opts.seed = 99;
+  SyntheticClassification a(opts), b(opts);
+  Tensor xa, ya, xb, yb;
+  ASSERT_TRUE(a.GetAll(&xa, &ya).ok());
+  ASSERT_TRUE(b.GetAll(&xb, &yb).ok());
+  for (size_t i = 0; i < xa.numel(); ++i) ASSERT_EQ(xa[i], xb[i]);
+  for (size_t i = 0; i < ya.numel(); ++i) ASSERT_EQ(ya[i], yb[i]);
+}
+
+TEST(DataTest, ShardsPartitionDataset) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 103;  // not divisible by world
+  SyntheticClassification data(opts);
+  size_t total = 0;
+  for (int r = 0; r < 4; ++r) total += data.ShardSize(r, 4);
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(DataTest, BatchesWithinShardBounds) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 256;
+  opts.dim = 4;
+  SyntheticClassification data(opts);
+  Tensor x, y;
+  EXPECT_TRUE(data.GetShardBatch(1, 4, 0, 0, 16, &x, &y).ok());
+  EXPECT_EQ(x.shape(), (std::vector<size_t>{16, 4}));
+  // 64-sample shard has 4 batches of 16.
+  EXPECT_EQ(data.BatchesPerEpoch(1, 4, 16), 4u);
+  EXPECT_FALSE(data.GetShardBatch(1, 4, 0, 4, 16, &x, &y).ok());
+}
+
+TEST(DataTest, LabelsInRange) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 200;
+  opts.classes = 5;
+  SyntheticClassification data(opts);
+  Tensor x, y;
+  ASSERT_TRUE(data.GetAll(&x, &y).ok());
+  for (size_t i = 0; i < y.numel(); ++i) {
+    ASSERT_GE(y[i], 0.0f);
+    ASSERT_LT(y[i], 5.0f);
+  }
+}
+
+TEST(DataTest, EpochShufflesDiffer) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 256;
+  opts.dim = 4;
+  SyntheticClassification data(opts);
+  Tensor x0, y0, x1, y1;
+  ASSERT_TRUE(data.GetShardBatch(0, 2, 0, 0, 32, &x0, &y0).ok());
+  ASSERT_TRUE(data.GetShardBatch(0, 2, 1, 0, 32, &x1, &y1).ok());
+  bool differs = false;
+  for (size_t i = 0; i < x0.numel() && !differs; ++i) {
+    differs = x0[i] != x1[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------- profiles
+
+TEST(ProfilesTest, TotalsMatchTable2) {
+  // Params within 1% of Table 2; FLOPs exact by construction.
+  const struct {
+    const char* name;
+    double params;
+    double flops;
+  } expected[] = {
+      {"vgg16", 138.3e6, 31e9},        {"bert-large", 302.2e6, 232e9},
+      {"bert-base", 85.6e6, 22e9},     {"transformer", 66.5e6, 145e9},
+      {"lstm-alexnet", 126.8e6, 97.12e9},
+  };
+  for (const auto& e : expected) {
+    const auto p = ModelProfile::ByName(e.name);
+    EXPECT_NEAR(p.TotalParams(), e.params, 0.01 * e.params) << e.name;
+    EXPECT_NEAR(p.TotalFlops(), e.flops, 0.02 * e.flops) << e.name;
+  }
+}
+
+TEST(ProfilesTest, BertLargeHasManySmallTensors) {
+  // The property behind the F ablation: BERT-LARGE has hundreds of tensors.
+  EXPECT_GE(ModelProfile::BertLarge().TotalTensors(), 300);
+  EXPECT_LE(ModelProfile::Vgg16().TotalTensors(), 40);
+}
+
+TEST(ProfilesTest, IterationsPerEpoch) {
+  const auto p = ModelProfile::Vgg16();
+  // 1,281,167 images / (128 GPUs * 32) = 313 iterations.
+  EXPECT_EQ(p.IterationsPerEpoch(128), 313u);
+}
+
+TEST(ProfilesTest, AllModelsListed) {
+  EXPECT_EQ(ModelProfile::AllPaperModels().size(), 5u);
+}
+
+}  // namespace
+}  // namespace bagua

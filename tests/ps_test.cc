@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/logging.h"
+#include "base/sync.h"
+#include "ps/server.h"
+
+namespace bagua {
+namespace {
+
+TEST(PsTest, InitAndPull) {
+  ShardedParameterServer ps(10, 3, 2);
+  std::vector<float> w(10);
+  for (size_t i = 0; i < 10; ++i) w[i] = static_cast<float>(i);
+  ASSERT_TRUE(ps.InitWeights(w.data(), 10).ok());
+  std::vector<float> out(10);
+  ASSERT_TRUE(ps.Pull(out.data(), 10).ok());
+  EXPECT_EQ(out, w);
+}
+
+TEST(PsTest, SizeMismatchRejected) {
+  ShardedParameterServer ps(10, 2, 1);
+  std::vector<float> w(5);
+  EXPECT_FALSE(ps.InitWeights(w.data(), 5).ok());
+  EXPECT_FALSE(ps.PushGradAsync(w.data(), 5, 0.1).ok());
+  EXPECT_FALSE(ps.Pull(w.data(), 5).ok());
+}
+
+TEST(PsTest, AsyncPushAppliesImmediately) {
+  ShardedParameterServer ps(4, 2, 3);
+  std::vector<float> w(4, 1.0f);
+  ASSERT_TRUE(ps.InitWeights(w.data(), 4).ok());
+  std::vector<float> g(4, 2.0f);
+  ASSERT_TRUE(ps.PushGradAsync(g.data(), 4, 0.25).ok());
+  std::vector<float> out(4);
+  ASSERT_TRUE(ps.Pull(out.data(), 4).ok());
+  for (float v : out) EXPECT_FLOAT_EQ(v, 0.5f);  // 1 - 0.25*2
+  EXPECT_EQ(ps.num_async_pushes(), 1u);
+}
+
+TEST(PsTest, SyncRoundAveragesAcrossWorkers) {
+  constexpr int kWorkers = 4;
+  ShardedParameterServer ps(8, 2, kWorkers);
+  std::vector<float> w(8, 0.0f);
+  ASSERT_TRUE(ps.InitWeights(w.data(), 8).ok());
+  ParallelFor(kWorkers, [&](size_t r) {
+    std::vector<float> g(8, static_cast<float>(r + 1));  // 1,2,3,4
+    BAGUA_CHECK(ps.PushGradSync(g.data(), 8, 1.0, 1).ok());
+    BAGUA_CHECK(ps.WaitRound(1).ok());
+  });
+  std::vector<float> out(8);
+  ASSERT_TRUE(ps.Pull(out.data(), 8).ok());
+  // w -= lr * mean(1..4) = -2.5
+  for (float v : out) EXPECT_FLOAT_EQ(v, -2.5f);
+}
+
+TEST(PsTest, SyncRoundsSequence) {
+  constexpr int kWorkers = 3, kRounds = 5;
+  ShardedParameterServer ps(6, 3, kWorkers);
+  std::vector<float> w(6, 0.0f);
+  ASSERT_TRUE(ps.InitWeights(w.data(), 6).ok());
+  ParallelFor(kWorkers, [&](size_t) {
+    for (uint64_t round = 1; round <= kRounds; ++round) {
+      std::vector<float> g(6, 1.0f);
+      BAGUA_CHECK(ps.PushGradSync(g.data(), 6, 0.1, round).ok());
+      BAGUA_CHECK(ps.WaitRound(round).ok());
+    }
+  });
+  std::vector<float> out(6);
+  ASSERT_TRUE(ps.Pull(out.data(), 6).ok());
+  for (float v : out) EXPECT_NEAR(v, -0.5f, 1e-5);  // 5 rounds * 0.1 * 1
+}
+
+TEST(PsTest, ConcurrentAsyncPushesAllLand) {
+  constexpr int kWorkers = 8, kPushes = 20;
+  ShardedParameterServer ps(16, 4, kWorkers);
+  std::vector<float> w(16, 0.0f);
+  ASSERT_TRUE(ps.InitWeights(w.data(), 16).ok());
+  ParallelFor(kWorkers, [&](size_t) {
+    std::vector<float> g(16, 1.0f);
+    for (int i = 0; i < kPushes; ++i) {
+      BAGUA_CHECK(ps.PushGradAsync(g.data(), 16, 0.01).ok());
+    }
+  });
+  EXPECT_EQ(ps.num_async_pushes(), kWorkers * kPushes);
+  std::vector<float> out(16);
+  ASSERT_TRUE(ps.Pull(out.data(), 16).ok());
+  // All updates applied exactly: 160 pushes * 0.01.
+  for (float v : out) EXPECT_NEAR(v, -1.6f, 1e-4);
+}
+
+}  // namespace
+}  // namespace bagua

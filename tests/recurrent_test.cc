@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "model/loss.h"
+#include "model/net.h"
+#include "model/optimizer.h"
+#include "model/recurrent.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+namespace {
+
+// ---------------------------------------------------------------- embedding
+
+TEST(EmbeddingTest, GathersRows) {
+  EmbeddingLayer emb("e", /*vocab=*/5, /*dim=*/3);
+  auto params = emb.params();
+  for (size_t i = 0; i < 15; ++i) (*params[0].value)[i] = static_cast<float>(i);
+  Tensor ids = Tensor::Zeros({2});
+  ids[0] = 4;
+  ids[1] = 1;
+  Tensor out;
+  ASSERT_TRUE(emb.Forward(ids, &out).ok());
+  EXPECT_FLOAT_EQ(out[0], 12.0f);
+  EXPECT_FLOAT_EQ(out[2], 14.0f);
+  EXPECT_FLOAT_EQ(out[3], 3.0f);
+}
+
+TEST(EmbeddingTest, RejectsOutOfVocab) {
+  EmbeddingLayer emb("e", 5, 3);
+  Tensor ids = Tensor::Zeros({1});
+  ids[0] = 7;
+  Tensor out;
+  EXPECT_FALSE(emb.Forward(ids, &out).ok());
+  ids[0] = -1;
+  EXPECT_FALSE(emb.Forward(ids, &out).ok());
+}
+
+TEST(EmbeddingTest, BackwardScatterAdds) {
+  EmbeddingLayer emb("e", 4, 2);
+  Tensor ids = Tensor::Zeros({3});
+  ids[0] = 2;
+  ids[1] = 2;  // repeated token accumulates
+  ids[2] = 0;
+  Tensor out;
+  ASSERT_TRUE(emb.Forward(ids, &out).ok());
+  Tensor g = Tensor::Zeros({3, 2});
+  g.Fill(1.0f);
+  ASSERT_TRUE(emb.Backward(g, nullptr).ok());
+  auto params = emb.params();
+  EXPECT_FLOAT_EQ((*params[0].grad)[2 * 2], 2.0f);  // row 2 hit twice
+  EXPECT_FLOAT_EQ((*params[0].grad)[0], 1.0f);      // row 0 once
+  EXPECT_FLOAT_EQ((*params[0].grad)[1 * 2], 0.0f);  // row 1 untouched
+}
+
+// --------------------------------------------------------------------- lstm
+
+TEST(LstmTest, OutputShapeAndDeterminism) {
+  LstmLayer lstm("l", 3, 4, 5);
+  Rng rng(1);
+  lstm.InitParams(&rng);
+  Tensor x = Tensor::Zeros({2, 15});
+  for (size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(0.1 * (i % 7));
+  }
+  Tensor out1, out2;
+  ASSERT_TRUE(lstm.Forward(x, &out1).ok());
+  ASSERT_TRUE(lstm.Forward(x, &out2).ok());
+  EXPECT_EQ(out1.shape(), (std::vector<size_t>{2, 4}));
+  for (size_t i = 0; i < out1.numel(); ++i) ASSERT_EQ(out1[i], out2[i]);
+}
+
+TEST(LstmTest, HiddenBounded) {
+  // h = o * tanh(c) is bounded in (-1, 1).
+  LstmLayer lstm("l", 2, 8, 10);
+  Rng rng(2);
+  lstm.InitParams(&rng);
+  Tensor x = Tensor::Zeros({4, 20});
+  for (size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.Normal() * 3.0);
+  }
+  Tensor out;
+  ASSERT_TRUE(lstm.Forward(x, &out).ok());
+  for (size_t i = 0; i < out.numel(); ++i) {
+    ASSERT_GT(out[i], -1.0f);
+    ASSERT_LT(out[i], 1.0f);
+  }
+}
+
+TEST(LstmTest, BackwardBeforeForwardFails) {
+  LstmLayer lstm("l", 2, 3, 4);
+  Tensor g = Tensor::Zeros({1, 3});
+  EXPECT_FALSE(lstm.Backward(g, nullptr).ok());
+}
+
+TEST(LstmTest, GradientCheckBptt) {
+  const size_t input = 3, hidden = 4, seq = 4, batch = 2;
+  LstmLayer lstm("l", input, hidden, seq);
+  Rng rng(5);
+  lstm.InitParams(&rng);
+  Tensor x = Tensor::Zeros({batch, seq * input});
+  for (size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.Normal() * 0.5);
+  }
+  auto loss_of = [&]() {
+    Tensor out;
+    BAGUA_CHECK(lstm.Forward(x, &out).ok());
+    double s = 0;
+    for (size_t i = 0; i < out.numel(); ++i) {
+      s += out[i] * std::cos(0.3 * static_cast<double>(i + 1));
+    }
+    return s;
+  };
+  Tensor out;
+  ASSERT_TRUE(lstm.Forward(x, &out).ok());
+  Tensor gout = Tensor::Zeros(out.shape());
+  for (size_t i = 0; i < gout.numel(); ++i) {
+    gout[i] = static_cast<float>(std::cos(0.3 * static_cast<double>(i + 1)));
+  }
+  Tensor gin;
+  ASSERT_TRUE(lstm.Backward(gout, &gin).ok());
+
+  auto params = lstm.params();
+  const double eps = 1e-3;
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor& w = *params[p].value;
+    const size_t stride = std::max<size_t>(1, w.numel() / 12);
+    for (size_t i = 0; i < w.numel(); i += stride) {
+      const float orig = w[i];
+      w[i] = orig + static_cast<float>(eps);
+      const double plus = loss_of();
+      w[i] = orig - static_cast<float>(eps);
+      const double minus = loss_of();
+      w[i] = orig;
+      EXPECT_NEAR((*params[p].grad)[i], (plus - minus) / (2 * eps), 2e-2)
+          << params[p].name << "[" << i << "]";
+    }
+  }
+  for (size_t i = 0; i < x.numel(); i += 5) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double plus = loss_of();
+    x[i] = orig - static_cast<float>(eps);
+    const double minus = loss_of();
+    x[i] = orig;
+    EXPECT_NEAR(gin[i], (plus - minus) / (2 * eps), 2e-2) << "x[" << i << "]";
+  }
+}
+
+TEST(LstmTest, ForgetBiasInitialized) {
+  LstmLayer lstm("l", 2, 3, 2);
+  Rng rng(1);
+  lstm.InitParams(&rng);
+  auto params = lstm.params();
+  const Tensor& b = *params[2].value;
+  for (size_t j = 3; j < 6; ++j) EXPECT_FLOAT_EQ(b[j], 1.0f);  // forget block
+  for (size_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(b[j], 0.0f);
+}
+
+// -------------------------------------------------------------- end-to-end
+
+TEST(RecurrentNetTest, EmbeddingLstmClassifierTrains) {
+  // Sequence task: class = (sum of token ids) mod 2 on length-6 sequences
+  // over a vocab of 8 — requires integrating over the whole sequence.
+  constexpr size_t kVocab = 8, kSeq = 6, kN = 256, kClasses = 2;
+  Rng rng(23);
+  Tensor seqs = Tensor::Zeros({kN, kSeq});
+  Tensor labels = Tensor::Zeros({kN});
+  for (size_t s = 0; s < kN; ++s) {
+    long sum = 0;
+    for (size_t t = 0; t < kSeq; ++t) {
+      const long id = static_cast<long>(rng.UniformInt(kVocab));
+      seqs[s * kSeq + t] = static_cast<float>(id);
+      sum += id;
+    }
+    labels[s] = static_cast<float>(sum % 2);
+  }
+
+  Net net;
+  net.Add(std::make_unique<EmbeddingLayer>("emb", kVocab, 8));
+  net.Add(std::make_unique<LstmLayer>("lstm", 8, 16, kSeq));
+  net.Add(std::make_unique<DenseLayer>("fc", 16, kClasses));
+  net.InitParams(3);
+  AdamOptimizer opt(0.01);
+
+  double first = 0, last = 0;
+  for (int step = 0; step < 150; ++step) {
+    Tensor x = Tensor::Zeros({32, kSeq}), y = Tensor::Zeros({32});
+    for (size_t b = 0; b < 32; ++b) {
+      const size_t idx = (step * 32 + b) % kN;
+      std::memcpy(x.data() + b * kSeq, seqs.data() + idx * kSeq,
+                  kSeq * sizeof(float));
+      y[b] = labels[idx];
+    }
+    net.ZeroGrad();
+    Tensor logits;
+    ASSERT_TRUE(net.Forward(x, &logits).ok());
+    double loss;
+    Tensor grad;
+    ASSERT_TRUE(SoftmaxCrossEntropy(logits, y, &loss, &grad).ok());
+    ASSERT_TRUE(net.Backward(grad).ok());
+    auto params = net.params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      ASSERT_TRUE(opt.Step(i, params[i].value->data(),
+                           params[i].grad->data(), params[i].value->numel())
+                      .ok());
+    }
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.7 * first);
+}
+
+}  // namespace
+}  // namespace bagua

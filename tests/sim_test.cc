@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "sim/calibration.h"
+#include "sim/collective_cost.h"
+#include "sim/des.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace bagua {
+namespace {
+
+// ---------------------------------------------------------------- topology
+
+TEST(TopologyTest, RankLayoutNodeMajor) {
+  auto topo = ClusterTopology::Make(4, 8);
+  EXPECT_EQ(topo.world_size(), 32);
+  EXPECT_EQ(topo.NodeOf(0), 0);
+  EXPECT_EQ(topo.NodeOf(7), 0);
+  EXPECT_EQ(topo.NodeOf(8), 1);
+  EXPECT_EQ(topo.LocalRank(9), 1);
+  EXPECT_TRUE(topo.SameNode(8, 15));
+  EXPECT_FALSE(topo.SameNode(7, 8));
+  EXPECT_EQ(topo.LeaderOf(13), 8);
+  EXPECT_TRUE(topo.IsLeader(8));
+  EXPECT_FALSE(topo.IsLeader(9));
+}
+
+TEST(TopologyTest, PaperClusterIs128Gpus) {
+  EXPECT_EQ(ClusterTopology::Paper().world_size(), 128);
+}
+
+// ----------------------------------------------------------------- network
+
+TEST(NetworkTest, PresetsMapGbpsToBytes) {
+  EXPECT_DOUBLE_EQ(NetworkConfig::Tcp10().inter_bw_Bps, 1.25e9);
+  EXPECT_DOUBLE_EQ(NetworkConfig::Tcp25().inter_bw_Bps, 3.125e9);
+  EXPECT_DOUBLE_EQ(NetworkConfig::Tcp100().inter_bw_Bps, 12.5e9);
+}
+
+TEST(FlowSetTest, EmptyIsFree) {
+  auto topo = ClusterTopology::Make(2, 2);
+  EXPECT_EQ(FlowSetTime(topo, NetworkConfig::Tcp25(), {}), 0.0);
+}
+
+TEST(FlowSetTest, SingleInterNodeFlowIsAlphaBeta) {
+  auto topo = ClusterTopology::Make(2, 1);
+  auto net = NetworkConfig::Tcp10();
+  const double t = FlowSetTime(topo, net, {{0, 1, 1.25e9}});
+  EXPECT_NEAR(t, net.inter_latency_s + 1.0, 1e-9);  // 1.25 GB at 1.25 GB/s
+}
+
+TEST(FlowSetTest, IntraNodeUsesNvlink) {
+  auto topo = ClusterTopology::Make(1, 2);
+  auto net = NetworkConfig::Tcp10();
+  const double t = FlowSetTime(topo, net, {{0, 1, 130e9}});
+  EXPECT_NEAR(t, net.intra_latency_s + 1.0, 1e-9);
+}
+
+TEST(FlowSetTest, NicSerializesEgressOfOneNode) {
+  // Two flows leaving node 0 from different devices share one NIC.
+  auto topo = ClusterTopology::Make(2, 2);
+  auto net = NetworkConfig::Tcp10();
+  const double one = FlowSetTime(topo, net, {{0, 2, 1e9}});
+  const double two = FlowSetTime(topo, net, {{0, 2, 1e9}, {1, 3, 1e9}});
+  EXPECT_NEAR(two - net.inter_latency_s, 2.0 * (one - net.inter_latency_s),
+              1e-9);
+}
+
+TEST(FlowSetTest, FullDuplexDirectionsIndependent) {
+  auto topo = ClusterTopology::Make(2, 1);
+  auto net = NetworkConfig::Tcp10();
+  const double fwd = FlowSetTime(topo, net, {{0, 1, 1e9}});
+  const double both = FlowSetTime(topo, net, {{0, 1, 1e9}, {1, 0, 1e9}});
+  EXPECT_NEAR(both, fwd, 1e-12);
+}
+
+TEST(FlowSetTest, SelfAndZeroByteFlowsIgnored) {
+  auto topo = ClusterTopology::Make(2, 2);
+  auto net = NetworkConfig::Tcp10();
+  EXPECT_EQ(FlowSetTime(topo, net, {{0, 0, 1e9}, {1, 2, 0.0}}), 0.0);
+}
+
+TEST(FlowSetTest, MixedTiersTakeMax) {
+  auto topo = ClusterTopology::Make(2, 2);
+  auto net = NetworkConfig::Tcp10();
+  const double inter = FlowSetTime(topo, net, {{0, 2, 1e9}});
+  const double intra = FlowSetTime(topo, net, {{0, 1, 1e9}});
+  const double mixed = FlowSetTime(topo, net, {{0, 2, 1e9}, {0, 1, 1e9}});
+  EXPECT_NEAR(mixed, std::max(inter, intra), 1e-12);
+  EXPECT_GT(inter, intra);  // TCP slower than NVLink for equal bytes
+}
+
+// --------------------------------------------------------- collective costs
+
+TEST(CollectiveCostTest, RingAllreduceMovesTwoCopiesOverNic) {
+  // Asymptotically a ring allreduce moves 2*S*(n-1)/n bytes through each
+  // NIC; with large S the bandwidth term dominates.
+  auto topo = ClusterTopology::Make(4, 4);
+  auto net = NetworkConfig::Tcp10();
+  const double S = 1e9;
+  const double t = RingAllreduceCost(topo, net, S);
+  const double expected_bw = 2.0 * S * 15.0 / 16.0 / net.inter_bw_Bps;
+  EXPECT_NEAR(t, expected_bw, 0.15 * expected_bw);  // latency adds a bit
+}
+
+TEST(CollectiveCostTest, HierarchicalBeatsFlatRingOnLatency) {
+  // With tiny payloads the flat ring pays 2*(world-1) latencies, the
+  // hierarchical one only 2*(nodes-1) + intra steps.
+  auto topo = ClusterTopology::Paper();
+  auto net = NetworkConfig::Tcp25();
+  const double S = 4096;  // 1k floats
+  EXPECT_LT(HierAllreduceCost(topo, net, S), RingAllreduceCost(topo, net, S));
+}
+
+TEST(CollectiveCostTest, FlatScatterReducePaysPerDeviceNicPressure) {
+  // Flat ScatterReduce makes every device push ~S through its node NIC, so
+  // with d devices per node the NIC moves ~d*S versus ~2*S for a ring.
+  auto topo = ClusterTopology::Paper();  // d = 8
+  auto net = NetworkConfig::Tcp10();
+  const double S = 553e6;  // VGG16 gradients
+  const double flat = ScatterReduceCost(topo, net, S, S);
+  const double ring = RingAllreduceCost(topo, net, S);
+  EXPECT_GT(flat, 3.0 * ring);
+}
+
+TEST(CollectiveCostTest, HierClpsScatterReduceScalesWithLeaders) {
+  auto topo = ClusterTopology::Paper();
+  auto net = NetworkConfig::Tcp10();
+  const double S = 553e6;
+  const double hier = LeaderScatterReduceCost(topo, net, S / 4, S / 4) +
+                      IntraNodeAllreduceCost(topo, net, S) +
+                      IntraNodeBroadcastCost(topo, net, S);
+  // 8-bit compressed hierarchical exchange beats the full-precision ring.
+  EXPECT_LT(hier, RingAllreduceCost(topo, net, S));
+}
+
+TEST(CollectiveCostTest, DecenRingCheaperThanAllreduceAtHighLatency) {
+  auto topo = ClusterTopology::Paper();
+  NetworkConfig net = NetworkConfig::Tcp25();
+  net.inter_latency_s = 2e-3;  // 2 ms — the paper's high-latency regime
+  const double S = 302e6;      // BERT-LARGE
+  const double decen = DecenRingCost(topo, net, S, S, /*hierarchical=*/true);
+  const double ar = RingAllreduceCost(topo, net, S);
+  EXPECT_LT(decen, ar);
+}
+
+TEST(CollectiveCostTest, DecenRandomCrossesNic) {
+  auto topo = ClusterTopology::Make(4, 2);
+  auto net = NetworkConfig::Tcp10();
+  const double t =
+      DecenRandomCost(topo, net, 1e8, 1e8, /*hierarchical=*/false);
+  EXPECT_GT(t, net.inter_latency_s);
+}
+
+TEST(CollectiveCostTest, PsIntraAggregationReducesNicLoad) {
+  auto topo = ClusterTopology::Paper();
+  auto net = NetworkConfig::Tcp10();
+  const double S = 553e6;
+  const double flat = PsPushPullCost(topo, net, S, topo.num_nodes, false);
+  const double agg = PsPushPullCost(topo, net, S, topo.num_nodes, true);
+  EXPECT_LT(agg, flat);
+}
+
+TEST(CollectiveCostTest, CostsScaleWithBandwidth) {
+  auto topo = ClusterTopology::Paper();
+  const double S = 302e6;
+  const double t10 = RingAllreduceCost(topo, NetworkConfig::Tcp10(), S);
+  const double t25 = RingAllreduceCost(topo, NetworkConfig::Tcp25(), S);
+  const double t100 = RingAllreduceCost(topo, NetworkConfig::Tcp100(), S);
+  EXPECT_GT(t10, t25);
+  EXPECT_GT(t25, t100);
+  EXPECT_NEAR(t10 / t25, 2.5, 0.2);
+}
+
+// --------------------------------------------------------------------- DES
+
+TEST(DesTest, SequentialOpsOnOneResource) {
+  IterationSim sim;
+  const int r = sim.AddResource("compute");
+  const int a = sim.AddOp("a", r, 1.0);
+  const int b = sim.AddOp("b", r, 2.0);
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_DOUBLE_EQ(sim.FinishTime(a), 1.0);
+  EXPECT_DOUBLE_EQ(sim.StartTime(b), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 3.0);
+}
+
+TEST(DesTest, IndependentResourcesOverlap) {
+  IterationSim sim;
+  const int c = sim.AddResource("compute");
+  const int m = sim.AddResource("comm");
+  sim.AddOp("bwd", c, 3.0);
+  sim.AddOp("allreduce", m, 2.0);
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 3.0);  // full overlap
+}
+
+TEST(DesTest, DependencyDelaysAcrossResources) {
+  IterationSim sim;
+  const int c = sim.AddResource("compute");
+  const int m = sim.AddResource("comm");
+  const int bwd = sim.AddOp("bwd", c, 3.0);
+  const int ar = sim.AddOp("allreduce", m, 2.0, {bwd});
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_DOUBLE_EQ(sim.StartTime(ar), 3.0);
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 5.0);
+}
+
+TEST(DesTest, StreamFifoOrderRespected) {
+  // Op queued later on the same stream cannot start earlier even if its
+  // dependencies are ready sooner.
+  IterationSim sim;
+  const int c = sim.AddResource("compute");
+  const int m = sim.AddResource("comm");
+  const int slow_dep = sim.AddOp("slow", c, 5.0);
+  const int first = sim.AddOp("comm1", m, 1.0, {slow_dep});
+  const int second = sim.AddOp("comm2", m, 1.0);  // no deps
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_DOUBLE_EQ(sim.StartTime(first), 5.0);
+  EXPECT_DOUBLE_EQ(sim.StartTime(second), 6.0);  // FIFO behind comm1
+}
+
+TEST(DesTest, ModelsBackwardOverlapPattern) {
+  // 4 layers backward, reverse-order bucketed comm overlapping: classic
+  // DDP pipeline. Comm of bucket k depends on bwd of its layers.
+  IterationSim sim;
+  const int c = sim.AddResource("compute");
+  const int m = sim.AddResource("comm");
+  int b4 = sim.AddOp("bwd4", c, 1.0);
+  int b3 = sim.AddOp("bwd3", c, 1.0);
+  int b2 = sim.AddOp("bwd2", c, 1.0);
+  int b1 = sim.AddOp("bwd1", c, 1.0);
+  sim.AddOp("ar_43", m, 1.5, {b4, b3});
+  const int ar2 = sim.AddOp("ar_21", m, 1.5, {b2, b1});
+  ASSERT_TRUE(sim.Run().ok());
+  // bwd ends at 4; ar_43 runs [2, 3.5]; ar_21 runs [4, 5.5].
+  EXPECT_DOUBLE_EQ(sim.FinishTime(ar2), 5.5);
+  EXPECT_DOUBLE_EQ(sim.Makespan(), 5.5);
+  EXPECT_DOUBLE_EQ(sim.ResourceBusy(c), 4.0);
+  EXPECT_DOUBLE_EQ(sim.ResourceBusy(m), 3.0);
+}
+
+TEST(DesTest, ChromeTraceIsWellFormedJson) {
+  IterationSim sim;
+  const int c = sim.AddResource("compute");
+  const int m = sim.AddResource("comm");
+  const int a = sim.AddOp("bwd", c, 0.002);
+  sim.AddOp("allreduce", m, 0.001, {a});
+  ASSERT_TRUE(sim.Run().ok());
+  const std::string json = sim.ToChromeTrace();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"allreduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(DesTest, ToStringListsOps) {
+  IterationSim sim;
+  const int c = sim.AddResource("compute");
+  sim.AddOp("fwd", c, 0.001);
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_NE(sim.ToString().find("fwd"), std::string::npos);
+}
+
+// -------------------------------------------------------------- calibration
+
+TEST(CalibrationTest, ComputeTimeScalesWithMultiplier) {
+  DeviceConfig dev;
+  const double t_full = dev.ComputeTime(1e12, 0.5);
+  dev.speed_multiplier = 0.5;
+  EXPECT_DOUBLE_EQ(dev.ComputeTime(1e12, 0.5), 2.0 * t_full);
+}
+
+TEST(CalibrationTest, StragglerMultiplierMatchesPaperDownclock) {
+  // 1290 MHz -> 585 MHz.
+  const double m = 585.0 / 1290.0;
+  EXPECT_NEAR(m, 0.4535, 1e-3);
+}
+
+}  // namespace
+}  // namespace bagua

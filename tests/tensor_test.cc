@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace bagua {
+namespace {
+
+TEST(BufferTest, AllocatesZeroedAligned) {
+  auto buf = Buffer::Allocate(1000);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(buf->size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf->data()) % 64, 0u);
+  for (size_t i = 0; i < 1000; ++i) EXPECT_EQ(buf->data()[i], 0.0f);
+}
+
+TEST(TensorTest, ZerosHasShapeAndNumel) {
+  Tensor t = Tensor::Zeros({3, 4}, "w");
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 12u);
+  EXPECT_EQ(t.size_bytes(), 48u);
+  EXPECT_EQ(t.name(), "w");
+  EXPECT_EQ(t.shape(), (std::vector<size_t>{3, 4}));
+}
+
+TEST(TensorTest, ViewSharesStorage) {
+  auto buf = Buffer::Allocate(10);
+  auto v1 = Tensor::View(buf, 0, {4});
+  auto v2 = Tensor::View(buf, 4, {6});
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  v1->Fill(1.0f);
+  v2->Fill(2.0f);
+  EXPECT_EQ(buf->data()[0], 1.0f);
+  EXPECT_EQ(buf->data()[3], 1.0f);
+  EXPECT_EQ(buf->data()[4], 2.0f);
+  EXPECT_EQ(buf->data()[9], 2.0f);
+  EXPECT_TRUE(v1->IsContiguousWith(*v2));
+  EXPECT_FALSE(v2->IsContiguousWith(*v1));
+}
+
+TEST(TensorTest, ViewOutOfRangeFails) {
+  auto buf = Buffer::Allocate(10);
+  auto bad = Tensor::View(buf, 8, {4});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TensorTest, ViewOverNullBufferFails) {
+  auto bad = Tensor::View(nullptr, 0, {4});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(TensorTest, CopyFromChecksSize) {
+  Tensor a = Tensor::Zeros({4});
+  Tensor b = Tensor::Zeros({5});
+  EXPECT_FALSE(a.CopyFrom(b).ok());
+  Tensor c = Tensor::Zeros({4});
+  c.Fill(3.0f);
+  ASSERT_TRUE(a.CopyFrom(c).ok());
+  EXPECT_EQ(a[0], 3.0f);
+  EXPECT_EQ(a[3], 3.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Zeros({4});
+  a.Fill(1.0f);
+  Tensor b = a.Clone();
+  b.Fill(2.0f);
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 2.0f);
+}
+
+TEST(FlattenTest, PreservesValuesAndMakesContiguous) {
+  Tensor a = Tensor::Zeros({3}, "a");
+  Tensor b = Tensor::Zeros({2, 2}, "b");
+  Tensor c = Tensor::Zeros({5}, "c");
+  for (size_t i = 0; i < 3; ++i) a[i] = static_cast<float>(i + 1);
+  for (size_t i = 0; i < 4; ++i) b[i] = static_cast<float>(10 + i);
+  for (size_t i = 0; i < 5; ++i) c[i] = static_cast<float>(100 + i);
+
+  Tensor flat;
+  ASSERT_TRUE(FlattenTensors({&a, &b, &c}, &flat).ok());
+
+  EXPECT_EQ(flat.numel(), 12u);
+  EXPECT_TRUE(a.IsContiguousWith(b));
+  EXPECT_TRUE(b.IsContiguousWith(c));
+  EXPECT_EQ(a.buffer(), flat.buffer());
+  // Values survive the re-homing.
+  EXPECT_EQ(a[2], 3.0f);
+  EXPECT_EQ(b[0], 10.0f);
+  EXPECT_EQ(c[4], 104.0f);
+  // Writes through the flat view are visible through the layer views.
+  flat[0] = -1.0f;
+  EXPECT_EQ(a[0], -1.0f);
+  // Shapes survive.
+  EXPECT_EQ(b.shape(), (std::vector<size_t>{2, 2}));
+}
+
+TEST(FlattenTest, RejectsUndefinedTensor) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor undefined;
+  EXPECT_FALSE(FlattenTensors({&a, &undefined}, nullptr).ok());
+}
+
+// -------------------------------------------------------------------- Ops
+
+TEST(OpsTest, AxpyScaleAddSub) {
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30}, out(3);
+  Axpy(2.0f, x.data(), y.data(), 3);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+  Scale(y.data(), 0.5f, 3);
+  EXPECT_EQ(y, (std::vector<float>{6, 12, 18}));
+  Add(x.data(), y.data(), out.data(), 3);
+  EXPECT_EQ(out, (std::vector<float>{7, 14, 21}));
+  Sub(y.data(), x.data(), out.data(), 3);
+  EXPECT_EQ(out, (std::vector<float>{5, 10, 15}));
+}
+
+TEST(OpsTest, Reductions) {
+  std::vector<float> x{3, -4, 0};
+  EXPECT_DOUBLE_EQ(Sum(x.data(), 3), -1.0);
+  EXPECT_DOUBLE_EQ(Dot(x.data(), x.data(), 3), 25.0);
+  EXPECT_DOUBLE_EQ(L2Norm(x.data(), 3), 5.0);
+  EXPECT_EQ(AbsMax(x.data(), 3), 4.0f);
+  EXPECT_NEAR(AbsMean(x.data(), 3), 7.0f / 3, 1e-6);
+  EXPECT_EQ(AbsMean(x.data(), 0), 0.0f);
+}
+
+TEST(OpsTest, TensorLevelChecksSizes) {
+  Tensor a = Tensor::Zeros({3}), b = Tensor::Zeros({4});
+  EXPECT_FALSE(AxpyTensor(1.0f, a, &b).ok());
+  Tensor c = Tensor::Zeros({3});
+  a.Fill(2.0f);
+  ASSERT_TRUE(AxpyTensor(3.0f, a, &c).ok());
+  EXPECT_EQ(c[0], 6.0f);
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]]
+  std::vector<float> a{1, 2, 3, 4}, b{5, 6, 7, 8}, c(4);
+  Gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(GemmTest, AccumulateAddsIntoC) {
+  std::vector<float> a{1, 0, 0, 1}, b{1, 2, 3, 4}, c{10, 10, 10, 10};
+  Gemm(a.data(), b.data(), c.data(), 2, 2, 2, /*accumulate=*/true);
+  EXPECT_EQ(c, (std::vector<float>{11, 12, 13, 14}));
+}
+
+TEST(GemmTest, TransAMatchesExplicitTranspose) {
+  // A stored [k=3, m=2]; effective A^T is [2,3].
+  std::vector<float> a{1, 4, 2, 5, 3, 6};  // A^T = [[1,2,3],[4,5,6]]
+  std::vector<float> b{1, 0, 0, 1, 1, 1};  // B [3,2]
+  std::vector<float> c(4);
+  GemmTransA(a.data(), b.data(), c.data(), 2, 3, 2);
+  // C = [[1*1+2*0+3*1, 2+3],[4+6, 5+6]] = [[4,5],[10,11]]
+  EXPECT_EQ(c, (std::vector<float>{4, 5, 10, 11}));
+}
+
+TEST(GemmTest, TransBMatchesExplicitTranspose) {
+  // B stored [n=2, k=3]; effective B^T is [3,2].
+  std::vector<float> a{1, 2, 3};           // A [1,3]
+  std::vector<float> b{1, 2, 3, 4, 5, 6};  // rows of B: [1,2,3],[4,5,6]
+  std::vector<float> c(2);
+  GemmTransB(a.data(), b.data(), c.data(), 1, 3, 2);
+  // C = [1*1+2*2+3*3, 1*4+2*5+3*6] = [14, 32]
+  EXPECT_EQ(c, (std::vector<float>{14, 32}));
+}
+
+TEST(GemmTest, GemmAgainstReferenceRandom) {
+  const size_t m = 7, k = 5, n = 6;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n, 0.0f);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>((i * 7 % 13)) - 6;
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>((i * 5 % 11)) - 5;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (size_t p = 0; p < k; ++p) s += a[i * k + p] * b[p * n + j];
+      ref[i * n + j] = static_cast<float>(s);
+    }
+  }
+  Gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_FLOAT_EQ(c[i], ref[i]);
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/sync.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+TEST(TransportTest, SendRecvRoundTrip) {
+  TransportGroup group(2);
+  const char msg[] = "hello";
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), msg, sizeof(msg)).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+  ASSERT_EQ(out.size(), sizeof(msg));
+  EXPECT_EQ(std::memcmp(out.data(), msg, sizeof(msg)), 0);
+}
+
+TEST(TransportTest, FifoPerSrcTag) {
+  TransportGroup group(2);
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &i, sizeof(i)).ok());
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+    uint32_t v;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(TransportTest, TagsDoNotCrossMatch) {
+  TransportGroup group(2);
+  const uint32_t a = 1, b = 2;
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(7, 0), &a, 4).ok());
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(8, 0), &b, 4).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(group.Recv(0, 1, MakeTag(8, 0), &out).ok());
+  uint32_t v;
+  std::memcpy(&v, out.data(), 4);
+  EXPECT_EQ(v, b);
+  ASSERT_TRUE(group.Recv(0, 1, MakeTag(7, 0), &out).ok());
+  std::memcpy(&v, out.data(), 4);
+  EXPECT_EQ(v, a);
+}
+
+TEST(TransportTest, SourcesDoNotCrossMatch) {
+  TransportGroup group(3);
+  const uint32_t a = 10, b = 20;
+  ASSERT_TRUE(group.Send(0, 2, MakeTag(1, 0), &a, 4).ok());
+  ASSERT_TRUE(group.Send(1, 2, MakeTag(1, 0), &b, 4).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(group.Recv(1, 2, MakeTag(1, 0), &out).ok());
+  uint32_t v;
+  std::memcpy(&v, out.data(), 4);
+  EXPECT_EQ(v, b);
+}
+
+TEST(TransportTest, RecvBlocksUntilSend) {
+  TransportGroup group(2);
+  std::vector<uint8_t> out;
+  std::thread receiver([&] {
+    ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint32_t v = 42;
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &v, 4).ok());
+  receiver.join();
+  ASSERT_EQ(out.size(), 4u);
+}
+
+TEST(TransportTest, RecvFloatsChecksSize) {
+  TransportGroup group(2);
+  const float data[3] = {1, 2, 3};
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), data, 12).ok());
+  float out[4];
+  EXPECT_FALSE(group.RecvFloats(0, 1, MakeTag(1, 0), out, 4).ok());
+}
+
+TEST(TransportTest, BadRanksRejected) {
+  TransportGroup group(2);
+  EXPECT_FALSE(group.Send(0, 5, 0, "x", 1).ok());
+  EXPECT_FALSE(group.Send(-1, 1, 0, "x", 1).ok());
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(group.Recv(3, 0, 0, &out).ok());
+}
+
+TEST(TransportTest, ShutdownUnblocksReceivers) {
+  TransportGroup group(2);
+  std::vector<Status> statuses(4);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&group, &statuses, i] {
+      std::vector<uint8_t> out;
+      statuses[i] = group.Recv(0, 1, MakeTag(100 + i, 0), &out);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  group.Shutdown();
+  for (auto& t : threads) t.join();
+  for (const auto& s : statuses) EXPECT_TRUE(s.IsCancelled());
+  // Sends after shutdown fail too.
+  EXPECT_FALSE(group.Send(0, 1, 0, "x", 1).ok());
+}
+
+TEST(TransportTest, TrafficAccounting) {
+  TransportGroup group(2);
+  EXPECT_EQ(group.TotalBytesSent(), 0u);
+  const char buf[100] = {};
+  ASSERT_TRUE(group.Send(0, 1, 0, buf, 100).ok());
+  ASSERT_TRUE(group.Send(1, 0, 0, buf, 50).ok());
+  EXPECT_EQ(group.TotalBytesSent(), 150u);
+}
+
+TEST(TransportTest, TryRecvAnyNonBlocking) {
+  TransportGroup group(3);
+  std::vector<uint8_t> out;
+  int src = -1;
+  // Nothing pending -> NotFound, immediately.
+  EXPECT_TRUE(group.TryRecvAny(0, MakeTag(9, 0), &out, &src).IsNotFound());
+  const uint32_t a = 11, b = 22;
+  ASSERT_TRUE(group.Send(1, 0, MakeTag(9, 0), &a, 4).ok());
+  ASSERT_TRUE(group.Send(2, 0, MakeTag(9, 0), &b, 4).ok());
+  // Drains both, reporting sources; then empty again.
+  int seen = 0;
+  while (group.TryRecvAny(0, MakeTag(9, 0), &out, &src).ok()) {
+    uint32_t v;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_TRUE((src == 1 && v == 11) || (src == 2 && v == 22));
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(TransportTest, TryRecvAnyMatchesTagOnly) {
+  TransportGroup group(2);
+  const uint32_t v = 5;
+  ASSERT_TRUE(group.Send(1, 0, MakeTag(7, 0), &v, 4).ok());
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(group.TryRecvAny(0, MakeTag(8, 0), &out).IsNotFound());
+  EXPECT_TRUE(group.TryRecvAny(0, MakeTag(7, 0), &out).ok());
+}
+
+TEST(TransportTest, TryRecvAnyAfterShutdown) {
+  TransportGroup group(2);
+  group.Shutdown();
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(group.TryRecvAny(0, 0, &out).IsCancelled());
+}
+
+TEST(TransportTest, ManyThreadsStress) {
+  constexpr int kWorld = 8, kMsgs = 50;
+  TransportGroup group(kWorld);
+  std::atomic<int> errors{0};
+  ParallelFor(kWorld, [&](size_t rank) {
+    // Everyone sends kMsgs to everyone (incl. self) then receives them.
+    for (int m = 0; m < kMsgs; ++m) {
+      for (int dst = 0; dst < kWorld; ++dst) {
+        const uint64_t payload = rank * 1000 + m;
+        if (!group.Send(static_cast<int>(rank), dst, MakeTag(3, m), &payload,
+                        8).ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    }
+    for (int m = 0; m < kMsgs; ++m) {
+      for (int src = 0; src < kWorld; ++src) {
+        std::vector<uint8_t> out;
+        if (!group.Recv(src, static_cast<int>(rank), MakeTag(3, m), &out)
+                 .ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        uint64_t v;
+        std::memcpy(&v, out.data(), 8);
+        if (v != static_cast<uint64_t>(src) * 1000 + m) errors.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace bagua
