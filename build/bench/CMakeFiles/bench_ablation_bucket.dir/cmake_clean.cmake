@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bucket.dir/bench_ablation_bucket.cc.o"
+  "CMakeFiles/bench_ablation_bucket.dir/bench_ablation_bucket.cc.o.d"
+  "bench_ablation_bucket"
+  "bench_ablation_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

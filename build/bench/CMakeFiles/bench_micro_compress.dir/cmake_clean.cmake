@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_compress.dir/bench_micro_compress.cc.o"
+  "CMakeFiles/bench_micro_compress.dir/bench_micro_compress.cc.o.d"
+  "bench_micro_compress"
+  "bench_micro_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

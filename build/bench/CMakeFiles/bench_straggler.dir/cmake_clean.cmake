@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_straggler.dir/bench_straggler.cc.o"
+  "CMakeFiles/bench_straggler.dir/bench_straggler.cc.o.d"
+  "bench_straggler"
+  "bench_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

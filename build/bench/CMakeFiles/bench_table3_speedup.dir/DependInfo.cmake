@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_speedup.cc" "bench/CMakeFiles/bench_table3_speedup.dir/bench_table3_speedup.cc.o" "gcc" "bench/CMakeFiles/bench_table3_speedup.dir/bench_table3_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/bagua_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/bagua_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/bagua_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/bagua_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bagua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/bagua_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/bagua_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/bagua_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bagua_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bagua_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bagua_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bagua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bagua_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

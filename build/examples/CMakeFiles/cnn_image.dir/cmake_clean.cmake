@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_image.dir/cnn_image.cpp.o"
+  "CMakeFiles/cnn_image.dir/cnn_image.cpp.o.d"
+  "cnn_image"
+  "cnn_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_tradeoff.dir/network_tradeoff.cpp.o"
+  "CMakeFiles/network_tradeoff.dir/network_tradeoff.cpp.o.d"
+  "network_tradeoff"
+  "network_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

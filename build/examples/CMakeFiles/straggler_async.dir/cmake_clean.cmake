@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_async.dir/straggler_async.cpp.o"
+  "CMakeFiles/straggler_async.dir/straggler_async.cpp.o.d"
+  "straggler_async"
+  "straggler_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

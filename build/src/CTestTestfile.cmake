@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("tensor")
+subdirs("compress")
+subdirs("sim")
+subdirs("transport")
+subdirs("collectives")
+subdirs("comm")
+subdirs("ps")
+subdirs("model")
+subdirs("core")
+subdirs("algorithms")
+subdirs("baselines")
+subdirs("harness")

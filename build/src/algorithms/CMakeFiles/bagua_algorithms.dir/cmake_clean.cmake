@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_algorithms.dir/algorithms.cc.o"
+  "CMakeFiles/bagua_algorithms.dir/algorithms.cc.o.d"
+  "CMakeFiles/bagua_algorithms.dir/registry.cc.o"
+  "CMakeFiles/bagua_algorithms.dir/registry.cc.o.d"
+  "libbagua_algorithms.a"
+  "libbagua_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_base.dir/logging.cc.o"
+  "CMakeFiles/bagua_base.dir/logging.cc.o.d"
+  "CMakeFiles/bagua_base.dir/rng.cc.o"
+  "CMakeFiles/bagua_base.dir/rng.cc.o.d"
+  "CMakeFiles/bagua_base.dir/status.cc.o"
+  "CMakeFiles/bagua_base.dir/status.cc.o.d"
+  "CMakeFiles/bagua_base.dir/strings.cc.o"
+  "CMakeFiles/bagua_base.dir/strings.cc.o.d"
+  "CMakeFiles/bagua_base.dir/sync.cc.o"
+  "CMakeFiles/bagua_base.dir/sync.cc.o.d"
+  "libbagua_base.a"
+  "libbagua_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

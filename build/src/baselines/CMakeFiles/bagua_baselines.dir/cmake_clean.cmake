@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_baselines.dir/baselines.cc.o"
+  "CMakeFiles/bagua_baselines.dir/baselines.cc.o.d"
+  "libbagua_baselines.a"
+  "libbagua_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/collectives.cc" "src/collectives/CMakeFiles/bagua_collectives.dir/collectives.cc.o" "gcc" "src/collectives/CMakeFiles/bagua_collectives.dir/collectives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/bagua_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bagua_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/bagua_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_collectives.dir/collectives.cc.o"
+  "CMakeFiles/bagua_collectives.dir/collectives.cc.o.d"
+  "libbagua_collectives.a"
+  "libbagua_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

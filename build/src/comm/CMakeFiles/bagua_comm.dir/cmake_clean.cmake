@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_comm.dir/primitives.cc.o"
+  "CMakeFiles/bagua_comm.dir/primitives.cc.o.d"
+  "libbagua_comm.a"
+  "libbagua_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/bagua_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/factory.cc" "src/compress/CMakeFiles/bagua_compress.dir/factory.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/factory.cc.o.d"
+  "/root/repo/src/compress/fp16.cc" "src/compress/CMakeFiles/bagua_compress.dir/fp16.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/fp16.cc.o.d"
+  "/root/repo/src/compress/onebit.cc" "src/compress/CMakeFiles/bagua_compress.dir/onebit.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/onebit.cc.o.d"
+  "/root/repo/src/compress/qsgd.cc" "src/compress/CMakeFiles/bagua_compress.dir/qsgd.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/qsgd.cc.o.d"
+  "/root/repo/src/compress/sketch.cc" "src/compress/CMakeFiles/bagua_compress.dir/sketch.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/sketch.cc.o.d"
+  "/root/repo/src/compress/topk.cc" "src/compress/CMakeFiles/bagua_compress.dir/topk.cc.o" "gcc" "src/compress/CMakeFiles/bagua_compress.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/bagua_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bagua_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_compress.dir/compressor.cc.o"
+  "CMakeFiles/bagua_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/bagua_compress.dir/factory.cc.o"
+  "CMakeFiles/bagua_compress.dir/factory.cc.o.d"
+  "CMakeFiles/bagua_compress.dir/fp16.cc.o"
+  "CMakeFiles/bagua_compress.dir/fp16.cc.o.d"
+  "CMakeFiles/bagua_compress.dir/onebit.cc.o"
+  "CMakeFiles/bagua_compress.dir/onebit.cc.o.d"
+  "CMakeFiles/bagua_compress.dir/qsgd.cc.o"
+  "CMakeFiles/bagua_compress.dir/qsgd.cc.o.d"
+  "CMakeFiles/bagua_compress.dir/sketch.cc.o"
+  "CMakeFiles/bagua_compress.dir/sketch.cc.o.d"
+  "CMakeFiles/bagua_compress.dir/topk.cc.o"
+  "CMakeFiles/bagua_compress.dir/topk.cc.o.d"
+  "libbagua_compress.a"
+  "libbagua_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

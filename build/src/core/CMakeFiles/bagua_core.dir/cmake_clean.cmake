@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_core.dir/bucket.cc.o"
+  "CMakeFiles/bagua_core.dir/bucket.cc.o.d"
+  "CMakeFiles/bagua_core.dir/runtime.cc.o"
+  "CMakeFiles/bagua_core.dir/runtime.cc.o.d"
+  "libbagua_core.a"
+  "libbagua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

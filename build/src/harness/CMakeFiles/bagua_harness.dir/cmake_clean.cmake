@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_harness.dir/autotune.cc.o"
+  "CMakeFiles/bagua_harness.dir/autotune.cc.o.d"
+  "CMakeFiles/bagua_harness.dir/report.cc.o"
+  "CMakeFiles/bagua_harness.dir/report.cc.o.d"
+  "CMakeFiles/bagua_harness.dir/timing.cc.o"
+  "CMakeFiles/bagua_harness.dir/timing.cc.o.d"
+  "CMakeFiles/bagua_harness.dir/trainer.cc.o"
+  "CMakeFiles/bagua_harness.dir/trainer.cc.o.d"
+  "libbagua_harness.a"
+  "libbagua_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/checkpoint.cc" "src/model/CMakeFiles/bagua_model.dir/checkpoint.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/checkpoint.cc.o.d"
+  "/root/repo/src/model/conv.cc" "src/model/CMakeFiles/bagua_model.dir/conv.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/conv.cc.o.d"
+  "/root/repo/src/model/data.cc" "src/model/CMakeFiles/bagua_model.dir/data.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/data.cc.o.d"
+  "/root/repo/src/model/layer.cc" "src/model/CMakeFiles/bagua_model.dir/layer.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/layer.cc.o.d"
+  "/root/repo/src/model/loss.cc" "src/model/CMakeFiles/bagua_model.dir/loss.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/loss.cc.o.d"
+  "/root/repo/src/model/net.cc" "src/model/CMakeFiles/bagua_model.dir/net.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/net.cc.o.d"
+  "/root/repo/src/model/optimizer.cc" "src/model/CMakeFiles/bagua_model.dir/optimizer.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/optimizer.cc.o.d"
+  "/root/repo/src/model/profiles.cc" "src/model/CMakeFiles/bagua_model.dir/profiles.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/profiles.cc.o.d"
+  "/root/repo/src/model/recurrent.cc" "src/model/CMakeFiles/bagua_model.dir/recurrent.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/recurrent.cc.o.d"
+  "/root/repo/src/model/scheduler.cc" "src/model/CMakeFiles/bagua_model.dir/scheduler.cc.o" "gcc" "src/model/CMakeFiles/bagua_model.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/bagua_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bagua_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_model.dir/checkpoint.cc.o"
+  "CMakeFiles/bagua_model.dir/checkpoint.cc.o.d"
+  "CMakeFiles/bagua_model.dir/conv.cc.o"
+  "CMakeFiles/bagua_model.dir/conv.cc.o.d"
+  "CMakeFiles/bagua_model.dir/data.cc.o"
+  "CMakeFiles/bagua_model.dir/data.cc.o.d"
+  "CMakeFiles/bagua_model.dir/layer.cc.o"
+  "CMakeFiles/bagua_model.dir/layer.cc.o.d"
+  "CMakeFiles/bagua_model.dir/loss.cc.o"
+  "CMakeFiles/bagua_model.dir/loss.cc.o.d"
+  "CMakeFiles/bagua_model.dir/net.cc.o"
+  "CMakeFiles/bagua_model.dir/net.cc.o.d"
+  "CMakeFiles/bagua_model.dir/optimizer.cc.o"
+  "CMakeFiles/bagua_model.dir/optimizer.cc.o.d"
+  "CMakeFiles/bagua_model.dir/profiles.cc.o"
+  "CMakeFiles/bagua_model.dir/profiles.cc.o.d"
+  "CMakeFiles/bagua_model.dir/recurrent.cc.o"
+  "CMakeFiles/bagua_model.dir/recurrent.cc.o.d"
+  "CMakeFiles/bagua_model.dir/scheduler.cc.o"
+  "CMakeFiles/bagua_model.dir/scheduler.cc.o.d"
+  "libbagua_model.a"
+  "libbagua_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

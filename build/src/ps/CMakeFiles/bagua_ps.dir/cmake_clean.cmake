@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_ps.dir/server.cc.o"
+  "CMakeFiles/bagua_ps.dir/server.cc.o.d"
+  "libbagua_ps.a"
+  "libbagua_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

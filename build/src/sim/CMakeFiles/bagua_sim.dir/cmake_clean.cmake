@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_sim.dir/collective_cost.cc.o"
+  "CMakeFiles/bagua_sim.dir/collective_cost.cc.o.d"
+  "CMakeFiles/bagua_sim.dir/des.cc.o"
+  "CMakeFiles/bagua_sim.dir/des.cc.o.d"
+  "CMakeFiles/bagua_sim.dir/network.cc.o"
+  "CMakeFiles/bagua_sim.dir/network.cc.o.d"
+  "libbagua_sim.a"
+  "libbagua_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

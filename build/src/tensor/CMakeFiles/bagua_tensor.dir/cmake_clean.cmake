@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_tensor.dir/ops.cc.o"
+  "CMakeFiles/bagua_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/bagua_tensor.dir/tensor.cc.o"
+  "CMakeFiles/bagua_tensor.dir/tensor.cc.o.d"
+  "libbagua_tensor.a"
+  "libbagua_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bagua_transport.dir/transport.cc.o"
+  "CMakeFiles/bagua_transport.dir/transport.cc.o.d"
+  "libbagua_transport.a"
+  "libbagua_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bagua_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_sweep_test.dir/primitives_sweep_test.cc.o"
+  "CMakeFiles/primitives_sweep_test.dir/primitives_sweep_test.cc.o.d"
+  "primitives_sweep_test"
+  "primitives_sweep_test.pdb"
+  "primitives_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

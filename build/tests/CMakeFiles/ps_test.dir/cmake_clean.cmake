@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_test.dir/ps_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps_test.cc.o.d"
+  "ps_test"
+  "ps_test.pdb"
+  "ps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

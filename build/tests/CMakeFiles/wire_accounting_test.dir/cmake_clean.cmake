@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_accounting_test.dir/wire_accounting_test.cc.o"
+  "CMakeFiles/wire_accounting_test.dir/wire_accounting_test.cc.o.d"
+  "wire_accounting_test"
+  "wire_accounting_test.pdb"
+  "wire_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
