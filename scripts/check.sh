@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 checks: a normal build + ctest, then the same suite under
+# ThreadSanitizer (BAGUA_SANITIZE=thread) — the transport, fault injector
+# and trainer are aggressively multi-threaded, so TSan is the gate that
+# matters most here. BAGUA_SANITIZE=address is accepted as $1 to run under
+# ASan instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-thread}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> plain build + tier-1 tests"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
+cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
+cmake --build "build-${SANITIZER}" -j "$JOBS"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS"
+
+echo "OK: plain + ${SANITIZER} suites passed"

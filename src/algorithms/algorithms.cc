@@ -316,7 +316,7 @@ Status AsyncDecenAlgorithm::OnBucketReady(BaguaContext* ctx, Bucket* bucket) {
   const int world = ctx->world_size();
   if (world <= 1) return Status::OK();
   const uint64_t tag =
-      MakeTag(kGossipSpace + static_cast<uint32_t>(bucket->index), 0);
+      MakeTag(kGossipSpaceBase + static_cast<uint32_t>(bucket->index), 0);
 
   // 2. Drain whatever peer models have arrived (never blocks) and average
   // them into the local replica with equal weight.
@@ -345,10 +345,14 @@ Status AsyncDecenAlgorithm::OnBucketReady(BaguaContext* ctx, Bucket* bucket) {
   }
 
   // 3. Fire the (averaged) model at one pseudo-random peer and move on —
-  // the receiver will fold it in whenever it next looks.
+  // the receiver will fold it in whenever it next looks. A dead peer is
+  // simply skipped (still consuming the rng draw so survivors' peer
+  // sequences are unchanged): gossip degrades gracefully to the surviving
+  // membership.
   Rng rng = ctx->comm.MakeRankRng();
   int peer = static_cast<int>(rng.UniformInt(world - 1));
   if (peer >= ctx->rank()) ++peer;
+  if (!group->IsAlive(peer)) return Status::OK();
   return group->Send(ctx->rank(), peer, tag, bucket->value_data(),
                      bucket->numel * sizeof(float));
 }
@@ -358,7 +362,7 @@ Status AsyncDecenAlgorithm::Finish(BaguaContext* ctx) {
   TransportGroup* group = ctx->comm.group();
   std::vector<uint8_t> payload;
   for (uint32_t b = 0; b < 4096; ++b) {
-    while (group->TryRecvAny(ctx->rank(), MakeTag(kGossipSpace + b, 0),
+    while (group->TryRecvAny(ctx->rank(), MakeTag(kGossipSpaceBase + b, 0),
                              &payload)
                .ok()) {
     }

@@ -187,8 +187,8 @@ class AsyncDecenAlgorithm : public Algorithm {
  private:
   std::string name_ = "async-decen";
   /// Messages outstanding to each peer are bounded by draining before
-  /// sending; the fixed tag space for bucket b is kGossipSpace + b.
-  static constexpr uint32_t kGossipSpace = 0x80000000u;
+  /// sending; the fixed tag space for bucket b is kGossipSpaceBase + b
+  /// (the audited gossip namespace of transport/transport.h).
 };
 
 /// \brief "LocalSGD" [20]: τ local update steps between model averagings —

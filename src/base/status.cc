@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -24,6 +24,14 @@ enum class StatusCode {
   kCancelled,
   kTimedOut,
   kIoError,
+  /// A receive (or ack wait) did not complete before its deadline. Unlike
+  /// kTimedOut (generic), this is the retryable signal of the fault-
+  /// tolerant transport paths (faults/): callers may back off and retry.
+  kDeadlineExceeded,
+  /// Data was irrecoverably lost: a peer died, a message exhausted its
+  /// retransmission budget, or a checksum failed with no copy left. The
+  /// unrecoverable terminal case of the fault-tolerance protocols.
+  kDataLoss,
 };
 
 /// \brief Returns a human-readable name for a status code, e.g.
@@ -75,6 +83,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +100,10 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// \brief Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -23,6 +23,14 @@ class CommWorld {
         seed_(seed),
         group_(std::make_unique<TransportGroup>(topo.world_size())) {}
 
+  /// Injects a custom transport (e.g. a FaultyTransport decorator); must
+  /// span exactly `topo.world_size()` ranks.
+  CommWorld(ClusterTopology topo, uint64_t seed,
+            std::unique_ptr<TransportGroup> group)
+      : topo_(topo), seed_(seed), group_(std::move(group)) {
+    BAGUA_CHECK_EQ(group_->world_size(), topo_.world_size());
+  }
+
   const ClusterTopology& topo() const { return topo_; }
   TransportGroup* group() { return group_.get(); }
   uint64_t seed() const { return seed_; }

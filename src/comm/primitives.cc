@@ -190,6 +190,7 @@ Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
     std::memcpy(payload.data(), data, payload.size());
   }
   for (int p : peers) {
+    if (!group->IsAlive(p)) continue;  // dead peer: no point shipping bytes
     RETURN_IF_ERROR(group->Send(ctx->rank, p, MakeTag(space, 2),
                                 payload.data(), payload.size()));
   }
@@ -197,8 +198,16 @@ Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
   for (size_t k = 0; k < n; ++k) acc[k] = data[k];
   std::vector<uint8_t> rx;
   std::vector<float> decoded(n);
+  size_t contributions = 0;
   for (int p : peers) {
-    RETURN_IF_ERROR(group->Recv(p, ctx->rank, MakeTag(space, 2), &rx));
+    const Status recv = group->Recv(p, ctx->rank, MakeTag(space, 2), &rx);
+    if (recv.IsDataLoss()) {
+      // Peer died mid-exchange: graceful degradation — average over the
+      // survivors instead of aborting (decentralized SGD tolerates a
+      // shrinking peer set; see §4's partial-averaging argument).
+      continue;
+    }
+    RETURN_IF_ERROR(recv);
     if (codec != nullptr) {
       RETURN_IF_ERROR(
           codec->Decompress(rx.data(), rx.size(), n, decoded.data()));
@@ -209,8 +218,9 @@ Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
       std::memcpy(decoded.data(), rx.data(), rx.size());
     }
     for (size_t k = 0; k < n; ++k) acc[k] += decoded[k];
+    ++contributions;
   }
-  const double inv = 1.0 / static_cast<double>(peers.size() + 1);
+  const double inv = 1.0 / static_cast<double>(contributions + 1);
   for (size_t k = 0; k < n; ++k) {
     data[k] = static_cast<float>(acc[k] * inv);
   }

@@ -1,0 +1,76 @@
+#include "faults/fault_plan.h"
+
+namespace bagua {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDegradeLink:
+      return "degrade-link";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultRule MessageRule(FaultKind kind, double p, int src, int dst) {
+  FaultRule rule;
+  rule.kind = kind;
+  rule.probability = p;
+  rule.src = src;
+  rule.dst = dst;
+  return rule;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::Drop(double p, int src, int dst) {
+  rules.push_back(MessageRule(FaultKind::kDrop, p, src, dst));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Delay(double p, int src, int dst) {
+  rules.push_back(MessageRule(FaultKind::kDelay, p, src, dst));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Duplicate(double p, int src, int dst) {
+  rules.push_back(MessageRule(FaultKind::kDuplicate, p, src, dst));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Corrupt(double p, int src, int dst) {
+  rules.push_back(MessageRule(FaultKind::kCorrupt, p, src, dst));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashAt(int rank, uint64_t step, bool recover) {
+  FaultRule rule;
+  rule.kind = FaultKind::kCrash;
+  rule.src = rank;
+  rule.at_step = step;
+  rule.recover = recover;
+  rules.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeLink(double factor, int src, int dst) {
+  FaultRule rule;
+  rule.kind = FaultKind::kDegradeLink;
+  rule.factor = factor;
+  rule.src = src;
+  rule.dst = dst;
+  rules.push_back(rule);
+  return *this;
+}
+
+}  // namespace bagua

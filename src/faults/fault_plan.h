@@ -1,0 +1,106 @@
+#ifndef BAGUA_FAULTS_FAULT_PLAN_H_
+#define BAGUA_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bagua {
+
+/// \brief The fault classes the injector can produce.
+enum class FaultKind {
+  kDrop,         ///< message vanishes on the wire
+  kDelay,        ///< message is reordered behind later link traffic
+  kDuplicate,    ///< message is delivered twice
+  kCorrupt,      ///< a payload byte is flipped in flight
+  kCrash,        ///< worker dies at a given step (consumed by the harness)
+  kDegradeLink,  ///< link pays a virtual-time cost multiplier
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// \brief One declarative fault rule, scoped by link and tag space.
+///
+/// Message faults (drop/delay/duplicate/corrupt) fire per message with
+/// `probability`, decided by a deterministic per-(link, message-index) rng
+/// stream — the same plan and seed always fault the same messages, which
+/// is what makes fault runs reproducible and their tests meaningful
+/// (BlazeFL's determinism argument).
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  /// Link scope: -1 matches any rank.
+  int src = -1;
+  int dst = -1;
+  /// Tag-space scope (see the allocation map in transport/transport.h).
+  /// Defaults cover application + gossip + control traffic.
+  uint32_t space_lo = 0;
+  uint32_t space_hi = 0xFFFFFFFFu;
+  /// Per-message probability for message faults.
+  double probability = 0.0;
+  /// kCrash: global step at which the worker dies...
+  uint64_t at_step = 0;
+  /// ...and whether it respawns from its last checkpoint (harness flow).
+  bool recover = true;
+  /// kDegradeLink: multiplier on the link's virtual transfer cost.
+  double factor = 1.0;
+
+  bool Matches(int s, int d, uint32_t space) const {
+    return (src == -1 || src == s) && (dst == -1 || dst == d) &&
+           space >= space_lo && space <= space_hi;
+  }
+};
+
+/// \brief A seeded, declarative schedule of faults for one run.
+///
+/// Built fluently:
+///
+///   FaultPlan plan;
+///   plan.seed = 7;
+///   plan.Drop(0.05).Corrupt(0.01).CrashAt(/*rank=*/2, /*step=*/40);
+///
+/// `harden` selects the transport mode: hardened (default) wraps every
+/// send in a sequence-numbered, checksummed frame and retransmits through
+/// the injector until a clean copy lands (deterministic ARQ with
+/// exponential virtual-time backoff), so training survives drops, dups and
+/// corruption bit-identically to a fault-free run. Raw mode delivers the
+/// faults unprotected — what algorithms must tolerate natively.
+struct FaultPlan {
+  uint64_t seed = 0x8A6B5C4D3E2F1A0Bull;
+  bool harden = true;
+  /// Hardened sender gives up (DataLoss) after this many wire attempts.
+  int max_attempts = 16;
+  /// Virtual seconds of the first retransmission backoff; doubles per
+  /// attempt. Paid into the fault cost accounting, not wall-clock.
+  double backoff_base_s = 1e-3;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  FaultPlan& Drop(double p, int src = -1, int dst = -1);
+  FaultPlan& Delay(double p, int src = -1, int dst = -1);
+  FaultPlan& Duplicate(double p, int src = -1, int dst = -1);
+  FaultPlan& Corrupt(double p, int src = -1, int dst = -1);
+  FaultPlan& CrashAt(int rank, uint64_t step, bool recover = true);
+  FaultPlan& DegradeLink(double factor, int src = -1, int dst = -1);
+};
+
+/// \brief Counters of everything the injector and the hardened protocol
+/// did. Deterministic for a given (seed, plan, workload): the determinism
+/// suite asserts bitwise equality of whole snapshots across runs.
+struct FaultStats {
+  uint64_t messages = 0;          ///< logical sends entering the injector
+  uint64_t drops = 0;             ///< wire attempts dropped
+  uint64_t corruptions = 0;       ///< wire attempts corrupted
+  uint64_t duplicates = 0;        ///< extra deliveries injected
+  uint64_t delays = 0;            ///< messages reordered / delay-taxed
+  uint64_t retries = 0;           ///< hardened retransmissions
+  uint64_t data_loss = 0;         ///< sends that exhausted max_attempts
+  uint64_t dedup_drops = 0;       ///< receive-side duplicate discards
+  uint64_t checksum_rejects = 0;  ///< receive-side corrupt-frame discards
+  uint64_t degraded = 0;          ///< messages taxed by kDegradeLink
+
+  bool operator==(const FaultStats& o) const = default;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_FAULTS_FAULT_PLAN_H_

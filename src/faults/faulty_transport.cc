@@ -1,0 +1,392 @@
+#include "faults/faulty_transport.h"
+
+#include <cstring>
+#include <tuple>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "faults/wire.h"
+#include "sim/fault_cost.h"
+
+namespace bagua {
+
+FaultyTransport::FaultyTransport(int world_size, FaultPlan plan)
+    : FaultyTransport(world_size, std::move(plan),
+                      ClusterTopology::Make(1, world_size), NetworkConfig()) {}
+
+FaultyTransport::FaultyTransport(int world_size, FaultPlan plan,
+                                 const ClusterTopology& topo,
+                                 const NetworkConfig& net)
+    : TransportGroup(world_size), plan_(std::move(plan)), topo_(topo),
+      net_(net) {
+  BAGUA_CHECK_EQ(topo_.world_size(), world_size);
+  BAGUA_CHECK_GT(plan_.max_attempts, 0);
+  src_states_.reserve(world_size);
+  dst_states_.reserve(world_size);
+  for (int i = 0; i < world_size; ++i) {
+    src_states_.push_back(std::make_unique<SrcState>());
+    dst_states_.push_back(std::make_unique<DstState>());
+  }
+}
+
+FaultyTransport::AttemptFaults FaultyTransport::Decide(Rng* rng, int src,
+                                                       int dst,
+                                                       uint32_t space) const {
+  AttemptFaults f;
+  for (const FaultRule& rule : plan_.rules) {
+    if (!rule.Matches(src, dst, space)) continue;
+    switch (rule.kind) {
+      case FaultKind::kDrop:
+        f.drop = f.drop || rng->Bernoulli(rule.probability);
+        break;
+      case FaultKind::kDelay:
+        f.delay = f.delay || rng->Bernoulli(rule.probability);
+        break;
+      case FaultKind::kDuplicate:
+        f.duplicate = f.duplicate || rng->Bernoulli(rule.probability);
+        break;
+      case FaultKind::kCorrupt:
+        f.corrupt = f.corrupt || rng->Bernoulli(rule.probability);
+        break;
+      case FaultKind::kCrash:
+        break;  // consumed by the harness, not the wire
+      case FaultKind::kDegradeLink:
+        f.degrade *= rule.factor;
+        break;
+    }
+  }
+  return f;
+}
+
+Status FaultyTransport::Send(int src, int dst, uint64_t tag, const void* data,
+                             size_t bytes) {
+  if (plan_.empty()) return TransportGroup::Send(src, dst, tag, data, bytes);
+  if (src < 0 || src >= world_size() || dst < 0 || dst >= world_size()) {
+    return Status::InvalidArgument("FaultyTransport::Send with bad ranks");
+  }
+  if (plan_.harden) return SendHardened(src, dst, tag, data, bytes);
+  return SendRaw(src, dst, tag, data, bytes);
+}
+
+Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
+                                     const void* data, size_t bytes) {
+  const uint32_t space = static_cast<uint32_t>(tag >> 32);
+  uint64_t msg_index, seq;
+  {
+    SrcState& ss = *src_states_[src];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    LinkState& link = ss.links[dst];
+    msg_index = link.msg_count++;
+    seq = link.next_seq[tag]++;
+  }
+  // The whole fault schedule of this logical message — which attempts
+  // drop, which corrupt, where the flipped byte lands — is a pure function
+  // of (plan seed, link, per-link message index).
+  Rng rng(MixSeed(plan_.seed,
+                  MixSeed((static_cast<uint64_t>(static_cast<uint32_t>(src))
+                           << 32) |
+                              static_cast<uint32_t>(dst),
+                          MixSeed(space, msg_index))));
+
+  std::vector<uint8_t> frame;
+  wire::EncodeFrame(seq, data, bytes, &frame);
+  const double wire_time =
+      PointToPointTime(topo_, net_, src, dst, static_cast<double>(frame.size()));
+  const double ack_time = PointToPointTime(
+      topo_, net_, dst, src, static_cast<double>(wire::kHeaderBytes));
+
+  uint64_t drops = 0, corruptions = 0, duplicates = 0, delays = 0;
+  uint64_t degraded = 0;
+  double penalty = 0.0;
+  int attempt = 0;
+  bool delivered = false;
+  double backoff = plan_.backoff_base_s;
+  while (attempt < plan_.max_attempts) {
+    ++attempt;
+    if (attempt > 1) {
+      // Exponential backoff the real ack-timeout protocol would wait
+      // before this retransmission, paid in virtual time.
+      penalty += backoff;
+      backoff *= 2.0;
+    }
+    AttemptFaults f = Decide(&rng, src, dst, space);
+    if (f.degrade > 1.0) {
+      ++degraded;
+      penalty += (f.degrade - 1.0) * wire_time;
+    }
+    if (f.drop) {
+      ++drops;
+      penalty += wire_time;  // bytes burned on the wire, no ack back
+      continue;
+    }
+    if (f.corrupt) {
+      // The mangled frame IS delivered — the receiver's checksum path must
+      // reject it — and a clean retransmission follows.
+      ++corruptions;
+      std::vector<uint8_t> bad = frame;
+      const size_t pos = static_cast<size_t>(rng.UniformInt(bad.size()));
+      bad[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+      RETURN_IF_ERROR(TransportGroup::Send(src, dst, tag, bad.data(),
+                                           bad.size()));
+      penalty += wire_time;
+      continue;
+    }
+    if (f.delay) {
+      // Hardened links mask reordering anyway (sequence numbers), so a
+      // delay fault costs extra link latency rather than re-ordering.
+      ++delays;
+      penalty += PointToPointTime(topo_, net_, src, dst, 0.0);
+    }
+    RETURN_IF_ERROR(
+        TransportGroup::Send(src, dst, tag, frame.data(), frame.size()));
+    if (f.duplicate) {
+      ++duplicates;
+      RETURN_IF_ERROR(
+          TransportGroup::Send(src, dst, tag, frame.data(), frame.size()));
+      penalty += wire_time;
+    }
+    penalty += ack_time;  // the ack closing the stop-and-wait window
+    delivered = true;
+    break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages;
+    stats_.drops += drops;
+    stats_.corruptions += corruptions;
+    stats_.duplicates += duplicates;
+    stats_.delays += delays;
+    stats_.degraded += degraded;
+    stats_.retries += static_cast<uint64_t>(attempt - 1);
+    if (!delivered) ++stats_.data_loss;
+  }
+  if (penalty > 0.0) {
+    SrcState& ss = *src_states_[src];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    ss.penalty_s += penalty;
+  }
+  if (!delivered) {
+    return Status::DataLoss(
+        StrFormat("send %d->%d tag=%llu lost after %d attempts", src, dst,
+                  static_cast<unsigned long long>(tag), plan_.max_attempts));
+  }
+  return Status::OK();
+}
+
+Status FaultyTransport::SendRaw(int src, int dst, uint64_t tag,
+                                const void* data, size_t bytes) {
+  const uint32_t space = static_cast<uint32_t>(tag >> 32);
+  uint64_t msg_index;
+  bool flush_delayed = false;
+  uint64_t flush_tag = 0;
+  std::vector<uint8_t> flush_payload;
+  {
+    SrcState& ss = *src_states_[src];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    LinkState& link = ss.links[dst];
+    msg_index = link.msg_count++;
+  }
+  Rng rng(MixSeed(plan_.seed,
+                  MixSeed((static_cast<uint64_t>(static_cast<uint32_t>(src))
+                           << 32) |
+                              static_cast<uint32_t>(dst),
+                          MixSeed(space, msg_index))));
+  AttemptFaults f = Decide(&rng, src, dst, space);
+
+  const double wire_time =
+      PointToPointTime(topo_, net_, src, dst, static_cast<double>(bytes));
+  double penalty = f.degrade > 1.0 ? (f.degrade - 1.0) * wire_time : 0.0;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages;
+    if (f.drop) ++stats_.drops;
+    if (!f.drop && f.corrupt) ++stats_.corruptions;
+    if (!f.drop && f.duplicate) ++stats_.duplicates;
+    if (!f.drop && f.delay) ++stats_.delays;
+    if (f.degrade > 1.0) ++stats_.degraded;
+  }
+  if (penalty > 0.0) {
+    SrcState& ss = *src_states_[src];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    ss.penalty_s += penalty;
+  }
+
+  if (f.drop) return Status::OK();  // the bytes simply never arrive
+
+  std::vector<uint8_t> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  if (f.corrupt && !payload.empty()) {
+    const size_t pos = static_cast<size_t>(rng.UniformInt(payload.size()));
+    payload[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+  }
+
+  {
+    // Delay = re-order behind later traffic on this link: the message sits
+    // in a stash until the next send (or FlushDelayed) pushes it out.
+    SrcState& ss = *src_states_[src];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    LinkState& link = ss.links[dst];
+    if (f.delay) {
+      if (link.has_delayed) {
+        flush_delayed = true;
+        flush_tag = link.delayed_tag;
+        flush_payload = std::move(link.delayed_payload);
+      }
+      link.has_delayed = true;
+      link.delayed_tag = tag;
+      link.delayed_payload = std::move(payload);
+      payload.clear();
+    } else if (link.has_delayed) {
+      flush_delayed = true;
+      flush_tag = link.delayed_tag;
+      flush_payload = std::move(link.delayed_payload);
+      link.has_delayed = false;
+    }
+  }
+
+  if (!f.delay) {
+    RETURN_IF_ERROR(
+        TransportGroup::Send(src, dst, tag, payload.data(), payload.size()));
+    if (f.duplicate) {
+      RETURN_IF_ERROR(
+          TransportGroup::Send(src, dst, tag, payload.data(), payload.size()));
+    }
+  }
+  if (flush_delayed) {
+    RETURN_IF_ERROR(TransportGroup::Send(src, dst, flush_tag,
+                                         flush_payload.data(),
+                                         flush_payload.size()));
+  }
+  return Status::OK();
+}
+
+void FaultyTransport::FlushDelayed() {
+  for (int src = 0; src < world_size(); ++src) {
+    SrcState& ss = *src_states_[src];
+    std::vector<std::tuple<int, uint64_t, std::vector<uint8_t>>> pending;
+    {
+      std::lock_guard<std::mutex> lock(ss.mu);
+      for (auto& [dst, link] : ss.links) {
+        if (link.has_delayed) {
+          pending.emplace_back(dst, link.delayed_tag,
+                               std::move(link.delayed_payload));
+          link.has_delayed = false;
+        }
+      }
+    }
+    for (auto& [dst, tag, payload] : pending) {
+      (void)TransportGroup::Send(src, dst, tag, payload.data(),
+                                 payload.size());
+    }
+  }
+}
+
+bool FaultyTransport::Unwrap(int src, int dst, uint64_t tag,
+                             std::vector<uint8_t>&& frame,
+                             std::vector<uint8_t>* out) {
+  uint64_t seq = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_len = 0;
+  const wire::FrameCheck check =
+      wire::DecodeFrame(frame, &seq, &payload, &payload_len);
+  if (check != wire::FrameCheck::kOk) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.checksum_rejects;
+    return false;
+  }
+  DstState& ds = *dst_states_[dst];
+  std::lock_guard<std::mutex> lock(ds.mu);
+  RecvStream& stream = ds.streams[{src, tag}];
+  if (seq < stream.expected) {
+    // Already-delivered retransmission or injected duplicate.
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.dedup_drops;
+    return false;
+  }
+  if (seq > stream.expected) {
+    // Sequence numbers per stream are non-decreasing on the wire (the
+    // collapsed ARQ re-sends inline, base FIFO preserves order), so a gap
+    // can only mean the intervening frames were purged with a dead rank's
+    // inbox — they will never arrive. Resynchronize instead of stalling.
+    stream.expected = seq;
+  }
+  out->assign(payload, payload + payload_len);
+  ++stream.expected;
+  return true;
+}
+
+Status FaultyTransport::Recv(int src, int dst, uint64_t tag,
+                             std::vector<uint8_t>* out) {
+  if (plan_.empty() || !plan_.harden) {
+    return TransportGroup::Recv(src, dst, tag, out);
+  }
+  for (;;) {
+    std::vector<uint8_t> frame;
+    RETURN_IF_ERROR(TransportGroup::Recv(src, dst, tag, &frame));
+    if (Unwrap(src, dst, tag, std::move(frame), out)) return Status::OK();
+  }
+}
+
+Status FaultyTransport::RecvWithDeadline(int src, int dst, uint64_t tag,
+                                         std::chrono::milliseconds timeout,
+                                         std::vector<uint8_t>* out) {
+  if (plan_.empty() || !plan_.harden) {
+    return TransportGroup::RecvWithDeadline(src, dst, tag, timeout, out);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    std::vector<uint8_t> frame;
+    RETURN_IF_ERROR(TransportGroup::RecvWithDeadline(
+        src, dst, tag, left.count() > 0 ? left : std::chrono::milliseconds(0),
+        &frame));
+    if (Unwrap(src, dst, tag, std::move(frame), out)) return Status::OK();
+  }
+}
+
+Status FaultyTransport::TryRecvAny(int dst, uint64_t tag,
+                                   std::vector<uint8_t>* out, int* src_out) {
+  if (plan_.empty() || !plan_.harden) {
+    return TransportGroup::TryRecvAny(dst, tag, out, src_out);
+  }
+  // Junk and duplicate frames are consumed silently; keep popping until a
+  // deliverable frame surfaces (or nothing is pending).
+  for (;;) {
+    std::vector<uint8_t> frame;
+    int src = -1;
+    RETURN_IF_ERROR(TransportGroup::TryRecvAny(dst, tag, &frame, &src));
+    if (Unwrap(src, dst, tag, std::move(frame), out)) {
+      if (src_out != nullptr) *src_out = src;
+      return Status::OK();
+    }
+  }
+}
+
+FaultStats FaultyTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+double FaultyTransport::VirtualPenaltySeconds() const {
+  // Summed in rank order: each source's accumulator is deterministic (one
+  // sending thread), so the fixed-order total is bitwise reproducible.
+  double total = 0.0;
+  for (const auto& ss : src_states_) {
+    std::lock_guard<std::mutex> lock(ss->mu);
+    total += ss->penalty_s;
+  }
+  return total;
+}
+
+const FaultRule* FaultyTransport::CrashRuleFor(int rank) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind == FaultKind::kCrash && rule.src == rank) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace bagua

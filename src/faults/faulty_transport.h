@@ -1,0 +1,148 @@
+#ifndef BAGUA_FAULTS_FAULTY_TRANSPORT_H_
+#define BAGUA_FAULTS_FAULTY_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "faults/fault_plan.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief TransportGroup decorator that injects seeded faults below the
+/// messaging API and (optionally) hardens the protocol above them.
+///
+/// Injection is fully deterministic: every fault decision is a pure
+/// function of (plan.seed, link, per-link message index), drawn from a
+/// per-message Rng stream. Because each rank sends from a single worker
+/// thread, per-link message indices — and therefore the entire fault
+/// schedule — are identical across runs regardless of thread scheduling.
+///
+/// Hardened mode (plan.harden, the default) wraps each payload in a wire::
+/// frame (sequence number + checksum) and runs a collapsed stop-and-wait
+/// ARQ at send time: faulted attempts are re-issued immediately — corrupted
+/// frames are still delivered so the receive path exercises checksum
+/// rejection, dropped ones are not — until a clean frame lands or
+/// `max_attempts` is exhausted (DataLoss). Collapsing the retry loop into
+/// Send keeps lockstep collectives deadlock-free (no blocking ack
+/// rendezvous between two parties that are both inside Send) and keeps
+/// retry counts deterministic; the latency the real ack round-trips and
+/// exponential backoff would cost is charged to VirtualPenaltySeconds()
+/// via sim/fault_cost.h instead of wall-clock. The receive side verifies
+/// checksums and discards duplicates (per-(src, tag) expected sequence
+/// number), so callers observe exactly the fault-free message sequence;
+/// a sequence gap — possible only when a dead rank's purged inbox ate the
+/// intervening frames — resynchronizes forward instead of stalling.
+///
+/// Raw mode (harden = false) delivers the faults unprotected — dropped
+/// messages never arrive, corrupt bytes reach the caller, delayed messages
+/// are re-ordered behind later traffic on the link. This is the substrate
+/// for testing explicit recovery protocols (faults/reliable.h) and
+/// algorithm-level tolerance.
+class FaultyTransport : public TransportGroup {
+ public:
+  /// Single-node cost topology (all links intra-node).
+  FaultyTransport(int world_size, FaultPlan plan);
+  /// Full form: `topo`/`net` drive the virtual-time pricing of retries.
+  FaultyTransport(int world_size, FaultPlan plan, const ClusterTopology& topo,
+                  const NetworkConfig& net);
+
+  Status Send(int src, int dst, uint64_t tag, const void* data,
+              size_t bytes) override;
+  Status Recv(int src, int dst, uint64_t tag,
+              std::vector<uint8_t>* out) override;
+  Status RecvWithDeadline(int src, int dst, uint64_t tag,
+                          std::chrono::milliseconds timeout,
+                          std::vector<uint8_t>* out) override;
+  Status TryRecvAny(int dst, uint64_t tag, std::vector<uint8_t>* out,
+                    int* src_out = nullptr) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  bool hardened() const { return plan_.harden; }
+
+  /// Snapshot of the injection/recovery counters.
+  FaultStats stats() const;
+
+  /// Simulated seconds the faults cost on top of fault-free communication:
+  /// retransmitted bytes, ack round-trips, exponential backoff waits, and
+  /// degraded-link slowdowns, priced by sim/fault_cost.h.
+  double VirtualPenaltySeconds() const;
+
+  /// The crash rule scheduled for `rank`, or nullptr. Consumed by the
+  /// training harness, which owns worker lifecycles.
+  const FaultRule* CrashRuleFor(int rank) const;
+
+  /// Raw mode only: delivers every message still stashed by delay faults
+  /// (so drains at teardown see all surviving traffic).
+  void FlushDelayed();
+
+ private:
+  struct AttemptFaults {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    bool delay = false;
+    double degrade = 1.0;
+  };
+  /// Draws this attempt's faults from `rng` (one Bernoulli per matching
+  /// message rule, in plan order).
+  AttemptFaults Decide(Rng* rng, int src, int dst, uint32_t space) const;
+
+  Status SendHardened(int src, int dst, uint64_t tag, const void* data,
+                      size_t bytes);
+  Status SendRaw(int src, int dst, uint64_t tag, const void* data,
+                 size_t bytes);
+  /// Unwraps one received frame; returns true if `frame` yielded a payload
+  /// for the caller (false: frame consumed as junk or duplicate).
+  bool Unwrap(int src, int dst, uint64_t tag, std::vector<uint8_t>&& frame,
+              std::vector<uint8_t>* out);
+
+  // Per-source send-side bookkeeping. One mutex per source rank: sends
+  // from the same rank serialize (they are single-threaded in the harness
+  // anyway), sends from different ranks stay concurrent.
+  struct LinkState {
+    uint64_t msg_count = 0;                // fault-schedule index
+    std::map<uint64_t, uint64_t> next_seq;  // tag -> next sequence number
+    bool has_delayed = false;              // raw-mode delay stash
+    uint64_t delayed_tag = 0;
+    std::vector<uint8_t> delayed_payload;
+  };
+  struct SrcState {
+    std::mutex mu;
+    std::map<int, LinkState> links;  // keyed by dst
+    // Virtual-time penalty accrued by this source's sends. Kept per source
+    // (one sending thread each) and summed in rank order so the total is
+    // bitwise identical across runs — a single global accumulator would
+    // add in scheduling order, and floating-point addition is not
+    // associative.
+    double penalty_s = 0.0;
+  };
+
+  // Per-destination receive-side dedup state.
+  struct RecvStream {
+    uint64_t expected = 0;  // next sequence number to deliver
+  };
+  struct DstState {
+    std::mutex mu;
+    std::map<std::pair<int, uint64_t>, RecvStream> streams;  // (src, tag)
+  };
+
+  FaultPlan plan_;
+  ClusterTopology topo_;
+  NetworkConfig net_;
+  std::vector<std::unique_ptr<SrcState>> src_states_;
+  std::vector<std::unique_ptr<DstState>> dst_states_;
+
+  mutable std::mutex stats_mu_;
+  FaultStats stats_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_FAULTS_FAULTY_TRANSPORT_H_

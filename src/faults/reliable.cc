@@ -1,0 +1,90 @@
+#include "faults/reliable.h"
+
+#include "base/strings.h"
+#include "faults/wire.h"
+
+namespace bagua {
+
+ReliableLink::ReliableLink(TransportGroup* group, int self,
+                           ReliableOptions options)
+    : group_(group), self_(self), options_(options) {}
+
+Status ReliableLink::Send(int dst, uint32_t space, const void* data,
+                          size_t bytes) {
+  const uint64_t data_tag = MakeTag(space, 0);
+  const uint64_t ack_tag = MakeTag(AckSpace(space), 0);
+  const uint64_t seq = next_send_seq_[{dst, space}]++;
+  std::vector<uint8_t> frame;
+  wire::EncodeFrame(seq, data, bytes, &frame);
+  ++stats_.sends;
+
+  std::chrono::milliseconds wait = options_.ack_deadline;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) ++stats_.retransmits;
+    RETURN_IF_ERROR(
+        group_->Send(self_, dst, data_tag, frame.data(), frame.size()));
+    // Collect acks until ours arrives or the (backed-off) deadline passes.
+    const auto deadline = std::chrono::steady_clock::now() + wait;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) break;
+      std::vector<uint8_t> ack;
+      Status s = group_->RecvWithDeadline(dst, self_, ack_tag, left, &ack);
+      if (s.IsDeadlineExceeded()) break;
+      RETURN_IF_ERROR(s);
+      uint64_t ack_seq = 0;
+      const uint8_t* payload = nullptr;
+      size_t payload_len = 0;
+      if (wire::DecodeFrame(ack, &ack_seq, &payload, &payload_len) !=
+          wire::FrameCheck::kOk) {
+        continue;  // corrupted ack; keep waiting, the backoff will retry
+      }
+      if (ack_seq == seq) return Status::OK();
+      // A stale ack for an earlier retransmission round: ignore.
+    }
+    wait *= 2;
+  }
+  return Status::DataLoss(StrFormat(
+      "reliable send %d->%d space=%u seq=%llu unacked after %d attempts",
+      self_, dst, space, static_cast<unsigned long long>(seq),
+      options_.max_attempts));
+}
+
+Status ReliableLink::Recv(int src, uint32_t space, std::vector<uint8_t>* out) {
+  const uint64_t data_tag = MakeTag(space, 0);
+  const uint64_t ack_tag = MakeTag(AckSpace(space), 0);
+  uint64_t& expected = next_recv_seq_[{src, space}];
+  for (;;) {
+    std::vector<uint8_t> frame;
+    RETURN_IF_ERROR(group_->Recv(src, self_, data_tag, &frame));
+    uint64_t seq = 0;
+    const uint8_t* payload = nullptr;
+    size_t payload_len = 0;
+    if (wire::DecodeFrame(frame, &seq, &payload, &payload_len) !=
+        wire::FrameCheck::kOk) {
+      // Corrupted in flight: no ack, the sender's timeout retransmits.
+      ++stats_.rejected_frames;
+      continue;
+    }
+    std::vector<uint8_t> ack;
+    wire::EncodeFrame(seq, nullptr, 0, &ack);
+    if (seq < expected) {
+      // Duplicate of an already-delivered frame (our ack got lost):
+      // re-ack so the sender can move on, but do not deliver twice.
+      ++stats_.stale_reacks;
+      RETURN_IF_ERROR(
+          group_->Send(self_, src, ack_tag, ack.data(), ack.size()));
+      continue;
+    }
+    RETURN_IF_ERROR(group_->Send(self_, src, ack_tag, ack.data(), ack.size()));
+    ++stats_.acks_sent;
+    // seq > expected only if the sender abandoned an earlier message
+    // (DataLoss); skip the hole rather than deadlock.
+    expected = seq + 1;
+    out->assign(payload, payload + payload_len);
+    return Status::OK();
+  }
+}
+
+}  // namespace bagua

@@ -1,0 +1,68 @@
+#ifndef BAGUA_FAULTS_RELIABLE_H_
+#define BAGUA_FAULTS_RELIABLE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief Options of the explicit stop-and-wait protocol.
+struct ReliableOptions {
+  /// How long the sender waits for an ack before retransmitting. Doubles
+  /// per retry (exponential backoff).
+  std::chrono::milliseconds ack_deadline{25};
+  int max_attempts = 10;
+};
+
+/// \brief Explicit reliable point-to-point channel over an unreliable
+/// TransportGroup: sequence numbers, checksummed frames, real ack
+/// round-trips with RecvWithDeadline + exponential backoff, and
+/// receive-side dedup with re-ack of stale frames.
+///
+/// This is the classical ARQ the hardened FaultyTransport collapses into
+/// virtual time; here the acks are real messages, so both endpoints must
+/// be live concurrently (one in Send, the peer in Recv) — the protocol for
+/// client/server-shaped traffic, not lockstep collectives. Data frames
+/// travel on MakeTag(space, 0); acks on MakeTag(AckSpace(space), 0), inside
+/// the reserved fault-control tag namespace, so retransmitted acks can
+/// never cross-match application receives.
+class ReliableLink {
+ public:
+  ReliableLink(TransportGroup* group, int self,
+               ReliableOptions options = ReliableOptions());
+
+  /// Sends `bytes` of `data` to `dst`, retransmitting until the matching
+  /// ack arrives. Returns DataLoss after max_attempts unacked attempts.
+  Status Send(int dst, uint32_t space, const void* data, size_t bytes);
+
+  /// Receives the next in-sequence message from `src`, verifying its
+  /// checksum, acking it, discarding (and re-acking) duplicates.
+  Status Recv(int src, uint32_t space, std::vector<uint8_t>* out);
+
+  struct Stats {
+    uint64_t sends = 0;
+    uint64_t retransmits = 0;
+    uint64_t acks_sent = 0;
+    uint64_t stale_reacks = 0;
+    uint64_t rejected_frames = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  TransportGroup* group_;
+  int self_;
+  ReliableOptions options_;
+  // Per (peer, space) sequence state. A ReliableLink is owned and driven
+  // by its rank's single worker thread, so no locking.
+  std::map<std::pair<int, uint32_t>, uint64_t> next_send_seq_;
+  std::map<std::pair<int, uint32_t>, uint64_t> next_recv_seq_;
+  Stats stats_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_FAULTS_RELIABLE_H_

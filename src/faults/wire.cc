@@ -1,0 +1,56 @@
+#include "faults/wire.h"
+
+#include <cstring>
+
+namespace bagua {
+namespace wire {
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t basis) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = basis;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void EncodeFrame(uint64_t seq, const void* data, size_t n,
+                 std::vector<uint8_t>* out) {
+  out->resize(kHeaderBytes + n);
+  uint8_t* p = out->data();
+  const uint32_t magic = kMagic;
+  const uint32_t flags = 0;
+  std::memcpy(p, &magic, 4);
+  std::memcpy(p + 4, &flags, 4);
+  std::memcpy(p + 8, &seq, 8);
+  if (n > 0) std::memcpy(p + kHeaderBytes, data, n);
+  // Checksum covers flags, seq and payload; with the magic checked
+  // explicitly, corruption anywhere in the frame is caught.
+  const uint64_t crc = Fnv1a(data, n, Fnv1a(&seq, 8, Fnv1a(&flags, 4)));
+  std::memcpy(p + 16, &crc, 8);
+}
+
+FrameCheck DecodeFrame(const std::vector<uint8_t>& frame, uint64_t* seq,
+                       const uint8_t** payload, size_t* payload_len) {
+  if (frame.size() < kHeaderBytes) return FrameCheck::kMalformed;
+  uint32_t magic;
+  std::memcpy(&magic, frame.data(), 4);
+  if (magic != kMagic) return FrameCheck::kMalformed;
+  uint32_t flags;
+  uint64_t s, crc;
+  std::memcpy(&flags, frame.data() + 4, 4);
+  std::memcpy(&s, frame.data() + 8, 8);
+  std::memcpy(&crc, frame.data() + 16, 8);
+  const uint8_t* body = frame.data() + kHeaderBytes;
+  const size_t body_len = frame.size() - kHeaderBytes;
+  const uint64_t want = Fnv1a(body, body_len, Fnv1a(&s, 8, Fnv1a(&flags, 4)));
+  if (crc != want) return FrameCheck::kChecksumMismatch;
+  *seq = s;
+  *payload = body;
+  *payload_len = body_len;
+  return FrameCheck::kOk;
+}
+
+}  // namespace wire
+}  // namespace bagua

@@ -1,0 +1,48 @@
+#ifndef BAGUA_FAULTS_WIRE_H_
+#define BAGUA_FAULTS_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bagua {
+namespace wire {
+
+/// \brief Self-verifying frame format of the fault-tolerant transport
+/// paths.
+///
+/// Every hardened message is wrapped as
+///
+///   | magic u32 | flags u32 | seq u64 | checksum u64 | payload ... |
+///
+/// where `seq` is the per-(src, dst, tag) sequence number (receive-side
+/// dedup and gap detection) and `checksum` is FNV-1a over seq and the
+/// payload, so corruption anywhere in the frame — header included — is
+/// detected. Acks are payloadless frames whose seq echoes the data frame
+/// they acknowledge.
+
+constexpr uint32_t kMagic = 0x4247524Cu;  // "BGRL"
+constexpr size_t kHeaderBytes = 24;
+
+/// FNV-1a 64-bit hash.
+uint64_t Fnv1a(const void* data, size_t n, uint64_t basis = 0xcbf29ce484222325ull);
+
+/// Wraps `data[0, n)` into a frame with sequence number `seq`.
+void EncodeFrame(uint64_t seq, const void* data, size_t n,
+                 std::vector<uint8_t>* out);
+
+enum class FrameCheck {
+  kOk,
+  kMalformed,          ///< too short / bad magic (header corrupted)
+  kChecksumMismatch,   ///< payload or seq corrupted in flight
+};
+
+/// Validates `frame` and exposes its fields. `payload`/`payload_len` point
+/// into `frame` (valid while it lives) and are only set on kOk.
+FrameCheck DecodeFrame(const std::vector<uint8_t>& frame, uint64_t* seq,
+                       const uint8_t** payload, size_t* payload_len);
+
+}  // namespace wire
+}  // namespace bagua
+
+#endif  // BAGUA_FAULTS_WIRE_H_

@@ -1,14 +1,18 @@
 #include "harness/trainer.h"
 
+#include <atomic>
 #include <cmath>
 #include <memory>
 
 #include "algorithms/algorithms.h"
 #include "algorithms/registry.h"
-#include "compress/qsgd.h"
 #include "base/logging.h"
+#include "base/strings.h"
 #include "base/sync.h"
+#include "compress/qsgd.h"
 #include "core/runtime.h"
+#include "faults/faulty_transport.h"
+#include "model/checkpoint.h"
 #include "model/loss.h"
 #include "model/net.h"
 
@@ -27,7 +31,22 @@ struct WorkerState {
 
 Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
   const int world = opts.topo.world_size();
-  CommWorld comm_world(opts.topo, opts.seed);
+
+  // With a fault plan, the wire is a FaultyTransport decorator: seeded
+  // drops/dups/corruption below the messaging API, hardening above it,
+  // crash schedules consumed by this harness.
+  FaultyTransport* faulty = nullptr;
+  std::unique_ptr<CommWorld> comm_world_holder;
+  if (opts.faults.empty()) {
+    comm_world_holder = std::make_unique<CommWorld>(opts.topo, opts.seed);
+  } else {
+    auto transport = std::make_unique<FaultyTransport>(
+        world, opts.faults, opts.topo, NetworkConfig());
+    faulty = transport.get();
+    comm_world_holder = std::make_unique<CommWorld>(opts.topo, opts.seed,
+                                                    std::move(transport));
+  }
+  CommWorld& comm_world = *comm_world_holder;
   SyntheticClassification dataset(opts.data);
 
   // Model dims: input must match the dataset.
@@ -45,9 +64,30 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
         probe.NumParams(), std::max(1, opts.topo.num_nodes), world);
   }
 
+  auto make_algorithm = [&]() -> Result<std::unique_ptr<Algorithm>> {
+    if (opts.algorithm == "async") {
+      return std::unique_ptr<Algorithm>(
+          new AsyncPsAlgorithm(server, opts.lr));
+    }
+    if (opts.algorithm == "async-lp") {
+      static const QsgdCompressor kAsyncLpCodec(8);
+      return std::unique_ptr<Algorithm>(
+          new AsyncPsAlgorithm(server, opts.lr, &kAsyncLpCodec));
+    }
+    if (opts.algorithm == "1bit-adam") {
+      return std::unique_ptr<Algorithm>(
+          new OneBitAdamAlgorithm(opts.onebit_warmup));
+    }
+    return MakeAlgorithm(opts.algorithm);
+  };
+
   std::vector<WorkerState> workers(world);
-  for (int r = 0; r < world; ++r) {
+  // (Re)constructs worker r's full state: fresh model, optimizer,
+  // algorithm instance and runtime — exactly what a respawned process
+  // would rebuild before loading its checkpoint.
+  auto build_worker = [&](int r) -> Status {
     WorkerState& w = workers[r];
+    w.runtime.reset();
     w.net = std::make_unique<Net>(Net::Mlp(dims));
     w.net->InitParams(MixSeed(opts.seed, 17));
     if (use_adam) {
@@ -55,29 +95,54 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
     } else {
       w.optimizer = std::make_unique<SgdOptimizer>(opts.lr);
     }
-    if (opts.algorithm == "async") {
-      w.algorithm = std::make_unique<AsyncPsAlgorithm>(server, opts.lr);
-    } else if (opts.algorithm == "async-lp") {
-      static const QsgdCompressor kAsyncLpCodec(8);
-      w.algorithm =
-          std::make_unique<AsyncPsAlgorithm>(server, opts.lr, &kAsyncLpCodec);
-    } else if (opts.algorithm == "1bit-adam") {
-      w.algorithm = std::make_unique<OneBitAdamAlgorithm>(opts.onebit_warmup);
-    } else {
-      ASSIGN_OR_RETURN(w.algorithm, MakeAlgorithm(opts.algorithm));
-    }
+    ASSIGN_OR_RETURN(w.algorithm, make_algorithm());
     w.runtime = std::make_unique<BaguaRuntime>(&comm_world, r, w.net.get(),
                                                w.optimizer.get(),
                                                w.algorithm.get(), opts.bagua);
+    return Status::OK();
+  };
+  for (int r = 0; r < world; ++r) {
+    RETURN_IF_ERROR(build_worker(r));
   }
+
+  // Crash-plan validation: recoverable crashes replay steps from the last
+  // checkpoint, which only barrier-free (async-family) algorithms absorb.
+  if (faulty != nullptr) {
+    for (int r = 0; r < world; ++r) {
+      const FaultRule* crash = faulty->CrashRuleFor(r);
+      if (crash == nullptr || !crash->recover) continue;
+      if (opts.checkpoint_every == 0) {
+        return Status::InvalidArgument(
+            "recoverable crash requires checkpoint_every > 0");
+      }
+      if (workers[r].algorithm->BarrierGroup(world) != 1) {
+        return Status::InvalidArgument(StrFormat(
+            "recoverable crash needs a barrier-free algorithm; '%s' "
+            "rendezvouses %d workers (use recover=false: decentralized "
+            "peers skip the dead rank, synchronous runs abort cleanly)",
+            opts.algorithm.c_str(), workers[r].algorithm->BarrierGroup(world)));
+      }
+    }
+  }
+
+  auto ckpt_path = [&](int r) {
+    return StrFormat("%s/bagua_ckpt_%s_seed%llu_r%d.bin",
+                     opts.checkpoint_dir.c_str(), opts.algorithm.c_str(),
+                     static_cast<unsigned long long>(opts.seed), r);
+  };
 
   ConvergenceResult result;
   result.algorithm = opts.algorithm;
   result.epoch_loss.assign(opts.epochs, 0.0);
 
+  TransportGroup* group = comm_world.group();
   std::vector<Status> statuses(world);
   std::vector<std::vector<double>> per_epoch(world,
                                              std::vector<double>(opts.epochs));
+  std::vector<size_t> epochs_done(world, 0);
+  std::vector<uint8_t> permanently_dead(world, 0);
+  std::atomic<size_t> recoveries{0};
+
   ParallelFor(world, [&](size_t r) {
     auto run = [&]() -> Status {
       const size_t batches =
@@ -85,40 +150,117 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
       if (batches == 0) {
         return Status::InvalidArgument("shard smaller than one batch");
       }
-      for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
-        double sum = 0.0;
-        for (size_t b = 0; b < batches; ++b) {
-          Tensor x, y;
-          RETURN_IF_ERROR(dataset.GetShardBatch(static_cast<int>(r), world,
-                                                epoch, b, opts.batch_size, &x,
-                                                &y));
-          ASSIGN_OR_RETURN(const double loss,
-                           workers[r].runtime->TrainStepCE(x, y));
-          sum += loss;
-        }
-        per_epoch[r][epoch] = sum / static_cast<double>(batches);
+      const size_t total = opts.epochs * batches;
+      std::vector<double> step_loss(total, 0.0);
+
+      const FaultRule* crash =
+          faulty != nullptr ? faulty->CrashRuleFor(static_cast<int>(r))
+                            : nullptr;
+      bool crashed_once = false;
+      size_t last_ckpt_step = 0;
+      if (opts.checkpoint_every > 0) {
+        RETURN_IF_ERROR(SaveCheckpoint(workers[r].net.get(),
+                                       ckpt_path(static_cast<int>(r))));
       }
+
+      size_t step = 0;
+      while (step < total) {
+        if (crash != nullptr && !crashed_once && step == crash->at_step) {
+          // The worker dies here: its inbox is lost and peers see DataLoss
+          // instead of hanging on it.
+          crashed_once = true;
+          group->MarkDead(static_cast<int>(r));
+          if (!crash->recover) {
+            permanently_dead[r] = 1;
+            epochs_done[r] = step / batches;
+            return Status::OK();
+          }
+          // Respawn: rebuild process state from scratch, reload the last
+          // checkpoint, rejoin the membership, rewind to the checkpointed
+          // step and re-play from there.
+          RETURN_IF_ERROR(build_worker(static_cast<int>(r)));
+          RETURN_IF_ERROR(LoadCheckpoint(workers[r].net.get(),
+                                         ckpt_path(static_cast<int>(r))));
+          group->MarkAlive(static_cast<int>(r));
+          recoveries.fetch_add(1);
+          step = last_ckpt_step;
+          continue;
+        }
+        const size_t epoch = step / batches;
+        const size_t b = step % batches;
+        Tensor x, y;
+        RETURN_IF_ERROR(dataset.GetShardBatch(static_cast<int>(r), world,
+                                              epoch, b, opts.batch_size, &x,
+                                              &y));
+        ASSIGN_OR_RETURN(const double loss,
+                         workers[r].runtime->TrainStepCE(x, y));
+        step_loss[step] = loss;
+        ++step;
+        if (opts.checkpoint_every > 0 && step % opts.checkpoint_every == 0) {
+          RETURN_IF_ERROR(SaveCheckpoint(workers[r].net.get(),
+                                         ckpt_path(static_cast<int>(r))));
+          last_ckpt_step = step;
+        }
+      }
+      for (size_t e = 0; e < opts.epochs; ++e) {
+        double sum = 0.0;
+        for (size_t k = 0; k < batches; ++k) sum += step_loss[e * batches + k];
+        per_epoch[r][e] = sum / static_cast<double>(batches);
+      }
+      epochs_done[r] = opts.epochs;
       return workers[r].runtime->Finish();
     };
     statuses[r] = run();
+    if (!statuses[r].ok()) {
+      // A failing worker must not leave peers blocked on its messages:
+      // declare it dead so their receives fail fast and the whole run
+      // aborts cleanly instead of deadlocking.
+      group->MarkDead(static_cast<int>(r));
+    }
   });
   for (const Status& s : statuses) RETURN_IF_ERROR(s);
 
+  result.recoveries = recoveries.load();
+  for (int r = 0; r < world; ++r) {
+    if (permanently_dead[r]) ++result.failed_workers;
+  }
+  if (faulty != nullptr) {
+    result.fault_stats = faulty->stats();
+    result.fault_penalty_s = faulty->VirtualPenaltySeconds();
+  }
+
   for (size_t e = 0; e < opts.epochs; ++e) {
     double sum = 0.0;
-    for (int r = 0; r < world; ++r) sum += per_epoch[r][e];
-    result.epoch_loss[e] = sum / world;
+    int contributors = 0;
+    for (int r = 0; r < world; ++r) {
+      if (epochs_done[r] <= e) continue;  // dead before finishing this epoch
+      sum += per_epoch[r][e];
+      ++contributors;
+    }
+    if (contributors == 0) {
+      return Status::Internal("no worker survived to epoch " +
+                              std::to_string(e));
+    }
+    result.epoch_loss[e] = sum / contributors;
     if (!std::isfinite(result.epoch_loss[e]) ||
         result.epoch_loss[e] > 50.0 * result.epoch_loss[0] + 50.0) {
       result.diverged = true;
     }
   }
 
-  // Full-dataset accuracy of rank 0's final model.
+  // Full-dataset accuracy of the first surviving worker's final model.
+  int reporter = -1;
+  for (int r = 0; r < world; ++r) {
+    if (!permanently_dead[r]) {
+      reporter = r;
+      break;
+    }
+  }
+  if (reporter < 0) return Status::Internal("every worker died");
   Tensor all_x, all_y;
   RETURN_IF_ERROR(dataset.GetAll(&all_x, &all_y));
   Tensor logits;
-  RETURN_IF_ERROR(workers[0].net->Forward(all_x, &logits));
+  RETURN_IF_ERROR(workers[reporter].net->Forward(all_x, &logits));
   ASSIGN_OR_RETURN(const double acc, Accuracy(logits, all_y));
   result.epoch_accuracy.push_back(acc);
   return result;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "faults/fault_plan.h"
 #include "model/data.h"
 #include "sim/topology.h"
 
@@ -30,6 +31,27 @@ struct ConvergenceOptions {
   uint64_t onebit_warmup = 64;
   SyntheticClassification::Options data;
 
+  /// Seeded fault schedule, applied through a FaultyTransport decorator
+  /// when non-empty. Message faults (drop/corrupt/...) hit the wire;
+  /// kCrash rules are executed by the harness: the worker is killed
+  /// (MarkDead) at its local step `at_step` and — when `recover` is set —
+  /// respawned from its last checkpoint and re-admitted.
+  ///
+  /// Recoverable crashes require `checkpoint_every > 0` and an algorithm
+  /// with no rendezvous barrier (BarrierGroup == 1, i.e. the async
+  /// family): a rewound worker re-plays steps, which a lockstep collective
+  /// cannot absorb. Permanent crashes (recover = false) work everywhere —
+  /// decentralized peers skip the dead member and keep training,
+  /// centralized synchronous runs detect it (DataLoss) and abort cleanly.
+  FaultPlan faults;
+  /// Checkpoint each worker's model every K steps (0 = never). The crash
+  /// recovery granularity: a respawned worker rewinds to the last multiple
+  /// of K it completed. Optimizer slots are not checkpointed (plain-SGD
+  /// recovery is exact; Adam moments restart cold).
+  size_t checkpoint_every = 0;
+  /// Directory for checkpoint files (one per rank).
+  std::string checkpoint_dir = "/tmp";
+
   ConvergenceOptions() {
     data.num_samples = 4096;
     data.dim = 32;
@@ -44,6 +66,12 @@ struct ConvergenceResult {
   std::vector<double> epoch_loss;      ///< mean training loss per epoch
   std::vector<double> epoch_accuracy;  ///< rank-0 full-dataset accuracy
   bool diverged = false;               ///< loss became NaN/inf or exploded
+
+  /// Fault-run bookkeeping (all zero on clean runs).
+  FaultStats fault_stats;       ///< injector/recovery counters
+  double fault_penalty_s = 0.0; ///< virtual seconds the faults cost
+  size_t recoveries = 0;        ///< workers respawned from checkpoint
+  size_t failed_workers = 0;    ///< workers that died permanently
 };
 
 /// \brief Runs the experiment: spawns one thread per worker, trains

@@ -1,0 +1,64 @@
+#include "sim/fault_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bagua {
+
+double PointToPointTime(const ClusterTopology& topo, const NetworkConfig& net,
+                        int src, int dst, double bytes) {
+  if (src == dst) return 0.0;
+  if (topo.SameNode(src, dst)) {
+    return net.intra_latency_s + bytes / net.intra_bw_Bps;
+  }
+  return net.inter_latency_s + bytes / net.inter_bw_Bps;
+}
+
+double ExpectedAttempts(double p, int max_attempts) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (max_attempts <= 1) return 1.0;
+  // E[min(G, max)] for G ~ Geometric(1-p): sum_{k=0..max-1} P(attempts > k)
+  // = sum_{k=0..max-1} p^k.
+  double e = 0.0;
+  double pk = 1.0;
+  for (int k = 0; k < max_attempts; ++k) {
+    e += pk;
+    pk *= p;
+  }
+  return e;
+}
+
+double ExpectedMaxAttempts(double p, int group, int max_attempts) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (group <= 1) return ExpectedAttempts(p, max_attempts);
+  // E[max of `group` iid truncated geometrics]
+  //   = sum_{k=0..max-1} P(max > k) = sum_{k=0..max-1} (1 - (1 - p^k)^group).
+  double e = 0.0;
+  double pk = 1.0;
+  for (int k = 0; k < max_attempts; ++k) {
+    e += 1.0 - std::pow(1.0 - pk, group);
+    pk *= p;
+  }
+  return e;
+}
+
+double ArqCommFactor(double p, int group, int max_attempts) {
+  return ExpectedMaxAttempts(p, group, max_attempts);
+}
+
+double ExpectedBackoffSeconds(double p, double base_s, int max_attempts) {
+  p = std::clamp(p, 0.0, 1.0);
+  // Attempt k (1-based) is reached with probability p^(k-1); reaching
+  // attempt k >= 2 means waiting base * 2^(k-2) before it.
+  double e = 0.0;
+  double reach = p;  // probability attempt 2 is reached
+  double wait = base_s;
+  for (int k = 2; k <= max_attempts; ++k) {
+    e += reach * wait;
+    reach *= p;
+    wait *= 2.0;
+  }
+  return e;
+}
+
+}  // namespace bagua

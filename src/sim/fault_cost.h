@@ -1,0 +1,51 @@
+#ifndef BAGUA_SIM_FAULT_COST_H_
+#define BAGUA_SIM_FAULT_COST_H_
+
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// \name Virtual-time cost model of fault-tolerant communication.
+///
+/// Retransmissions and acks are free in the in-memory transport but must
+/// not be free in the performance story: every redundant wire attempt of
+/// the hardened protocol is priced here in simulated seconds, so
+/// bench_faults can chart epoch-time overhead against fault rate the same
+/// way bench_epoch charts algorithm cost against bandwidth.
+/// @{
+
+/// Time for one point-to-point transfer of `bytes` from `src` to `dst`:
+/// latency + bytes/bandwidth on the intra- or inter-node tier of the link.
+double PointToPointTime(const ClusterTopology& topo, const NetworkConfig& net,
+                        int src, int dst, double bytes);
+
+/// Expected number of wire attempts for one message under per-attempt loss
+/// probability `p`, truncated at `max_attempts` (after which the sender
+/// reports DataLoss): sum_{k=1..max} k * p^(k-1) * (1-p) + max * p^max.
+double ExpectedAttempts(double p, int max_attempts);
+
+/// Expected number of attempts of the *slowest* of `group` concurrent
+/// stop-and-wait transfers — what a barriered collective round pays, since
+/// the round completes only when every member's message lands:
+///   1 + sum_{k=1..max-1} (1 - (1 - p^k)^group).
+/// Grows with group size: this is why synchronous algorithms degrade faster
+/// under loss than asynchronous ones, the fault-rate analogue of the
+/// paper's straggler argument.
+double ExpectedMaxAttempts(double p, int group, int max_attempts);
+
+/// Multiplier on a collective's communication time under fault rate `p`:
+/// ExpectedMaxAttempts / 1 for rendezvous (barriered) algorithms with
+/// `group` members, ExpectedAttempts for group == 1 (async paths).
+double ArqCommFactor(double p, int group, int max_attempts);
+
+/// Expected virtual seconds of exponential backoff paid per message:
+/// attempt k (k >= 2) waits base * 2^(k-2) first, so
+///   sum_{k=1..max-1} P(attempt k fails ever reached & fails) * base*2^(k-1).
+double ExpectedBackoffSeconds(double p, double base_s, int max_attempts);
+
+/// @}
+
+}  // namespace bagua
+
+#endif  // BAGUA_SIM_FAULT_COST_H_

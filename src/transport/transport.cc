@@ -13,6 +13,8 @@ TransportGroup::TransportGroup(int world_size) : world_size_(world_size) {
   for (int i = 0; i < world_size; ++i) {
     boxes_.push_back(std::make_unique<Box>());
   }
+  alive_ = std::make_unique<std::atomic<bool>[]>(world_size);
+  for (int i = 0; i < world_size; ++i) alive_[i].store(true);
 }
 
 Status TransportGroup::Send(int src, int dst, uint64_t tag, const void* data,
@@ -23,6 +25,12 @@ Status TransportGroup::Send(int src, int dst, uint64_t tag, const void* data,
                   world_size_));
   }
   if (shutdown_.load()) return Status::Cancelled("transport shut down");
+  if (!alive_[dst].load()) {
+    // The peer is gone; the bytes vanish into the void, as a real NIC's
+    // would. Death is discovered on the receive side.
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
   std::vector<uint8_t> payload(bytes);
   if (bytes > 0) std::memcpy(payload.data(), data, bytes);
   Box& box = *boxes_[dst];
@@ -47,15 +55,55 @@ Status TransportGroup::Recv(int src, int dst, uint64_t tag,
   const auto key = std::make_pair(src, tag);
   box.cv.wait(lock, [&] {
     if (shutdown_.load()) return true;
+    if (!alive_[src].load()) return true;
     auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
   });
   if (shutdown_.load()) return Status::Cancelled("transport shut down");
   auto it = box.queues.find(key);
+  if (it == box.queues.end() || it->second.empty()) {
+    // Woken by the death of `src` with nothing buffered from it: the data
+    // this receive was waiting for will never arrive.
+    return Status::DataLoss(StrFormat("peer rank %d is dead", src));
+  }
   *out = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) box.queues.erase(it);
   return Status::OK();
+}
+
+Status TransportGroup::RecvWithDeadline(int src, int dst, uint64_t tag,
+                                        std::chrono::milliseconds timeout,
+                                        std::vector<uint8_t>* out) {
+  if (src < 0 || src >= world_size_ || dst < 0 || dst >= world_size_) {
+    return Status::InvalidArgument(
+        StrFormat("RecvWithDeadline with bad ranks src=%d dst=%d (world=%d)",
+                  src, dst, world_size_));
+  }
+  Box& box = *boxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  const bool ready = box.cv.wait_for(lock, timeout, [&] {
+    if (shutdown_.load()) return true;
+    if (!alive_[src].load()) return true;
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  if (shutdown_.load()) return Status::Cancelled("transport shut down");
+  auto it = box.queues.find(key);
+  if (it != box.queues.end() && !it->second.empty()) {
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) box.queues.erase(it);
+    return Status::OK();
+  }
+  if (!alive_[src].load()) {
+    return Status::DataLoss(StrFormat("peer rank %d is dead", src));
+  }
+  (void)ready;
+  return Status::DeadlineExceeded(
+      StrFormat("no message from rank %d within %lldms", src,
+                static_cast<long long>(timeout.count())));
 }
 
 Status TransportGroup::TryRecvAny(int dst, uint64_t tag,
@@ -66,15 +114,22 @@ Status TransportGroup::TryRecvAny(int dst, uint64_t tag,
   if (shutdown_.load()) return Status::Cancelled("transport shut down");
   Box& box = *boxes_[dst];
   std::lock_guard<std::mutex> lock(box.mu);
+  // Collect the sources with a pending message for this tag, then serve
+  // them round-robin so repeated drains don't always favor low ranks.
+  std::vector<int> ready;
   for (auto it = box.queues.begin(); it != box.queues.end(); ++it) {
-    if (it->first.second != tag || it->second.empty()) continue;
-    *out = std::move(it->second.front());
-    it->second.pop_front();
-    if (src_out != nullptr) *src_out = it->first.first;
-    if (it->second.empty()) box.queues.erase(it);
-    return Status::OK();
+    if (it->first.second == tag && !it->second.empty()) {
+      ready.push_back(it->first.first);
+    }
   }
-  return Status::NotFound("no pending message");
+  if (ready.empty()) return Status::NotFound("no pending message");
+  const int src = ready[box.rr_cursor++ % ready.size()];
+  auto it = box.queues.find({src, tag});
+  *out = std::move(it->second.front());
+  it->second.pop_front();
+  if (src_out != nullptr) *src_out = src;
+  if (it->second.empty()) box.queues.erase(it);
+  return Status::OK();
 }
 
 Status TransportGroup::RecvFloats(int src, int dst, uint64_t tag, float* out,
@@ -96,6 +151,32 @@ void TransportGroup::Shutdown() {
     std::lock_guard<std::mutex> lock(box->mu);
     box->cv.notify_all();
   }
+}
+
+void TransportGroup::MarkDead(int rank) {
+  if (rank < 0 || rank >= world_size_) return;
+  alive_[rank].store(false);
+  {
+    // The dead worker's inbox is lost with it.
+    Box& box = *boxes_[rank];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues.clear();
+  }
+  // Wake every blocked receiver: any Recv(src == rank) must fail fast.
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void TransportGroup::MarkAlive(int rank) {
+  if (rank < 0 || rank >= world_size_) return;
+  alive_[rank].store(true);
+}
+
+bool TransportGroup::IsAlive(int rank) const {
+  if (rank < 0 || rank >= world_size_) return false;
+  return alive_[rank].load();
 }
 
 uint64_t TransportGroup::TotalBytesSent() const {

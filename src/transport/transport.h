@@ -1,6 +1,8 @@
 #ifndef BAGUA_TRANSPORT_TRANSPORT_H_
 #define BAGUA_TRANSPORT_TRANSPORT_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,37 +31,84 @@ struct Message {
 /// Messages between one (src, dst, tag) triple are FIFO. All collectives
 /// and the four BAGUA primitives are built on exactly these two calls, as
 /// §3.3 describes for the NCCL send/recv implementation.
+///
+/// The messaging entry points are virtual so that decorators can interpose
+/// on every byte that crosses the "wire" — the FaultyTransport of faults/
+/// injects seeded drops/dups/corruption below this API and transparently
+/// hardens it above (sequence numbers, checksums, deterministic
+/// retransmission), without any call-site changes.
+///
+/// Rank liveness: a crashed worker is modeled by MarkDead(rank) — its inbox
+/// is purged and any Recv *from* it that would otherwise block forever
+/// fails fast with DataLoss, which is how synchronous algorithms detect a
+/// failed member and abort cleanly. MarkAlive(rank) re-admits a respawned
+/// worker (crash/recover flows in harness/).
 class TransportGroup {
  public:
   explicit TransportGroup(int world_size);
+  virtual ~TransportGroup() = default;
 
   int world_size() const { return world_size_; }
 
-  /// Buffered send; copies the payload.
-  Status Send(int src, int dst, uint64_t tag, const void* data, size_t bytes);
+  /// Buffered send; copies the payload. Sending to a dead rank succeeds and
+  /// discards (the sender cannot know the peer died — death is discovered
+  /// on the receive side, as with a real network).
+  virtual Status Send(int src, int dst, uint64_t tag, const void* data,
+                      size_t bytes);
 
   /// Blocking receive of the next message from `src` with tag `tag`
-  /// addressed to `dst`.
-  Status Recv(int src, int dst, uint64_t tag, std::vector<uint8_t>* out);
+  /// addressed to `dst`. Returns DataLoss if `src` is dead and nothing from
+  /// it is queued; Cancelled after Shutdown.
+  virtual Status Recv(int src, int dst, uint64_t tag,
+                      std::vector<uint8_t>* out);
+
+  /// Recv with a deadline: returns DeadlineExceeded if no matching message
+  /// arrives within `timeout`. The building block of ack/retry protocols
+  /// (faults/reliable.h) and of failure detectors.
+  virtual Status RecvWithDeadline(int src, int dst, uint64_t tag,
+                                  std::chrono::milliseconds timeout,
+                                  std::vector<uint8_t>* out);
 
   /// Non-blocking receive: pops the next message addressed to `dst` with
   /// tag `tag` from ANY source. Returns NotFound when none is pending.
   /// `src_out` (optional) receives the sender's rank. This is the building
   /// block of the asynchronous gossip algorithms, which drain whatever
-  /// peer models have arrived without waiting.
-  Status TryRecvAny(int dst, uint64_t tag, std::vector<uint8_t>* out,
-                    int* src_out = nullptr);
+  /// peer models have arrived without waiting. Sources are served
+  /// round-robin (per destination) so a chatty low rank cannot starve
+  /// higher ranks.
+  virtual Status TryRecvAny(int dst, uint64_t tag, std::vector<uint8_t>* out,
+                            int* src_out = nullptr);
 
   /// Receives into a float span (payload must be exactly n*4 bytes).
+  /// Non-virtual: built on the virtual Recv.
   Status RecvFloats(int src, int dst, uint64_t tag, float* out, size_t n);
 
   /// Marks the group shut down; pending and future Recv calls return
   /// Cancelled. Used for orderly teardown on failure paths.
   void Shutdown();
 
+  /// \name Rank liveness (crash modeling)
+  /// @{
+
+  /// Declares `rank` dead: purges its inbox (messages addressed to it are
+  /// lost, like kernel buffers of a crashed host) and wakes every blocked
+  /// Recv so receives *from* it fail with DataLoss. Messages it sent that
+  /// were already delivered to other inboxes remain readable.
+  void MarkDead(int rank);
+
+  /// Re-admits a respawned `rank` (its inbox starts empty).
+  void MarkAlive(int rank);
+
+  bool IsAlive(int rank) const;
+
+  /// @}
+
   /// Total bytes accepted by Send since construction (traffic accounting
   /// used by tests and by the communication-volume reports).
   uint64_t TotalBytesSent() const;
+
+ protected:
+  bool shut_down() const { return shutdown_.load(); }
 
  private:
   struct Box {
@@ -67,10 +116,13 @@ class TransportGroup {
     std::condition_variable cv;
     // Keyed by (src, tag) for O(log) matching.
     std::map<std::pair<int, uint64_t>, std::deque<std::vector<uint8_t>>> queues;
+    // Round-robin cursor for TryRecvAny fairness across sources.
+    uint64_t rr_cursor = 0;
   };
 
   int world_size_;
   std::vector<std::unique_ptr<Box>> boxes_;
+  std::unique_ptr<std::atomic<bool>[]> alive_;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> bytes_sent_{0};
 };
@@ -81,6 +133,40 @@ class TransportGroup {
 constexpr uint64_t MakeTag(uint32_t space, uint32_t step) {
   return (static_cast<uint64_t>(space) << 32) | step;
 }
+
+/// \name Tag-space allocation map (audited)
+///
+/// The 32-bit `space` argument of MakeTag is partitioned so that no two
+/// subsystems can ever collide:
+///
+///   [0x00000000, 0x80000000)  application collectives. Allocated
+///       dynamically by CommContext::NextSpace (stride kSpaceStride = 8 per
+///       primitive invocation; hierarchical execution uses space+0..+2).
+///       Within a space, the `step` word is the protocol round: ring
+///       collectives use s (reduce-scatter) and 1000+s (allgather),
+///       ScatterReduce uses 0 (partition push) and 1 (merged broadcast),
+///       the decentralized exchange uses 2. ps/ uses no tags (it is a
+///       shared-memory substrate, not a transport client).
+///   [0x80000000, 0x90000000)  async-decen gossip: space =
+///       kGossipSpaceBase + bucket index. Fixed (not NextSpace-allocated)
+///       because gossip messages must match across workers at *different*
+///       step counts.
+///   [0xF0000000, 0xFFFFFFFF]  RESERVED for fault-control traffic (acks,
+///       nacks, heartbeats) of the faults/ subsystem. Application code must
+///       never allocate here: a retransmitted ack that cross-matched an
+///       application receive would corrupt training state. The ack space
+///       paired with application space `s` is AckSpace(s).
+/// @{
+constexpr uint32_t kAppSpaceLimit = 0x80000000u;
+constexpr uint32_t kGossipSpaceBase = 0x80000000u;
+constexpr uint32_t kGossipSpaceLimit = 0x90000000u;
+constexpr uint32_t kFaultControlSpace = 0xF0000000u;
+
+/// The reserved fault-control space carrying acks for data sent in `space`.
+constexpr uint32_t AckSpace(uint32_t space) {
+  return kFaultControlSpace | (space & 0x0FFFFFFFu);
+}
+/// @}
 
 }  // namespace bagua
 

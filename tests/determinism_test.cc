@@ -50,6 +50,34 @@ INSTANTIATE_TEST_SUITE_P(SyncAlgorithms, DeterminismTest,
                                            "decen-32bits", "decen-8bits",
                                            "allreduce-fp16", "local-sgd-4"));
 
+TEST(DeterminismTest, FaultedRunIsDeterministic) {
+  // The fault schedule is a pure function of (plan seed, link, per-link
+  // message index): two identical faulted runs must agree bitwise on the
+  // loss trajectory AND on every injection/recovery counter.
+  auto run = [] {
+    ConvergenceOptions opts;
+    opts.algorithm = "allreduce";
+    opts.epochs = 2;
+    opts.topo = ClusterTopology::Make(4, 1);
+    opts.data.num_samples = 1024;
+    opts.faults.seed = 31;
+    opts.faults.Drop(0.15).Corrupt(0.05).Duplicate(0.1);
+    auto result = RunConvergence(opts);
+    BAGUA_CHECK(result.ok()) << result.status().ToString();
+    return *result;
+  };
+  const ConvergenceResult a = run();
+  const ConvergenceResult b = run();
+  ASSERT_EQ(a.epoch_loss.size(), b.epoch_loss.size());
+  for (size_t e = 0; e < a.epoch_loss.size(); ++e) {
+    ASSERT_EQ(a.epoch_loss[e], b.epoch_loss[e]) << "epoch " << e;
+  }
+  EXPECT_TRUE(a.fault_stats == b.fault_stats);
+  EXPECT_EQ(a.fault_penalty_s, b.fault_penalty_s);
+  EXPECT_GT(a.fault_stats.drops, 0u);
+  EXPECT_GT(a.fault_stats.retries, 0u);
+}
+
 TEST(DeterminismTest, TimingModelIsPure) {
   // The cost model has no hidden state: repeated evaluation is identical.
   TimingConfig cfg;

@@ -153,6 +153,121 @@ TEST(TransportTest, TryRecvAnyAfterShutdown) {
   EXPECT_TRUE(group.TryRecvAny(0, 0, &out).IsCancelled());
 }
 
+TEST(TransportTest, RecvWithDeadlineTimesOut) {
+  TransportGroup group(2);
+  std::vector<uint8_t> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(group
+                  .RecvWithDeadline(0, 1, MakeTag(1, 0),
+                                    std::chrono::milliseconds(30), &out)
+                  .IsDeadlineExceeded());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+}
+
+TEST(TransportTest, RecvWithDeadlineDeliversBeforeTimeout) {
+  TransportGroup group(2);
+  std::thread sender([&group] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const uint32_t v = 6;
+    ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &v, 4).ok());
+  });
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(group
+                  .RecvWithDeadline(0, 1, MakeTag(1, 0),
+                                    std::chrono::milliseconds(2000), &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 4u);
+  sender.join();
+}
+
+TEST(TransportTest, TryRecvAnyRoundRobinAcrossSources) {
+  // With messages pending from two sources, repeated drains must alternate
+  // between them instead of always preferring the lower rank.
+  TransportGroup group(3);
+  for (uint32_t m = 0; m < 3; ++m) {
+    ASSERT_TRUE(group.Send(1, 0, MakeTag(9, 0), &m, 4).ok());
+    ASSERT_TRUE(group.Send(2, 0, MakeTag(9, 0), &m, 4).ok());
+  }
+  std::vector<int> sources;
+  std::vector<uint8_t> out;
+  int src = -1;
+  while (group.TryRecvAny(0, MakeTag(9, 0), &out, &src).ok()) {
+    sources.push_back(src);
+  }
+  ASSERT_EQ(sources.size(), 6u);
+  // While both sources had traffic (first four pops), service alternated.
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_NE(sources[i], sources[i - 1])
+        << "consecutive pops served the same source";
+  }
+}
+
+TEST(TransportTest, FifoPerSrcTagUnderConcurrentSenders) {
+  constexpr int kSenders = 4, kMsgs = 200;
+  TransportGroup group(kSenders + 1);
+  const int dst = kSenders;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSenders; ++s) {
+    threads.emplace_back([&group, s, dst] {
+      for (uint32_t m = 0; m < kMsgs; ++m) {
+        const uint32_t payload = s * 100000 + m;
+        ASSERT_TRUE(group.Send(s, dst, MakeTag(2, 0), &payload, 4).ok());
+      }
+    });
+  }
+  // Concurrently drain: each (src, tag) stream must stay in send order
+  // even while the other senders interleave arbitrarily.
+  std::vector<uint32_t> next(kSenders, 0);
+  for (int k = 0; k < kSenders * kMsgs; ++k) {
+    std::vector<uint8_t> out;
+    int src = -1;
+    while (!group.TryRecvAny(dst, MakeTag(2, 0), &out, &src).ok()) {
+      std::this_thread::yield();
+    }
+    uint32_t v;
+    std::memcpy(&v, out.data(), 4);
+    ASSERT_EQ(v, static_cast<uint32_t>(src) * 100000 + next[src])
+        << "stream from src " << src << " out of order";
+    ++next[src];
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(TransportTest, DeadRankSemantics) {
+  TransportGroup group(3);
+  const uint32_t v = 4;
+  // A message delivered before death stays readable...
+  ASSERT_TRUE(group.Send(1, 0, MakeTag(1, 0), &v, 4).ok());
+  group.MarkDead(1);
+  EXPECT_FALSE(group.IsAlive(1));
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(group.Recv(1, 0, MakeTag(1, 0), &out).ok());
+  // ...further receives from the dead rank fail fast with DataLoss.
+  EXPECT_TRUE(group.Recv(1, 0, MakeTag(1, 0), &out).IsDataLoss());
+  // Sends TO a dead rank succeed and discard (death is discovered on the
+  // receive side), and its inbox was purged with it.
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &v, 4).ok());
+  group.MarkAlive(1);
+  EXPECT_TRUE(group
+                  .RecvWithDeadline(0, 1, MakeTag(1, 0),
+                                    std::chrono::milliseconds(20), &out)
+                  .IsDeadlineExceeded());
+}
+
+TEST(TransportTest, MarkDeadWakesBlockedReceiver) {
+  TransportGroup group(2);
+  Status status;
+  std::thread receiver([&] {
+    std::vector<uint8_t> out;
+    status = group.Recv(1, 0, MakeTag(1, 0), &out);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  group.MarkDead(1);
+  receiver.join();
+  EXPECT_TRUE(status.IsDataLoss()) << status.ToString();
+}
+
 TEST(TransportTest, ManyThreadsStress) {
   constexpr int kWorld = 8, kMsgs = 50;
   TransportGroup group(kWorld);
