@@ -30,7 +30,10 @@ void Run(const char* model, const char* algorithm, double gbps) {
 }  // namespace
 }  // namespace bagua
 
-int main() {
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
   bagua::Run("bert-large", "allreduce", 25);
   bagua::Run("bert-large", "1bit-adam", 10);
   bagua::Run("vgg16", "qsgd8", 10);

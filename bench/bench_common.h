@@ -1,8 +1,13 @@
 #ifndef BAGUA_BENCH_BENCH_COMMON_H_
 #define BAGUA_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "algorithms/algorithms.h"
 #include "algorithms/registry.h"
@@ -11,8 +16,89 @@
 #include "harness/report.h"
 #include "harness/timing.h"
 #include "sim/collective_cost.h"
+#include "trace/merge.h"
+#include "trace/trace.h"
 
 namespace bagua {
+
+/// \brief Flags shared by every bench binary, hoisted here so each bench
+/// does not grow its own parsing loop.
+///
+///   --trace-out=PATH    record a runtime trace and write the merged
+///                       Chrome-trace JSON to PATH on exit
+///   --trace-ranks=N     rank slots in the tracer (default 64 — events
+///                       from ranks >= N are dropped)
+struct BenchArgs {
+  std::string trace_out;
+  int trace_ranks = 64;
+  bool ok = true;
+  std::string error;
+};
+
+/// Parses the shared flags and REMOVES them from argv (compacting
+/// argc/argv in place), so binaries that forward the remainder — e.g. to
+/// benchmark::Initialize — never see them. Unknown arguments are left
+/// untouched.
+inline BenchArgs ParseArgs(int* argc, char** argv) {
+  BenchArgs args;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      args.trace_out = a + 12;
+      if (args.trace_out.empty()) {
+        args.ok = false;
+        args.error = "--trace-out= needs a path";
+      }
+    } else if (std::strncmp(a, "--trace-ranks=", 14) == 0) {
+      args.trace_ranks = std::atoi(a + 14);
+      if (args.trace_ranks <= 0) {
+        args.ok = false;
+        args.error = "--trace-ranks= needs a positive integer";
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return args;
+}
+
+/// Prints the parse error + usage; benches `return BenchArgsError(args)`.
+inline int BenchArgsError(const BenchArgs& args) {
+  std::fprintf(stderr, "error: %s\nusage: [--trace-out=PATH]"
+                       " [--trace-ranks=N]\n",
+               args.error.c_str());
+  return 2;
+}
+
+/// \brief Installs a global tracer for the bench's lifetime when
+/// --trace-out was given (a no-op otherwise) and, on destruction, writes
+/// the merged Chrome-trace JSON and prints the compact summary.
+class TraceSession {
+ public:
+  explicit TraceSession(const BenchArgs& args) {
+    if (args.trace_out.empty()) return;
+    path_ = args.trace_out;
+    tracer_ = std::make_unique<Tracer>(args.trace_ranks);
+    InstallGlobalTracer(tracer_.get());
+  }
+  ~TraceSession() {
+    if (tracer_ == nullptr) return;
+    UninstallGlobalTracer();
+    std::ofstream out(path_, std::ios::binary);
+    out << MergedChromeTrace(*tracer_);
+    out.close();
+    std::fprintf(stdout, "\ntrace written to %s\n\n%s\n", path_.c_str(),
+                 RenderTraceSummary(*tracer_).c_str());
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::unique_ptr<Tracer> tracer_;
+  std::string path_;
+};
 
 /// The per-task algorithm the paper's Table 3 / Fig. 5 selects as BAGUA's
 /// best ("Algorithms used in BAGUA are QSGD (VGG16), 1-bit Adam

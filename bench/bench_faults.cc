@@ -93,7 +93,10 @@ void RunMeasured() {
 }  // namespace
 }  // namespace bagua
 
-int main() {
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
   bagua::RunSweep();
   bagua::RunMeasured();
   return 0;

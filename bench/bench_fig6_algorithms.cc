@@ -60,7 +60,10 @@ void RunTask(const char* task_name, uint64_t seed, double lr,
 }  // namespace
 }  // namespace bagua
 
-int main() {
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
   bagua::RunTask("task A (VGG16-like stand-in)", 101, 0.05, false);
   bagua::RunTask("task B (BERT-like stand-in)", 202, 0.05, true);
   bagua::RunTask("task C (LSTM+AlexNet-like stand-in)", 303, 0.05, false);

@@ -99,7 +99,10 @@ void Crossovers() {
 }  // namespace
 }  // namespace bagua
 
-int main() {
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
   bagua::BandwidthSweep("bert-large");
   // "We show BERT-LARGE, but other tasks have similar profile" (§4.3) —
   // demonstrate it for a conv workload too.

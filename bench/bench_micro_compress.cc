@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "base/logging.h"
 #include "base/rng.h"
 #include "compress/factory.h"
@@ -63,4 +65,15 @@ CODEC_BENCH(topk1pct, "topk:0.01");
 }  // namespace
 }  // namespace bagua
 
-BENCHMARK_MAIN();
+// Shared flag parsing must run before benchmark::Initialize so the
+// library never sees --trace-out / --trace-ranks.
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "base/logging.h"
 #include "base/sync.h"
 #include "comm/primitives.h"
@@ -99,4 +101,15 @@ BENCHMARK(BM_DLpS_Qsgd8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 }  // namespace
 }  // namespace bagua
 
-BENCHMARK_MAIN();
+// Shared flag parsing must run before benchmark::Initialize so the
+// library never sees --trace-out / --trace-ranks.
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -39,7 +39,10 @@ void Run(const char* model) {
 }  // namespace
 }  // namespace bagua
 
-int main() {
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
   bagua::Run("vgg16");
   bagua::Run("bert-large");
   return 0;

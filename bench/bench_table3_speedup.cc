@@ -54,7 +54,10 @@ void Run() {
 }  // namespace
 }  // namespace bagua
 
-int main() {
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace_session(args);
   bagua::Run();
   return 0;
 }

@@ -15,6 +15,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> tracing-enabled run + trace schema validation"
+TRACE_JSON="$(mktemp /tmp/bagua_check_trace.XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON"' EXIT
+./build/examples/trace_observability --trace-out="$TRACE_JSON" >/dev/null
+./build/tools/trace_schema_check "$TRACE_JSON"
+ctest --test-dir build --output-on-failure -j "$JOBS" -L trace
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"

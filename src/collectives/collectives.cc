@@ -6,8 +6,22 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "tensor/ops.h"
+#include "trace/trace.h"
 
 namespace bagua {
+
+// Tracer byte-counter keys, one per collective. Each counts the bytes this
+// rank handed to Send inside the collective — summed over the group they
+// equal the analytic wire volume of one invocation exactly (the property
+// tests/trace_accounting_test.cc sweeps), and they are independent of the
+// transport-level transport.sent.* counters measuring the same wire.
+namespace collective_keys {
+constexpr char kRingAllreduce[] = "collective.ring_allreduce.bytes";
+constexpr char kBroadcast[] = "collective.broadcast.bytes";
+constexpr char kReduce[] = "collective.reduce.bytes";
+constexpr char kRingAllgather[] = "collective.ring_allgather.bytes";
+constexpr char kGatherBytes[] = "collective.gather_bytes.bytes";
+}  // namespace collective_keys
 
 Chunk ChunkOf(size_t n, size_t m, size_t c) {
   const size_t base = n / m;
@@ -46,6 +60,10 @@ Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
     const size_t recv_c = (i + m - s - 1) % m;
     const Chunk sc = ChunkOf(n, m, send_c);
     const Chunk rc = ChunkOf(n, m, recv_c);
+    TraceSpan span(rank, TraceStream::kComm, "allreduce.rs",
+                   sc.count * sizeof(float), static_cast<int>(s));
+    TraceCountBytes(rank, collective_keys::kRingAllreduce,
+                    sc.count * sizeof(float));
     RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s), data + sc.begin,
                                 sc.count * sizeof(float)));
     RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
@@ -59,6 +77,10 @@ Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
     const size_t recv_c = (i + m - s) % m;
     const Chunk sc = ChunkOf(n, m, send_c);
     const Chunk rc = ChunkOf(n, m, recv_c);
+    TraceSpan span(rank, TraceStream::kComm, "allreduce.ag",
+                   sc.count * sizeof(float), static_cast<int>(s));
+    TraceCountBytes(rank, collective_keys::kRingAllreduce,
+                    sc.count * sizeof(float));
     RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, 1000 + s),
                                 data + sc.begin, sc.count * sizeof(float)));
     RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, 1000 + s),
@@ -80,6 +102,10 @@ Status Broadcast(TransportGroup* group, const std::vector<int>& ranks,
   if (m == 1) return Status::OK();
 
   if (i == root_index) {
+    TraceSpan span(rank, TraceStream::kComm, "broadcast",
+                   (m - 1) * n * sizeof(float));
+    TraceCountBytes(rank, collective_keys::kBroadcast,
+                    (m - 1) * n * sizeof(float));
     for (size_t j = 0; j < m; ++j) {
       if (static_cast<int>(j) == root_index) continue;
       RETURN_IF_ERROR(group->Send(rank, ranks[j], MakeTag(space, 0), data,
@@ -87,6 +113,7 @@ Status Broadcast(TransportGroup* group, const std::vector<int>& ranks,
     }
     return Status::OK();
   }
+  TraceSpan span(rank, TraceStream::kComm, "broadcast.recv");
   return group->RecvFloats(ranks[root_index], rank, MakeTag(space, 0), data,
                            n);
 }
@@ -103,6 +130,7 @@ Status Reduce(TransportGroup* group, const std::vector<int>& ranks, int rank,
   if (m == 1) return Status::OK();
 
   if (i == root_index) {
+    TraceSpan span(rank, TraceStream::kComm, "reduce.recv");
     std::vector<float> recv_buf(n);
     for (size_t j = 0; j < m; ++j) {
       if (static_cast<int>(j) == root_index) continue;
@@ -112,6 +140,8 @@ Status Reduce(TransportGroup* group, const std::vector<int>& ranks, int rank,
     }
     return Status::OK();
   }
+  TraceSpan span(rank, TraceStream::kComm, "reduce", n * sizeof(float));
+  TraceCountBytes(rank, collective_keys::kReduce, n * sizeof(float));
   return group->Send(rank, ranks[root_index], MakeTag(space, 0), data,
                      n * sizeof(float));
 }
@@ -133,6 +163,10 @@ Status RingAllgather(TransportGroup* group, const std::vector<int>& ranks,
   for (size_t s = 0; s + 1 < m; ++s) {
     const size_t send_c = (i + m - s) % m;
     const size_t recv_c = (i + m - s - 1) % m;
+    TraceSpan span(rank, TraceStream::kComm, "allgather",
+                   chunk * sizeof(float), static_cast<int>(s));
+    TraceCountBytes(rank, collective_keys::kRingAllgather,
+                    chunk * sizeof(float));
     RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s),
                                 data + send_c * chunk, chunk * sizeof(float)));
     RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
@@ -161,6 +195,7 @@ Status GatherBytes(TransportGroup* group, const std::vector<int>& ranks,
     }
     return Status::OK();
   }
+  TraceCountBytes(rank, collective_keys::kGatherBytes, payload.size());
   return group->Send(rank, ranks[root_index], MakeTag(space, 0),
                      payload.data(), payload.size());
 }

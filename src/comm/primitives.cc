@@ -8,6 +8,7 @@
 #include "collectives/collectives.h"
 #include "sim/collective_cost.h"
 #include "tensor/ops.h"
+#include "trace/trace.h"
 
 namespace bagua {
 
@@ -85,6 +86,10 @@ Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
     if (static_cast<int>(j) == i) {
       own_partition_payload = payload;
     } else {
+      TraceSpan span(ctx->rank, TraceStream::kComm, "scatter_reduce.push",
+                     payload.size(), static_cast<int>(j));
+      TraceCountBytes(ctx->rank, "primitive.scatter_reduce.bytes",
+                      payload.size());
       RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 0),
                                   payload.data(), payload.size()));
     }
@@ -124,10 +129,16 @@ Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
   }
 
   // Phase 3: every server broadcasts its merged partition; decode into x'.
-  for (size_t j = 0; j < m; ++j) {
-    if (static_cast<int>(j) == i) continue;
-    RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 1),
-                                payload.data(), payload.size()));
+  {
+    TraceSpan span(ctx->rank, TraceStream::kComm, "scatter_reduce.bcast",
+                   (m - 1) * payload.size());
+    TraceCountBytes(ctx->rank, "primitive.scatter_reduce.bytes",
+                    (m - 1) * payload.size());
+    for (size_t j = 0; j < m; ++j) {
+      if (static_cast<int>(j) == i) continue;
+      RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 1),
+                                  payload.data(), payload.size()));
+    }
   }
   RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(), mine.count,
                                    decode_buf.data()));
@@ -191,6 +202,12 @@ Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
   }
   for (int p : peers) {
     if (!group->IsAlive(p)) continue;  // dead peer: no point shipping bytes
+    // The peer index in the span name makes decentralized traces
+    // seed-sensitive: a different peer matching is a visibly different
+    // schedule, which the golden-determinism tests rely on.
+    TraceSpan span(ctx->rank, TraceStream::kComm, "decen.peer",
+                   payload.size(), p);
+    TraceCountBytes(ctx->rank, "primitive.decen.bytes", payload.size());
     RETURN_IF_ERROR(group->Send(ctx->rank, p, MakeTag(space, 2),
                                 payload.data(), payload.size()));
   }

@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include "base/logging.h"
+#include "trace/trace.h"
 
 namespace bagua {
 
@@ -19,19 +20,30 @@ BaguaRuntime::BaguaRuntime(CommWorld* world, int rank, Net* net,
 }
 
 Result<double> BaguaRuntime::TrainStepCE(const Tensor& x, const Tensor& y) {
+  TraceSpan step_span(ctx_.comm.rank, TraceStream::kTrain, "step",
+                      /*bytes=*/0, static_cast<int>(ctx_.step));
   net_->ZeroGrad();
-  Tensor logits;
-  RETURN_IF_ERROR(net_->Forward(x, &logits));
   double loss = 0.0;
   Tensor grad_logits;
-  RETURN_IF_ERROR(SoftmaxCrossEntropy(logits, y, &loss, &grad_logits));
-
-  if (!profiled_) {
-    RETURN_IF_ERROR(ProfilingStep(grad_logits));
-  } else {
-    RETURN_IF_ERROR(ExecutionStep(grad_logits));
+  {
+    TraceSpan fwd(ctx_.comm.rank, TraceStream::kCompute, "forward");
+    Tensor logits;
+    RETURN_IF_ERROR(net_->Forward(x, &logits));
+    RETURN_IF_ERROR(SoftmaxCrossEntropy(logits, y, &loss, &grad_logits));
   }
-  RETURN_IF_ERROR(algorithm_->OnStepEnd(&ctx_));
+
+  // Backward + bucket communication: ExecutionStep interleaves the two
+  // when overlap is on, which the trace shows as comm spans (kComm, from
+  // FireBucket) nested inside this backward span (kCompute).
+  {
+    TraceSpan bwd(ctx_.comm.rank, TraceStream::kCompute, "backward+update");
+    if (!profiled_) {
+      RETURN_IF_ERROR(ProfilingStep(grad_logits));
+    } else {
+      RETURN_IF_ERROR(ExecutionStep(grad_logits));
+    }
+    RETURN_IF_ERROR(algorithm_->OnStepEnd(&ctx_));
+  }
   ++ctx_.step;
   ++ctx_.comm.step;
   return loss;
@@ -106,6 +118,9 @@ Status BaguaRuntime::ExecutionStep(const Tensor& grad_out) {
 }
 
 Status BaguaRuntime::FireBucket(Bucket* bucket) {
+  TraceSpan span(ctx_.comm.rank, TraceStream::kComm, "bucket",
+                 bucket->numel * sizeof(float),
+                 static_cast<int>(bucket->index));
   RETURN_IF_ERROR(bucket->GatherToFlat());
   RETURN_IF_ERROR(algorithm_->OnBucketReady(&ctx_, bucket));
   return bucket->ScatterFromFlat();

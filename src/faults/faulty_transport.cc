@@ -7,6 +7,7 @@
 #include "base/strings.h"
 #include "faults/wire.h"
 #include "sim/fault_cost.h"
+#include "trace/trace.h"
 
 namespace bagua {
 
@@ -161,6 +162,24 @@ Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
     stats_.retries += static_cast<uint64_t>(attempt - 1);
     if (!delivered) ++stats_.data_loss;
   }
+  if (attempt > 1) {
+    // One retry span per logical message that needed retransmission; its
+    // byte payload is every extra copy of the frame the ARQ pushed onto
+    // the wire.
+    TraceSpan span(src, TraceStream::kFault, "arq.retry",
+                   static_cast<uint64_t>(attempt - 1) * frame.size(),
+                   attempt - 1);
+  }
+  // Mirrors the stats_ updates above one-for-one, so tracer counters and
+  // FaultStats stay two views of the same (deterministic) retry schedule.
+  if (attempt > 1) {
+    TraceIncrement(src, "fault.retries", static_cast<uint64_t>(attempt - 1));
+  }
+  if (drops > 0) TraceIncrement(src, "fault.drops", drops);
+  if (corruptions > 0) TraceIncrement(src, "fault.corruptions", corruptions);
+  if (duplicates > 0) TraceIncrement(src, "fault.duplicates", duplicates);
+  if (delays > 0) TraceIncrement(src, "fault.delays", delays);
+  if (!delivered) TraceIncrement(src, "fault.data_loss");
   if (penalty > 0.0) {
     SrcState& ss = *src_states_[src];
     std::lock_guard<std::mutex> lock(ss.mu);
@@ -207,6 +226,10 @@ Status FaultyTransport::SendRaw(int src, int dst, uint64_t tag,
     if (!f.drop && f.delay) ++stats_.delays;
     if (f.degrade > 1.0) ++stats_.degraded;
   }
+  if (f.drop) TraceIncrement(src, "fault.drops");
+  if (!f.drop && f.corrupt) TraceIncrement(src, "fault.corruptions");
+  if (!f.drop && f.duplicate) TraceIncrement(src, "fault.duplicates");
+  if (!f.drop && f.delay) TraceIncrement(src, "fault.delays");
   if (penalty > 0.0) {
     SrcState& ss = *src_states_[src];
     std::lock_guard<std::mutex> lock(ss.mu);

@@ -1,8 +1,10 @@
 #include "harness/report.h"
 
 #include <algorithm>
+#include <map>
 
 #include "base/logging.h"
+#include "base/strings.h"
 
 namespace bagua {
 
@@ -61,6 +63,41 @@ void ReportTable::Print(FILE* out) const {
 
 void PrintSection(const std::string& title, FILE* out) {
   std::fprintf(out, "\n## %s\n\n", title.c_str());
+}
+
+std::string RenderTraceSummary(const Tracer& tracer) {
+  ReportTable ranks({"rank", "spans", "virtual ticks", "wall ms",
+                     "comm bytes", "fault spans"});
+  for (int r = 0; r < tracer.world_size(); ++r) {
+    const auto events = tracer.Events(r);
+    if (events.empty() && tracer.metrics(r).CounterSnapshot().empty()) {
+      continue;  // rank slot never produced anything — keep the table short
+    }
+    uint64_t ticks = 0, comm_bytes = 0, fault_spans = 0;
+    double wall_us = 0.0;
+    for (const TraceEvent& ev : events) {
+      ticks = std::max(ticks, ev.vt_end);
+      wall_us = std::max(wall_us, ev.wall_end_us);
+      if (ev.stream == TraceStream::kComm) comm_bytes += ev.bytes;
+      if (ev.stream == TraceStream::kFault) ++fault_spans;
+    }
+    ranks.AddRow({std::to_string(r), std::to_string(events.size()),
+                  std::to_string(ticks), StrFormat("%.1f", wall_us / 1e3),
+                  std::to_string(comm_bytes), std::to_string(fault_spans)});
+  }
+
+  // Counter totals across ranks, name-sorted (std::map) for determinism.
+  std::map<std::string, uint64_t> totals;
+  for (int r = 0; r < tracer.world_size(); ++r) {
+    for (const auto& [name, value] : tracer.metrics(r).CounterSnapshot()) {
+      totals[name] += value;
+    }
+  }
+  ReportTable counters({"counter", "total"});
+  for (const auto& [name, value] : totals) {
+    counters.AddRow({name, std::to_string(value)});
+  }
+  return ranks.ToMarkdown() + "\n" + counters.ToMarkdown();
 }
 
 }  // namespace bagua

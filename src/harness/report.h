@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.h"
+
 namespace bagua {
 
 /// \brief Minimal fixed-width/markdown table printer for the benchmark
@@ -33,6 +35,13 @@ class ReportTable {
 
 /// \brief Prints a section header for bench output.
 void PrintSection(const std::string& title, FILE* out = stdout);
+
+/// \brief Compact text summary of a recorded trace: one per-rank row
+/// (spans, virtual ticks, wall milliseconds, bytes through the comm
+/// stream) followed by the global counter totals. The wall column is the
+/// only place wall time surfaces — the merged Chrome JSON is virtual-time
+/// only so it stays deterministic.
+std::string RenderTraceSummary(const Tracer& tracer);
 
 }  // namespace bagua
 

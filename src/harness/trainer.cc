@@ -15,6 +15,7 @@
 #include "model/checkpoint.h"
 #include "model/loss.h"
 #include "model/net.h"
+#include "trace/trace.h"
 
 namespace bagua {
 
@@ -159,6 +160,8 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
       bool crashed_once = false;
       size_t last_ckpt_step = 0;
       if (opts.checkpoint_every > 0) {
+        TraceSpan span(static_cast<int>(r), TraceStream::kCheckpoint,
+                       "checkpoint.save");
         RETURN_IF_ERROR(SaveCheckpoint(workers[r].net.get(),
                                        ckpt_path(static_cast<int>(r))));
       }
@@ -170,6 +173,7 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
           // instead of hanging on it.
           crashed_once = true;
           group->MarkDead(static_cast<int>(r));
+          TraceIncrement(static_cast<int>(r), "trainer.crashes");
           if (!crash->recover) {
             permanently_dead[r] = 1;
             epochs_done[r] = step / batches;
@@ -178,10 +182,16 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
           // Respawn: rebuild process state from scratch, reload the last
           // checkpoint, rejoin the membership, rewind to the checkpointed
           // step and re-play from there.
-          RETURN_IF_ERROR(build_worker(static_cast<int>(r)));
-          RETURN_IF_ERROR(LoadCheckpoint(workers[r].net.get(),
-                                         ckpt_path(static_cast<int>(r))));
-          group->MarkAlive(static_cast<int>(r));
+          {
+            TraceSpan span(static_cast<int>(r), TraceStream::kCheckpoint,
+                           "recover", /*bytes=*/0,
+                           static_cast<int>(crash->at_step));
+            RETURN_IF_ERROR(build_worker(static_cast<int>(r)));
+            RETURN_IF_ERROR(LoadCheckpoint(workers[r].net.get(),
+                                           ckpt_path(static_cast<int>(r))));
+            group->MarkAlive(static_cast<int>(r));
+          }
+          TraceIncrement(static_cast<int>(r), "trainer.recoveries");
           recoveries.fetch_add(1);
           step = last_ckpt_step;
           continue;
@@ -197,6 +207,8 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
         step_loss[step] = loss;
         ++step;
         if (opts.checkpoint_every > 0 && step % opts.checkpoint_every == 0) {
+          TraceSpan span(static_cast<int>(r), TraceStream::kCheckpoint,
+                         "checkpoint.save");
           RETURN_IF_ERROR(SaveCheckpoint(workers[r].net.get(),
                                          ckpt_path(static_cast<int>(r))));
           last_ckpt_step = step;

@@ -1,0 +1,178 @@
+#include "trace/merge.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MergedChromeTrace(const Tracer& tracer) {
+  std::string out = "[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+
+  // A rank slot is part of the document iff it recorded anything; within an
+  // active rank every stream gets a track, so the layout never depends on
+  // which streams happened to record events.
+  auto active = [&](int r) {
+    return !tracer.Events(r).empty() ||
+           !tracer.metrics(r).CounterSnapshot().empty();
+  };
+
+  for (int r = 0; r < tracer.world_size(); ++r) {
+    if (!active(r)) continue;
+    emit(StrFormat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                   "\"tid\":0,\"args\":{\"name\":\"rank%d\"}}",
+                   r, r));
+    for (int s = 0; s < kNumTraceStreams; ++s) {
+      emit(StrFormat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                     "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     r, s, TraceStreamName(static_cast<TraceStream>(s))));
+    }
+  }
+
+  for (int r = 0; r < tracer.world_size(); ++r) {
+    uint64_t last_tick = 0;
+    for (const TraceEvent& ev : tracer.Events(r)) {
+      const uint64_t dur =
+          ev.vt_end > ev.vt_begin ? ev.vt_end - ev.vt_begin : 0;
+      emit(StrFormat(
+          "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+          "\"ts\":%llu,\"dur\":%llu,\"args\":{\"bytes\":%llu}}",
+          JsonEscape(ev.name).c_str(), r, static_cast<int>(ev.stream),
+          static_cast<unsigned long long>(ev.vt_begin),
+          static_cast<unsigned long long>(dur),
+          static_cast<unsigned long long>(ev.bytes)));
+      if (ev.vt_end > last_tick) last_tick = ev.vt_end;
+    }
+    // Counters land on the train track at the rank's final tick; the
+    // snapshot is name-sorted, keeping the document deterministic.
+    for (const auto& [name, value] : tracer.metrics(r).CounterSnapshot()) {
+      emit(StrFormat("{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"tid\":0,"
+                     "\"ts\":%llu,\"args\":{\"value\":%llu}}",
+                     JsonEscape(name).c_str(), r,
+                     static_cast<unsigned long long>(last_tick),
+                     static_cast<unsigned long long>(value)));
+    }
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+/// Extracts the string value of `"key":"..."` within one event object, or
+/// "" when absent/non-string.
+std::string StringField(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t begin = pos + needle.size();
+  const size_t end = obj.find('"', begin);
+  if (end == std::string::npos) return "";
+  return obj.substr(begin, end - begin);
+}
+
+bool HasField(const std::string& obj, const std::string& key) {
+  return obj.find("\"" + key + "\":") != std::string::npos;
+}
+
+}  // namespace
+
+Status ValidateChromeTrace(const std::string& json, std::string* stats_out) {
+  // Split the top-level array into event objects, respecting brace nesting
+  // (args sub-objects) and quoted strings.
+  size_t i = 0;
+  const size_t n = json.size();
+  while (i < n && std::isspace(static_cast<unsigned char>(json[i]))) ++i;
+  if (i >= n || json[i] != '[') {
+    return Status::InvalidArgument("trace JSON must be an array");
+  }
+  ++i;
+  size_t events = 0, metadata = 0, complete = 0, counters = 0;
+  while (i < n) {
+    while (i < n && (std::isspace(static_cast<unsigned char>(json[i])) ||
+                     json[i] == ',')) {
+      ++i;
+    }
+    if (i < n && json[i] == ']') break;
+    if (i >= n || json[i] != '{') {
+      return Status::InvalidArgument(
+          StrFormat("event %zu: expected an object at offset %zu", events, i));
+    }
+    const size_t begin = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < n; ++i) {
+      const char c = json[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}' && --depth == 0) {
+        ++i;
+        break;
+      }
+    }
+    if (depth != 0) {
+      return Status::InvalidArgument(
+          StrFormat("event %zu: unterminated object", events));
+    }
+    const std::string obj = json.substr(begin, i - begin);
+    const std::string ph = StringField(obj, "ph");
+    if (ph != "M" && ph != "X" && ph != "C") {
+      return Status::InvalidArgument(
+          StrFormat("event %zu: bad or missing \"ph\" (got '%s')", events,
+                    ph.c_str()));
+    }
+    if (StringField(obj, "name").empty() || !HasField(obj, "pid")) {
+      return Status::InvalidArgument(
+          StrFormat("event %zu: missing \"name\" or \"pid\"", events));
+    }
+    if (ph == "X" && (!HasField(obj, "ts") || !HasField(obj, "dur"))) {
+      return Status::InvalidArgument(
+          StrFormat("event %zu: X event missing \"ts\"/\"dur\"", events));
+    }
+    ++events;
+    if (ph == "M") ++metadata;
+    if (ph == "X") ++complete;
+    if (ph == "C") ++counters;
+  }
+  if (i >= n || json[i] != ']') {
+    return Status::InvalidArgument("trace JSON array is unterminated");
+  }
+  if (stats_out != nullptr) {
+    *stats_out = StrFormat("%zu events (%zu metadata, %zu spans, %zu counters)",
+                           events, metadata, complete, counters);
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

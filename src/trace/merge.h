@@ -1,0 +1,32 @@
+#ifndef BAGUA_TRACE_MERGE_H_
+#define BAGUA_TRACE_MERGE_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "trace/trace.h"
+
+namespace bagua {
+
+/// \brief Folds every rank's log into one Chrome-trace JSON document
+/// (load in chrome://tracing or https://ui.perfetto.dev): one process per
+/// rank, one track (thread) per stream, the same M-metadata + X-complete
+/// event schema sim/des.h's IterationSim emits, times in microseconds.
+///
+/// Only *virtual* timestamps (per-rank ticks) enter the document — wall
+/// times never do — so for a deterministic workload the merged JSON is
+/// byte-identical across runs: traces themselves are golden-testable.
+/// Per-rank counters are appended as "C" counter events, sorted by name.
+std::string MergedChromeTrace(const Tracer& tracer);
+
+/// \brief Lightweight structural validator for the emitted schema: a JSON
+/// array of flat event objects, each carrying "ph" (M, X or C), "name" and
+/// "pid"; X events must also carry "ts" and "dur". Returns OK with a short
+/// human-readable tally in `stats_out` (optional), or InvalidArgument
+/// naming the first offending event.
+Status ValidateChromeTrace(const std::string& json,
+                           std::string* stats_out = nullptr);
+
+}  // namespace bagua
+
+#endif  // BAGUA_TRACE_MERGE_H_

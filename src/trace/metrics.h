@@ -1,0 +1,48 @@
+#ifndef BAGUA_TRACE_METRICS_H_
+#define BAGUA_TRACE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bagua {
+
+/// \brief Thread-safe registry of named monotonic counters and gauges.
+///
+/// Counters only grow (Add with a non-negative delta); gauges hold the
+/// last value set. Snapshots are returned sorted by name so that any
+/// rendering of a registry is deterministic regardless of the order in
+/// which names were first touched.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the monotonic counter `name` (created at 0 on first
+  /// touch).
+  void Add(const std::string& name, uint64_t delta);
+
+  /// Current value of counter `name` (0 if never touched).
+  uint64_t Counter(const std::string& name) const;
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void SetGauge(const std::string& name, double value);
+
+  /// Current value of gauge `name` (0.0 if never set).
+  double Gauge(const std::string& name) const;
+
+  /// All counters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
+
+  /// All gauges, sorted by name.
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_TRACE_METRICS_H_

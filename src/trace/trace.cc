@@ -1,0 +1,147 @@
+#include "trace/trace.h"
+
+#include <atomic>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+const char* TraceStreamName(TraceStream stream) {
+  switch (stream) {
+    case TraceStream::kTrain:
+      return "train";
+    case TraceStream::kCompute:
+      return "compute";
+    case TraceStream::kComm:
+      return "comm";
+    case TraceStream::kCheckpoint:
+      return "ckpt";
+    case TraceStream::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+Tracer::Tracer(int world_size) : epoch_(std::chrono::steady_clock::now()) {
+  if (world_size < 0) world_size = 0;
+  ranks_.reserve(world_size);
+  for (int i = 0; i < world_size; ++i) {
+    ranks_.push_back(std::make_unique<RankLog>());
+  }
+}
+
+double Tracer::WallUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint64_t Tracer::BeginSpan(int rank, TraceStream stream, const char* name,
+                           uint64_t bytes, int index) {
+  RankLog* rl = log(rank);
+  if (rl == nullptr) return kInvalidSpan;
+  const double wall = WallUs();
+  std::lock_guard<std::mutex> lock(rl->mu);
+  TraceEvent ev;
+  ev.name = index >= 0 ? StrFormat("%s[%d]", name, index) : std::string(name);
+  ev.stream = stream;
+  ev.vt_begin = rl->ticks++;
+  ev.vt_end = ev.vt_begin;  // patched by EndSpan
+  ev.bytes = bytes;
+  ev.wall_begin_us = wall;
+  ev.wall_end_us = wall;
+  rl->events.push_back(std::move(ev));
+  return rl->events.size() - 1;
+}
+
+void Tracer::EndSpan(int rank, uint64_t span) {
+  RankLog* rl = log(rank);
+  if (rl == nullptr || span == kInvalidSpan) return;
+  const double wall = WallUs();
+  std::lock_guard<std::mutex> lock(rl->mu);
+  if (span >= rl->events.size()) return;
+  TraceEvent& ev = rl->events[span];
+  ev.vt_end = rl->ticks++;
+  ev.wall_end_us = wall;
+}
+
+void Tracer::AddSpanBytes(int rank, uint64_t span, uint64_t bytes) {
+  RankLog* rl = log(rank);
+  if (rl == nullptr || span == kInvalidSpan) return;
+  std::lock_guard<std::mutex> lock(rl->mu);
+  if (span >= rl->events.size()) return;
+  rl->events[span].bytes += bytes;
+}
+
+void Tracer::CountBytes(int rank, const std::string& key, uint64_t bytes) {
+  RankLog* rl = log(rank);
+  if (rl != nullptr) rl->metrics.Add(key, bytes);
+}
+
+void Tracer::Increment(int rank, const std::string& key, uint64_t delta) {
+  RankLog* rl = log(rank);
+  if (rl != nullptr) rl->metrics.Add(key, delta);
+}
+
+void Tracer::SetGauge(int rank, const std::string& key, double value) {
+  RankLog* rl = log(rank);
+  if (rl != nullptr) rl->metrics.SetGauge(key, value);
+}
+
+std::vector<TraceEvent> Tracer::Events(int rank) const {
+  RankLog* rl = log(rank);
+  if (rl == nullptr) return {};
+  std::lock_guard<std::mutex> lock(rl->mu);
+  return rl->events;
+}
+
+const MetricsRegistry& Tracer::metrics(int rank) const {
+  static const MetricsRegistry kEmpty;
+  RankLog* rl = log(rank);
+  return rl == nullptr ? kEmpty : rl->metrics;
+}
+
+uint64_t Tracer::Counter(int rank, const std::string& key) const {
+  return metrics(rank).Counter(key);
+}
+
+uint64_t Tracer::CounterTotal(const std::string& key) const {
+  uint64_t total = 0;
+  for (int r = 0; r < world_size(); ++r) total += Counter(r, key);
+  return total;
+}
+
+size_t Tracer::CountSpans(const std::string& name) const {
+  size_t count = 0;
+  for (int r = 0; r < world_size(); ++r) {
+    for (const TraceEvent& ev : Events(r)) {
+      // Exact name, or its indexed form "name[k]" (BeginSpan's index
+      // suffix) — so CountSpans("arq.retry") sees every retry burst.
+      if (ev.name == name ||
+          (ev.name.size() > name.size() + 1 &&
+           ev.name.compare(0, name.size(), name) == 0 &&
+           ev.name[name.size()] == '[')) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+#ifndef BAGUA_TRACE_DISABLED
+namespace {
+std::atomic<Tracer*> g_tracer{nullptr};
+}  // namespace
+
+Tracer* GlobalTracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void InstallGlobalTracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+void UninstallGlobalTracer() {
+  g_tracer.store(nullptr, std::memory_order_release);
+}
+#endif  // BAGUA_TRACE_DISABLED
+
+}  // namespace bagua

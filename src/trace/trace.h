@@ -1,0 +1,163 @@
+#ifndef BAGUA_TRACE_TRACE_H_
+#define BAGUA_TRACE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.h"
+
+namespace bagua {
+
+/// \brief The per-rank execution streams a trace distinguishes — one
+/// Chrome-trace track per rank × stream, mirroring how sim/des.h models a
+/// device as a compute stream plus a comm stream.
+enum class TraceStream : int {
+  kTrain = 0,       ///< whole training steps (harness/trainer)
+  kCompute = 1,     ///< forward/backward/optimizer work
+  kComm = 2,        ///< collectives, primitives, bucket exchanges
+  kCheckpoint = 3,  ///< checkpoint save/load and crash recovery
+  kFault = 4,       ///< ARQ retransmissions and other fault handling
+};
+constexpr int kNumTraceStreams = 5;
+
+const char* TraceStreamName(TraceStream stream);
+
+/// \brief One recorded span: a named interval on a rank's stream, stamped
+/// in both virtual time (per-rank monotone tick — deterministic for a
+/// deterministic per-rank event sequence) and wall time (microseconds
+/// since tracer construction — diagnostic only, never merged into golden
+/// output).
+struct TraceEvent {
+  std::string name;
+  TraceStream stream = TraceStream::kTrain;
+  uint64_t vt_begin = 0;
+  uint64_t vt_end = 0;
+  uint64_t bytes = 0;
+  double wall_begin_us = 0.0;
+  double wall_end_us = 0.0;
+};
+
+/// \brief Low-overhead, thread-safe per-rank event recorder.
+///
+/// Each rank owns an independent log (spans + a MetricsRegistry of named
+/// counters/gauges) behind its own mutex, so ranks never contend with each
+/// other. Virtual timestamps are per-rank ticks advanced at every span
+/// boundary: because every event of rank r is produced by rank r's worker
+/// thread, the tick sequence — and therefore the whole trace — is a pure
+/// function of the workload, independent of thread scheduling. That is
+/// what makes merged traces golden-testable (byte-identical across runs).
+///
+/// Recording with an out-of-range rank is silently dropped, so call sites
+/// need no bounds logic.
+class Tracer {
+ public:
+  explicit Tracer(int world_size);
+
+  int world_size() const { return static_cast<int>(ranks_.size()); }
+
+  /// Opens a span; returns a handle for EndSpan. Invalid ranks return
+  /// kInvalidSpan (EndSpan on it is a no-op). `index >= 0` is rendered as
+  /// "name[index]" — the suffix string is only materialized here, inside
+  /// the tracer, so disabled call sites never format anything.
+  static constexpr uint64_t kInvalidSpan = ~0ull;
+  uint64_t BeginSpan(int rank, TraceStream stream, const char* name,
+                     uint64_t bytes = 0, int index = -1);
+  void EndSpan(int rank, uint64_t span);
+  /// Adds bytes to an open (or closed) span.
+  void AddSpanBytes(int rank, uint64_t span, uint64_t bytes);
+
+  /// Monotonic byte/event counters and gauges, per rank.
+  void CountBytes(int rank, const std::string& key, uint64_t bytes);
+  void Increment(int rank, const std::string& key, uint64_t delta = 1);
+  void SetGauge(int rank, const std::string& key, double value);
+
+  /// \name Post-run introspection (quiesce writers first).
+  /// @{
+  std::vector<TraceEvent> Events(int rank) const;
+  const MetricsRegistry& metrics(int rank) const;
+  /// Counter value on one rank.
+  uint64_t Counter(int rank, const std::string& key) const;
+  /// Counter summed over every rank.
+  uint64_t CounterTotal(const std::string& key) const;
+  /// Number of spans named `name` or its indexed form "name[k]", over
+  /// every rank.
+  size_t CountSpans(const std::string& name) const;
+  /// @}
+
+ private:
+  struct RankLog {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint64_t ticks = 0;  // per-rank virtual clock
+    MetricsRegistry metrics;
+  };
+  RankLog* log(int rank) const {
+    if (rank < 0 || rank >= static_cast<int>(ranks_.size())) return nullptr;
+    return ranks_[rank].get();
+  }
+  double WallUs() const;
+
+  std::vector<std::unique_ptr<RankLog>> ranks_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// \name Global tracer hook.
+///
+/// Tracing is off by default: GlobalTracer() returns nullptr and every
+/// instrumentation site reduces to one relaxed atomic load plus an
+/// untaken branch. Building with -DBAGUA_TRACE_DISABLED compiles the hook
+/// down to a constant nullptr so the sites fold away entirely.
+/// Install/Uninstall do not transfer ownership.
+/// @{
+#ifdef BAGUA_TRACE_DISABLED
+inline constexpr Tracer* GlobalTracer() { return nullptr; }
+inline void InstallGlobalTracer(Tracer*) {}
+inline void UninstallGlobalTracer() {}
+#else
+Tracer* GlobalTracer();
+void InstallGlobalTracer(Tracer* tracer);
+void UninstallGlobalTracer();
+#endif
+/// @}
+
+/// \brief RAII span against the global tracer; a no-op when tracing is
+/// off, so call sites stay one line.
+class TraceSpan {
+ public:
+  TraceSpan(int rank, TraceStream stream, const char* name,
+            uint64_t bytes = 0, int index = -1)
+      : tracer_(GlobalTracer()), rank_(rank) {
+    if (tracer_ != nullptr) {
+      span_ = tracer_->BeginSpan(rank_, stream, name, bytes, index);
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(rank_, span_);
+  }
+  void AddBytes(uint64_t bytes) {
+    if (tracer_ != nullptr) tracer_->AddSpanBytes(rank_, span_, bytes);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  int rank_;
+  uint64_t span_ = Tracer::kInvalidSpan;
+};
+
+/// One-line counter helpers against the global tracer.
+inline void TraceCountBytes(int rank, const char* key, uint64_t bytes) {
+  if (Tracer* t = GlobalTracer()) t->CountBytes(rank, key, bytes);
+}
+inline void TraceIncrement(int rank, const char* key, uint64_t delta = 1) {
+  if (Tracer* t = GlobalTracer()) t->Increment(rank, key, delta);
+}
+
+}  // namespace bagua
+
+#endif  // BAGUA_TRACE_TRACE_H_

@@ -4,8 +4,24 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "trace/trace.h"
 
 namespace bagua {
+
+namespace {
+
+/// Byte-counter key for a tag namespace, per the allocation map below:
+/// application collectives, gossip, or reserved fault-control traffic.
+const char* SentBytesKey(uint64_t tag) {
+  const uint32_t space = static_cast<uint32_t>(tag >> 32);
+  if (space >= kFaultControlSpace) return "transport.sent.fault_control";
+  if (space >= kGossipSpaceBase && space < kGossipSpaceLimit) {
+    return "transport.sent.gossip";
+  }
+  return "transport.sent.app";
+}
+
+}  // namespace
 
 TransportGroup::TransportGroup(int world_size) : world_size_(world_size) {
   BAGUA_CHECK_GT(world_size, 0);
@@ -25,6 +41,9 @@ Status TransportGroup::Send(int src, int dst, uint64_t tag, const void* data,
                   world_size_));
   }
   if (shutdown_.load()) return Status::Cancelled("transport shut down");
+  // Mirrors bytes_sent_ exactly (discarded sends to dead ranks included),
+  // so tracer byte counters and TotalBytesSent stay two views of one wire.
+  TraceCountBytes(src, SentBytesKey(tag), bytes);
   if (!alive_[dst].load()) {
     // The peer is gone; the bytes vanish into the void, as a real NIC's
     // would. Death is discovered on the receive side.
@@ -101,6 +120,7 @@ Status TransportGroup::RecvWithDeadline(int src, int dst, uint64_t tag,
     return Status::DataLoss(StrFormat("peer rank %d is dead", src));
   }
   (void)ready;
+  TraceIncrement(dst, "transport.deadline_exceeded");
   return Status::DeadlineExceeded(
       StrFormat("no message from rank %d within %lldms", src,
                 static_cast<long long>(timeout.count())));

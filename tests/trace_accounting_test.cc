@@ -1,0 +1,223 @@
+// Property sweep locking the tracer's byte accounting to ground truth:
+// for every collective, across world sizes and seeded tensor lengths
+// (including zero-length and ring-non-divisible cases), one analytic
+// oracle must agree with TWO independent measurements of the same wire —
+// the collective-level counters recorded inside collectives.cc and the
+// transport-level transport.sent.* counters recorded inside Send() — and
+// both must equal the transport's own TotalBytesSent ledger.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/sync.h"
+#include "collectives/collectives.h"
+#include "trace/trace.h"
+
+namespace bagua {
+namespace {
+
+struct Volumes {
+  uint64_t collective;  ///< sum of the collective.*.bytes counters
+  uint64_t transport;   ///< sum of the transport.sent.app counters
+  uint64_t wire;        ///< TransportGroup::TotalBytesSent
+};
+
+/// Runs `fn(group, rank)` on every rank of a fresh world with a fresh
+/// tracer installed, then snapshots all three byte measurements.
+template <typename Fn>
+Volumes Measure(int m, const char* collective_key, Fn fn) {
+  TransportGroup group(m);
+  Tracer tracer(m);
+  InstallGlobalTracer(&tracer);
+  ParallelFor(m, [&](size_t r) { fn(&group, static_cast<int>(r)); });
+  UninstallGlobalTracer();
+  return {tracer.CounterTotal(collective_key),
+          tracer.CounterTotal("transport.sent.app"), group.TotalBytesSent()};
+}
+
+std::vector<int> Iota(int m) {
+  std::vector<int> ranks(m);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return ranks;
+}
+
+/// Lengths exercised per world size: the analytic edge cases plus seeded
+/// draws. Every length coprime-ish with m exercises the non-divisible
+/// ChunkOf path (first n % m chunks one element larger).
+std::vector<size_t> SweepLengths(int m, uint64_t seed) {
+  std::vector<size_t> lengths = {0,  // zero-length: no bytes may move
+                                 1, static_cast<size_t>(m - 1),
+                                 static_cast<size_t>(m),
+                                 static_cast<size_t>(m + 1), 97};
+  Rng rng(seed);
+  for (int i = 0; i < 3; ++i) {
+    lengths.push_back(1 + rng.UniformInt(512));
+  }
+  return lengths;
+}
+
+TEST(TraceAccountingTest, RingAllreduceMatchesAnalyticVolume) {
+  uint32_t space = 100;
+  for (int m : {2, 3, 5, 8}) {
+    const auto ranks = Iota(m);
+    for (size_t n : SweepLengths(m, 1000 + m)) {
+      // Each of the m-1 reduce-scatter steps moves every element of the
+      // vector exactly once across the group (the chunk sizes telescope to
+      // n), and the allgather phase repeats that: 2(m-1)·n·4 bytes total.
+      const uint64_t expected =
+          2ull * (m - 1) * n * sizeof(float);
+      const uint32_t sp = space++;
+      const Volumes v = Measure(
+          m, "collective.ring_allreduce.bytes",
+          [&](TransportGroup* g, int r) {
+            std::vector<float> data(n, static_cast<float>(r + 1));
+            ASSERT_TRUE(
+                RingAllreduce(g, ranks, r, sp, data.data(), n).ok());
+            // Sanity: the collective still computes the right sum.
+            const float want = m * (m + 1) / 2.0f;
+            for (float x : data) ASSERT_FLOAT_EQ(want, x);
+          });
+      EXPECT_EQ(expected, v.collective) << "m=" << m << " n=" << n;
+      EXPECT_EQ(expected, v.transport) << "m=" << m << " n=" << n;
+      EXPECT_EQ(expected, v.wire) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(TraceAccountingTest, BroadcastMatchesAnalyticVolume) {
+  uint32_t space = 200;
+  for (int m : {2, 3, 5, 8}) {
+    const auto ranks = Iota(m);
+    for (size_t n : SweepLengths(m, 2000 + m)) {
+      const int root = static_cast<int>(n) % m;
+      const uint64_t expected =
+          static_cast<uint64_t>(m - 1) * n * sizeof(float);
+      const uint32_t sp = space++;
+      const Volumes v = Measure(
+          m, "collective.broadcast.bytes", [&](TransportGroup* g, int r) {
+            std::vector<float> data(n, r == ranks[root] ? 3.5f : 0.0f);
+            ASSERT_TRUE(
+                Broadcast(g, ranks, r, root, sp, data.data(), n).ok());
+            for (float x : data) ASSERT_FLOAT_EQ(3.5f, x);
+          });
+      EXPECT_EQ(expected, v.collective) << "m=" << m << " n=" << n;
+      EXPECT_EQ(expected, v.transport) << "m=" << m << " n=" << n;
+      EXPECT_EQ(expected, v.wire) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(TraceAccountingTest, ReduceMatchesAnalyticVolume) {
+  uint32_t space = 300;
+  for (int m : {2, 3, 5, 8}) {
+    const auto ranks = Iota(m);
+    for (size_t n : SweepLengths(m, 3000 + m)) {
+      const int root = static_cast<int>(n + 1) % m;
+      const uint64_t expected =
+          static_cast<uint64_t>(m - 1) * n * sizeof(float);
+      const uint32_t sp = space++;
+      const Volumes v = Measure(
+          m, "collective.reduce.bytes", [&](TransportGroup* g, int r) {
+            std::vector<float> data(n, 1.0f);
+            ASSERT_TRUE(Reduce(g, ranks, r, root, sp, data.data(), n).ok());
+            if (r == ranks[root]) {
+              for (float x : data) ASSERT_FLOAT_EQ(static_cast<float>(m), x);
+            }
+          });
+      EXPECT_EQ(expected, v.collective) << "m=" << m << " n=" << n;
+      EXPECT_EQ(expected, v.transport) << "m=" << m << " n=" << n;
+      EXPECT_EQ(expected, v.wire) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(TraceAccountingTest, RingAllgatherMatchesAnalyticVolume) {
+  uint32_t space = 400;
+  for (int m : {2, 3, 5, 8}) {
+    const auto ranks = Iota(m);
+    // Allgather requires n divisible by m; sweep the per-member chunk.
+    for (size_t chunk : {size_t{0}, size_t{1}, size_t{7}, size_t{33}}) {
+      const size_t n = chunk * m;
+      const uint64_t expected =
+          static_cast<uint64_t>(m - 1) * n * sizeof(float);
+      const uint32_t sp = space++;
+      const Volumes v = Measure(
+          m, "collective.ring_allgather.bytes",
+          [&](TransportGroup* g, int r) {
+            std::vector<float> data(n, 0.0f);
+            for (size_t k = 0; k < chunk; ++k) {
+              data[r * chunk + k] = static_cast<float>(r + 1);
+            }
+            ASSERT_TRUE(RingAllgather(g, ranks, r, sp, data.data(), n).ok());
+            for (int j = 0; j < m; ++j) {
+              for (size_t k = 0; k < chunk; ++k) {
+                ASSERT_FLOAT_EQ(static_cast<float>(j + 1),
+                                data[j * chunk + k]);
+              }
+            }
+          });
+      EXPECT_EQ(expected, v.collective) << "m=" << m << " chunk=" << chunk;
+      EXPECT_EQ(expected, v.transport) << "m=" << m << " chunk=" << chunk;
+      EXPECT_EQ(expected, v.wire) << "m=" << m << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(TraceAccountingTest, GatherBytesMatchesAnalyticVolume) {
+  uint32_t space = 500;
+  for (int m : {2, 3, 5, 8}) {
+    const auto ranks = Iota(m);
+    const int root = m / 2;
+    // Seeded variable payload sizes, including an empty one.
+    Rng rng(5000 + m);
+    std::vector<size_t> sizes(m);
+    for (int r = 0; r < m; ++r) sizes[r] = rng.UniformInt(200);
+    sizes[0] = 0;
+    uint64_t expected = 0;
+    for (int r = 0; r < m; ++r) {
+      if (r != ranks[root]) expected += sizes[r];
+    }
+    const uint32_t sp = space++;
+    const Volumes v = Measure(
+        m, "collective.gather_bytes.bytes", [&](TransportGroup* g, int r) {
+          std::vector<uint8_t> payload(sizes[r],
+                                       static_cast<uint8_t>(r + 1));
+          std::vector<std::vector<uint8_t>> out;
+          ASSERT_TRUE(GatherBytes(g, ranks, r, root, sp, payload,
+                                  r == ranks[root] ? &out : nullptr)
+                          .ok());
+          if (r == ranks[root]) {
+            ASSERT_EQ(static_cast<size_t>(m), out.size());
+            for (int j = 0; j < m; ++j) ASSERT_EQ(sizes[j], out[j].size());
+          }
+        });
+    EXPECT_EQ(expected, v.collective) << "m=" << m;
+    EXPECT_EQ(expected, v.transport) << "m=" << m;
+    EXPECT_EQ(expected, v.wire) << "m=" << m;
+  }
+}
+
+// With no tracer installed, instrumentation must not perturb the data
+// path — and the transport ledger still measures the same volume.
+TEST(TraceAccountingTest, DisabledTracerLeavesDataPathIntact) {
+  ASSERT_EQ(nullptr, GlobalTracer());
+  const int m = 5;
+  const size_t n = 97;
+  const auto ranks = Iota(m);
+  TransportGroup group(m);
+  ParallelFor(m, [&](size_t r) {
+    std::vector<float> data(n, static_cast<float>(r + 1));
+    ASSERT_TRUE(
+        RingAllreduce(&group, ranks, static_cast<int>(r), 7, data.data(), n)
+            .ok());
+    const float want = m * (m + 1) / 2.0f;
+    for (float x : data) ASSERT_FLOAT_EQ(want, x);
+  });
+  EXPECT_EQ(2ull * (m - 1) * n * sizeof(float), group.TotalBytesSent());
+}
+
+}  // namespace
+}  // namespace bagua

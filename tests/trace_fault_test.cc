@@ -1,0 +1,96 @@
+// Trace × fault-injection interaction: a seeded FaultPlan with wire drops
+// plus one recoverable crash must leave its full signature in the trace —
+// retry spans on the fault stream, fault.* counters agreeing with the
+// injector's own FaultStats, and a trainer.recoveries counter agreeing
+// with ConvergenceResult::recoveries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/trainer.h"
+#include "trace/merge.h"
+#include "trace/trace.h"
+
+namespace bagua {
+namespace {
+
+TEST(TraceFaultTest, RetriesAndRecoveryAppearInTrace) {
+  // Recoverable crashes need checkpoints and a barrier-free algorithm
+  // (the async family) — same recipe as faults_test.cc.
+  ConvergenceOptions opts;
+  opts.algorithm = "async-decen";
+  opts.epochs = 3;
+  opts.topo = ClusterTopology::Make(4, 1);
+  opts.data.num_samples = 512;
+  opts.checkpoint_every = 4;
+  opts.faults.seed = 13;
+  opts.faults.Drop(0.05);
+  opts.faults.CrashAt(/*rank=*/2, /*step=*/10, /*recover=*/true);
+
+  Tracer tracer(4);
+  InstallGlobalTracer(&tracer);
+  auto result = RunConvergence(opts);
+  UninstallGlobalTracer();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The injector dropped messages, so the hardened transport retried —
+  // and the tracer's counters are a second, independent ledger of the
+  // same schedule.
+  EXPECT_GT(result->fault_stats.drops, 0u);
+  EXPECT_GT(result->fault_stats.retries, 0u);
+  EXPECT_EQ(result->fault_stats.drops, tracer.CounterTotal("fault.drops"));
+  EXPECT_EQ(result->fault_stats.retries,
+            tracer.CounterTotal("fault.retries"));
+
+  // Every retransmission burst produced one arq.retry span on the fault
+  // stream of the sending rank.
+  EXPECT_GE(tracer.CountSpans("arq.retry"), 1u);
+
+  // Exactly one worker crashed and came back; the trace agrees with the
+  // harness bookkeeping.
+  EXPECT_EQ(1u, result->recoveries);
+  EXPECT_EQ(1u, tracer.CounterTotal("trainer.recoveries"));
+  EXPECT_EQ(1u, tracer.CounterTotal("trainer.crashes"));
+  EXPECT_EQ(0u, result->failed_workers);
+
+  // The recovery left checkpoint-stream spans behind on the crashed rank:
+  // periodic saves plus the recover[at_step] reload.
+  bool saw_recover = false, saw_save = false;
+  for (const TraceEvent& ev : tracer.Events(2)) {
+    if (ev.stream != TraceStream::kCheckpoint) continue;
+    if (ev.name.rfind("recover", 0) == 0) saw_recover = true;
+    if (ev.name == "checkpoint.save") saw_save = true;
+  }
+  EXPECT_TRUE(saw_recover);
+  EXPECT_TRUE(saw_save);
+
+  // And the merged document containing all of the above still validates.
+  std::string stats;
+  EXPECT_TRUE(ValidateChromeTrace(MergedChromeTrace(tracer), &stats).ok());
+}
+
+// A permanent (non-recovering) crash on a decentralized run: peers skip
+// the dead member; the trace shows the crash but no recovery.
+TEST(TraceFaultTest, PermanentCrashLeavesNoRecoveryCounter) {
+  ConvergenceOptions opts;
+  opts.algorithm = "decen-32bits";
+  opts.epochs = 2;
+  opts.topo = ClusterTopology::Make(4, 1);
+  opts.data.num_samples = 512;
+  opts.faults.CrashAt(/*rank=*/1, /*step=*/8, /*recover=*/false);
+
+  Tracer tracer(4);
+  InstallGlobalTracer(&tracer);
+  auto result = RunConvergence(opts);
+  UninstallGlobalTracer();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(1u, result->failed_workers);
+  EXPECT_EQ(0u, result->recoveries);
+  EXPECT_EQ(1u, tracer.CounterTotal("trainer.crashes"));
+  EXPECT_EQ(0u, tracer.CounterTotal("trainer.recoveries"));
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,125 @@
+// Golden-determinism of the merged trace: because every rank's virtual
+// clock ticks only at that rank's own span boundaries, the merged
+// Chrome-trace JSON of a deterministic run is itself deterministic —
+// byte-identical across repeated runs with the same seed, faults on or
+// off — while a changed seed must visibly change the trace.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "harness/trainer.h"
+#include "trace/merge.h"
+#include "trace/trace.h"
+
+namespace bagua {
+namespace {
+
+ConvergenceOptions SmallRun(const std::string& algorithm) {
+  ConvergenceOptions opts;
+  opts.algorithm = algorithm;
+  opts.epochs = 2;
+  opts.topo = ClusterTopology::Make(4, 1);
+  opts.data.num_samples = 512;
+  return opts;
+}
+
+/// Runs the experiment with a fresh tracer installed and returns the
+/// merged trace JSON (virtual-time only, so wall clocks cannot leak in).
+std::string TraceOf(const ConvergenceOptions& opts) {
+  Tracer tracer(opts.topo.world_size());
+  InstallGlobalTracer(&tracer);
+  auto result = RunConvergence(opts);
+  UninstallGlobalTracer();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return MergedChromeTrace(tracer);
+}
+
+TEST(TraceGoldenTest, IdenticalCleanRunsProduceIdenticalTraces) {
+  const ConvergenceOptions opts = SmallRun("allreduce");
+  const std::string a = TraceOf(opts);
+  const std::string b = TraceOf(opts);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical
+}
+
+TEST(TraceGoldenTest, IdenticalFaultedRunsProduceIdenticalTraces) {
+  // Seeded drops through the hardened transport: the retry schedule is a
+  // pure function of (plan seed, link, message index), so even the
+  // fault-handling spans replay exactly.
+  ConvergenceOptions opts = SmallRun("allreduce");
+  opts.faults.seed = 13;
+  opts.faults.Drop(0.15);
+  const std::string a = TraceOf(opts);
+  const std::string b = TraceOf(opts);
+  EXPECT_EQ(a, b);
+
+  // ...and the faulted trace is NOT the clean trace: the injected drops
+  // left arq.retry spans and fault.* counters behind.
+  const std::string clean = TraceOf(SmallRun("allreduce"));
+  EXPECT_NE(clean, a);
+  EXPECT_NE(std::string::npos, a.find("arq.retry"));
+  EXPECT_NE(std::string::npos, a.find("fault.retries"));
+  EXPECT_EQ(std::string::npos, clean.find("arq.retry"));
+}
+
+TEST(TraceGoldenTest, ChangedSeedChangesTrace) {
+  // decen-32bits draws its peer matching from the shared per-step rng, so
+  // the seed reaches the trace through the decen.peer[p] span names.
+  ConvergenceOptions a_opts = SmallRun("decen-32bits");
+  a_opts.seed = 2021;
+  ConvergenceOptions b_opts = SmallRun("decen-32bits");
+  b_opts.seed = 2022;
+  const std::string a1 = TraceOf(a_opts);
+  const std::string a2 = TraceOf(a_opts);
+  const std::string b = TraceOf(b_opts);
+  EXPECT_EQ(a1, a2);  // deterministic at fixed seed
+  EXPECT_NE(a1, b);   // sensitive to the seed
+}
+
+TEST(TraceGoldenTest, EightWorkerTraceHasPerRankTracksAndValidates) {
+  ConvergenceOptions opts;  // default topology: 8 workers
+  opts.epochs = 1;
+  opts.data.num_samples = 512;
+  ASSERT_EQ(8, opts.topo.world_size());
+
+  Tracer tracer(8);
+  InstallGlobalTracer(&tracer);
+  auto result = RunConvergence(opts);
+  UninstallGlobalTracer();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every rank recorded training spans...
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_FALSE(tracer.Events(r).empty()) << "rank " << r;
+  }
+  const std::string json = MergedChromeTrace(tracer);
+  // ...so the merged document carries one process track per rank,
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_NE(std::string::npos,
+              json.find("\"args\":{\"name\":\"rank" + std::to_string(r) +
+                        "\"}"))
+        << "rank " << r;
+  }
+  // and passes the schema validator scripts/check.sh runs on it.
+  std::string stats;
+  const Status status = ValidateChromeTrace(json, &stats);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_FALSE(stats.empty());
+}
+
+TEST(TraceGoldenTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateChromeTrace("{}").ok());
+  EXPECT_FALSE(ValidateChromeTrace("[{\"ph\":\"Z\",\"name\":\"x\","
+                                   "\"pid\":0}]")
+                   .ok());
+  EXPECT_FALSE(ValidateChromeTrace("[{\"ph\":\"X\",\"name\":\"x\","
+                                   "\"pid\":0}]")
+                   .ok());  // X without ts/dur
+  EXPECT_FALSE(ValidateChromeTrace("[{\"ph\":\"M\",\"name\":\"x\"").ok());
+  EXPECT_TRUE(ValidateChromeTrace("[]").ok());
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,34 @@
+// Validates a merged Chrome-trace JSON file against the schema src/trace/
+// emits (scripts/check.sh runs this on a tracing-enabled suite run).
+// Exit 0 on a valid trace; prints the event tally.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/merge.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string stats;
+  const bagua::Status status = bagua::ValidateChromeTrace(buf.str(), &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "INVALID %s: %s\n", argv[1],
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK %s: %s\n", argv[1], stats.c_str());
+  return 0;
+}
