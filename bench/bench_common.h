@@ -11,6 +11,7 @@
 
 #include "algorithms/algorithms.h"
 #include "algorithms/registry.h"
+#include "base/parallel.h"
 #include "baselines/baselines.h"
 #include "harness/autotune.h"
 #include "harness/report.h"
@@ -28,9 +29,18 @@ namespace bagua {
 ///                       Chrome-trace JSON to PATH on exit
 ///   --trace-ranks=N     rank slots in the tracer (default 64 — events
 ///                       from ranks >= N are dropped)
+///   --threads=N         size the intra-op kernel pool (base/parallel.h)
+///                       before anything runs; kernels stay
+///                       byte-deterministic, only wall time changes
+///   --quick             shrink the workload for smoke tests / CI gates
+///   --kernels-json=PATH run the kernel perf gate (kernel_gate.h) instead
+///                       of the regular bench and write its JSON to PATH
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
+  std::string kernels_json;
+  bool quick = false;
+  int threads = 0;
   bool ok = true;
   std::string error;
 };
@@ -56,18 +66,34 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--trace-ranks= needs a positive integer";
       }
+    } else if (std::strncmp(a, "--kernels-json=", 15) == 0) {
+      args.kernels_json = a + 15;
+      if (args.kernels_json.empty()) {
+        args.ok = false;
+        args.error = "--kernels-json= needs a path";
+      }
+    } else if (std::strcmp(a, "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      args.threads = std::atoi(a + 10);
+      if (args.threads <= 0) {
+        args.ok = false;
+        args.error = "--threads= needs a positive integer";
+      }
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
+  if (args.ok && args.threads > 0) SetIntraOpThreads(args.threads);
   return args;
 }
 
 /// Prints the parse error + usage; benches `return BenchArgsError(args)`.
 inline int BenchArgsError(const BenchArgs& args) {
   std::fprintf(stderr, "error: %s\nusage: [--trace-out=PATH]"
-                       " [--trace-ranks=N]\n",
+                       " [--trace-ranks=N] [--threads=N] [--quick]"
+                       " [--kernels-json=PATH]\n",
                args.error.c_str());
   return 2;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "kernel_gate.h"
 
 #include "base/logging.h"
 #include "base/sync.h"
@@ -106,6 +107,10 @@ BENCHMARK(BM_DLpS_Qsgd8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 int main(int argc, char** argv) {
   const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
   if (!args.ok) return bagua::BenchArgsError(args);
+  if (!args.kernels_json.empty()) {
+    // Kernel gate mode: skip the collective benches entirely.
+    return bagua::RunKernelGate(args.kernels_json, args.quick);
+  }
   bagua::TraceSession trace_session(args);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

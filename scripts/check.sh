@@ -22,6 +22,10 @@ trap 'rm -f "$TRACE_JSON"' EXIT
 ./build/tools/trace_schema_check "$TRACE_JSON"
 ctest --test-dir build --output-on-failure -j "$JOBS" -L trace
 
+echo "==> kernel correctness (ctest -L kernels) + perf-regression gate"
+ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
+./scripts/perf_gate.sh build
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"

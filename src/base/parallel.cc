@@ -1,0 +1,254 @@
+#include "base/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bagua {
+
+namespace {
+
+// Set while the current thread executes a parallel region body (either as
+// a pool worker or as the calling participant). Nested ParallelBlocks
+// calls observe it and degrade to inline execution.
+thread_local bool tls_in_region = false;
+
+constexpr int kMaxThreads = 256;
+
+int ClampThreads(long v) {
+  if (v < 1) return 1;
+  if (v > kMaxThreads) return kMaxThreads;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+struct ThreadPool::Job {
+  const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+  size_t n = 0;
+  size_t grain = 0;
+  size_t num_blocks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  // First (lowest-block) exception wins, so which error surfaces does not
+  // depend on thread scheduling.
+  std::mutex err_mu;
+  size_t err_block = std::numeric_limits<size_t>::max();
+  std::exception_ptr err;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers wait for a new job
+  std::condition_variable done_cv;   // the caller waits for completion
+  // shared_ptr: a straggler worker may still hold the job object after
+  // the caller's region returned. It never runs user code then (every
+  // block is claimed before the caller is released), but it does touch
+  // the job's atomics, so the object must outlive the region.
+  std::shared_ptr<Job> current;
+  uint64_t job_seq = 0;
+  bool stop = false;
+  // Serializes regions: concurrent callers (worker ranks) that lose the
+  // race run inline instead of queueing.
+  std::mutex region_mu;
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl), num_threads_(ClampThreads(num_threads)) {
+  for (int t = 1; t < num_threads_; ++t) {
+    impl_->workers.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+size_t ThreadPool::NumBlocks(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_region; }
+
+void ThreadPool::RunInline(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (grain == 0) grain = 1;
+  const size_t num_blocks = NumBlocks(n, grain);
+  const bool outermost = !tls_in_region;
+  if (outermost) tls_in_region = true;
+  struct Restore {
+    bool outermost;
+    ~Restore() {
+      if (outermost) tls_in_region = false;
+    }
+  } restore{outermost};
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * grain;
+    const size_t end = begin + grain < n ? begin + grain : n;
+    fn(b, begin, end);  // exceptions propagate directly: same-thread call
+  }
+}
+
+void ThreadPool::RunBlocks(Job* job) {
+  tls_in_region = true;
+  for (;;) {
+    const size_t b = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (b >= job->num_blocks) break;
+    const size_t begin = b * job->grain;
+    const size_t end =
+        begin + job->grain < job->n ? begin + job->grain : job->n;
+    try {
+      (*job->fn)(b, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job->err_mu);
+      if (b < job->err_block) {
+        job->err_block = b;
+        job->err = std::current_exception();
+      }
+    }
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_blocks) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->done_cv.notify_all();
+    }
+  }
+  tls_in_region = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(impl_->mu);
+      impl_->work_cv.wait(lk, [&] {
+        return impl_->stop ||
+               (impl_->current != nullptr && impl_->job_seq != seen);
+      });
+      if (impl_->stop) return;
+      job = impl_->current;
+      seen = impl_->job_seq;
+    }
+    RunBlocks(job.get());
+  }
+}
+
+void ThreadPool::ParallelBlocks(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_blocks = NumBlocks(n, grain);
+  // Inline paths: one block, one thread, nested use, or pool busy with
+  // another rank's region. All produce the same bytes as the pooled path.
+  if (num_blocks == 1 || num_threads_ <= 1 || tls_in_region ||
+      !impl_->region_mu.try_lock()) {
+    RunInline(n, grain, fn);
+    return;
+  }
+  std::lock_guard<std::mutex> region(impl_->region_mu, std::adopt_lock);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->grain = grain;
+  job->num_blocks = num_blocks;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->current = job;
+    ++impl_->job_seq;
+  }
+  impl_->work_cv.notify_all();
+
+  RunBlocks(job.get());  // the caller participates
+
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_cv.wait(lk, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_blocks;
+    });
+    // Stragglers may outlive the region holding their own reference; the
+    // caller's `fn` is safe because every block is claimed by now.
+    impl_->current.reset();
+  }
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_threads = 0;  // 0 = not yet resolved / reset to env
+
+int ResolveThreadsLocked() {
+  if (g_threads > 0) return g_threads;
+  int n = 1;
+  if (const char* env = std::getenv("BAGUA_INTRA_OP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) n = ClampThreads(v);
+  }
+  g_threads = n;
+  return g_threads;
+}
+
+}  // namespace
+
+int IntraOpThreads() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  return ResolveThreadsLocked();
+}
+
+void SetIntraOpThreads(int n) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  const int resolved = n > 0 ? ClampThreads(n) : 0;
+  if (resolved != 0 && resolved == g_threads && g_pool != nullptr) return;
+  g_threads = resolved;
+  g_pool.reset();  // next IntraOpPool() rebuilds at the new size
+}
+
+ThreadPool* IntraOpPool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<ThreadPool>(ResolveThreadsLocked());
+  }
+  return g_pool.get();
+}
+
+void IntraOpFor(size_t n, size_t grain,
+                const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (n <= grain || IntraOpThreads() <= 1 || ThreadPool::InParallelRegion()) {
+    fn(0, n);
+    return;
+  }
+  IntraOpPool()->ParallelBlocks(
+      n, grain, [&](size_t, size_t begin, size_t end) { fn(begin, end); });
+}
+
+void IntraOpBlocks(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  // ParallelBlocks itself degrades to the same sequential block walk for
+  // single-thread pools and nested callers.
+  IntraOpPool()->ParallelBlocks(n, grain, fn);
+}
+
+}  // namespace bagua

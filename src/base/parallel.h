@@ -1,0 +1,117 @@
+#ifndef BAGUA_BASE_PARALLEL_H_
+#define BAGUA_BASE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace bagua {
+
+/// \brief Deterministic intra-op thread pool.
+///
+/// This is the compute-side counterpart of the simulated cluster's
+/// inter-rank threads (base/sync.h): it parallelizes the *inside* of one
+/// kernel invocation — GEMM row panels, compressor blocks, optimizer
+/// chunks — the way a GPU parallelizes a kernel across SMs.
+///
+/// Determinism is the design constraint, not an afterthought. Work is
+/// always split into **fixed-size blocks whose geometry depends only on
+/// (n, grain)** — never on the number of threads — and every block writes
+/// a disjoint output range (or produces a partial indexed by its block
+/// id, combined later in block order). Which thread executes which block
+/// is scheduling-dependent, but the bytes produced are not, so any kernel
+/// built on this pool yields byte-identical results for 1, 2 or 64
+/// threads. tests/parallel_test.cc and tests/kernels_test.cc enforce
+/// this.
+///
+/// One pool is shared process-wide across all simulated worker ranks
+/// (IntraOpPool). Concurrent parallel regions do not interleave inside
+/// the pool: a rank that cannot acquire the pool runs its region inline
+/// on its own thread — same blocks, same bytes — so ranks never deadlock
+/// on each other and never change each other's results.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller of a parallel region is
+  /// always the remaining participant). `num_threads <= 1` means every
+  /// region runs inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Number of fixed-size blocks [0, n) splits into: ceil(n / grain).
+  static size_t NumBlocks(size_t n, size_t grain);
+
+  /// Runs `fn(block, begin, end)` for every block of [0, n), where block
+  /// `b` covers [b*grain, min(n, (b+1)*grain)). Blocks may run on any
+  /// participating thread and in any order; the partition itself is a
+  /// pure function of (n, grain).
+  ///
+  /// Runs inline (sequentially, same blocks) when: the pool has one
+  /// thread, there is only one block, the caller is already inside a
+  /// parallel region (nested use), or another thread holds the pool.
+  ///
+  /// If `fn` throws, the exception from the lowest-numbered throwing
+  /// block is rethrown on the caller after all blocks finished — which
+  /// exception escapes is deterministic even when several blocks throw.
+  void ParallelBlocks(size_t n, size_t grain,
+                      const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// True while the calling thread is executing inside a parallel region
+  /// of *any* ThreadPool (used for nested-use rejection).
+  static bool InParallelRegion();
+
+ private:
+  struct Job;
+  void WorkerLoop();
+  void RunBlocks(Job* job);
+  void RunInline(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+  struct Impl;
+  Impl* impl_;
+  int num_threads_;
+};
+
+/// \name Process-wide intra-op parallelism configuration.
+///
+/// The thread count resolves, in order: SetIntraOpThreads() if called,
+/// else the BAGUA_INTRA_OP_THREADS environment variable, else 1
+/// (single-threaded — the deterministic default on CI boxes). Values are
+/// clamped to [1, 256].
+/// @{
+
+/// Current intra-op thread count.
+int IntraOpThreads();
+
+/// Overrides the intra-op thread count and rebuilds the shared pool.
+/// Must not be called while any parallel region is running (the harness
+/// calls it before spawning worker ranks; tests call it between runs).
+/// `n <= 0` resets to the environment/default resolution.
+void SetIntraOpThreads(int n);
+
+/// The shared pool, created on first use with IntraOpThreads() threads.
+ThreadPool* IntraOpPool();
+/// @}
+
+/// Default grain for elementwise kernels: small enough to split real
+/// tensors, large enough that a block amortizes the dispatch cost.
+constexpr size_t kElementwiseGrain = size_t{1} << 14;
+
+/// \brief Fixed-grain parallel-for over [0, n): runs `fn(begin, end)` on
+/// each block via the shared pool. Geometry depends only on (n, grain),
+/// so disjoint-write bodies are byte-deterministic at any thread count.
+/// Runs inline when n <= grain or only one thread is configured.
+void IntraOpFor(size_t n, size_t grain,
+                const std::function<void(size_t, size_t)>& fn);
+
+/// Same, exposing the block index (for bodies that produce one partial
+/// per block, to be combined in block order).
+void IntraOpBlocks(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_PARALLEL_H_

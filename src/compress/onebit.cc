@@ -3,7 +3,10 @@
 #include <cmath>
 #include <cstring>
 
+#include <algorithm>
+
 #include "base/logging.h"
+#include "base/parallel.h"
 #include "base/strings.h"
 
 namespace bagua {
@@ -25,7 +28,10 @@ Status OneBitCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
   float* scales = reinterpret_cast<float*>(out->data());
   uint8_t* bits = out->data() + num_blocks * 2 * sizeof(float);
 
-  for (size_t b = 0; b < num_blocks; ++b) {
+  // Pass 1 — per-block mean magnitudes. Blocks write disjoint scale
+  // slots, and each block's accumulation order is fixed, so the payload
+  // is identical at any intra-op thread count.
+  IntraOpBlocks(num_blocks, 1, [&](size_t b, size_t, size_t) {
     const size_t begin = b * block_size_;
     const size_t end = std::min(n, begin + block_size_);
     double pos_sum = 0.0, neg_sum = 0.0;
@@ -43,10 +49,22 @@ Status OneBitCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
         pos_cnt > 0 ? static_cast<float>(pos_sum / pos_cnt) : 0.0f;
     scales[2 * b + 1] =
         neg_cnt > 0 ? static_cast<float>(neg_sum / neg_cnt) : 0.0f;
-    for (size_t i = begin; i < end; ++i) {
-      if (in[i] >= 0.0f) bits[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  });
+  // Pass 2 — sign bits. A bit depends only on in[i], so the split is by
+  // whole bit-bytes (never by scale block): two compress blocks may share
+  // a byte when block_size % 8 != 0, but two byte-chunks never do.
+  const size_t num_bytes = (n + 7) / 8;
+  IntraOpFor(num_bytes, size_t{1} << 12, [&](size_t begin, size_t end) {
+    for (size_t byte = begin; byte < end; ++byte) {
+      const size_t lo = byte * 8;
+      const size_t hi = std::min(n, lo + 8);
+      uint8_t packed = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        if (in[i] >= 0.0f) packed |= static_cast<uint8_t>(1u << (i % 8));
+      }
+      bits[byte] = packed;
     }
-  }
+  });
   return Status::OK();
 }
 
@@ -61,7 +79,8 @@ Status OneBitCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
   const float* scales = reinterpret_cast<const float*>(in);
   const uint8_t* bits = in + num_blocks * 2 * sizeof(float);
 
-  for (size_t b = 0; b < num_blocks; ++b) {
+  // Blocks write disjoint out ranges; shared bit-bytes are read-only.
+  IntraOpBlocks(num_blocks, 1, [&](size_t b, size_t, size_t) {
     const size_t begin = b * block_size_;
     const size_t end = std::min(n, begin + block_size_);
     const float pos = scales[2 * b];
@@ -70,7 +89,7 @@ Status OneBitCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
       const bool set = (bits[i / 8] >> (i % 8)) & 1u;
       out[i] = set ? pos : -neg;
     }
-  }
+  });
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/parallel.h"
+#include "base/rng.h"
 #include "base/strings.h"
 
 namespace bagua {
@@ -34,7 +36,14 @@ Status QsgdCompressor::Compress(const float* in, size_t n, Rng* rng,
   const int elems_per_byte = 8 / bits_;
   const int mask = (1 << bits_) - 1;
 
-  for (size_t b = 0; b < num_blocks; ++b) {
+  // Stochastic rounding draws from a per-block stream derived from ONE
+  // value of the caller's rng, so the bit pattern produced is a pure
+  // function of (input, rng state at entry, block index) — identical
+  // whether blocks run on one thread or eight.
+  const bool stochastic = rng != nullptr;
+  const uint64_t stream_seed = stochastic ? rng->Next() : 0;
+
+  auto compress_block = [&](size_t b, Rng* brng) {
     const size_t begin = b * block_size_;
     const size_t end = std::min(n, begin + block_size_);
     float scale = 0.0f;
@@ -50,8 +59,8 @@ Status QsgdCompressor::Compress(const float* in, size_t n, Rng* rng,
       float lo = std::floor(v);
       const float frac = v - lo;
       float level = lo;
-      if (rng != nullptr) {
-        if (rng->Uniform() < frac) level = lo + 1.0f;
+      if (brng != nullptr) {
+        if (brng->Uniform() < frac) level = lo + 1.0f;
       } else {
         level = std::nearbyint(v);
       }
@@ -61,6 +70,30 @@ Status QsgdCompressor::Compress(const float* in, size_t n, Rng* rng,
       const size_t slot = i / elems_per_byte;
       const int shift = static_cast<int>(i % elems_per_byte) * bits_;
       packed[slot] |= static_cast<uint8_t>((stored & mask) << shift);
+    }
+  };
+
+  if (block_size_ % static_cast<size_t>(elems_per_byte) == 0) {
+    // Block boundaries fall on packed-byte boundaries: blocks write
+    // disjoint bytes and can run on the intra-op pool.
+    IntraOpBlocks(num_blocks, 1, [&](size_t b, size_t, size_t) {
+      if (stochastic) {
+        Rng brng(MixSeed(stream_seed, b));
+        compress_block(b, &brng);
+      } else {
+        compress_block(b, nullptr);
+      }
+    });
+  } else {
+    // Adjacent blocks may share a packed byte — stay sequential (same
+    // per-block streams, so the payload is identical either way).
+    for (size_t b = 0; b < num_blocks; ++b) {
+      if (stochastic) {
+        Rng brng(MixSeed(stream_seed, b));
+        compress_block(b, &brng);
+      } else {
+        compress_block(b, nullptr);
+      }
     }
   }
   return Status::OK();
@@ -80,7 +113,8 @@ Status QsgdCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
   const int elems_per_byte = 8 / bits_;
   const int mask = (1 << bits_) - 1;
 
-  for (size_t b = 0; b < num_blocks; ++b) {
+  // Blocks write disjoint out ranges; shared packed bytes are read-only.
+  IntraOpBlocks(num_blocks, 1, [&](size_t b, size_t, size_t) {
     const size_t begin = b * block_size_;
     const size_t end = std::min(n, begin + block_size_);
     const float step =
@@ -91,7 +125,7 @@ Status QsgdCompressor::Decompress(const uint8_t* in, size_t bytes, size_t n,
       const int stored = (packed[slot] >> shift) & mask;
       out[i] = static_cast<float>(stored - levels_) * step;
     }
-  }
+  });
   return Status::OK();
 }
 

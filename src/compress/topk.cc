@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "base/logging.h"
+#include "base/parallel.h"
 #include "base/strings.h"
 
 namespace bagua {
@@ -35,11 +36,19 @@ Status TopKCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
     return Status::InvalidArgument("top-k supports at most 2^32 elements");
   }
   const size_t k = KeptCount(n);
+  // Magnitude keys are precomputed in parallel (selection then compares
+  // plain floats instead of re-evaluating fabs O(n log n) times). The
+  // selection itself is sequential with a deterministic tie-break, so the
+  // kept set is identical at any intra-op thread count.
+  std::vector<float> mag(n);
+  IntraOpFor(n, kElementwiseGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) mag[i] = std::fabs(in[i]);
+  });
   std::vector<uint32_t> idx(n);
   std::iota(idx.begin(), idx.end(), 0u);
   std::nth_element(idx.begin(), idx.begin() + (k > 0 ? k - 1 : 0), idx.end(),
-                   [in](uint32_t a, uint32_t b) {
-                     const float fa = std::fabs(in[a]), fb = std::fabs(in[b]);
+                   [&mag](uint32_t a, uint32_t b) {
+                     const float fa = mag[a], fb = mag[b];
                      if (fa != fb) return fa > fb;
                      return a < b;  // deterministic tie-break
                    });

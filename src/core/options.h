@@ -20,6 +20,14 @@ struct BaguaOptions {
   /// latencies that lands near 32 MB (see bench_ablation_bucket).
   size_t bucket_bytes = 32u << 20;
 
+  /// Intra-op compute threads for the tensor/compressor/optimizer
+  /// kernels (base/parallel.h). 0 = inherit the process setting
+  /// (BAGUA_INTRA_OP_THREADS env, default 1); > 0 forces the shared pool
+  /// to that size before the worker ranks spawn. Kernels are
+  /// byte-deterministic in this knob: training trajectories are
+  /// bit-identical for any value (determinism_test enforces 1/2/8).
+  int intra_op_threads = 0;
+
   static BaguaOptions Ablation(bool o, bool f, bool h) {
     BaguaOptions opts;
     opts.overlap = o;

@@ -97,7 +97,37 @@ std::string RenderTraceSummary(const Tracer& tracer) {
   for (const auto& [name, value] : totals) {
     counters.AddRow({name, std::to_string(value)});
   }
-  return ranks.ToMarkdown() + "\n" + counters.ToMarkdown();
+
+  // Compute-kernel wall time (process-wide, trace/metrics.h): rendered
+  // alongside the comm-side trace so kernel speedups are observable, but
+  // never merged into the deterministic Chrome JSON.
+  std::string out = ranks.ToMarkdown() + "\n" + counters.ToMarkdown();
+  struct KernelRow {
+    uint64_t calls = 0, ns = 0, flops = 0;
+  };
+  std::map<std::string, KernelRow> kernels;
+  for (const auto& [name, value] : KernelMetrics().CounterSnapshot()) {
+    // Names look like kernel.<kernel>.<field>.
+    if (name.rfind("kernel.", 0) != 0) continue;
+    const size_t dot = name.rfind('.');
+    const std::string kernel = name.substr(7, dot - 7);
+    const std::string field = name.substr(dot + 1);
+    if (field == "calls") kernels[kernel].calls = value;
+    if (field == "ns") kernels[kernel].ns = value;
+    if (field == "flops") kernels[kernel].flops = value;
+  }
+  if (!kernels.empty()) {
+    ReportTable ktable({"kernel", "calls", "wall ms", "GFLOP/s"});
+    for (const auto& [kernel, row] : kernels) {
+      const double ms = static_cast<double>(row.ns) / 1e6;
+      const double gflops =
+          row.ns > 0 ? static_cast<double>(row.flops) / row.ns : 0.0;
+      ktable.AddRow({kernel, std::to_string(row.calls),
+                     StrFormat("%.2f", ms), StrFormat("%.2f", gflops)});
+    }
+    out += "\n" + ktable.ToMarkdown();
+  }
+  return out;
 }
 
 }  // namespace bagua

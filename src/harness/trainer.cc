@@ -7,6 +7,7 @@
 #include "algorithms/algorithms.h"
 #include "algorithms/registry.h"
 #include "base/logging.h"
+#include "base/parallel.h"
 #include "base/strings.h"
 #include "base/sync.h"
 #include "compress/qsgd.h"
@@ -32,6 +33,13 @@ struct WorkerState {
 
 Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
   const int world = opts.topo.world_size();
+
+  // Size the shared intra-op kernel pool before any worker rank spawns
+  // (resizing mid-run is not allowed). The kernels are byte-deterministic
+  // in the thread count, so this knob changes wall time only.
+  if (opts.bagua.intra_op_threads > 0) {
+    SetIntraOpThreads(opts.bagua.intra_op_threads);
+  }
 
   // With a fault plan, the wire is a FaultyTransport decorator: seeded
   // drops/dups/corruption below the messaging API, hardening above it,

@@ -2,19 +2,18 @@
 
 #include <cmath>
 
+#include "base/parallel.h"
 #include "base/strings.h"
+#include "tensor/ops.h"
 
 namespace bagua {
 
 double ClipGradNorm(float* grad, size_t n, double max_norm) {
-  double sq = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    sq += static_cast<double>(grad[i]) * grad[i];
-  }
-  const double norm = std::sqrt(sq);
+  // Fixed-tree Dot + blocked Scale: deterministic at any intra-op thread
+  // count (see tensor/ops.h).
+  const double norm = std::sqrt(Dot(grad, grad, n));
   if (norm > max_norm && norm > 0.0) {
-    const float scale = static_cast<float>(max_norm / norm);
-    for (size_t i = 0; i < n; ++i) grad[i] *= scale;
+    Scale(grad, static_cast<float>(max_norm / norm), n);
   }
   return norm;
 }
@@ -26,13 +25,10 @@ Status SgdOptimizer::Step(size_t slot, float* param, const float* grad,
                           size_t n) {
   if (weight_decay_ > 0.0) {
     // Decoupled decay (applied to the parameter, not folded into momentum).
-    const float shrink = static_cast<float>(1.0 - lr_ * weight_decay_);
-    for (size_t i = 0; i < n; ++i) param[i] *= shrink;
+    Scale(param, static_cast<float>(1.0 - lr_ * weight_decay_), n);
   }
   if (momentum_ <= 0.0) {
-    for (size_t i = 0; i < n; ++i) {
-      param[i] -= static_cast<float>(lr_) * grad[i];
-    }
+    Axpy(-static_cast<float>(lr_), grad, param, n);
     return Status::OK();
   }
   if (slot >= velocity_.size()) velocity_.resize(slot + 1);
@@ -45,10 +41,15 @@ Status SgdOptimizer::Step(size_t slot, float* param, const float* grad,
   }
   const float mu = static_cast<float>(momentum_);
   const float lr = static_cast<float>(lr_);
-  for (size_t i = 0; i < n; ++i) {
-    v[i] = mu * v[i] + grad[i];
-    param[i] -= lr * v[i];
-  }
+  // Each element updates independently, so fixed-grain chunks over the
+  // intra-op pool leave the result bit-identical at any thread count.
+  float* vel = v.data();
+  IntraOpFor(n, kElementwiseGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      vel[i] = mu * vel[i] + grad[i];
+      param[i] -= lr * vel[i];
+    }
+  });
   return Status::OK();
 }
 
@@ -71,16 +72,22 @@ Status AdamOptimizer::Step(size_t slot, float* param, const float* grad,
   const double b1 = beta1_, b2 = beta2_;
   const double bias1 = 1.0 - std::pow(b1, static_cast<double>(s.t));
   const double bias2 = 1.0 - std::pow(b2, static_cast<double>(s.t));
-  for (size_t i = 0; i < n; ++i) {
-    s.m[i] = static_cast<float>(b1 * s.m[i] + (1.0 - b1) * grad[i]);
-    if (!variance_frozen_) {
-      s.v[i] = static_cast<float>(b2 * s.v[i] +
-                                  (1.0 - b2) * grad[i] * grad[i]);
+  float* sm = s.m.data();
+  float* sv = s.v.data();
+  const bool frozen = variance_frozen_;
+  const double lr = lr_, eps = eps_;
+  IntraOpFor(n, kElementwiseGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      sm[i] = static_cast<float>(b1 * sm[i] + (1.0 - b1) * grad[i]);
+      if (!frozen) {
+        sv[i] = static_cast<float>(b2 * sv[i] +
+                                   (1.0 - b2) * grad[i] * grad[i]);
+      }
+      const double mhat = sm[i] / bias1;
+      const double vhat = sv[i] / (frozen ? 1.0 : bias2);
+      param[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
     }
-    const double mhat = s.m[i] / bias1;
-    const double vhat = s.v[i] / (variance_frozen_ ? 1.0 : bias2);
-    param[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
-  }
+  });
   return Status::OK();
 }
 

@@ -1,0 +1,227 @@
+// Cache-blocked, register-tiled GEMM — the compute hot path behind every
+// Dense/Conv/LSTM layer. Classic three-level blocking (BLIS-style): the k
+// dimension is cut into KC panels, B is packed once per panel into
+// NR-wide column strips, and MC-row tiles of A are packed into MR-tall
+// row strips and multiplied by an MR x NR register-resident micro-kernel.
+//
+// Determinism contract (enforced by tests/kernels_test.cc and
+// tests/determinism_test.cc): every C element accumulates its k terms in
+// ascending p order (within a KC panel, panels in order), and the tile
+// grid depends only on (m, k, n) — parallelism distributes whole
+// MC-row tiles over the intra-op pool, so results are byte-identical for
+// any BAGUA_INTRA_OP_THREADS value. Zero-padding in the packed buffers
+// keeps the micro-kernel branch-free without perturbing valid lanes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "base/parallel.h"
+#include "tensor/ops.h"
+#include "trace/metrics.h"
+
+namespace bagua {
+
+namespace {
+
+// Micro-tile: MR rows x NR columns of C held in registers across a KC
+// panel. NR = 16 floats is one AVX-512 lane pair / two AVX2 lanes; MR = 6
+// keeps the accumulator set plus the B strip within the register file.
+constexpr size_t MR = 6;
+constexpr size_t NR = 16;
+constexpr size_t MC = 96;   // rows per parallel tile (multiple of MR)
+constexpr size_t KC = 256;  // k panel depth
+
+static_assert(MC % MR == 0, "row tiles must align with the micro-kernel");
+
+enum class Trans { kNone, kA, kB };
+
+size_t RoundUp(size_t v, size_t to) { return (v + to - 1) / to * to; }
+
+// Packs B[p0:p0+kc, 0:n] (logical [k, n] layout) into NR-wide strips:
+// dst[(j0/NR)*(kc*NR) + p*NR + c] = B[p0+p, j0+c], zero-padded to NR.
+void PackB(Trans trans, const float* b, size_t k, size_t n, size_t p0,
+           size_t kc, float* dst) {
+  const size_t strips = RoundUp(n, NR) / NR;
+  for (size_t s = 0; s < strips; ++s) {
+    const size_t j0 = s * NR;
+    const size_t jn = std::min(NR, n - j0);
+    float* strip = dst + s * kc * NR;
+    if (trans == Trans::kB) {
+      // B stored [n, k]: column j of the logical [k, n] matrix is row j.
+      for (size_t p = 0; p < kc; ++p) {
+        float* row = strip + p * NR;
+        for (size_t c = 0; c < jn; ++c) row[c] = b[(j0 + c) * k + p0 + p];
+        for (size_t c = jn; c < NR; ++c) row[c] = 0.0f;
+      }
+    } else {
+      for (size_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * n + j0;
+        float* row = strip + p * NR;
+        for (size_t c = 0; c < jn; ++c) row[c] = src[c];
+        for (size_t c = jn; c < NR; ++c) row[c] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs A[i0:i0+mc, p0:p0+kc] (logical [m, k] layout) into MR-tall
+// strips: dst[(ii/MR)*(kc*MR) + p*MR + r] = A[i0+ii+r, p0+p], zero-padded
+// to MR.
+void PackA(Trans trans, const float* a, size_t m, size_t k, size_t i0,
+           size_t mc, size_t p0, size_t kc, float* dst) {
+  const size_t strips = RoundUp(mc, MR) / MR;
+  for (size_t s = 0; s < strips; ++s) {
+    const size_t ii = s * MR;
+    const size_t rn = std::min(MR, mc - ii);
+    float* strip = dst + s * kc * MR;
+    if (trans == Trans::kA) {
+      // A stored [k, m]: logical row i is column i.
+      for (size_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * m + i0 + ii;
+        float* row = strip + p * MR;
+        for (size_t r = 0; r < rn; ++r) row[r] = src[r];
+        for (size_t r = rn; r < MR; ++r) row[r] = 0.0f;
+      }
+    } else {
+      for (size_t p = 0; p < kc; ++p) {
+        float* row = strip + p * MR;
+        for (size_t r = 0; r < rn; ++r) {
+          row[r] = a[(i0 + ii + r) * k + p0 + p];
+        }
+        for (size_t r = rn; r < MR; ++r) row[r] = 0.0f;
+      }
+    }
+  }
+}
+
+// acc[r][c] += sum_p ap[p*MR+r] * bp[p*NR+c]. Fixed ascending-p order.
+#if defined(__GNUC__) || defined(__clang__)
+
+// One NR-float lane group as a compiler vector: the MR accumulators live
+// in MR vector registers (one zmm each under AVX-512, two ymm under
+// AVX2 — the compiler lowers the 64-byte type to whatever the target
+// has), which is the whole point of the MR x NR register tile. The
+// auto-vectorizer alone picks a 4-lane broadcast scheme here that runs
+// *slower* than the naive loop.
+typedef float Vec16 __attribute__((vector_size(NR * sizeof(float))));
+
+inline void MicroKernel(const float* __restrict__ ap,
+                        const float* __restrict__ bp, size_t kc,
+                        float acc[MR][NR]) {
+  Vec16 vacc[MR];
+  std::memset(vacc, 0, sizeof(vacc));
+  for (size_t p = 0; p < kc; ++p) {
+    Vec16 bv;
+    std::memcpy(&bv, bp + p * NR, sizeof(bv));  // unaligned vector load
+    const float* __restrict__ arow = ap + p * MR;
+    for (size_t r = 0; r < MR; ++r) vacc[r] += arow[r] * bv;
+  }
+  std::memcpy(acc, vacc, sizeof(vacc));
+}
+
+#else  // portable fallback, same ascending-p accumulation order
+
+inline void MicroKernel(const float* __restrict__ ap,
+                        const float* __restrict__ bp, size_t kc,
+                        float acc[MR][NR]) {
+  for (size_t p = 0; p < kc; ++p) {
+    const float* __restrict__ arow = ap + p * MR;
+    const float* __restrict__ brow = bp + p * NR;
+    for (size_t r = 0; r < MR; ++r) {
+      const float av = arow[r];
+      for (size_t c = 0; c < NR; ++c) acc[r][c] += av * brow[c];
+    }
+  }
+}
+
+#endif
+
+void GemmBlocked(Trans trans, const float* a, const float* b, float* c,
+                 size_t m, size_t k, size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (k == 0) return;
+
+  const size_t n_strips = RoundUp(n, NR) / NR;
+  const size_t row_tiles = (m + MC - 1) / MC;
+
+  // Panel-packed B is shared read-only by every row tile; A tiles are
+  // packed into per-thread scratch. thread_local keeps both allocations
+  // out of the steady-state path (worker ranks and pool threads each
+  // reuse their own buffers).
+  thread_local std::vector<float> bpack;
+  for (size_t p0 = 0; p0 < k; p0 += KC) {
+    const size_t kc = std::min(KC, k - p0);
+    bpack.resize(n_strips * kc * NR);
+    PackB(trans, b, k, n, p0, kc, bpack.data());
+    const float* bp = bpack.data();
+
+    IntraOpBlocks(row_tiles, 1, [&](size_t tile, size_t, size_t) {
+      const size_t i0 = tile * MC;
+      const size_t mc = std::min(MC, m - i0);
+      const size_t m_strips = RoundUp(mc, MR) / MR;
+      thread_local std::vector<float> apack;
+      apack.resize(m_strips * kc * MR);
+      PackA(trans, a, m, k, i0, mc, p0, kc, apack.data());
+
+      for (size_t s = 0; s < n_strips; ++s) {
+        const size_t j0 = s * NR;
+        const size_t jn = std::min(NR, n - j0);
+        const float* bstrip = bp + s * kc * NR;
+        for (size_t ms = 0; ms < m_strips; ++ms) {
+          const size_t ii = ms * MR;
+          const size_t rn = std::min(MR, mc - ii);
+          float acc[MR][NR] = {};
+          MicroKernel(apack.data() + ms * kc * MR, bstrip, kc, acc);
+          for (size_t r = 0; r < rn; ++r) {
+            float* crow = c + (i0 + ii + r) * n + j0;
+            for (size_t cc = 0; cc < jn; ++cc) crow[cc] += acc[r][cc];
+          }
+        }
+      }
+    });
+  }
+}
+
+// RAII wall-time recorder for the kernel metrics (trace/metrics.h).
+class KernelTimer {
+ public:
+  KernelTimer(const char* name, uint64_t flops)
+      : name_(name), flops_(flops),
+        start_(std::chrono::steady_clock::now()) {}
+  ~KernelTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    RecordKernelTime(name_, static_cast<uint64_t>(ns), flops_);
+  }
+
+ private:
+  const char* name_;
+  uint64_t flops_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool accumulate) {
+  KernelTimer timer("gemm", 2ull * m * k * n);
+  GemmBlocked(Trans::kNone, a, b, c, m, k, n, accumulate);
+}
+
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate) {
+  KernelTimer timer("gemm_ta", 2ull * m * k * n);
+  GemmBlocked(Trans::kA, a, b, c, m, k, n, accumulate);
+}
+
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate) {
+  KernelTimer timer("gemm_tb", 2ull * m * k * n);
+  GemmBlocked(Trans::kB, a, b, c, m, k, n, accumulate);
+}
+
+}  // namespace bagua

@@ -9,6 +9,13 @@ namespace bagua {
 
 /// Elementwise kernels over flat float spans. These are the compute
 /// building blocks used by reductions, optimizers and compressors.
+///
+/// All kernels here (and the GEMM family below) may split work over the
+/// shared intra-op pool (base/parallel.h, BAGUA_INTRA_OP_THREADS) and are
+/// **byte-deterministic at any thread count**: partitions and reduction
+/// orders are pure functions of the input size. The seed's naive
+/// single-threaded kernels are preserved in tensor/reference.h as the
+/// differential and perf-regression baseline (scripts/perf_gate.sh).
 
 /// y += alpha * x
 void Axpy(float alpha, const float* x, float* y, size_t n);
@@ -22,10 +29,15 @@ void Add(const float* a, const float* b, float* out, size_t n);
 /// out = a - b
 void Sub(const float* a, const float* b, float* out, size_t n);
 
-/// Sum of elements.
+/// Sum of elements, in the fixed-tree order: 4096-element blocks are
+/// each reduced into 8 interleaved double lanes folded pairwise, and the
+/// block partials fold in a left-packed pairwise tree over ascending
+/// block index. The order depends only on n — never on the thread count
+/// — so the result is bitwise reproducible (see ops.cc for the full
+/// spec; determinism_test re-implements it independently).
 double Sum(const float* x, size_t n);
 
-/// Dot product.
+/// Dot product, same fixed-tree order as Sum.
 double Dot(const float* a, const float* b, size_t n);
 
 /// L2 norm.
@@ -43,6 +55,10 @@ Status AddTensor(const Tensor& a, const Tensor& b, Tensor* out);
 double L2NormTensor(const Tensor& x);
 
 /// Row-major GEMM: C[m,n] = A[m,k] * B[k,n] (+ C if accumulate).
+/// Cache-blocked and register-tiled (tensor/gemm.cc); every C element
+/// accumulates its k terms in ascending order regardless of tiling or
+/// thread count. Wall time is recorded in the kernel metrics
+/// (trace/metrics.h) as kernel.gemm.{calls,ns,flops}.
 void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
           size_t n, bool accumulate = false);
 

@@ -1,0 +1,72 @@
+#include "tensor/reference.h"
+
+namespace bagua {
+namespace reference {
+
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  }
+  // i-k-j loop order for cache-friendly access of b and c.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  }
+  // A stored [k, m]; C[i, j] += A[p, i] * B[p, j].
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0f) continue;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  }
+  // B stored [n, k]; C[i, j] += A[i, p] * B[j, p].
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+double Sum(const float* x, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+double Dot(const float* a, const float* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+}  // namespace reference
+}  // namespace bagua

@@ -1,0 +1,39 @@
+#ifndef BAGUA_TENSOR_REFERENCE_H_
+#define BAGUA_TENSOR_REFERENCE_H_
+
+#include <cstddef>
+
+namespace bagua {
+namespace reference {
+
+/// \brief Frozen naive kernels — the seed implementations, kept verbatim.
+///
+/// These are the differential baselines for the optimized kernels in
+/// ops.cc/gemm.cc: tests/kernels_test.cc checks the blocked GEMM against
+/// them over randomized shapes, and scripts/perf_gate.sh fails the build
+/// if the blocked GEMM stops being >= 2x faster at 256^3. They are
+/// compiled in their own translation unit with the project's default
+/// flags (no kernel-specific -O3/-march), so they keep measuring what the
+/// code did before the blocked kernels landed. Do not optimize them.
+
+/// Row-major GEMM: C[m,n] = A[m,k] * B[k,n] (+ C if accumulate).
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool accumulate = false);
+
+/// A stored [k,m]: C[i,j] (+)= sum_p A[p,i] * B[p,j].
+void GemmTransA(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate = false);
+
+/// B stored [n,k]: C[i,j] (+)= sum_p A[i,p] * B[j,p].
+void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n, bool accumulate = false);
+
+/// Left-to-right scalar sum/dot (the data-length-dependent order the
+/// fixed-tree kernels replaced).
+double Sum(const float* x, size_t n);
+double Dot(const float* a, const float* b, size_t n);
+
+}  // namespace reference
+}  // namespace bagua
+
+#endif  // BAGUA_TENSOR_REFERENCE_H_

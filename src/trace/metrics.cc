@@ -36,4 +36,25 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeSnapshot()
   return {gauges_.begin(), gauges_.end()};
 }
 
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+MetricsRegistry& KernelMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void ResetKernelMetrics() { KernelMetrics().Clear(); }
+
+void RecordKernelTime(const char* name, uint64_t wall_ns, uint64_t flops) {
+  MetricsRegistry& m = KernelMetrics();
+  const std::string base = std::string("kernel.") + name;
+  m.Add(base + ".calls", 1);
+  m.Add(base + ".ns", wall_ns);
+  if (flops > 0) m.Add(base + ".flops", flops);
+}
+
 }  // namespace bagua

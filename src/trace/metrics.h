@@ -37,11 +37,33 @@ class MetricsRegistry {
   /// All gauges, sorted by name.
   std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
 
+  /// Drops every counter and gauge (test isolation for the process-wide
+  /// registries below).
+  void Clear();
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
 };
+
+/// \name Process-wide compute-kernel metrics.
+///
+/// The tensor kernels (GEMM family) record wall time here so kernel
+/// speedups are observable next to the comm-side trace: per kernel
+/// `name`, counters `kernel.<name>.calls`, `kernel.<name>.ns` (wall
+/// nanoseconds, summed over calls and worker ranks) and
+/// `kernel.<name>.flops`. Wall time is diagnostic only — it never feeds
+/// the deterministic merged Chrome trace, exactly like the wall column of
+/// the per-rank summary.
+/// @{
+MetricsRegistry& KernelMetrics();
+void ResetKernelMetrics();
+
+/// Accumulates one kernel invocation (helper for RAII timers in the
+/// kernel implementations).
+void RecordKernelTime(const char* name, uint64_t wall_ns, uint64_t flops);
+/// @}
 
 }  // namespace bagua
 

@@ -1,0 +1,86 @@
+// Smoke-runs the bench binaries in --quick mode so a broken bench (or a
+// kernel gate that stops producing its JSON contract) fails ctest instead
+// of being discovered at paper-reproduction time. BAGUA_BENCH_DIR is
+// injected by tests/CMakeLists.txt as the bench output directory.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bagua {
+namespace {
+
+#ifndef BAGUA_BENCH_DIR
+#error "tests/CMakeLists.txt must define BAGUA_BENCH_DIR"
+#endif
+
+std::string BenchPath(const char* name) {
+  return std::string(BAGUA_BENCH_DIR) + "/" + name;
+}
+
+std::string TempJsonPath() {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  return std::string(dir) + "/bagua_bench_kernels_smoke.json";
+}
+
+int RunCommand(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  return rc;
+}
+
+// Pulls the number out of a flat `"key": value` line; nan on miss.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(BenchSmokeTest, KernelGateWritesJsonContract) {
+  const std::string json_path = TempJsonPath();
+  std::remove(json_path.c_str());
+  const std::string cmd = BenchPath("bench_micro_primitives") +
+                          " --kernels-json=" + json_path + " --quick";
+  ASSERT_EQ(RunCommand(cmd), 0) << cmd;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "kernel gate did not write " << json_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // The exact keys scripts/perf_gate.sh greps for.
+  for (const char* key :
+       {"speedup_64", "speedup_128", "speedup_256", "ref_ms_256",
+        "blocked_ms_256", "max_abs_diff_256"}) {
+    EXPECT_FALSE(std::isnan(JsonNumber(json, key))) << "missing " << key;
+  }
+  // Loose bound here (the hard >= 2.0 gate lives in scripts/perf_gate.sh):
+  // the blocked kernel being outright slower at 256^3 means the build
+  // regressed badly enough to fail the smoke test too.
+  EXPECT_GT(JsonNumber(json, "speedup_256"), 1.0);
+  // Differential correctness rides along in the report.
+  EXPECT_LT(JsonNumber(json, "max_abs_diff_256"), 1e-3);
+  std::remove(json_path.c_str());
+}
+
+TEST(BenchSmokeTest, Table4QuickRuns) {
+  const std::string cmd =
+      BenchPath("bench_table4_epoch_time") + " --quick > /dev/null";
+  EXPECT_EQ(RunCommand(cmd), 0) << cmd;
+}
+
+TEST(BenchSmokeTest, BadFlagIsRejected) {
+  const std::string cmd = BenchPath("bench_micro_primitives") +
+                          " --kernels-json= 2> /dev/null";
+  EXPECT_NE(RunCommand(cmd), 0) << "empty --kernels-json= must be an error";
+}
+
+}  // namespace
+}  // namespace bagua

@@ -4,8 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
 #include "harness/autotune.h"
 #include "harness/trainer.h"
+#include "tensor/ops.h"
 
 namespace bagua {
 namespace {
@@ -76,6 +82,91 @@ TEST(DeterminismTest, FaultedRunIsDeterministic) {
   EXPECT_EQ(a.fault_penalty_s, b.fault_penalty_s);
   EXPECT_GT(a.fault_stats.drops, 0u);
   EXPECT_GT(a.fault_stats.retries, 0u);
+}
+
+// Independent re-implementation of the documented fixed-tree reduction
+// order (tensor/ops.h): 4096-element blocks, 8 interleaved double lanes
+// folded ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), block partials combined
+// in a left-packed pairwise tree over ascending block index. If Sum/Dot
+// ever drift from this spec — e.g. back to data-length-dependent
+// left-to-right accumulation — these bit-exact comparisons catch it.
+double SpecBlockSum(const float* x, size_t count) {
+  double lane[8] = {};
+  for (size_t i = 0; i < count; ++i) lane[i % 8] += x[i];
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+double SpecBlockDot(const float* a, const float* b, size_t count) {
+  double lane[8] = {};
+  for (size_t i = 0; i < count; ++i) {
+    lane[i % 8] += static_cast<double>(a[i]) * b[i];
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+double SpecTree(std::vector<double> p) {
+  if (p.empty()) return 0.0;
+  while (p.size() > 1) {
+    std::vector<double> next;
+    for (size_t i = 0; i + 1 < p.size(); i += 2) next.push_back(p[i] + p[i + 1]);
+    if (p.size() % 2 == 1) next.push_back(p.back());
+    p = std::move(next);
+  }
+  return p[0];
+}
+
+TEST(DeterminismTest, SumAndDotFollowTheFixedTreeSpec) {
+  Rng rng(555);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{9}, size_t{4096},
+                         size_t{4097}, size_t{20000}, size_t{65536}}) {
+    std::vector<float> a(n), b(n);
+    for (auto& v : a) v = static_cast<float>(rng.Normal());
+    for (auto& v : b) v = static_cast<float>(rng.Normal());
+    std::vector<double> sum_parts, dot_parts;
+    for (size_t begin = 0; begin < n; begin += 4096) {
+      const size_t count = std::min(n - begin, size_t{4096});
+      sum_parts.push_back(SpecBlockSum(a.data() + begin, count));
+      dot_parts.push_back(SpecBlockDot(a.data() + begin, b.data() + begin,
+                                       count));
+    }
+    for (const int threads : {1, 2, 8}) {
+      SetIntraOpThreads(threads);
+      EXPECT_EQ(Sum(a.data(), n), SpecTree(sum_parts))
+          << "n=" << n << " threads=" << threads;
+      EXPECT_EQ(Dot(a.data(), b.data(), n), SpecTree(dot_parts))
+          << "n=" << n << " threads=" << threads;
+    }
+    SetIntraOpThreads(0);
+  }
+}
+
+TEST(DeterminismTest, TrainingIsBitwiseInvariantToIntraOpThreads) {
+  // The whole point of the deterministic kernel design: the end-to-end
+  // loss trajectory is a pure function of the seed, with the intra-op
+  // thread count changing wall time only. Exact equality, no tolerance.
+  auto run = [](int threads) {
+    ConvergenceOptions opts;
+    opts.algorithm = "qsgd8";  // exercises GEMM + compressor + optimizer
+    opts.epochs = 2;
+    opts.seed = 321;
+    opts.topo = ClusterTopology::Make(4, 1);
+    opts.data.num_samples = 1024;
+    opts.bagua.intra_op_threads = threads;
+    auto result = RunConvergence(opts);
+    BAGUA_CHECK(result.ok()) << result.status().ToString();
+    return result->epoch_loss;
+  };
+  const auto base = run(1);
+  for (const int threads : {2, 8}) {
+    const auto got = run(threads);
+    ASSERT_EQ(got.size(), base.size());
+    for (size_t e = 0; e < base.size(); ++e) {
+      ASSERT_EQ(got[e], base[e]) << "threads=" << threads << " epoch " << e;
+    }
+  }
+  SetIntraOpThreads(0);
 }
 
 TEST(DeterminismTest, TimingModelIsPure) {

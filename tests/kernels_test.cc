@@ -1,0 +1,215 @@
+// Differential property suite for the blocked compute kernels
+// (tensor/gemm.cc, tensor/ops.cc) against the frozen seed implementations
+// (tensor/reference.h), plus the byte-determinism guarantee: the same
+// inputs produce the same bits at 1, 2 and 8 intra-op threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "tensor/ops.h"
+#include "tensor/reference.h"
+
+namespace bagua {
+namespace {
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { SetIntraOpThreads(n); }
+  ~ScopedThreads() { SetIntraOpThreads(0); }
+};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+using GemmFn = void (*)(const float*, const float*, float*, size_t, size_t,
+                        size_t, bool);
+
+struct Variant {
+  const char* name;
+  GemmFn blocked;
+  GemmFn reference;
+};
+
+const Variant kVariants[] = {
+    {"gemm", &Gemm, &reference::Gemm},
+    {"gemm_ta", &GemmTransA, &reference::GemmTransA},
+    {"gemm_tb", &GemmTransB, &reference::GemmTransB},
+};
+
+// Shapes that straddle every tiling edge: empty, single row/col, the
+// micro-tile (6x16), the MC row tile (96), the KC panel (256), and ragged
+// values adjacent to each.
+struct Shape {
+  size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {0, 3, 4},   {3, 0, 4},    {3, 4, 0},   {1, 1, 1},    {1, 7, 1},
+    {5, 3, 2},   {6, 8, 16},   {7, 9, 17},  {12, 16, 32}, {17, 31, 33},
+    {95, 13, 7}, {96, 257, 5}, {97, 11, 48}, {33, 300, 21},
+};
+
+// The blocked kernel accumulates each C element's k terms in a different
+// (but fixed) order than the reference, so compare with a k-scaled
+// float-roundoff tolerance rather than exactly.
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& want,
+                 size_t k, const char* label) {
+  ASSERT_EQ(got.size(), want.size());
+  const double tol = 1e-5 * (1.0 + std::sqrt(static_cast<double>(k)));
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << label << " element " << i;
+  }
+}
+
+TEST(KernelsTest, GemmMatchesReferenceAcrossShapes) {
+  for (const Variant& v : kVariants) {
+    for (const Shape& s : kShapes) {
+      for (const bool accumulate : {false, true}) {
+        const auto a = RandomVec(s.m * s.k, MixSeed(1, s.m * 1000 + s.k));
+        const auto b = RandomVec(s.k * s.n, MixSeed(2, s.k * 1000 + s.n));
+        const auto c0 = RandomVec(s.m * s.n, MixSeed(3, s.m * 1000 + s.n));
+        std::vector<float> got = c0, want = c0;
+        v.blocked(a.data(), b.data(), got.data(), s.m, s.k, s.n, accumulate);
+        v.reference(a.data(), b.data(), want.data(), s.m, s.k, s.n,
+                    accumulate);
+        ExpectClose(got, want, s.k, v.name);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, GemmRandomizedShapes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t m = rng.Next() % 70;
+    const size_t k = rng.Next() % 300;
+    const size_t n = rng.Next() % 70;
+    const bool accumulate = (rng.Next() & 1) != 0;
+    const Variant& v = kVariants[rng.Next() % 3];
+    const auto a = RandomVec(m * k, rng.Next());
+    const auto b = RandomVec(k * n, rng.Next());
+    const auto c0 = RandomVec(m * n, rng.Next());
+    std::vector<float> got = c0, want = c0;
+    v.blocked(a.data(), b.data(), got.data(), m, k, n, accumulate);
+    v.reference(a.data(), b.data(), want.data(), m, k, n, accumulate);
+    ExpectClose(got, want, k, v.name);
+  }
+}
+
+TEST(KernelsTest, GemmBitsIdenticalAtAnyThreadCount) {
+  // Determinism is exact, not approximate: byte-compare the full output
+  // across thread counts, including shapes with many row tiles so the
+  // pool actually distributes work.
+  const Shape shapes[] = {{97, 33, 17}, {200, 64, 50}, {300, 5, 96}};
+  for (const Variant& v : kVariants) {
+    for (const Shape& s : shapes) {
+      const auto a = RandomVec(s.m * s.k, 11);
+      const auto b = RandomVec(s.k * s.n, 12);
+      const auto c0 = RandomVec(s.m * s.n, 13);
+      std::vector<float> base;
+      {
+        ScopedThreads scope(1);
+        base = c0;
+        v.blocked(a.data(), b.data(), base.data(), s.m, s.k, s.n, true);
+      }
+      for (const int threads : {2, 8}) {
+        ScopedThreads scope(threads);
+        for (int rep = 0; rep < 3; ++rep) {
+          std::vector<float> got = c0;
+          v.blocked(a.data(), b.data(), got.data(), s.m, s.k, s.n, true);
+          ASSERT_EQ(std::memcmp(got.data(), base.data(),
+                                got.size() * sizeof(float)),
+                    0)
+              << v.name << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ElementwiseBitsIdenticalAtAnyThreadCount) {
+  // Spans larger than the parallel grain so the pool path actually runs.
+  const size_t n = 100003;
+  const auto x = RandomVec(n, 21);
+  const auto y0 = RandomVec(n, 22);
+
+  std::vector<float> axpy1, scale1, add1, sub1;
+  {
+    ScopedThreads scope(1);
+    axpy1 = y0;
+    Axpy(0.37f, x.data(), axpy1.data(), n);
+    scale1 = y0;
+    Scale(scale1.data(), -1.25f, n);
+    add1.assign(n, 0.0f);
+    Add(x.data(), y0.data(), add1.data(), n);
+    sub1.assign(n, 0.0f);
+    Sub(x.data(), y0.data(), sub1.data(), n);
+  }
+  for (const int threads : {2, 8}) {
+    ScopedThreads scope(threads);
+    std::vector<float> out = y0;
+    Axpy(0.37f, x.data(), out.data(), n);
+    EXPECT_EQ(std::memcmp(out.data(), axpy1.data(), n * sizeof(float)), 0);
+    out = y0;
+    Scale(out.data(), -1.25f, n);
+    EXPECT_EQ(std::memcmp(out.data(), scale1.data(), n * sizeof(float)), 0);
+    out.assign(n, 0.0f);
+    Add(x.data(), y0.data(), out.data(), n);
+    EXPECT_EQ(std::memcmp(out.data(), add1.data(), n * sizeof(float)), 0);
+    out.assign(n, 0.0f);
+    Sub(x.data(), y0.data(), out.data(), n);
+    EXPECT_EQ(std::memcmp(out.data(), sub1.data(), n * sizeof(float)), 0);
+  }
+}
+
+TEST(KernelsTest, ReductionsMatchReferenceApproximately) {
+  // The fixed tree changes the accumulation order, so agree with the
+  // left-to-right reference only up to roundoff — and the double-lane
+  // tree should be at least as accurate.
+  const size_t n = 50000;
+  const auto a = RandomVec(n, 31);
+  const auto b = RandomVec(n, 32);
+  EXPECT_NEAR(Sum(a.data(), n), reference::Sum(a.data(), n), 1e-3);
+  EXPECT_NEAR(Dot(a.data(), b.data(), n), reference::Dot(a.data(), b.data(), n),
+              1e-3);
+}
+
+TEST(KernelsTest, ReductionDerivedKernelsThreadInvariant) {
+  const size_t n = 70001;
+  const auto x = RandomVec(n, 41);
+  double l2_1;
+  float amax1, amean1;
+  {
+    ScopedThreads scope(1);
+    l2_1 = L2Norm(x.data(), n);
+    amax1 = AbsMax(x.data(), n);
+    amean1 = AbsMean(x.data(), n);
+  }
+  for (const int threads : {2, 8}) {
+    ScopedThreads scope(threads);
+    EXPECT_EQ(L2Norm(x.data(), n), l2_1) << "threads=" << threads;
+    EXPECT_EQ(AbsMax(x.data(), n), amax1) << "threads=" << threads;
+    EXPECT_EQ(AbsMean(x.data(), n), amean1) << "threads=" << threads;
+  }
+}
+
+TEST(KernelsTest, GemmZeroSizeDoesNotTouchC) {
+  // k == 0 with accumulate=false must still clear C (C = A*B is all
+  // zeros); with accumulate=true it must leave C alone.
+  std::vector<float> c(12, 7.0f);
+  Gemm(nullptr, nullptr, c.data(), 3, 0, 4, /*accumulate=*/true);
+  for (float v : c) EXPECT_EQ(v, 7.0f);
+  Gemm(nullptr, nullptr, c.data(), 3, 0, 4, /*accumulate=*/false);
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace bagua

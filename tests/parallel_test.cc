@@ -1,0 +1,216 @@
+// The deterministic intra-op pool (base/parallel.h): block geometry,
+// coverage, nested-use degradation, exception propagation, and the
+// thread-count invariance of the fixed-tree reductions built on it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+namespace {
+
+// Restores the process intra-op setting on scope exit so tests never
+// leak a pool size into each other.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { SetIntraOpThreads(n); }
+  ~ScopedThreads() { SetIntraOpThreads(0); }
+};
+
+TEST(ParallelTest, NumBlocksGeometry) {
+  EXPECT_EQ(ThreadPool::NumBlocks(0, 8), 0u);
+  EXPECT_EQ(ThreadPool::NumBlocks(1, 8), 1u);
+  EXPECT_EQ(ThreadPool::NumBlocks(8, 8), 1u);
+  EXPECT_EQ(ThreadPool::NumBlocks(9, 8), 2u);
+  EXPECT_EQ(ThreadPool::NumBlocks(16, 8), 2u);
+  EXPECT_EQ(ThreadPool::NumBlocks(17, 8), 3u);
+}
+
+TEST(ParallelTest, PartitionBoundariesArePureFunctionOfNAndGrain) {
+  // The (block, begin, end) triples must be identical at every thread
+  // count — this is the root of every determinism guarantee downstream.
+  auto collect = [](int threads, size_t n, size_t grain) {
+    ScopedThreads scope(threads);
+    std::mutex mu;
+    std::vector<std::array<size_t, 3>> out;
+    IntraOpBlocks(n, grain, [&](size_t b, size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.push_back({b, begin, end});
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                         size_t{65}, size_t{1000}}) {
+    const auto p1 = collect(1, n, 16);
+    const auto p2 = collect(2, n, 16);
+    const auto p8 = collect(8, n, 16);
+    EXPECT_EQ(p1, p2) << "n=" << n;
+    EXPECT_EQ(p1, p8) << "n=" << n;
+    // And the partition tiles [0, n) exactly.
+    size_t expect_begin = 0;
+    for (const auto& [b, begin, end] : p1) {
+      EXPECT_EQ(begin, expect_begin);
+      EXPECT_EQ(begin, b * 16);
+      EXPECT_LE(end, n);
+      expect_begin = end;
+    }
+    EXPECT_EQ(expect_begin, n);
+  }
+}
+
+TEST(ParallelTest, EveryIndexCoveredExactlyOnce) {
+  ScopedThreads scope(4);
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  IntraOpFor(kN, 1024, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, NestedUseRunsInline) {
+  ScopedThreads scope(4);
+  // A parallel region launched from inside a parallel region must degrade
+  // to inline execution on the launching thread — same blocks, no
+  // deadlock on the shared pool.
+  std::atomic<int> outer_blocks{0};
+  std::atomic<int> inner_blocks{0};
+  std::atomic<bool> saw_region_flag{false};
+  IntraOpBlocks(4, 1, [&](size_t, size_t, size_t) {
+    outer_blocks.fetch_add(1);
+    if (ThreadPool::InParallelRegion()) saw_region_flag.store(true);
+    const std::thread::id me = std::this_thread::get_id();
+    IntraOpBlocks(3, 1, [&](size_t, size_t, size_t) {
+      inner_blocks.fetch_add(1);
+      // Inline means: the nested blocks run on the thread that opened
+      // the nested region, never on another pool worker.
+      EXPECT_EQ(std::this_thread::get_id(), me);
+    });
+  });
+  EXPECT_EQ(outer_blocks.load(), 4);
+  EXPECT_EQ(inner_blocks.load(), 4 * 3);
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ParallelTest, ExceptionPropagatesFromLowestBlock) {
+  for (const int threads : {1, 2, 8}) {
+    ScopedThreads scope(threads);
+    std::atomic<int> ran{0};
+    try {
+      IntraOpBlocks(64, 1, [&](size_t b, size_t, size_t) {
+        ran.fetch_add(1);
+        // Several blocks throw; the lowest block index must win at every
+        // thread count, so the escaping message is deterministic.
+        if (b == 5 || b == 17 || b == 40) {
+          throw std::runtime_error("block " + std::to_string(b));
+        }
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "block 5") << "threads=" << threads;
+    }
+    if (threads == 1) {
+      // Inline execution propagates at the throwing block: 0..5 ran.
+      EXPECT_EQ(ran.load(), 6);
+    } else {
+      // The pooled region drains every block before rethrowing, so the
+      // error never leaves a half-claimed job behind.
+      EXPECT_EQ(ran.load(), 64) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTest, SetIntraOpThreadsClampsAndResets) {
+  SetIntraOpThreads(3);
+  EXPECT_EQ(IntraOpThreads(), 3);
+  SetIntraOpThreads(100000);
+  EXPECT_EQ(IntraOpThreads(), 256);  // documented clamp
+  SetIntraOpThreads(0);              // back to env/default resolution
+  EXPECT_GE(IntraOpThreads(), 1);
+}
+
+TEST(ParallelTest, EnvVariableResolution) {
+  // SetIntraOpThreads(0) drops back to env resolution, so the variable
+  // can be exercised without relaunching the process.
+  setenv("BAGUA_INTRA_OP_THREADS", "5", 1);
+  SetIntraOpThreads(0);
+  EXPECT_EQ(IntraOpThreads(), 5);
+  setenv("BAGUA_INTRA_OP_THREADS", "not-a-number", 1);
+  SetIntraOpThreads(0);
+  EXPECT_EQ(IntraOpThreads(), 1);  // unparsable -> default
+  unsetenv("BAGUA_INTRA_OP_THREADS");
+  SetIntraOpThreads(0);
+  EXPECT_EQ(IntraOpThreads(), 1);
+}
+
+TEST(ParallelTest, FixedTreeReductionsAreThreadCountInvariant) {
+  // Seeded stress: Sum and Dot must produce the exact same bits at 1, 2
+  // and 8 threads for sizes straddling every geometry edge (empty, one
+  // block, block boundary, many blocks, ragged tail).
+  Rng rng(2024);
+  const size_t sizes[] = {0,    1,    7,     4095,  4096,
+                          4097, 8192, 12289, 100000};
+  for (const size_t n : sizes) {
+    std::vector<float> a(n), b(n);
+    for (auto& v : a) v = static_cast<float>(rng.Normal());
+    for (auto& v : b) v = static_cast<float>(rng.Normal());
+    double sum1 = 0, dot1 = 0;
+    {
+      ScopedThreads scope(1);
+      sum1 = Sum(a.data(), n);
+      dot1 = Dot(a.data(), b.data(), n);
+    }
+    for (const int threads : {2, 8}) {
+      ScopedThreads scope(threads);
+      for (int rep = 0; rep < 3; ++rep) {  // rule out scheduling luck
+        EXPECT_EQ(Sum(a.data(), n), sum1) << "n=" << n << " t=" << threads;
+        EXPECT_EQ(Dot(a.data(), b.data(), n), dot1)
+            << "n=" << n << " t=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, ConcurrentRegionsFromManyRanksStayDeterministic) {
+  // Worker ranks share one pool; whoever loses the race for it runs
+  // inline. Either way the bytes must match the single-threaded answer.
+  ScopedThreads scope(4);
+  constexpr int kRanks = 8;
+  constexpr size_t kN = 50000;
+  std::vector<float> data(kN);
+  Rng rng(7);
+  for (auto& v : data) v = static_cast<float>(rng.Normal());
+  double expect = 0;
+  {
+    ScopedThreads inner(1);
+    expect = Sum(data.data(), kN);
+  }
+  std::vector<double> got(kRanks, 0.0);
+  std::vector<std::thread> ranks;
+  ranks.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&, r] {
+      for (int rep = 0; rep < 20; ++rep) got[r] = Sum(data.data(), kN);
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < kRanks; ++r) EXPECT_EQ(got[r], expect) << "rank " << r;
+}
+
+}  // namespace
+}  // namespace bagua
