@@ -35,10 +35,15 @@ namespace bagua {
 ///   --quick             shrink the workload for smoke tests / CI gates
 ///   --kernels-json=PATH run the kernel perf gate (kernel_gate.h) instead
 ///                       of the regular bench and write its JSON to PATH
+///   --overlap-json=PATH benches that measure real-execution backward∥comm
+///                       overlap (bench_table5_ablation) write their
+///                       sync-vs-engine wall-time comparison to PATH as
+///                       one-key-per-line JSON (scripts/overlap_gate.sh)
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
   std::string kernels_json;
+  std::string overlap_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -72,6 +77,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--kernels-json= needs a path";
       }
+    } else if (std::strncmp(a, "--overlap-json=", 15) == 0) {
+      args.overlap_json = a + 15;
+      if (args.overlap_json.empty()) {
+        args.ok = false;
+        args.error = "--overlap-json= needs a path";
+      }
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -93,7 +104,7 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
 inline int BenchArgsError(const BenchArgs& args) {
   std::fprintf(stderr, "error: %s\nusage: [--trace-out=PATH]"
                        " [--trace-ranks=N] [--threads=N] [--quick]"
-                       " [--kernels-json=PATH]\n",
+                       " [--kernels-json=PATH] [--overlap-json=PATH]\n",
                args.error.c_str());
   return 2;
 }

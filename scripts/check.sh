@@ -26,9 +26,15 @@ echo "==> kernel correctness (ctest -L kernels) + perf-regression gate"
 ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
 ./scripts/perf_gate.sh build
 
+echo "==> measured-overlap gate (async comm engine vs synchronous executor)"
+./scripts/overlap_gate.sh build
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS"
+
+echo "==> schedule IR / executor tests under ${SANITIZER} (ctest -L sched)"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L sched
 
 echo "OK: plain + ${SANITIZER} suites passed"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Measured-overlap gate: the async comm engine must produce a real
+# wall-clock win over the synchronous executor on the ablation bench's
+# overlap workload (bench_table5_ablation --quick), and must show
+# positive measured backward∥comm overlap. Passes if either of up to
+# MAX_ATTEMPTS bench invocations clears both bars (each invocation is
+# already best-of-3 per executor), so one noisy CI neighbour cannot fail
+# the gate while a genuinely non-overlapping engine always does.
+#
+# usage: overlap_gate.sh [build-dir]   (default: build)
+# Emits BENCH_OVERLAP.json (one key per line) into the build dir.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_table5_ablation"
+OUT="$BUILD_DIR/BENCH_OVERLAP.json"
+MAX_ATTEMPTS=3
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "overlap_gate: $BENCH not built" >&2
+  exit 1
+fi
+
+for attempt in $(seq 1 "$MAX_ATTEMPTS"); do
+  "$BENCH" --quick --overlap-json="$OUT" >/dev/null
+
+  sync_s="$(awk -F': ' '/"sync_step_wall_s"/ {gsub(/,/, "", $2); print $2}' "$OUT")"
+  engine_s="$(awk -F': ' '/"engine_step_wall_s"/ {gsub(/,/, "", $2); print $2}' "$OUT")"
+  frac="$(awk -F': ' '/"engine_overlap_frac"/ {gsub(/,/, "", $2); print $2}' "$OUT")"
+
+  echo "overlap_gate attempt $attempt: sync=${sync_s}s engine=${engine_s}s" \
+       "overlap_frac=${frac}"
+
+  if awk -v s="$sync_s" -v e="$engine_s" -v f="$frac" \
+       'BEGIN { exit !(e > 0 && e < s && f > 0) }'; then
+    echo "overlap_gate: PASS (engine below sync with measured overlap," \
+         "details in $OUT)"
+    exit 0
+  fi
+done
+
+echo "overlap_gate: FAIL - async comm engine did not beat the synchronous" \
+     "executor in $MAX_ATTEMPTS attempts (see $OUT)" >&2
+exit 1

@@ -3,9 +3,17 @@
 #include <algorithm>
 
 #include "compress/fp16.h"
+#include "sched/plan.h"
 #include "sim/collective_cost.h"
 
 namespace bagua {
+
+// Each baseline's schedule is a StepPlan transform composition
+// (sched/plan.h) carried in spec.plan_builder — the same IR vocabulary the
+// BAGUA runtime emits, so "DDP overlaps backward" and "BytePS overlaps the
+// next forward" are dependency edges, not interpreter flags. The legacy
+// shape booleans are kept in sync purely as documentation/introspection
+// (tests assert them); EstimateEpoch prices the plan.
 
 SystemSpec DdpSpec(const TimingConfig& cfg) {
   SystemSpec spec;
@@ -19,6 +27,11 @@ SystemSpec DdpSpec(const TimingConfig& cfg) {
   spec.overlap_backward = true;
   spec.overlap_forward = false;
   spec.update_passes = cfg.model.train.uses_adam ? 5.0 : 3.0;
+  // Reverse-order 25 MB gradient buckets, allreduce overlapped with
+  // backward, fused update at the end — the canonical fused plan as-is.
+  spec.plan_builder = [](const ModelProfile& m) {
+    return FusedUnitsPlan(m, 25u << 20);
+  };
   return spec;
 }
 
@@ -44,6 +57,12 @@ SystemSpec HorovodSpec(const TimingConfig& cfg, int bits) {
   spec.bucket_bytes = 64u << 20;  // Horovod fusion buffer default
   spec.overlap_backward = true;
   spec.update_passes = cfg.model.train.uses_adam ? 5.0 : 3.0;
+  // Response-coordinated tensor fusion: same backward-overlapped shape as
+  // DDP, with Horovod's 64 MB fusion buffer (fp16 changes only the cost
+  // model above, not the schedule).
+  spec.plan_builder = [](const ModelProfile& m) {
+    return FusedUnitsPlan(m, 64u << 20);
+  };
   return spec;
 }
 
@@ -66,6 +85,18 @@ SystemSpec BytePsSpec(const TimingConfig& cfg, BytePsOptions opts) {
   // Summation service: every gradient byte is reduced and re-emitted by a
   // host CPU; this is serialized with the unit's transfer.
   spec.server_cpu_s = 2.0 * cfg.model.GradientBytes() / opts.server_cpu_Bps;
+  // Fixed-size push/pull chunks with priority scheduling: the next
+  // forward's early blocks gate only on the chunks covering them, every
+  // chunk is reduced by the host summation service, and the async variant
+  // dissolves the backward edges into a free-running stream.
+  spec.plan_builder = [chunk = opts.chunk_bytes,
+                       async = opts.async](const ModelProfile& m) {
+    StepPlan plan = FusedUnitsPlan(m, chunk);
+    PriorityForwardOverlap(&plan);
+    ServerReduce(&plan);
+    if (async) AsyncStream(&plan);
+    return plan;
+  };
   return spec;
 }
 

@@ -48,6 +48,23 @@ struct BaguaContext {
 ///                   (reverse layer order) — the registered "hook";
 ///   OnStepEnd       once per iteration after every bucket fired.
 ///
+/// Threading contract for OnBucketReady: it is **comm-thread-executed**.
+/// With the async comm engine on (BaguaOptions::async_comm), the runtime
+/// enqueues each ready bucket and the rank's dedicated comm thread — not
+/// the worker thread that runs forward/backward — invokes OnBucketReady;
+/// the synchronous executor calls it inline on the worker thread, which is
+/// just the degenerate single-thread case of the same contract.
+/// Implementations must therefore (a) touch only the bucket, their own
+/// per-bucket state, and thread-safe substrates (transport, parameter
+/// server, ctx->optimizer on disjoint bucket slots), and (b) never assume
+/// they run interleaved with backward at a particular layer boundary. The
+/// runtime guarantees in return: at most one OnBucketReady per rank is in
+/// flight at a time, invocations follow plan-unit order exactly (the
+/// in-order queue — collective/tag order stays rank-lockstep), the
+/// bucket's gradients are complete and no other thread touches the bucket
+/// until the call returns, and OnStepEnd/Finish run on the worker thread
+/// strictly after every enqueued bucket retired (the step's join point).
+///
 /// Algorithms express communication through the C_FP_S / C_LP_S / D_FP_S /
 /// D_LP_S primitives, and model updates through ctx->optimizer. The same
 /// object also prices its communication for the timing-mode harness.

@@ -20,6 +20,17 @@ struct BaguaOptions {
   /// latencies that lands near 32 MB (see bench_ablation_bucket).
   size_t bucket_bytes = 32u << 20;
 
+  /// Run each bucket's communication on a dedicated per-worker comm
+  /// thread (sched/engine.h) instead of inline in the backward hook:
+  /// backward continues the moment a bucket is enqueued, producing real
+  /// measured wall-clock overlap. The per-rank collective order is
+  /// unchanged (in-order queue), so training results stay byte-identical
+  /// to the synchronous path — sched_test enforces it. Default off: the
+  /// extra thread interleaves per-rank trace ticks, so golden-trace
+  /// workloads keep the synchronous executor. Only meaningful with
+  /// overlap; ignored during the profiling step.
+  bool async_comm = false;
+
   /// Intra-op compute threads for the tensor/compressor/optimizer
   /// kernels (base/parallel.h). 0 = inherit the process setting
   /// (BAGUA_INTRA_OP_THREADS env, default 1); > 0 forces the shared pool

@@ -9,18 +9,32 @@
 #include "core/options.h"
 #include "model/loss.h"
 #include "model/net.h"
+#include "sched/engine.h"
+#include "sched/plan.h"
 
 namespace bagua {
 
 /// \brief The BAGUA runtime (the third player of Fig. 4): owns one worker's
 /// execution optimizer and drives training steps.
 ///
-/// The first step is the *profiling phase*: every layer-hook invocation is
-/// logged, layers are grouped into buckets (Bucketing), bucket members are
-/// re-homed into contiguous memory (Flattening), and the algorithm is
-/// initialized against the final buckets. Later steps are the *execution
-/// phase*: bucket hooks fire as gradients appear during backward
-/// (Scheduling/Overlap) or after backward completes when overlap is off.
+/// The runtime is split into *plan-build* and *plan-exec*:
+///
+/// Plan-build (the first step, the profiling phase): every layer-hook
+/// invocation is logged, layers are grouped into buckets (Bucketing),
+/// bucket members are re-homed into contiguous memory (Flattening), the
+/// algorithm is initialized against the final buckets, and the step's
+/// schedule is emitted once as a StepPlan (sched/plan.h) — the same IR the
+/// virtual-time pricer consumes, so what the simulator prices is what this
+/// executor runs.
+///
+/// Plan-exec (every later step): bucket hooks fire as gradients appear
+/// during backward (Scheduling/Overlap) per the plan's dependency edges.
+/// Two executors share the plan: the synchronous path runs each unit
+/// inline in the backward hook, and the async comm engine
+/// (BaguaOptions::async_comm) enqueues it onto the rank's dedicated comm
+/// thread — backward continues immediately, and the step joins before
+/// OnStepEnd. Both produce the identical per-rank collective order, so
+/// results are byte-identical.
 ///
 /// One BaguaRuntime per worker thread; all runtimes of a run share a
 /// CommWorld.
@@ -39,14 +53,31 @@ class BaguaRuntime {
   Status Finish();
 
   const std::vector<Bucket>& buckets() const { return buckets_; }
+  /// The schedule IR emitted by the profiling step (empty before it ran).
+  const StepPlan& plan() const { return plan_; }
   uint64_t step() const { return ctx_.step; }
   BaguaContext* context() { return &ctx_; }
   Net* net() { return net_; }
 
  private:
+  /// Plan-build: profiling backward, bucketing/flattening, algorithm Init,
+  /// StepPlan emission, then the step's own communication (flushed in
+  /// plan-unit order — identical to what execution steps will do).
   Status ProfilingStep(const Tensor& grad_out);
+  /// Emits plan_ (and the layer -> unit map) from the built buckets.
+  Status BuildStepPlan();
+  /// Plan-exec: backward with per-unit countdowns; units dispatch per
+  /// their grad_dep edges, backward-end units flush after, engine joins.
   Status ExecutionStep(const Tensor& grad_out);
-  Status FireBucket(Bucket* bucket);
+  /// Runs one unit's bucket op chain (gather -> algorithm comm ->
+  /// scatter). Comm-thread-executed under the engine (see the
+  /// OnBucketReady contract in core/algorithm.h).
+  Status RunUnit(Bucket* bucket);
+  /// Runs the unit inline, or enqueues it onto the comm engine. Opens the
+  /// unit's kCommQueue wait span either way (zero-length when inline).
+  Status DispatchUnit(const PlanUnit& unit);
+  /// The step's join point: blocks until every enqueued unit retired.
+  Status JoinStep();
 
   Net* net_;
   Algorithm* algorithm_;
@@ -56,10 +87,15 @@ class BaguaRuntime {
   bool profiled_ = false;
   std::vector<ProfileRecord> profile_log_;
   std::vector<Bucket> buckets_;
-  /// bucket index holding each layer (layer -> bucket), and per-iteration
-  /// countdown of outstanding layers per bucket.
-  std::vector<int> layer_to_bucket_;
-  std::vector<int> bucket_pending_;
+  StepPlan plan_;
+  /// unit index holding each layer (layer -> unit, -1 = parameterless),
+  /// and per-iteration countdown of outstanding layers per unit.
+  std::vector<int> layer_to_unit_;
+  std::vector<int> unit_pending_;
+  /// The dedicated comm thread (plan executor #2); null on the
+  /// synchronous path. Declared last: destroyed first, while the buckets
+  /// its queued closures reference are still alive.
+  std::unique_ptr<AsyncCommEngine> engine_;
 };
 
 }  // namespace bagua

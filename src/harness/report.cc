@@ -65,25 +65,75 @@ void PrintSection(const std::string& title, FILE* out) {
   std::fprintf(out, "\n## %s\n\n", title.c_str());
 }
 
+namespace {
+
+bool IsBucketCommSpan(const TraceEvent& ev) {
+  return ev.stream == TraceStream::kComm &&
+         ev.name.rfind("bucket", 0) == 0;
+}
+
+bool IsBackwardSegment(const TraceEvent& ev) {
+  return ev.stream == TraceStream::kCompute && ev.name == "bwd.seg";
+}
+
+OverlapAccounting AccountRank(const std::vector<TraceEvent>& events) {
+  OverlapAccounting acc;
+  std::vector<const TraceEvent*> segments;
+  for (const TraceEvent& ev : events) {
+    if (IsBackwardSegment(ev)) segments.push_back(&ev);
+  }
+  for (const TraceEvent& ev : events) {
+    if (!IsBucketCommSpan(ev)) continue;
+    acc.comm_us += ev.wall_end_us - ev.wall_begin_us;
+    // Backward segments are disjoint per rank (the worker thread closes
+    // one before opening the next), so summing intersections never
+    // double-counts.
+    for (const TraceEvent* seg : segments) {
+      acc.overlapped_us +=
+          std::max(0.0, std::min(ev.wall_end_us, seg->wall_end_us) -
+                            std::max(ev.wall_begin_us, seg->wall_begin_us));
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+OverlapAccounting MeasuredOverlap(const Tracer& tracer, int rank) {
+  OverlapAccounting total;
+  for (int r = 0; r < tracer.world_size(); ++r) {
+    if (rank >= 0 && r != rank) continue;
+    const OverlapAccounting acc = AccountRank(tracer.Events(r));
+    total.comm_us += acc.comm_us;
+    total.overlapped_us += acc.overlapped_us;
+  }
+  return total;
+}
+
 std::string RenderTraceSummary(const Tracer& tracer) {
   ReportTable ranks({"rank", "spans", "virtual ticks", "wall ms",
-                     "comm bytes", "fault spans"});
+                     "comm bytes", "queue waits", "bwd-comm overlap",
+                     "fault spans"});
   for (int r = 0; r < tracer.world_size(); ++r) {
     const auto events = tracer.Events(r);
     if (events.empty() && tracer.metrics(r).CounterSnapshot().empty()) {
       continue;  // rank slot never produced anything — keep the table short
     }
-    uint64_t ticks = 0, comm_bytes = 0, fault_spans = 0;
+    uint64_t ticks = 0, comm_bytes = 0, fault_spans = 0, queue_waits = 0;
     double wall_us = 0.0;
     for (const TraceEvent& ev : events) {
       ticks = std::max(ticks, ev.vt_end);
       wall_us = std::max(wall_us, ev.wall_end_us);
       if (ev.stream == TraceStream::kComm) comm_bytes += ev.bytes;
+      if (ev.stream == TraceStream::kCommQueue) ++queue_waits;
       if (ev.stream == TraceStream::kFault) ++fault_spans;
     }
+    const OverlapAccounting overlap = AccountRank(events);
     ranks.AddRow({std::to_string(r), std::to_string(events.size()),
                   std::to_string(ticks), StrFormat("%.1f", wall_us / 1e3),
-                  std::to_string(comm_bytes), std::to_string(fault_spans)});
+                  std::to_string(comm_bytes), std::to_string(queue_waits),
+                  StrFormat("%.0f%%", 100.0 * overlap.fraction()),
+                  std::to_string(fault_spans)});
   }
 
   // Counter totals across ranks, name-sorted (std::map) for determinism.

@@ -36,11 +36,32 @@ class ReportTable {
 /// \brief Prints a section header for bench output.
 void PrintSection(const std::string& title, FILE* out = stdout);
 
+/// \brief Measured backward∥comm wall-clock overlap from a recorded
+/// trace.
+///
+/// The runtime records backward as "bwd.seg" compute segments that exclude
+/// inline communication (core/runtime.cc), so the wall-time intersection
+/// of kComm "bucket" spans with those segments is exactly the overlap the
+/// paper's O relaxation promises: identically zero on the synchronous
+/// executor (comm runs *between* segments), positive under the async comm
+/// engine (comm runs on its own thread *across* them).
+struct OverlapAccounting {
+  double comm_us = 0.0;        ///< total wall time of bucket comm spans
+  double overlapped_us = 0.0;  ///< part landing inside backward segments
+  double fraction() const {
+    return comm_us > 0.0 ? overlapped_us / comm_us : 0.0;
+  }
+};
+
+/// Accounts one rank, or every rank summed (`rank` = -1).
+OverlapAccounting MeasuredOverlap(const Tracer& tracer, int rank = -1);
+
 /// \brief Compact text summary of a recorded trace: one per-rank row
 /// (spans, virtual ticks, wall milliseconds, bytes through the comm
-/// stream) followed by the global counter totals. The wall column is the
-/// only place wall time surfaces — the merged Chrome JSON is virtual-time
-/// only so it stays deterministic.
+/// stream, queue waits, measured backward∥comm overlap) followed by the
+/// global counter totals. The wall-derived columns are the only place
+/// wall time surfaces — the merged Chrome JSON is virtual-time only so it
+/// stays deterministic.
 std::string RenderTraceSummary(const Tracer& tracer);
 
 }  // namespace bagua

@@ -3,221 +3,86 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.h"
 #include "base/strings.h"
+#include "sched/pricer.h"
 
 namespace bagua {
 
 namespace {
 
-/// One communication unit of the schedule: a fused bucket or (F=0) a
-/// single tensor, with the index of the *earliest* model block it covers —
-/// its gradients are complete when that block's backward finishes, and the
-/// next iteration's forward of that block needs its updated parameters.
-struct CommUnit {
-  size_t numel = 0;
-  size_t first_block = 0;  ///< lowest covered block index
-  size_t last_block = 0;   ///< highest covered block index
-};
-
-std::vector<CommUnit> PlanUnits(const ModelProfile& model,
-                                const SystemSpec& spec) {
-  std::vector<CommUnit> units;
-  const size_t nblocks = model.blocks.size();
-  if (spec.per_tensor) {
-    // Reverse order, one unit per parameter tensor.
-    for (size_t i = nblocks; i > 0; --i) {
-      const auto& blk = model.blocks[i - 1];
-      const int tensors = std::max(1, blk.num_tensors);
-      const size_t per = blk.params / tensors;
-      for (int t = 0; t < tensors; ++t) {
-        size_t numel = per;
-        if (t == 0) numel += blk.params - per * tensors;  // remainder
-        units.push_back({numel, i - 1, i - 1});
-      }
-    }
-    return units;
-  }
-  // Fused: pack individual parameter tensors (reverse block order, as
-  // their gradients appear) into buckets of ~bucket_bytes, mirroring
-  // PlanBuckets in the runtime. Tensors are never split across buckets.
-  CommUnit current;
-  bool open = false;
-  size_t bytes = 0;
-  for (size_t i = nblocks; i > 0; --i) {
-    const auto& blk = model.blocks[i - 1];
-    const int tensors = std::max(1, blk.num_tensors);
-    const size_t per = blk.params / tensors;
-    for (int t = 0; t < tensors; ++t) {
-      size_t numel = per;
-      if (t == 0) numel += blk.params - per * tensors;  // remainder
-      if (!open) {
-        current = {0, i - 1, i - 1};
-        open = true;
-        bytes = 0;
-      }
-      current.numel += numel;
-      current.first_block = i - 1;
-      bytes += numel * sizeof(float);
-      if (bytes >= spec.bucket_bytes) {
-        units.push_back(current);
-        open = false;
-      }
-    }
-  }
-  if (open) units.push_back(current);
-  return units;
+/// The spec's boolean shape fields, handed to the plan builder verbatim —
+/// a field-for-field translation, not an interpretation: every schedule
+/// decision (what overlaps what, what waits on what) happens inside
+/// sched/plan.cc transforms and is carried by the resulting StepPlan.
+ScheduleShape ShapeOf(const SystemSpec& spec) {
+  ScheduleShape shape;
+  shape.bucket_bytes = spec.bucket_bytes;
+  shape.per_tensor = spec.per_tensor;
+  shape.overlap_backward = spec.overlap_backward;
+  shape.overlap_forward = spec.overlap_forward;
+  shape.async = spec.async;
+  shape.update_before_comm = spec.update_before_comm;
+  shape.server = spec.server_cpu_s > 0.0;
+  return shape;
 }
 
 }  // namespace
 
 EpochEstimate EstimateEpoch(const TimingConfig& cfg, const SystemSpec& spec) {
   const ModelProfile& model = cfg.model;
-  const size_t nblocks = model.blocks.size();
   const double batch = static_cast<double>(model.train.batch_per_device);
   const double eff = model.train.efficiency;
 
-  const auto units = PlanUnits(model, spec);
+  const StepPlan plan = spec.plan_builder
+                            ? spec.plan_builder(model)
+                            : BuildPricingPlan(model, ShapeOf(spec));
 
-  IterationSim sim;
-  const int compute = sim.AddResource("compute");
-  const int comm = sim.AddResource("comm");
-  const bool has_server = spec.server_cpu_s > 0.0;
-  const int server = has_server ? sim.AddResource("server") : -1;
-
-  constexpr int kIters = 3;
-  std::vector<int> prev_unit_done;  // per unit: op completing param update
-
-  for (int it = 0; it < kIters; ++it) {
-    // ---- forward ----
-    std::vector<int> fwd_ops(nblocks);
-    for (size_t b = 0; b < nblocks; ++b) {
-      // fwd is ~1/3 of the block's fwd+bwd FLOPs.
-      const double flops = batch * model.blocks[b].flops / 3.0;
-      std::vector<int> deps;
-      if (it > 0) {
-        if (spec.async) {
-          // Async never gates compute on communication.
-        } else if (spec.overlap_forward) {
-          // Needs only this block's parameters (BytePS priority pulls).
-          for (size_t u = 0; u < units.size(); ++u) {
-            if (units[u].first_block <= b && b <= units[u].last_block) {
-              deps.push_back(prev_unit_done[u]);
-            }
-          }
-        } else {
-          // Must wait for the previous iteration to fully finish.
-          for (int op : prev_unit_done) deps.push_back(op);
-        }
-      }
-      fwd_ops[b] = sim.AddOp(StrFormat("i%d.fwd%zu", it, b), compute,
-                             cfg.dev.ComputeTime(flops, eff) +
-                                 cfg.dev.kernel_overhead_s,
-                             std::move(deps));
-    }
-    // ---- backward (reverse), submitting each unit's update/communication
-    // ops as soon as the unit's gradients complete, so the FIFO compute
-    // stream interleaves updates with the remaining backward work (exactly
-    // the schedule the execution optimizer produces) ----
-    std::vector<int> bwd_ops(nblocks, -1);
-    std::vector<int> unit_done(units.size(), -1);
-    std::vector<size_t> deferred_units;  // fired after backward when O = 0
-
-    auto submit_unit = [&](size_t u) {
-      const CommUnit& unit = units[u];
-      std::vector<int> grad_ready;
-      if (spec.async && spec.overlap_backward) {
-        // Communication rides its own stream; FIFO ordering only.
-      } else if (spec.overlap_backward) {
-        grad_ready.push_back(bwd_ops[unit.first_block]);
-      } else {
-        grad_ready.push_back(bwd_ops[0]);  // whole backward done
-      }
-      const double update_s =
-          spec.update_passes * cfg.dev.MemPassTime(unit.numel * 4.0) +
-          cfg.dev.kernel_overhead_s + spec.host_per_unit_s;
-      const double comm_s =
-          spec.comm_cost(unit.numel) + spec.codec_cost(unit.numel);
-      if (spec.update_before_comm) {
-        const int upd = sim.AddOp(StrFormat("i%d.upd%zu", it, u), compute,
-                                  update_s, grad_ready);
-        unit_done[u] = sim.AddOp(StrFormat("i%d.comm%zu", it, u), comm,
-                                 comm_s, {upd});
-      } else {
-        std::vector<int> upd_deps;
-        const int c = sim.AddOp(StrFormat("i%d.comm%zu", it, u), comm, comm_s,
-                                grad_ready);
-        upd_deps.push_back(c);
-        if (has_server) {
-          // The summation service reduces this unit on host CPUs, pipelined
-          // with the network transfers of other units.
-          const double cpu_s = spec.server_cpu_s * unit.numel /
-                               std::max<double>(1.0, model.TotalParams());
-          upd_deps.push_back(sim.AddOp(StrFormat("i%d.srv%zu", it, u), server,
-                                       cpu_s, grad_ready));
-        }
-        unit_done[u] = sim.AddOp(StrFormat("i%d.upd%zu", it, u), compute,
-                                 update_s, std::move(upd_deps));
-      }
-    };
-
-    for (size_t i = nblocks; i > 0; --i) {
-      const size_t b = i - 1;
-      const double flops = batch * model.blocks[b].flops * 2.0 / 3.0;
-      bwd_ops[b] = sim.AddOp(
-          StrFormat("i%d.bwd%zu", it, b), compute,
-          cfg.dev.ComputeTime(flops, eff) + cfg.dev.kernel_overhead_s, {});
-      for (size_t u = 0; u < units.size(); ++u) {
-        if (units[u].first_block != b) continue;
-        if (spec.update_before_comm && spec.overlap_backward) {
-          // The local update only needs this unit's gradients — interleave
-          // it into the backward stream so its communication starts early.
-          submit_unit(u);
-        } else {
-          // Post-communication updates would stall the backward FIFO while
-          // waiting for the wire; queue them after backward (they overlap
-          // with communication of other units regardless).
-          deferred_units.push_back(u);
-        }
-      }
-    }
-    for (size_t u : deferred_units) submit_unit(u);
-    prev_unit_done = unit_done;
-  }
-  BAGUA_CHECK(sim.Run().ok());
-
-  // Steady-state iteration time: completion of everything belonging to the
-  // last iteration minus the same point one iteration earlier. We use the
-  // max finish over each iteration's unit-done ops and backward.
-  auto IterFinish = [&](int it) {
-    double t = 0.0;
-    for (size_t op = 0; op < sim.num_ops(); ++op) {
-      const std::string& label = sim.op_label(static_cast<int>(op));
-      if (label.rfind(StrFormat("i%d.", it), 0) == 0) {
-        t = std::max(t, sim.FinishTime(static_cast<int>(op)));
-      }
-    }
-    return t;
+  // Per-op durations: calibration constants + the spec's cost model. The
+  // plan says what runs when; these say how long each op takes.
+  PlanCosts costs;
+  costs.fwd_s = [&](size_t b) {
+    // fwd is ~1/3 of the block's fwd+bwd FLOPs.
+    const double flops = batch * model.blocks[b].flops / 3.0;
+    return cfg.dev.ComputeTime(flops, eff) + cfg.dev.kernel_overhead_s;
   };
-  const double steady = IterFinish(kIters - 1) - IterFinish(kIters - 2);
+  costs.bwd_s = [&](size_t b) {
+    const double flops = batch * model.blocks[b].flops * 2.0 / 3.0;
+    return cfg.dev.ComputeTime(flops, eff) + cfg.dev.kernel_overhead_s;
+  };
+  costs.comm_s = [&](const PlanUnit& u) {
+    return spec.comm_cost(u.numel) + spec.codec_cost(u.numel);
+  };
+  costs.update_s = [&](const PlanUnit& u) {
+    return spec.update_passes * cfg.dev.MemPassTime(u.numel * 4.0) +
+           cfg.dev.kernel_overhead_s + spec.host_per_unit_s;
+  };
+  costs.server_s = [&](const PlanUnit& u) {
+    // The summation service reduces this unit on host CPUs, pipelined
+    // with the network transfers of other units.
+    return spec.server_cpu_s * u.numel /
+           std::max<double>(1.0, model.TotalParams());
+  };
+
+  const PlanPrice price = PricePlan(plan, costs);
 
   EpochEstimate est;
   est.system = spec.name;
   est.iterations = model.IterationsPerEpoch(cfg.topo.world_size());
-  est.iteration_s = steady;
+  est.iteration_s = price.iteration_s;
+  est.compute_s = price.compute_s;
+  est.comm_s = price.comm_s;
+  est.overlap_s = price.overlap_s;
+  est.overlap_frac = price.overlap_frac;
   // Synchronization-barrier jitter: waiting for the slowest of G workers'
   // compute, ~cv * sqrt(2 ln G) above the mean for near-Gaussian noise.
   const int group = spec.barrier_group < 0 ? cfg.topo.world_size()
                                            : std::max(1, spec.barrier_group);
   if (group > 1 && cfg.jitter_cv > 0.0) {
-    const double compute_per_iter = sim.ResourceBusy(compute) / kIters;
     est.iteration_s += spec.barrier_freq * cfg.jitter_cv *
                        std::sqrt(2.0 * std::log(static_cast<double>(group))) *
-                       compute_per_iter;
+                       price.compute_s;
   }
   est.epoch_s = est.iteration_s * static_cast<double>(est.iterations);
-  est.compute_s = sim.ResourceBusy(compute) / kIters;
-  est.comm_s = sim.ResourceBusy(comm) / kIters;
   return est;
 }
 

@@ -8,6 +8,7 @@
 #include "core/algorithm.h"
 #include "core/options.h"
 #include "model/profiles.h"
+#include "sched/plan.h"
 #include "sim/calibration.h"
 #include "sim/des.h"
 #include "sim/network.h"
@@ -30,10 +31,17 @@ struct TimingConfig {
   double jitter_cv = 0.115;
 };
 
-/// \brief A system's execution strategy, reduced to what determines its
-/// iteration schedule. Both the BAGUA runtime (under any algorithm and any
+/// \brief A system's execution strategy: its cost model plus how its
+/// StepPlan is built. Both the BAGUA runtime (under any algorithm and any
 /// O/F/H setting) and the three baselines compile down to one of these, so
 /// every number in Tables 3-5 and Fig. 7 comes from the same simulator.
+///
+/// The schedule itself lives in the StepPlan IR (sched/plan.h):
+/// `plan_builder`, when set (the baselines compose it from plan
+/// transforms), constructs the plan directly; otherwise the boolean shape
+/// fields below are handed to sched::BuildPricingPlan verbatim. Either
+/// way EstimateEpoch prices a plan — it interprets no schedule flags of
+/// its own.
 struct SystemSpec {
   std::string name;
   /// Network time of one bucket communication (numel elements).
@@ -67,6 +75,9 @@ struct SystemSpec {
   int barrier_group = -1;
   /// Fraction of iterations that pay the barrier (LocalSGD: 1/τ).
   double barrier_freq = 1.0;
+  /// Builds this system's StepPlan (a composition of sched/plan.h
+  /// transforms). Unset: BuildPricingPlan over the shape fields above.
+  PlanBuilder plan_builder;
 };
 
 /// \brief Result of the epoch-time model.
@@ -77,15 +88,19 @@ struct EpochEstimate {
   size_t iterations = 0;
   double compute_s = 0.0;      ///< per-iteration device busy time
   double comm_s = 0.0;         ///< per-iteration comm-stream busy time
+  /// Planned backward∥comm overlap of the steady-state iteration:
+  /// communication seconds inside the backward window, and that as a
+  /// fraction of the iteration's total communication (sched/pricer.h).
+  double overlap_s = 0.0;
+  double overlap_frac = 0.0;
 };
 
-/// \brief Prices one epoch of `cfg.model` under `spec`.
-///
-/// Internally builds the op graph of three consecutive iterations on
-/// (compute, comm) stream resources and reports the steady-state iteration
-/// time (difference between the last two iteration finish times), so
-/// pipelining across iterations — the whole point of the O/BytePS
-/// scheduling tricks — is captured.
+/// \brief Prices one epoch of `cfg.model` under `spec`: builds the spec's
+/// StepPlan, derives per-op durations from the calibration + cost model,
+/// and hands both to sched::PricePlan (the DES interpreter over the same
+/// IR the real executor runs). Steady-state pipelining across iterations —
+/// the whole point of the O/BytePS scheduling tricks — is captured by the
+/// pricer's three-iteration graph.
 EpochEstimate EstimateEpoch(const TimingConfig& cfg, const SystemSpec& spec);
 
 /// \brief Compiles a BAGUA algorithm + optimizer-framework options into a

@@ -1,6 +1,7 @@
 #include "harness/trainer.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
@@ -13,6 +14,7 @@
 #include "compress/qsgd.h"
 #include "core/runtime.h"
 #include "faults/faulty_transport.h"
+#include "transport/delay.h"
 #include "model/checkpoint.h"
 #include "model/loss.h"
 #include "model/net.h"
@@ -47,7 +49,17 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
   FaultyTransport* faulty = nullptr;
   std::unique_ptr<CommWorld> comm_world_holder;
   if (opts.faults.empty()) {
-    comm_world_holder = std::make_unique<CommWorld>(opts.topo, opts.seed);
+    if (opts.link_latency_s > 0.0 || opts.link_byte_s > 0.0) {
+      // Clean run over a wire that costs real time: every delivered
+      // message sleeps for its latency, giving the async comm engine
+      // actual blocking to hide. Results stay bitwise-identical.
+      comm_world_holder = std::make_unique<CommWorld>(
+          opts.topo, opts.seed,
+          std::make_unique<WireDelayTransport>(world, opts.link_latency_s,
+                                               opts.link_byte_s));
+    } else {
+      comm_world_holder = std::make_unique<CommWorld>(opts.topo, opts.seed);
+    }
   } else {
     auto transport = std::make_unique<FaultyTransport>(
         world, opts.faults, opts.topo, NetworkConfig());
@@ -152,6 +164,7 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
   std::vector<uint8_t> permanently_dead(world, 0);
   std::atomic<size_t> recoveries{0};
 
+  const auto wall_begin = std::chrono::steady_clock::now();
   ParallelFor(world, [&](size_t r) {
     auto run = [&]() -> Status {
       const size_t batches =
@@ -238,6 +251,14 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
       group->MarkDead(static_cast<int>(r));
     }
   });
+  result.train_wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_begin)
+                            .count();
+  const size_t rank0_steps =
+      opts.epochs * dataset.BatchesPerEpoch(0, world, opts.batch_size);
+  if (rank0_steps > 0) {
+    result.step_wall_s = result.train_wall_s / static_cast<double>(rank0_steps);
+  }
   for (const Status& s : statuses) RETURN_IF_ERROR(s);
 
   result.recoveries = recoveries.load();
@@ -283,6 +304,11 @@ Result<ConvergenceResult> RunConvergence(const ConvergenceOptions& opts) {
   RETURN_IF_ERROR(workers[reporter].net->Forward(all_x, &logits));
   ASSIGN_OR_RETURN(const double acc, Accuracy(logits, all_y));
   result.epoch_accuracy.push_back(acc);
+  for (const Param& p : workers[reporter].net->params()) {
+    const float* v = p.value->data();
+    result.final_params.insert(result.final_params.end(), v,
+                               v + p.value->numel());
+  }
   return result;
 }
 

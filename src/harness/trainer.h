@@ -44,6 +44,16 @@ struct ConvergenceOptions {
   /// decentralized peers skip the dead member and keep training,
   /// centralized synchronous runs detect it (DataLoss) and abort cleanly.
   FaultPlan faults;
+  /// Real wall-clock wire delay charged on every delivered message
+  /// (WireDelayTransport): `link_latency_s + bytes * link_byte_s` of
+  /// actual sleeping on the receive side. Payloads and message order are
+  /// untouched, so training results are bitwise-identical with or without
+  /// it — only `train_wall_s` moves. This is what gives the async comm
+  /// engine real blocking time to hide (scripts/overlap_gate.sh).
+  /// Ignored when a fault plan is active (FaultyTransport owns the wire
+  /// and prices its own virtual delays).
+  double link_latency_s = 0.0;
+  double link_byte_s = 0.0;
   /// Checkpoint each worker's model every K steps (0 = never). The crash
   /// recovery granularity: a respawned worker rewinds to the last multiple
   /// of K it completed. Optimizer slots are not checkpointed (plain-SGD
@@ -66,6 +76,17 @@ struct ConvergenceResult {
   std::vector<double> epoch_loss;      ///< mean training loss per epoch
   std::vector<double> epoch_accuracy;  ///< rank-0 full-dataset accuracy
   bool diverged = false;               ///< loss became NaN/inf or exploded
+
+  /// Wall-clock seconds of the training phase (all workers, spawn to
+  /// join) and the per-step mean derived from it. The executor-comparison
+  /// gate reads these; everything above is wall-free and deterministic.
+  double train_wall_s = 0.0;
+  double step_wall_s = 0.0;
+
+  /// The reporting worker's final parameters, flattened layer-major —
+  /// recorded so tests can assert the async comm engine is bitwise
+  /// equivalent to the synchronous executor, not merely loss-close.
+  std::vector<float> final_params;
 
   /// Fault-run bookkeeping (all zero on clean runs).
   FaultStats fault_stats;       ///< injector/recovery counters

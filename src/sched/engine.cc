@@ -1,0 +1,69 @@
+#include "sched/engine.h"
+
+#include <utility>
+
+#include "trace/trace.h"
+
+namespace bagua {
+
+AsyncCommEngine::AsyncCommEngine(int rank)
+    : rank_(rank), thread_([this] { Loop(); }) {}
+
+AsyncCommEngine::~AsyncCommEngine() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+void AsyncCommEngine::Enqueue(uint64_t queue_span, std::function<Status()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back({queue_span, std::move(fn)});
+  }
+  work_cv_.notify_one();
+}
+
+Status AsyncCommEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+  return error_;
+}
+
+void AsyncCommEngine::Reset() {
+  std::unique_lock<std::mutex> lock(mu_);
+  error_ = Status::OK();
+}
+
+void AsyncCommEngine::Loop() {
+  for (;;) {
+    Item item;
+    bool skip;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to retire
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+      // A failed collective poisons the rest of the queue — running on
+      // would desync tag order. Teardown (stop_) likewise skips: peers may
+      // already be gone, and a destructor must never block on the wire.
+      skip = !error_.ok() || stop_;
+    }
+    // The queue-wait span ends when the unit leaves the queue; the bucket's
+    // own comm span (opened by the closure) follows it on this thread.
+    if (Tracer* t = GlobalTracer()) t->EndSpan(rank_, item.queue_span);
+    Status st = skip ? Status::OK() : item.fn();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!skip && !st.ok() && error_.ok()) error_ = std::move(st);
+      in_flight_ = false;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace bagua

@@ -1,0 +1,82 @@
+#ifndef BAGUA_SCHED_ENGINE_H_
+#define BAGUA_SCHED_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "base/status.h"
+
+namespace bagua {
+
+/// \brief One worker's dedicated communication thread: an in-order queue
+/// of bucket closures plus a drain/join point — the real-overlap executor
+/// of the StepPlan IR.
+///
+/// ExecutionStep enqueues a unit's closure the moment its gradient
+/// countdown hits zero and continues backward immediately; the comm thread
+/// pops strictly FIFO, so the per-rank collective order — and therefore
+/// the lockstep tag-space sequence — is byte-for-byte the order the
+/// synchronous executor would have produced. Drain() is the step's join:
+/// it blocks until the queue is empty and the in-flight closure (if any)
+/// retired, then reports the sticky first error.
+///
+/// Error model: the first failing closure's status is latched and every
+/// closure behind it is *skipped* (popped but not run). Running past a
+/// failed collective would desynchronize the rank's tag sequence from its
+/// peers; skipping keeps the failure prompt and the queue bounded. The
+/// destructor drains and joins, so a runtime can always tear down safely.
+///
+/// Thread-safety: one producer (the worker thread) per engine. The
+/// closures run on the engine thread — see the OnBucketReady threading
+/// contract in core/algorithm.h.
+class AsyncCommEngine {
+ public:
+  /// `rank` is only used to label the engine's queue-wait trace spans.
+  explicit AsyncCommEngine(int rank);
+  ~AsyncCommEngine();
+
+  AsyncCommEngine(const AsyncCommEngine&) = delete;
+  AsyncCommEngine& operator=(const AsyncCommEngine&) = delete;
+
+  /// Enqueues one unit closure; returns immediately. `queue_span` is an
+  /// open kCommQueue span handle from the global tracer (or
+  /// Tracer::kInvalidSpan) that the engine closes when the unit leaves the
+  /// queue — the recorded interval is the unit's queue wait.
+  void Enqueue(uint64_t queue_span, std::function<Status()> fn);
+
+  /// Blocks until every enqueued closure has retired; returns the sticky
+  /// first error (OK when none failed). The error stays latched for later
+  /// Drain() calls until Reset().
+  Status Drain();
+
+  /// Clears the sticky error (after the caller handled it).
+  void Reset();
+
+  int rank() const { return rank_; }
+
+ private:
+  struct Item {
+    uint64_t queue_span;
+    std::function<Status()> fn;
+  };
+
+  void Loop();
+
+  const int rank_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals the engine thread
+  std::condition_variable drain_cv_;  // signals Drain()
+  std::deque<Item> queue_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  Status error_;  // first failure, sticky
+  std::thread thread_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_SCHED_ENGINE_H_

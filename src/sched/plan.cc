@@ -1,0 +1,196 @@
+#include "sched/plan.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace bagua {
+
+bool StepPlan::OverlapsBackward() const {
+  for (const PlanUnit& u : units) {
+    if (u.grad_dep >= 0) return true;
+  }
+  return false;
+}
+
+Status StepPlan::Validate() const {
+  size_t prev_first = num_blocks;  // sentinel: one past any valid block
+  for (size_t i = 0; i < units.size(); ++i) {
+    const PlanUnit& u = units[i];
+    if (u.index != i) {
+      return Status::InvalidArgument(
+          StrFormat("unit %zu carries index %zu", i, u.index));
+    }
+    if (u.numel == 0) {
+      return Status::InvalidArgument(StrFormat("unit %zu is empty", i));
+    }
+    if (u.first_block > u.last_block || u.last_block >= num_blocks) {
+      return Status::InvalidArgument(
+          StrFormat("unit %zu covers blocks [%zu, %zu] of %zu", i,
+                    u.first_block, u.last_block, num_blocks));
+    }
+    if (u.grad_dep != kGradDepNone && u.grad_dep != kGradDepBackwardEnd &&
+        (u.grad_dep < 0 ||
+         static_cast<size_t>(u.grad_dep) >= num_blocks)) {
+      return Status::InvalidArgument(
+          StrFormat("unit %zu grad_dep %d out of range", i, u.grad_dep));
+    }
+    if (u.inline_submit && !u.update_before_comm) {
+      return Status::InvalidArgument(StrFormat(
+          "unit %zu submits inline but updates after comm — the backward "
+          "stream would stall on the wire", i));
+    }
+    // Units fire as gradients appear, i.e. in descending first_block
+    // order; a backward-overlapped unit out of that order would deadlock
+    // the in-order comm queue (its gradients complete after a unit queued
+    // behind it).
+    if (u.grad_dep >= 0) {
+      if (u.first_block > prev_first) {
+        return Status::InvalidArgument(
+            StrFormat("unit %zu (first_block %zu) queued after first_block "
+                      "%zu — not in backward order", i, u.first_block,
+                      prev_first));
+      }
+      prev_first = u.first_block;
+    }
+  }
+  return Status::OK();
+}
+
+std::string StepPlan::ToString() const {
+  std::string out =
+      StrFormat("StepPlan: %zu blocks, %zu units\n", num_blocks, units.size());
+  for (const PlanUnit& u : units) {
+    const char* gate = u.forward_gate == ForwardGate::kNone      ? "none"
+                       : u.forward_gate == ForwardGate::kCovered ? "covered"
+                                                                 : "all";
+    std::string dep = u.grad_dep == kGradDepNone ? std::string("free")
+                      : u.grad_dep == kGradDepBackwardEnd
+                          ? std::string("bwd-end")
+                          : StrFormat("bwd[%d]", u.grad_dep);
+    out += StrFormat(
+        "  unit %zu: %zu elems, blocks [%zu, %zu], ready: %s%s%s%s, "
+        "fwd-gate: %s\n",
+        u.index, u.numel, u.first_block, u.last_block, dep.c_str(),
+        u.update_before_comm ? ", upd-before-comm" : "",
+        u.inline_submit ? ", inline" : "",
+        u.server_reduce ? ", server" : "", gate);
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-tensor sizes of one block, mirroring how the runtime's profiling
+/// phase sees a block: `num_tensors` equal tensors, remainder on the first.
+std::vector<size_t> BlockTensorSizes(const BlockProfile& blk) {
+  const int tensors = std::max(1, blk.num_tensors);
+  const size_t per = blk.params / tensors;
+  std::vector<size_t> sizes(tensors, per);
+  sizes[0] += blk.params - per * tensors;  // remainder
+  return sizes;
+}
+
+void Reindex(StepPlan* plan) {
+  for (size_t i = 0; i < plan->units.size(); ++i) plan->units[i].index = i;
+}
+
+}  // namespace
+
+StepPlan FusedUnitsPlan(const ModelProfile& model, size_t bucket_bytes) {
+  StepPlan plan;
+  plan.num_blocks = model.blocks.size();
+  PlanUnit current;
+  bool open = false;
+  size_t bytes = 0;
+  for (size_t i = plan.num_blocks; i > 0; --i) {
+    const size_t b = i - 1;
+    for (size_t numel : BlockTensorSizes(model.blocks[b])) {
+      if (!open) {
+        current = PlanUnit();
+        current.first_block = b;
+        current.last_block = b;
+        open = true;
+        bytes = 0;
+      }
+      current.numel += numel;
+      current.first_block = b;
+      bytes += numel * sizeof(float);
+      if (bytes >= bucket_bytes) {
+        plan.units.push_back(current);
+        open = false;
+      }
+    }
+  }
+  if (open) plan.units.push_back(current);
+  for (PlanUnit& u : plan.units) u.grad_dep = static_cast<int>(u.first_block);
+  Reindex(&plan);
+  return plan;
+}
+
+StepPlan PerTensorPlan(const ModelProfile& model) {
+  StepPlan plan;
+  plan.num_blocks = model.blocks.size();
+  for (size_t i = plan.num_blocks; i > 0; --i) {
+    const size_t b = i - 1;
+    for (size_t numel : BlockTensorSizes(model.blocks[b])) {
+      PlanUnit u;
+      u.numel = numel;
+      u.first_block = b;
+      u.last_block = b;
+      u.grad_dep = static_cast<int>(b);
+      plan.units.push_back(u);
+    }
+  }
+  Reindex(&plan);
+  return plan;
+}
+
+void FuseAtEnd(StepPlan* plan) {
+  for (PlanUnit& u : plan->units) {
+    u.grad_dep = kGradDepBackwardEnd;
+    u.inline_submit = false;
+  }
+}
+
+void UpdateBeforeComm(StepPlan* plan) {
+  for (PlanUnit& u : plan->units) {
+    u.update_before_comm = true;
+    u.inline_submit = u.grad_dep >= 0;
+  }
+}
+
+void PriorityForwardOverlap(StepPlan* plan) {
+  for (PlanUnit& u : plan->units) u.forward_gate = ForwardGate::kCovered;
+}
+
+void AsyncStream(StepPlan* plan) {
+  for (PlanUnit& u : plan->units) {
+    // A unit already fused to the backward end keeps that edge: the async
+    // runtime still produces this step's gradients before shipping them.
+    // Only backward-*overlapped* edges dissolve into the free stream.
+    if (u.grad_dep >= 0) u.grad_dep = kGradDepNone;
+    u.forward_gate = ForwardGate::kNone;
+  }
+}
+
+void ServerReduce(StepPlan* plan) {
+  for (PlanUnit& u : plan->units) u.server_reduce = true;
+}
+
+StepPlan BuildPricingPlan(const ModelProfile& model,
+                          const ScheduleShape& shape) {
+  StepPlan plan = shape.per_tensor ? PerTensorPlan(model)
+                                   : FusedUnitsPlan(model, shape.bucket_bytes);
+  // Order matters: FuseAtEnd first so UpdateBeforeComm/AsyncStream see the
+  // final backward edges (O=0 decentralized updates stay after backward;
+  // O=0 async keeps its backward-end edge).
+  if (!shape.overlap_backward) FuseAtEnd(&plan);
+  if (shape.update_before_comm) UpdateBeforeComm(&plan);
+  if (shape.overlap_forward) PriorityForwardOverlap(&plan);
+  if (shape.async) AsyncStream(&plan);
+  if (shape.server) ServerReduce(&plan);
+  return plan;
+}
+
+}  // namespace bagua

@@ -1,0 +1,169 @@
+#ifndef BAGUA_SCHED_PLAN_H_
+#define BAGUA_SCHED_PLAN_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "model/profiles.h"
+
+namespace bagua {
+
+/// \page sched The schedule IR
+///
+/// One training step's communication schedule, as a first-class object.
+/// The profiling phase emits a StepPlan once; afterwards *both* executors
+/// consume the identical IR:
+///
+///   - the real executor (core/runtime.cc): buckets fire — inline on the
+///     worker thread, or enqueued onto the AsyncCommEngine's in-order
+///     queue — exactly in plan-unit order;
+///   - the virtual-time pricer (sched/pricer.cc, driving harness/timing):
+///     every op edge of the DES graph is derived from the same plan
+///     attributes, so a schedule the simulator prices is, by construction,
+///     the schedule the runtime runs.
+///
+/// This is the DAG formulation of synchronous-SGD scheduling (Shi et al.)
+/// specialized to BAGUA's relaxations: what used to be four interacting
+/// booleans (`overlap_backward/overlap_forward/async/update_before_comm`)
+/// is now a list of units with explicit dependency edges.
+
+/// \name Gradient-readiness sentinels for PlanUnit::grad_dep.
+/// @{
+/// The unit's communication rides a free-running stream: it depends on no
+/// backward op at all (the async family — comm never gates on compute).
+inline constexpr int kGradDepNone = -1;
+/// The unit fires only after the whole backward pass (O = 0: every unit is
+/// fused to the end of the step).
+inline constexpr int kGradDepBackwardEnd = -2;
+/// @}
+
+/// \brief What the *next* iteration's forward of a block must wait for.
+enum class ForwardGate : int {
+  kNone = 0,     ///< nothing — async: compute never gates on communication
+  kCovered = 1,  ///< only the units covering the block (BytePS priority
+                 ///< pulls: forward overlaps the tail of communication)
+  kAll = 2,      ///< every unit of the previous iteration (full barrier)
+};
+
+/// \brief One communication unit of the schedule: a fused bucket, or (F=0)
+/// a single layer's tensors. Ordered — plan order IS the per-rank comm
+/// submission order, which collectives require to be identical on every
+/// rank (lockstep tag allocation).
+struct PlanUnit {
+  size_t index = 0;  ///< position in the plan (== bucket index)
+  size_t numel = 0;  ///< gradient elements communicated by this unit
+
+  /// Block (pricing) / layer (runtime) coverage. `first_block` is the
+  /// lowest covered index — the *last* to complete in backward, so its
+  /// backward op is the unit's readiness edge.
+  size_t first_block = 0;
+  size_t last_block = 0;
+  /// Runtime plans only: the layer ids whose backward completion readies
+  /// this unit (descending, as gradients appear). Empty in pricing plans,
+  /// where blocks are profile entries rather than live layers.
+  std::vector<size_t> layers;
+
+  /// Backward-completion edge: a block index (>= 0) whose backward op
+  /// readies this unit, or a sentinel (kGradDepNone/kGradDepBackwardEnd).
+  int grad_dep = kGradDepBackwardEnd;
+  /// Decentralized pattern (Fig. 3): the local optimizer update precedes
+  /// the unit's communication instead of following it.
+  bool update_before_comm = false;
+  /// Submit this unit's ops *inside* the backward stream the moment its
+  /// gradients complete (instead of queueing them after backward). Only
+  /// profitable when the update precedes comm — a post-comm update would
+  /// stall the backward FIFO on the wire.
+  bool inline_submit = false;
+  /// Route this unit through the host-side summation service (BytePS).
+  bool server_reduce = false;
+  /// Next-iteration forward dependency contributed by this unit.
+  ForwardGate forward_gate = ForwardGate::kAll;
+};
+
+/// \brief The per-step schedule IR. Units are listed in comm-queue order;
+/// both executors must preserve it per rank (collectives stay
+/// rank-lockstep-ordered).
+struct StepPlan {
+  size_t num_blocks = 0;
+  std::vector<PlanUnit> units;
+
+  /// True when any unit fires during backward (an O=1 shape).
+  bool OverlapsBackward() const;
+  /// Structural checks: indices in range, coverage ordered, plan order
+  /// follows descending first_block for backward-overlapped units.
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// \name Plan builders (unitizers).
+/// @{
+
+/// Canonical fused plan: parameter tensors packed in reverse block order —
+/// as their gradients appear during backward — into buckets of
+/// ~`bucket_bytes`, never splitting a tensor. Units default to the
+/// overlap-backward shape: grad_dep = first covered block, update after
+/// comm, full forward barrier.
+StepPlan FusedUnitsPlan(const ModelProfile& model, size_t bucket_bytes);
+
+/// F = 0: one unit per parameter tensor, reverse block order.
+StepPlan PerTensorPlan(const ModelProfile& model);
+
+/// @}
+
+/// \name Plan transforms. Each rewrites dependency edges in place; the
+/// baselines and the BAGUA O/F/H switches are compositions of these.
+/// @{
+
+/// O = 0: all communication strictly after backward (grad_dep becomes
+/// kGradDepBackwardEnd, nothing submits inline).
+void FuseAtEnd(StepPlan* plan);
+
+/// Decentralized/low-precision pattern: local update before communication.
+/// Units that fire during backward submit inline (the update only needs
+/// this unit's gradients, so it interleaves into the backward stream and
+/// its communication starts early).
+void UpdateBeforeComm(StepPlan* plan);
+
+/// BytePS priority scheduling: the next iteration's forward of a block
+/// waits only for the units covering that block, so early-layer pulls
+/// overlap the tail of communication.
+void PriorityForwardOverlap(StepPlan* plan);
+
+/// Async family: communication never gates on (or blocks) local compute —
+/// backward edges of overlapped units dissolve and forward never waits.
+void AsyncStream(StepPlan* plan);
+
+/// BytePS summation service: every unit is reduced host-side, pipelined
+/// with the network transfers of other units.
+void ServerReduce(StepPlan* plan);
+
+/// @}
+
+/// \brief The schedule shape the BAGUA profiling phase (or a baseline's
+/// documented strategy) compiles down to — the former SystemSpec booleans,
+/// now only an input to plan construction.
+struct ScheduleShape {
+  size_t bucket_bytes = 10u << 20;
+  bool per_tensor = false;
+  bool overlap_backward = true;
+  bool overlap_forward = false;
+  bool async = false;
+  bool update_before_comm = false;
+  bool server = false;
+};
+
+/// \brief Composes builders + transforms into the pricing plan for a
+/// shape. The ONLY place the legacy boolean vocabulary is interpreted.
+StepPlan BuildPricingPlan(const ModelProfile& model,
+                          const ScheduleShape& shape);
+
+/// \brief A pricing-plan factory: lets a system (baseline or BAGUA spec)
+/// carry "how my schedule is built" as data.
+using PlanBuilder = std::function<StepPlan(const ModelProfile&)>;
+
+}  // namespace bagua
+
+#endif  // BAGUA_SCHED_PLAN_H_

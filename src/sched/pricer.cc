@@ -1,0 +1,153 @@
+#include "sched/pricer.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace bagua {
+
+PlanPrice PricePlan(const StepPlan& plan, const PlanCosts& costs) {
+  const size_t nblocks = plan.num_blocks;
+  const auto& units = plan.units;
+
+  IterationSim sim;
+  const int compute = sim.AddResource("compute");
+  const int comm = sim.AddResource("comm");
+  bool has_server = false;
+  for (const PlanUnit& u : units) has_server |= u.server_reduce;
+  const int server = has_server ? sim.AddResource("server") : -1;
+
+  constexpr int kIters = 3;
+  std::vector<int> prev_unit_done;  // per unit: op completing param update
+  // Per-iteration bookkeeping for the steady-state and overlap accounting.
+  std::vector<std::vector<int>> iter_ops(kIters);
+  std::vector<int> steady_bwd_ops, steady_comm_ops;
+
+  for (int it = 0; it < kIters; ++it) {
+    auto track = [&](int op) {
+      iter_ops[it].push_back(op);
+      return op;
+    };
+    // ---- forward: each block waits on the previous iteration's units
+    // according to their forward gates ----
+    std::vector<int> fwd_ops(nblocks);
+    for (size_t b = 0; b < nblocks; ++b) {
+      std::vector<int> deps;
+      if (it > 0) {
+        for (size_t u = 0; u < units.size(); ++u) {
+          switch (units[u].forward_gate) {
+            case ForwardGate::kNone:
+              break;
+            case ForwardGate::kCovered:
+              if (units[u].first_block <= b && b <= units[u].last_block) {
+                deps.push_back(prev_unit_done[u]);
+              }
+              break;
+            case ForwardGate::kAll:
+              deps.push_back(prev_unit_done[u]);
+              break;
+          }
+        }
+      }
+      fwd_ops[b] = track(sim.AddOp(StrFormat("i%d.fwd%zu", it, b), compute,
+                                   costs.fwd_s(b), std::move(deps)));
+    }
+    // ---- backward (reverse), submitting each unit's update/communication
+    // ops per its plan attributes: inline units enter the FIFO compute
+    // stream the moment their gradients complete; the rest queue after
+    // backward (they overlap with other units' communication regardless).
+    // Submission order == plan order — the in-order comm queue. ----
+    std::vector<int> bwd_ops(nblocks, -1);
+    std::vector<int> unit_done(units.size(), -1);
+    std::vector<size_t> deferred_units;
+
+    auto submit_unit = [&](size_t u) {
+      const PlanUnit& unit = units[u];
+      std::vector<int> grad_ready;
+      if (unit.grad_dep >= 0) {
+        grad_ready.push_back(bwd_ops[unit.grad_dep]);
+      } else if (unit.grad_dep == kGradDepBackwardEnd) {
+        grad_ready.push_back(bwd_ops[0]);  // whole backward done
+      }
+      // kGradDepNone: free-running stream, FIFO ordering only.
+      const double update_s = costs.update_s(unit);
+      const double comm_s = costs.comm_s(unit);
+      if (unit.update_before_comm) {
+        const int upd = track(sim.AddOp(StrFormat("i%d.upd%zu", it, u),
+                                        compute, update_s, grad_ready));
+        unit_done[u] = track(sim.AddOp(StrFormat("i%d.comm%zu", it, u), comm,
+                                       comm_s, {upd}));
+        if (it == kIters - 1) steady_comm_ops.push_back(unit_done[u]);
+      } else {
+        std::vector<int> upd_deps;
+        const int c = track(sim.AddOp(StrFormat("i%d.comm%zu", it, u), comm,
+                                      comm_s, grad_ready));
+        if (it == kIters - 1) steady_comm_ops.push_back(c);
+        upd_deps.push_back(c);
+        if (unit.server_reduce) {
+          upd_deps.push_back(track(sim.AddOp(StrFormat("i%d.srv%zu", it, u),
+                                             server, costs.server_s(unit),
+                                             grad_ready)));
+        }
+        unit_done[u] = track(sim.AddOp(StrFormat("i%d.upd%zu", it, u),
+                                       compute, update_s,
+                                       std::move(upd_deps)));
+      }
+    };
+
+    for (size_t i = nblocks; i > 0; --i) {
+      const size_t b = i - 1;
+      bwd_ops[b] = track(sim.AddOp(StrFormat("i%d.bwd%zu", it, b), compute,
+                                   costs.bwd_s(b), {}));
+      if (it == kIters - 1) steady_bwd_ops.push_back(bwd_ops[b]);
+      for (size_t u = 0; u < units.size(); ++u) {
+        if (units[u].first_block != b) continue;
+        if (units[u].inline_submit) {
+          submit_unit(u);
+        } else {
+          deferred_units.push_back(u);
+        }
+      }
+    }
+    for (size_t u : deferred_units) submit_unit(u);
+    prev_unit_done = unit_done;
+  }
+  BAGUA_CHECK(sim.Run().ok());
+
+  // Steady-state iteration time: completion of everything belonging to the
+  // last iteration minus the same point one iteration earlier.
+  auto IterFinish = [&](int it) {
+    double t = 0.0;
+    for (int op : iter_ops[it]) t = std::max(t, sim.FinishTime(op));
+    return t;
+  };
+
+  PlanPrice price;
+  price.iteration_s = IterFinish(kIters - 1) - IterFinish(kIters - 2);
+  price.compute_s = sim.ResourceBusy(compute) / kIters;
+  price.comm_s = sim.ResourceBusy(comm) / kIters;
+
+  // Planned backward∥comm overlap of the steady-state iteration: the part
+  // of its comm-stream ops that lands inside its backward window.
+  if (!steady_bwd_ops.empty()) {
+    double wbegin = 0.0, wend = 0.0;
+    bool first = true;
+    for (int op : steady_bwd_ops) {
+      const double s = sim.StartTime(op), f = sim.FinishTime(op);
+      wbegin = first ? s : std::min(wbegin, s);
+      wend = first ? f : std::max(wend, f);
+      first = false;
+    }
+    double total = 0.0;
+    for (int op : steady_comm_ops) {
+      const double s = sim.StartTime(op), f = sim.FinishTime(op);
+      total += f - s;
+      price.overlap_s += std::max(0.0, std::min(f, wend) - std::max(s, wbegin));
+    }
+    if (total > 0.0) price.overlap_frac = price.overlap_s / total;
+  }
+  return price;
+}
+
+}  // namespace bagua

@@ -1,0 +1,56 @@
+#ifndef BAGUA_SCHED_PRICER_H_
+#define BAGUA_SCHED_PRICER_H_
+
+#include <functional>
+
+#include "sched/plan.h"
+#include "sim/des.h"
+
+namespace bagua {
+
+/// \brief Per-op durations for pricing a StepPlan: the plan says *what
+/// runs when*, these say *how long each op takes*. Supplied by
+/// harness/timing.cc from the device/network calibration and the
+/// algorithm's cost model.
+struct PlanCosts {
+  /// Forward / backward seconds of one block.
+  std::function<double(size_t block)> fwd_s;
+  std::function<double(size_t block)> bwd_s;
+  /// Wire + codec seconds of one unit's communication.
+  std::function<double(const PlanUnit&)> comm_s;
+  /// Optimizer-update seconds of one unit.
+  std::function<double(const PlanUnit&)> update_s;
+  /// Host summation-service seconds of one unit (used only for units with
+  /// server_reduce set; may be null when no unit is).
+  std::function<double(const PlanUnit&)> server_s;
+};
+
+/// \brief Steady-state price of one iteration under a plan.
+struct PlanPrice {
+  double iteration_s = 0.0;  ///< steady-state time per iteration
+  double compute_s = 0.0;    ///< per-iteration compute-stream busy time
+  double comm_s = 0.0;       ///< per-iteration comm-stream busy time
+  /// Communication seconds of the steady-state iteration that run inside
+  /// its backward window — the *planned* backward∥comm overlap that the
+  /// async engine's measured wall-clock overlap is gated against.
+  double overlap_s = 0.0;
+  /// overlap_s over the iteration's total communication seconds (0 when
+  /// the iteration communicates nothing).
+  double overlap_frac = 0.0;
+};
+
+/// \brief Prices `plan` on the DES stream timelines (sim/des.h).
+///
+/// Builds the op graph of three consecutive iterations over (compute,
+/// comm[, server]) serializing resources — ops on one resource run in
+/// submission order, which is exactly the in-order comm queue the real
+/// executor keeps — and reports the steady-state iteration time
+/// (difference between the last two iteration finish times), so pipelining
+/// across iterations is captured. Every dependency edge comes from the
+/// plan's attributes; this function contains no schedule policy of its
+/// own.
+PlanPrice PricePlan(const StepPlan& plan, const PlanCosts& costs);
+
+}  // namespace bagua
+
+#endif  // BAGUA_SCHED_PRICER_H_

@@ -18,6 +18,8 @@ const char* TraceStreamName(TraceStream stream) {
       return "ckpt";
     case TraceStream::kFault:
       return "fault";
+    case TraceStream::kCommQueue:
+      return "queue";
   }
   return "?";
 }

@@ -21,8 +21,11 @@ enum class TraceStream : int {
   kComm = 2,        ///< collectives, primitives, bucket exchanges
   kCheckpoint = 3,  ///< checkpoint save/load and crash recovery
   kFault = 4,       ///< ARQ retransmissions and other fault handling
+  kCommQueue = 5,   ///< bucket wait in the async comm engine's queue
+                    ///< (sched/engine.h) — begins at enqueue on the worker
+                    ///< thread, ends at dequeue on the comm thread
 };
-constexpr int kNumTraceStreams = 5;
+constexpr int kNumTraceStreams = 6;
 
 const char* TraceStreamName(TraceStream stream);
 

@@ -1,0 +1,44 @@
+#include "transport/delay.h"
+
+#include <thread>
+
+namespace bagua {
+
+WireDelayTransport::WireDelayTransport(int world_size, double latency_s,
+                                       double per_byte_s)
+    : TransportGroup(world_size),
+      latency_s_(latency_s),
+      per_byte_s_(per_byte_s) {}
+
+void WireDelayTransport::Charge(size_t payload_bytes) const {
+  const double s = latency_s_ + static_cast<double>(payload_bytes) * per_byte_s_;
+  if (s <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(s));
+}
+
+Status WireDelayTransport::Recv(int src, int dst, uint64_t tag,
+                                std::vector<uint8_t>* out) {
+  RETURN_IF_ERROR(TransportGroup::Recv(src, dst, tag, out));
+  Charge(out->size());
+  return Status::OK();
+}
+
+Status WireDelayTransport::RecvWithDeadline(int src, int dst, uint64_t tag,
+                                            std::chrono::milliseconds timeout,
+                                            std::vector<uint8_t>* out) {
+  RETURN_IF_ERROR(
+      TransportGroup::RecvWithDeadline(src, dst, tag, timeout, out));
+  Charge(out->size());
+  return Status::OK();
+}
+
+Status WireDelayTransport::TryRecvAny(int dst, uint64_t tag,
+                                      std::vector<uint8_t>* out,
+                                      int* src_out) {
+  RETURN_IF_ERROR(TransportGroup::TryRecvAny(dst, tag, out, src_out));
+  Charge(out->size());
+  return Status::OK();
+}
+
+}  // namespace bagua

@@ -1,0 +1,50 @@
+#ifndef BAGUA_TRANSPORT_DELAY_H_
+#define BAGUA_TRANSPORT_DELAY_H_
+
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief Transport decorator that charges real wall-clock wire latency on
+/// the receive side: every delivered message costs
+/// `latency_s + payload_bytes * per_byte_s` of actual sleeping, *after*
+/// the message is available (the last-hop model — the receiver blocks for
+/// propagation + serialization time it cannot overlap by itself).
+///
+/// Purpose: the in-memory Mailbox wire is effectively instantaneous, so on
+/// a CPU-bound host the synchronous executor and the async comm engine
+/// would tie — there is no network time to hide. This decorator restores
+/// the thing the paper's overlap relaxation exists to hide: receives that
+/// *block without computing*. The async engine's comm thread absorbs these
+/// sleeps while backward keeps running on the worker thread, which is what
+/// scripts/overlap_gate.sh measures. Training results are unaffected —
+/// the delay changes wall time only, never payloads or message order.
+///
+/// Composition note: like FaultyTransport, this subclasses the live
+/// TransportGroup rather than wrapping one; use one decorator per run
+/// (fault plans already price their own virtual delays).
+class WireDelayTransport : public TransportGroup {
+ public:
+  WireDelayTransport(int world_size, double latency_s,
+                     double per_byte_s = 0.0);
+
+  Status Recv(int src, int dst, uint64_t tag,
+              std::vector<uint8_t>* out) override;
+  Status RecvWithDeadline(int src, int dst, uint64_t tag,
+                          std::chrono::milliseconds timeout,
+                          std::vector<uint8_t>* out) override;
+  /// Successful TryRecvAny pops also pay the delay (a delivered message is
+  /// a delivered message); NotFound stays free and non-blocking.
+  Status TryRecvAny(int dst, uint64_t tag, std::vector<uint8_t>* out,
+                    int* src_out = nullptr) override;
+
+ private:
+  void Charge(size_t payload_bytes) const;
+
+  const double latency_s_;
+  const double per_byte_s_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_TRANSPORT_DELAY_H_

@@ -1,0 +1,552 @@
+// The schedule IR and its two executors.
+//
+// Covers: plan builders/transforms (the O/F/H vocabulary as dependency
+// rewrites), the DES pricer (planned overlap accounting), the async comm
+// engine (FIFO order, sticky errors, producer decoupling), the runtime's
+// plan emission and profiling-step flush order, and — the load-bearing
+// property of the whole refactor — bitwise equivalence of the synchronous
+// executor, the async comm engine, and the overlap=false shape, across
+// intra-op thread counts and under an active fault plan.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "base/parallel.h"
+#include "base/sync.h"
+#include "core/runtime.h"
+#include "harness/report.h"
+#include "harness/trainer.h"
+#include "model/data.h"
+#include "model/net.h"
+#include "model/profiles.h"
+#include "sched/engine.h"
+#include "sched/plan.h"
+#include "sched/pricer.h"
+#include "trace/trace.h"
+
+namespace bagua {
+namespace {
+
+// --------------------------------------------------------------- builders
+
+ModelProfile TinyProfile() {
+  ModelProfile m;
+  m.name = "tiny";
+  // params: 1000, 2000, 500, 4000 over four blocks; bytes 4k/8k/2k/16k.
+  m.blocks = {{"b0", 1000, 1e6, 2},
+              {"b1", 2000, 2e6, 2},
+              {"b2", 500, 1e6, 1},
+              {"b3", 4000, 3e6, 2}};
+  m.train.samples_per_epoch = 1024;
+  return m;
+}
+
+TEST(PlanBuilderTest, HugeBudgetYieldsOneUnitCoveringEverything) {
+  const ModelProfile m = TinyProfile();
+  const StepPlan plan = FusedUnitsPlan(m, 1u << 30);
+  ASSERT_EQ(plan.units.size(), 1u);
+  EXPECT_EQ(plan.units[0].numel, m.TotalParams());
+  EXPECT_EQ(plan.units[0].first_block, 0u);
+  EXPECT_EQ(plan.units[0].last_block, 3u);
+  EXPECT_EQ(plan.units[0].grad_dep, 0);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(PlanBuilderTest, TinyBudgetYieldsOneUnitPerTensorInBackwardOrder) {
+  const ModelProfile m = TinyProfile();
+  const StepPlan plan = FusedUnitsPlan(m, 1);
+  EXPECT_EQ(plan.units.size(), static_cast<size_t>(m.TotalTensors()));
+  size_t total = 0, prev_first = m.blocks.size();
+  for (const PlanUnit& u : plan.units) {
+    total += u.numel;
+    EXPECT_GT(u.numel, 0u);
+    EXPECT_LE(u.first_block, prev_first) << "unit " << u.index;
+    EXPECT_EQ(u.grad_dep, static_cast<int>(u.first_block));
+    prev_first = u.first_block;
+  }
+  EXPECT_EQ(total, m.TotalParams());
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_TRUE(plan.OverlapsBackward());
+}
+
+TEST(PlanBuilderTest, FusedPlanClosesBucketsAtByteBudget) {
+  // 10 KB budget against 16k/2k/8k/4k byte blocks in reverse order:
+  // b3 alone overflows -> {3}, then b2+b1 reach 10k -> {2,1}, then {0}.
+  const StepPlan plan = FusedUnitsPlan(TinyProfile(), 10 * 1000);
+  ASSERT_EQ(plan.units.size(), 3u);
+  EXPECT_EQ(plan.units[0].first_block, 3u);
+  EXPECT_EQ(plan.units[1].first_block, 1u);
+  EXPECT_EQ(plan.units[1].last_block, 2u);
+  EXPECT_EQ(plan.units[2].first_block, 0u);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(PlanBuilderTest, PerTensorPlanSplitsBlocksIntoTensors) {
+  const ModelProfile m = TinyProfile();
+  const StepPlan plan = PerTensorPlan(m);
+  ASSERT_EQ(plan.units.size(), static_cast<size_t>(m.TotalTensors()));
+  size_t total = 0;
+  for (const PlanUnit& u : plan.units) {
+    total += u.numel;
+    EXPECT_EQ(u.first_block, u.last_block);
+  }
+  EXPECT_EQ(total, m.TotalParams());
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+// -------------------------------------------------------------- transforms
+
+TEST(PlanTransformTest, FuseAtEndRemovesEveryBackwardEdge) {
+  StepPlan plan = FusedUnitsPlan(TinyProfile(), 1);
+  FuseAtEnd(&plan);
+  for (const PlanUnit& u : plan.units) {
+    EXPECT_EQ(u.grad_dep, kGradDepBackwardEnd);
+    EXPECT_FALSE(u.inline_submit);
+  }
+  EXPECT_FALSE(plan.OverlapsBackward());
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(PlanTransformTest, UpdateBeforeCommInlinesOnlyOverlappedUnits) {
+  StepPlan overlapped = FusedUnitsPlan(TinyProfile(), 1);
+  UpdateBeforeComm(&overlapped);
+  for (const PlanUnit& u : overlapped.units) {
+    EXPECT_TRUE(u.update_before_comm);
+    EXPECT_TRUE(u.inline_submit);
+  }
+  EXPECT_TRUE(overlapped.Validate().ok());
+
+  // O = 0 first: nothing fires during backward, so nothing submits inline.
+  StepPlan fused = FusedUnitsPlan(TinyProfile(), 1);
+  FuseAtEnd(&fused);
+  UpdateBeforeComm(&fused);
+  for (const PlanUnit& u : fused.units) {
+    EXPECT_TRUE(u.update_before_comm);
+    EXPECT_FALSE(u.inline_submit);
+  }
+  EXPECT_TRUE(fused.Validate().ok());
+}
+
+TEST(PlanTransformTest, AsyncStreamDissolvesBackwardAndForwardEdges) {
+  StepPlan plan = FusedUnitsPlan(TinyProfile(), 1);
+  AsyncStream(&plan);
+  for (const PlanUnit& u : plan.units) {
+    EXPECT_EQ(u.grad_dep, kGradDepNone);
+    EXPECT_EQ(u.forward_gate, ForwardGate::kNone);
+  }
+  // ...but an O=0 plan keeps its backward-end edge: even async runtimes
+  // produce this step's gradients before shipping them.
+  StepPlan fused = FusedUnitsPlan(TinyProfile(), 1);
+  FuseAtEnd(&fused);
+  AsyncStream(&fused);
+  for (const PlanUnit& u : fused.units) {
+    EXPECT_EQ(u.grad_dep, kGradDepBackwardEnd);
+  }
+}
+
+TEST(PlanTransformTest, PriorityForwardOverlapAndServerReduce) {
+  StepPlan plan = FusedUnitsPlan(TinyProfile(), 1);
+  PriorityForwardOverlap(&plan);
+  ServerReduce(&plan);
+  for (const PlanUnit& u : plan.units) {
+    EXPECT_EQ(u.forward_gate, ForwardGate::kCovered);
+    EXPECT_TRUE(u.server_reduce);
+  }
+}
+
+TEST(PlanValidateTest, RejectsUnitsOutOfBackwardOrder) {
+  StepPlan plan = FusedUnitsPlan(TinyProfile(), 10 * 1000);
+  std::swap(plan.units[0], plan.units[2]);
+  for (size_t i = 0; i < plan.units.size(); ++i) plan.units[i].index = i;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(PlanValidateTest, RejectsInlineSubmitWithPostCommUpdate) {
+  StepPlan plan = FusedUnitsPlan(TinyProfile(), 1u << 30);
+  plan.units[0].inline_submit = true;  // without update_before_comm
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(BuildPricingPlanTest, ShapesCompileToTheExpectedEdges) {
+  const ModelProfile m = TinyProfile();
+
+  ScheduleShape fused;
+  fused.overlap_backward = false;
+  fused.bucket_bytes = 1;
+  EXPECT_FALSE(BuildPricingPlan(m, fused).OverlapsBackward());
+
+  ScheduleShape per_tensor;
+  per_tensor.per_tensor = true;
+  EXPECT_EQ(BuildPricingPlan(m, per_tensor).units.size(),
+            static_cast<size_t>(m.TotalTensors()));
+
+  ScheduleShape decen;
+  decen.bucket_bytes = 1;
+  decen.update_before_comm = true;
+  for (const PlanUnit& u : BuildPricingPlan(m, decen).units) {
+    EXPECT_TRUE(u.update_before_comm);
+    EXPECT_TRUE(u.inline_submit);
+  }
+
+  ScheduleShape async;
+  async.bucket_bytes = 1;
+  async.async = true;
+  async.server = true;
+  for (const PlanUnit& u : BuildPricingPlan(m, async).units) {
+    EXPECT_EQ(u.grad_dep, kGradDepNone);
+    EXPECT_EQ(u.forward_gate, ForwardGate::kNone);
+    EXPECT_TRUE(u.server_reduce);
+  }
+}
+
+// ------------------------------------------------------------------ pricer
+
+PlanCosts UniformCosts() {
+  PlanCosts costs;
+  costs.fwd_s = [](size_t) { return 1e-3; };
+  costs.bwd_s = [](size_t) { return 2e-3; };
+  costs.comm_s = [](const PlanUnit&) { return 3e-3; };
+  costs.update_s = [](const PlanUnit&) { return 0.5e-3; };
+  costs.server_s = [](const PlanUnit&) { return 1e-3; };
+  return costs;
+}
+
+TEST(PricerTest, OverlappedPlanHidesCommInsideBackward) {
+  const ModelProfile m = TinyProfile();
+  const StepPlan plan = FusedUnitsPlan(m, 1);
+  const PlanPrice price = PricePlan(plan, UniformCosts());
+  EXPECT_GT(price.overlap_s, 0.0);
+  EXPECT_GT(price.overlap_frac, 0.0);
+  EXPECT_LE(price.overlap_frac, 1.0);
+  EXPECT_GT(price.iteration_s, 0.0);
+}
+
+TEST(PricerTest, FusedPlanHasZeroPlannedOverlapAndCostsMore) {
+  const ModelProfile m = TinyProfile();
+  const StepPlan overlapped = FusedUnitsPlan(m, 1);
+  StepPlan fused = FusedUnitsPlan(m, 1);
+  FuseAtEnd(&fused);
+  const PlanPrice o = PricePlan(overlapped, UniformCosts());
+  const PlanPrice f = PricePlan(fused, UniformCosts());
+  EXPECT_EQ(f.overlap_s, 0.0);
+  EXPECT_EQ(f.overlap_frac, 0.0);
+  EXPECT_LT(o.iteration_s, f.iteration_s);  // overlap pays
+  EXPECT_EQ(o.compute_s, f.compute_s);      // same work, different schedule
+  EXPECT_EQ(o.comm_s, f.comm_s);
+}
+
+TEST(PricerTest, AsyncStreamTakesCommOffTheCriticalPath) {
+  const ModelProfile m = TinyProfile();
+  StepPlan fused = FusedUnitsPlan(m, 1);
+  FuseAtEnd(&fused);
+  StepPlan async = FusedUnitsPlan(m, 1);
+  AsyncStream(&async);
+  const PlanPrice f = PricePlan(fused, UniformCosts());
+  const PlanPrice a = PricePlan(async, UniformCosts());
+  EXPECT_LT(a.iteration_s, f.iteration_s);
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(AsyncCommEngineTest, RunsClosuresInFifoOrder) {
+  AsyncCommEngine engine(0);
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    engine.Enqueue(Tracer::kInvalidSpan, [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(engine.Drain().ok());
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(AsyncCommEngineTest, FirstErrorIsStickyAndSkipsTheRest) {
+  AsyncCommEngine engine(0);
+  int ran_after_failure = 0;
+  engine.Enqueue(Tracer::kInvalidSpan, [] { return Status::OK(); });
+  engine.Enqueue(Tracer::kInvalidSpan,
+                 [] { return Status::Internal("wire died"); });
+  engine.Enqueue(Tracer::kInvalidSpan, [&] {
+    ++ran_after_failure;  // must be skipped: running past a failed
+    return Status::OK();  // collective would desync the tag sequence
+  });
+  const Status first = engine.Drain();
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(ran_after_failure, 0);
+  EXPECT_FALSE(engine.Drain().ok());  // sticky across drains
+
+  engine.Reset();
+  EXPECT_TRUE(engine.Drain().ok());
+  int ran_after_reset = 0;
+  engine.Enqueue(Tracer::kInvalidSpan, [&] {
+    ++ran_after_reset;
+    return Status::OK();
+  });
+  EXPECT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(ran_after_reset, 1);
+}
+
+TEST(AsyncCommEngineTest, EnqueueReturnsBeforeTheClosureFinishes) {
+  AsyncCommEngine engine(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.Enqueue(Tracer::kInvalidSpan, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return Status::OK();
+  });
+  const double enqueue_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(enqueue_ms, 100.0);  // the producer was not blocked
+  ASSERT_TRUE(engine.Drain().ok());
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  EXPECT_GE(total_ms, 200.0);  // ...and Drain really joined the work
+}
+
+// ------------------------------------------------- runtime plan emission
+
+struct Worker {
+  std::unique_ptr<Net> net;
+  std::unique_ptr<Optimizer> opt;
+  std::unique_ptr<Algorithm> algo;
+  std::unique_ptr<BaguaRuntime> runtime;
+};
+
+std::vector<Worker> MakeWorkers(CommWorld* world, const BaguaOptions& options) {
+  std::vector<Worker> workers(world->world_size());
+  for (int r = 0; r < world->world_size(); ++r) {
+    Worker& w = workers[r];
+    w.net = std::make_unique<Net>(Net::Mlp({16, 32, 32, 4}));
+    w.net->InitParams(77);
+    w.opt = std::make_unique<SgdOptimizer>(0.1);
+    w.algo = std::make_unique<AllreduceAlgorithm>();
+    w.runtime = std::make_unique<BaguaRuntime>(world, r, w.net.get(),
+                                               w.opt.get(), w.algo.get(),
+                                               options);
+  }
+  return workers;
+}
+
+SyntheticClassification MakeData() {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 256;
+  opts.dim = 16;
+  opts.classes = 4;
+  opts.seed = 21;
+  return SyntheticClassification(opts);
+}
+
+/// Runs `steps` lockstep steps; returns per-worker final params and
+/// per-worker per-step losses.
+void RunSteps(int world_size, const BaguaOptions& options, int steps,
+              std::vector<std::vector<float>>* params,
+              std::vector<std::vector<double>>* losses,
+              const StepPlan** plan_out = nullptr) {
+  CommWorld world(ClusterTopology::Make(world_size, 1), 4242);
+  auto workers = MakeWorkers(&world, options);
+  auto data = MakeData();
+  losses->assign(world_size, {});
+  ParallelFor(world_size, [&](size_t r) {
+    for (int s = 0; s < steps; ++s) {
+      Tensor x, y;
+      BAGUA_CHECK(data.GetShardBatch(static_cast<int>(r), world_size, 0,
+                                     s % 4, 16, &x, &y)
+                      .ok());
+      auto loss = workers[r].runtime->TrainStepCE(x, y);
+      BAGUA_CHECK(loss.ok()) << loss.status().ToString();
+      (*losses)[r].push_back(*loss);
+    }
+    BAGUA_CHECK(workers[r].runtime->Finish().ok());
+  });
+  params->assign(world_size, {});
+  for (int r = 0; r < world_size; ++r) {
+    for (const Param& p : workers[r].net->params()) {
+      for (size_t i = 0; i < p.value->numel(); ++i) {
+        (*params)[r].push_back((*p.value)[i]);
+      }
+    }
+  }
+  static StepPlan last_plan;
+  last_plan = workers[0].runtime->plan();
+  if (plan_out != nullptr) *plan_out = &last_plan;
+}
+
+TEST(RuntimePlanTest, ProfilingStepEmitsAValidatedOverlapPlan) {
+  BaguaOptions options;
+  options.bucket_bytes = 2048;  // several buckets for a {16,32,32,4} MLP
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<double>> losses;
+  const StepPlan* plan = nullptr;
+  RunSteps(2, options, 2, &params, &losses, &plan);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GE(plan->units.size(), 2u);
+  EXPECT_TRUE(plan->Validate().ok());
+  EXPECT_TRUE(plan->OverlapsBackward());
+  for (const PlanUnit& u : plan->units) {
+    EXPECT_EQ(u.grad_dep, static_cast<int>(u.first_block));
+    EXPECT_FALSE(u.layers.empty());
+    EXPECT_EQ(u.forward_gate, ForwardGate::kAll);
+  }
+}
+
+TEST(RuntimePlanTest, OverlapOffFusesEveryUnitToBackwardEnd) {
+  BaguaOptions options;
+  options.overlap = false;
+  options.bucket_bytes = 2048;
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<double>> losses;
+  const StepPlan* plan = nullptr;
+  RunSteps(2, options, 2, &params, &losses, &plan);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_FALSE(plan->OverlapsBackward());
+}
+
+TEST(RuntimePlanTest, ProfilingStepFlushesInTheSameOrderAsExecution) {
+  // The satellite bugfix: step 0 (the profiling flush) must emit its
+  // bucket spans in the exact order every later step uses, so step 0 and
+  // step N trace identically.
+  BaguaOptions options;
+  options.bucket_bytes = 2048;
+  Tracer tracer(2);
+  InstallGlobalTracer(&tracer);
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<double>> losses;
+  RunSteps(2, options, 3, &params, &losses);
+  UninstallGlobalTracer();
+
+  for (int r = 0; r < 2; ++r) {
+    std::vector<std::string> bucket_order;
+    size_t queue_spans = 0;
+    for (const TraceEvent& ev : tracer.Events(r)) {
+      if (ev.stream == TraceStream::kComm &&
+          ev.name.rfind("bucket", 0) == 0) {
+        bucket_order.push_back(ev.name);
+      }
+      if (ev.stream == TraceStream::kCommQueue) ++queue_spans;
+    }
+    ASSERT_EQ(bucket_order.size() % 3, 0u) << "rank " << r;
+    const size_t per_step = bucket_order.size() / 3;
+    ASSERT_GE(per_step, 2u);
+    // Every queue wait has its bucket span (sync: zero-length waits).
+    EXPECT_EQ(queue_spans, bucket_order.size());
+    for (size_t s = 1; s < 3; ++s) {
+      for (size_t k = 0; k < per_step; ++k) {
+        EXPECT_EQ(bucket_order[k], bucket_order[s * per_step + k])
+            << "rank " << r << " step " << s << " unit " << k;
+      }
+    }
+  }
+}
+
+// ----------------------------------------- executor bitwise equivalence
+
+TEST(ExecutorEquivalenceTest, EngineMatchesSyncBitwiseAtRuntimeLevel) {
+  BaguaOptions sync;
+  sync.bucket_bytes = 2048;
+  BaguaOptions engine = sync;
+  engine.async_comm = true;
+
+  std::vector<std::vector<float>> params_sync, params_engine;
+  std::vector<std::vector<double>> loss_sync, loss_engine;
+  RunSteps(4, sync, 6, &params_sync, &loss_sync);
+  RunSteps(4, engine, 6, &params_engine, &loss_engine);
+  ASSERT_EQ(params_sync.size(), params_engine.size());
+  for (size_t r = 0; r < params_sync.size(); ++r) {
+    ASSERT_EQ(loss_sync[r], loss_engine[r]) << "rank " << r;
+    ASSERT_EQ(params_sync[r].size(), params_engine[r].size());
+    EXPECT_EQ(0, std::memcmp(params_sync[r].data(), params_engine[r].data(),
+                             params_sync[r].size() * sizeof(float)))
+        << "rank " << r;
+  }
+}
+
+/// One full convergence run; returns (epoch_loss, final_params).
+ConvergenceResult RunHarness(bool async_comm, bool overlap, int threads,
+                             bool with_faults) {
+  ConvergenceOptions opts;
+  opts.algorithm = "allreduce";
+  opts.epochs = 2;
+  opts.topo = ClusterTopology::Make(4, 1);
+  opts.data.num_samples = 512;
+  opts.bagua.async_comm = async_comm;
+  opts.bagua.overlap = overlap;
+  opts.bagua.bucket_bytes = 4096;  // several buckets per step
+  opts.bagua.intra_op_threads = threads;
+  if (with_faults) {
+    opts.faults.seed = 13;
+    opts.faults.Drop(0.1).Duplicate(0.05);
+  }
+  auto result = RunConvergence(opts);
+  BAGUA_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+void ExpectBitwiseEqual(const ConvergenceResult& a, const ConvergenceResult& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.epoch_loss.size(), b.epoch_loss.size()) << label;
+  for (size_t e = 0; e < a.epoch_loss.size(); ++e) {
+    ASSERT_EQ(a.epoch_loss[e], b.epoch_loss[e]) << label << " epoch " << e;
+  }
+  ASSERT_EQ(a.final_params.size(), b.final_params.size()) << label;
+  ASSERT_FALSE(a.final_params.empty()) << label;
+  EXPECT_EQ(0, std::memcmp(a.final_params.data(), b.final_params.data(),
+                           a.final_params.size() * sizeof(float)))
+      << label;
+}
+
+TEST(ExecutorEquivalenceTest, DeterminismMatrixAcrossExecutorsAndThreads) {
+  // Reference: synchronous executor, overlap on, single-threaded kernels.
+  const ConvergenceResult base = RunHarness(false, true, 1, false);
+  for (int threads : {1, 2, 8}) {
+    ExpectBitwiseEqual(base, RunHarness(false, true, threads, false),
+                       "sync t" + std::to_string(threads));
+    ExpectBitwiseEqual(base, RunHarness(true, true, threads, false),
+                       "engine t" + std::to_string(threads));
+    ExpectBitwiseEqual(base, RunHarness(false, false, threads, false),
+                       "overlap-off t" + std::to_string(threads));
+  }
+  SetIntraOpThreads(0);  // restore the environment/default resolution
+}
+
+TEST(ExecutorEquivalenceTest, EngineMatchesSyncUnderAnActiveFaultPlan) {
+  const ConvergenceResult sync = RunHarness(false, true, 1, true);
+  const ConvergenceResult engine = RunHarness(true, true, 1, true);
+  ExpectBitwiseEqual(sync, engine, "faulted");
+  // The wire saw faults in both runs (same seeded schedule).
+  EXPECT_GT(sync.fault_stats.drops, 0u);
+  EXPECT_EQ(sync.fault_stats, engine.fault_stats);
+}
+
+TEST(ExecutorEquivalenceTest, WireDelayChangesWallTimeOnly) {
+  ConvergenceResult fast = RunHarness(false, true, 1, false);
+  ConvergenceOptions opts;
+  opts.algorithm = "allreduce";
+  opts.epochs = 2;
+  opts.topo = ClusterTopology::Make(4, 1);
+  opts.data.num_samples = 512;
+  opts.bagua.bucket_bytes = 4096;
+  opts.bagua.intra_op_threads = 1;
+  opts.link_latency_s = 20e-6;
+  auto slow = RunConvergence(opts);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  ExpectBitwiseEqual(fast, *slow, "wire-delay");
+  EXPECT_GT(slow->train_wall_s, 0.0);
+  EXPECT_GT(slow->step_wall_s, 0.0);
+}
+
+}  // namespace
+}  // namespace bagua

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "harness/report.h"
 #include "harness/trainer.h"
 #include "trace/merge.h"
 #include "trace/trace.h"
@@ -107,6 +108,64 @@ TEST(TraceGoldenTest, EightWorkerTraceHasPerRankTracksAndValidates) {
   const Status status = ValidateChromeTrace(json, &stats);
   EXPECT_TRUE(status.ok()) << status.ToString();
   EXPECT_FALSE(stats.empty());
+}
+
+TEST(TraceGoldenTest, QueueWaitSpansAppearOnBothExecutors) {
+  // Every dispatched unit opens a kCommQueue wait span — zero-wait on the
+  // synchronous path, a real queue interval under the engine — so the
+  // trace shape (one queue span per bucket span) is executor-invariant.
+  for (const bool engine_on : {false, true}) {
+    ConvergenceOptions opts = SmallRun("allreduce");
+    opts.bagua.async_comm = engine_on;
+    opts.bagua.bucket_bytes = 4096;
+    Tracer tracer(opts.topo.world_size());
+    InstallGlobalTracer(&tracer);
+    auto result = RunConvergence(opts);
+    UninstallGlobalTracer();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (int r = 0; r < opts.topo.world_size(); ++r) {
+      size_t queue = 0, bucket = 0;
+      for (const TraceEvent& ev : tracer.Events(r)) {
+        if (ev.stream == TraceStream::kCommQueue) ++queue;
+        if (ev.stream == TraceStream::kComm &&
+            ev.name.rfind("bucket", 0) == 0) {
+          ++bucket;
+        }
+      }
+      EXPECT_GT(queue, 0u) << "rank " << r;
+      EXPECT_EQ(queue, bucket) << "rank " << r << " engine=" << engine_on;
+    }
+  }
+}
+
+TEST(TraceGoldenTest, MeasuredOverlapIsZeroSyncAndPositiveUnderEngine) {
+  // The accounting satellite: backward∥comm overlap measured from wall
+  // clocks must be *structurally* zero on the synchronous executor (comm
+  // runs between "bwd.seg" segments, never inside one) and strictly
+  // positive once the engine moves communication to its own thread. A
+  // small wire delay keeps the comm spans wide enough that at least one
+  // of the run's many dispatches lands inside a backward segment.
+  auto overlap_of = [](bool engine_on) {
+    ConvergenceOptions opts = SmallRun("allreduce");
+    opts.dims = {32, 128, 128, 8};  // heavier backward to overlap against
+    opts.bagua.async_comm = engine_on;
+    opts.bagua.bucket_bytes = 4096;
+    opts.link_latency_s = 100e-6;
+    Tracer tracer(opts.topo.world_size());
+    InstallGlobalTracer(&tracer);
+    auto result = RunConvergence(opts);
+    UninstallGlobalTracer();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return MeasuredOverlap(tracer);
+  };
+  const OverlapAccounting sync = overlap_of(false);
+  EXPECT_GT(sync.comm_us, 0.0);
+  EXPECT_EQ(sync.overlapped_us, 0.0);
+  EXPECT_EQ(sync.fraction(), 0.0);
+  const OverlapAccounting engine = overlap_of(true);
+  EXPECT_GT(engine.comm_us, 0.0);
+  EXPECT_GT(engine.overlapped_us, 0.0);
+  EXPECT_GT(engine.fraction(), 0.0);
 }
 
 TEST(TraceGoldenTest, ValidatorRejectsMalformedDocuments) {
