@@ -35,6 +35,9 @@ namespace bagua {
 ///   --quick             shrink the workload for smoke tests / CI gates
 ///   --kernels-json=PATH run the kernel perf gate (kernel_gate.h) instead
 ///                       of the regular bench and write its JSON to PATH
+///   --comm-json=PATH    run the transport/collective perf gate
+///                       (comm_gate.h) instead of the regular bench and
+///                       write its JSON to PATH (scripts/comm_gate.sh)
 ///   --overlap-json=PATH benches that measure real-execution backward∥comm
 ///                       overlap (bench_table5_ablation) write their
 ///                       sync-vs-engine wall-time comparison to PATH as
@@ -44,6 +47,7 @@ struct BenchArgs {
   int trace_ranks = 64;
   std::string kernels_json;
   std::string overlap_json;
+  std::string comm_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -77,6 +81,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--kernels-json= needs a path";
       }
+    } else if (std::strncmp(a, "--comm-json=", 12) == 0) {
+      args.comm_json = a + 12;
+      if (args.comm_json.empty()) {
+        args.ok = false;
+        args.error = "--comm-json= needs a path";
+      }
     } else if (std::strncmp(a, "--overlap-json=", 15) == 0) {
       args.overlap_json = a + 15;
       if (args.overlap_json.empty()) {
@@ -104,7 +114,8 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
 inline int BenchArgsError(const BenchArgs& args) {
   std::fprintf(stderr, "error: %s\nusage: [--trace-out=PATH]"
                        " [--trace-ranks=N] [--threads=N] [--quick]"
-                       " [--kernels-json=PATH] [--overlap-json=PATH]\n",
+                       " [--kernels-json=PATH] [--comm-json=PATH]"
+                       " [--overlap-json=PATH]\n",
                args.error.c_str());
   return 2;
 }

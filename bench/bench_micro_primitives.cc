@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "comm_gate.h"
 #include "kernel_gate.h"
 
 #include "base/logging.h"
@@ -110,6 +111,10 @@ int main(int argc, char** argv) {
   if (!args.kernels_json.empty()) {
     // Kernel gate mode: skip the collective benches entirely.
     return bagua::RunKernelGate(args.kernels_json, args.quick);
+  }
+  if (!args.comm_json.empty()) {
+    // Comm gate mode: seed-vs-pooled transport and seed-vs-pipelined rings.
+    return bagua::RunCommGate(args.comm_json, args.quick);
   }
   bagua::TraceSession trace_session(args);
   benchmark::Initialize(&argc, argv);

@@ -29,6 +29,9 @@ ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
 echo "==> measured-overlap gate (async comm engine vs synchronous executor)"
 ./scripts/overlap_gate.sh build
 
+echo "==> comm gate (zero-copy pooled transport + pipelined rings)"
+./scripts/comm_gate.sh build
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"
@@ -36,5 +39,8 @@ ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS"
 
 echo "==> schedule IR / executor tests under ${SANITIZER} (ctest -L sched)"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L sched
+
+echo "==> transport/collective tests under ${SANITIZER} (ctest -L comm)"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L comm
 
 echo "OK: plain + ${SANITIZER} suites passed"

@@ -1,7 +1,9 @@
 #include "collectives/collectives.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <optional>
 
 #include "base/logging.h"
 #include "base/strings.h"
@@ -15,6 +17,8 @@ namespace bagua {
 // equal the analytic wire volume of one invocation exactly (the property
 // tests/trace_accounting_test.cc sweeps), and they are independent of the
 // transport-level transport.sent.* counters measuring the same wire.
+// Segmentation never changes these: the per-step count is the whole chunk
+// regardless of how many wire segments carry it.
 namespace collective_keys {
 constexpr char kRingAllreduce[] = "collective.ring_allreduce.bytes";
 constexpr char kBroadcast[] = "collective.broadcast.bytes";
@@ -38,6 +42,31 @@ int IndexIn(const std::vector<int>& ranks, int rank) {
   return -1;
 }
 
+namespace {
+
+std::atomic<size_t> g_ring_segment_bytes{size_t{1} << 17};  // 128 KiB
+
+/// Number of wire segments for a `count`-float chunk. A pure function of
+/// the chunk length and the (stable-per-collective) threshold, so the
+/// sender of a chunk and its receiver — who hold the same global chunk
+/// index, hence the same count — always split identically.
+size_t NumSegments(size_t count) {
+  const size_t seg = g_ring_segment_bytes.load(std::memory_order_relaxed);
+  const size_t bytes = count * sizeof(float);
+  if (seg == 0 || bytes < 2 * seg) return 1;
+  return (bytes + seg - 1) / seg;
+}
+
+}  // namespace
+
+void SetRingPipelineSegmentBytes(size_t bytes) {
+  g_ring_segment_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+size_t RingPipelineSegmentBytes() {
+  return g_ring_segment_bytes.load(std::memory_order_relaxed);
+}
+
 Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
                      int rank, uint32_t space, float* data, size_t n) {
   const size_t m = ranks.size();
@@ -51,42 +80,151 @@ Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
 
   const int next = ranks[(i + 1) % m];
   const int prev = ranks[(i + m - 1) % m];
-  std::vector<float> recv_buf(n / m + 1);
 
-  // Phase 1: reduce-scatter. After step s we have accumulated chunk
-  // (i - s - 1 + m) mod m with one more contribution.
-  for (size_t s = 0; s + 1 < m; ++s) {
-    const size_t send_c = (i + m - s) % m;
-    const size_t recv_c = (i + m - s - 1) % m;
-    const Chunk sc = ChunkOf(n, m, send_c);
-    const Chunk rc = ChunkOf(n, m, recv_c);
-    TraceSpan span(rank, TraceStream::kComm, "allreduce.rs",
-                   sc.count * sizeof(float), static_cast<int>(s));
-    TraceCountBytes(rank, collective_keys::kRingAllreduce,
-                    sc.count * sizeof(float));
-    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s), data + sc.begin,
-                                sc.count * sizeof(float)));
-    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
-                                      recv_buf.data(), rc.count));
-    Axpy(1.0f, recv_buf.data(), data + rc.begin, rc.count);
-  }
+  // Double buffer: while segment g sits in bufs[cur] being reduced, the
+  // next receive is already posted into bufs[cur ^ 1]. Both buffers are
+  // recycled into the transport pool on exit, so back-to-back allreduces
+  // hit steady state with zero heap allocations.
+  std::vector<uint8_t> bufs[2];
+  int cur = 0;
+  TransportHandle pending;
 
-  // Phase 2: allgather. Rank index i now owns fully reduced chunk (i+1)%m.
-  for (size_t s = 0; s + 1 < m; ++s) {
-    const size_t send_c = (i + 1 + m - s) % m;
-    const size_t recv_c = (i + m - s) % m;
-    const Chunk sc = ChunkOf(n, m, send_c);
-    const Chunk rc = ChunkOf(n, m, recv_c);
-    TraceSpan span(rank, TraceStream::kComm, "allreduce.ag",
-                   sc.count * sizeof(float), static_cast<int>(s));
-    TraceCountBytes(rank, collective_keys::kRingAllreduce,
-                    sc.count * sizeof(float));
-    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, 1000 + s),
-                                data + sc.begin, sc.count * sizeof(float)));
-    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, 1000 + s),
-                                      data + rc.begin, rc.count));
-  }
-  return Status::OK();
+  Status st = [&]() -> Status {
+    // Phase 1: reduce-scatter. After step s we have accumulated chunk
+    // (i - s - 1 + m) mod m with one more contribution. The chunk received
+    // at step s IS the chunk sent at step s+1, so after adding the local
+    // contribution the payload buffer is forwarded to `next` zero-copy
+    // (SendBuffer) — only step 0, which carries original local values, pays
+    // a copying Send. Accumulating into the payload instead of into `data`
+    // produces the seed's bits exactly: IEEE addition is commutative, and
+    // segments are disjoint subranges of the step's chunk.
+    for (size_t s = 0; s + 1 < m; ++s) {
+      const size_t send_c = (i + m - s) % m;
+      const size_t recv_c = (i + m - s - 1) % m;
+      const Chunk sc = ChunkOf(n, m, send_c);
+      const Chunk rc = ChunkOf(n, m, recv_c);
+      TraceSpan span(rank, TraceStream::kComm, "allreduce.rs",
+                     sc.count * sizeof(float), static_cast<int>(s));
+      TraceCountBytes(rank, collective_keys::kRingAllreduce,
+                      sc.count * sizeof(float));
+      if (s == 0) {
+        const size_t nsend = NumSegments(sc.count);
+        for (size_t g = 0; g < nsend; ++g) {
+          const Chunk seg = ChunkOf(sc.count, nsend, g);
+          RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, 0),
+                                      data + sc.begin + seg.begin,
+                                      seg.count * sizeof(float)));
+        }
+      }
+      // Steps >= 1 have nothing to send here: every segment of this step's
+      // send chunk was already forwarded from the receive loop below.
+      const size_t nrecv = NumSegments(rc.count);
+      // Pipeline-depth span: present only when the chunk is segmented, so
+      // tiny traced runs keep their seed trace shape.
+      std::optional<TraceSpan> pipe;
+      if (nrecv > 1) {
+        pipe.emplace(rank, TraceStream::kComm, "allreduce.pipe",
+                     rc.count * sizeof(float), static_cast<int>(nrecv));
+        TraceIncrement(rank, "collective.pipeline.segments", nrecv);
+      }
+      for (size_t g = 0; g < nrecv; ++g) {
+        const Chunk seg = ChunkOf(rc.count, nrecv, g);
+        if (!pending.valid()) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, s), &bufs[cur]);
+        }
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        std::vector<uint8_t>& payload = bufs[cur];
+        // Post the next receive — next segment, next step, or the first
+        // allgather step — before reducing the segment just received.
+        cur ^= 1;
+        if (g + 1 < nrecv) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, s), &bufs[cur]);
+        } else if (s + 2 < m) {
+          pending =
+              group->PostRecv(prev, rank, MakeTag(space, s + 1), &bufs[cur]);
+        } else {
+          pending = group->PostRecv(prev, rank, MakeTag(space, 1000 + 0),
+                                    &bufs[cur]);
+        }
+        if (payload.size() != seg.count * sizeof(float)) {
+          return Status::Internal(
+              StrFormat("allreduce.rs: payload %zu bytes, want %zu",
+                        payload.size(), seg.count * sizeof(float)));
+        }
+        Axpy(1.0f, data + rc.begin + seg.begin,
+             reinterpret_cast<float*>(payload.data()), seg.count);
+        if (s + 2 < m) {
+          // This accumulated segment is exactly what step s+1 sends.
+          RETURN_IF_ERROR(group->SendBuffer(rank, next, MakeTag(space, s + 1),
+                                            std::move(payload)));
+        } else {
+          // Final reduce-scatter step: the segment is fully reduced. It
+          // lands in `data` and doubles as allgather step 0's send.
+          std::memcpy(data + rc.begin + seg.begin, payload.data(),
+                      seg.count * sizeof(float));
+          RETURN_IF_ERROR(group->SendBuffer(
+              rank, next, MakeTag(space, 1000 + 0), std::move(payload)));
+        }
+      }
+    }
+
+    // Phase 2: allgather. Rank index i now owns fully reduced chunk
+    // (i+1)%m. As in phase 1, the chunk received at step s is the chunk
+    // sent at step s+1, so every send of this phase is a zero-copy forward
+    // (step 0's was issued by the final reduce-scatter step above).
+    for (size_t s = 0; s + 1 < m; ++s) {
+      const size_t send_c = (i + 1 + m - s) % m;
+      const size_t recv_c = (i + m - s) % m;
+      const Chunk sc = ChunkOf(n, m, send_c);
+      const Chunk rc = ChunkOf(n, m, recv_c);
+      TraceSpan span(rank, TraceStream::kComm, "allreduce.ag",
+                     sc.count * sizeof(float), static_cast<int>(s));
+      TraceCountBytes(rank, collective_keys::kRingAllreduce,
+                      sc.count * sizeof(float));
+      const size_t nrecv = NumSegments(rc.count);
+      std::optional<TraceSpan> pipe;
+      if (nrecv > 1) {
+        pipe.emplace(rank, TraceStream::kComm, "allreduce.pipe",
+                     rc.count * sizeof(float), static_cast<int>(nrecv));
+        TraceIncrement(rank, "collective.pipeline.segments", nrecv);
+      }
+      for (size_t g = 0; g < nrecv; ++g) {
+        const Chunk seg = ChunkOf(rc.count, nrecv, g);
+        if (!pending.valid()) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, 1000 + s),
+                                    &bufs[cur]);
+        }
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        std::vector<uint8_t>& payload = bufs[cur];
+        cur ^= 1;
+        if (g + 1 < nrecv) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, 1000 + s),
+                                    &bufs[cur]);
+        } else if (s + 2 < m) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, 1000 + s + 1),
+                                    &bufs[cur]);
+        }
+        if (payload.size() != seg.count * sizeof(float)) {
+          return Status::Internal(
+              StrFormat("allreduce.ag: payload %zu bytes, want %zu",
+                        payload.size(), seg.count * sizeof(float)));
+        }
+        std::memcpy(data + rc.begin + seg.begin, payload.data(),
+                    seg.count * sizeof(float));
+        if (s + 2 < m) {
+          RETURN_IF_ERROR(group->SendBuffer(
+              rank, next, MakeTag(space, 1000 + s + 1), std::move(payload)));
+        }
+      }
+    }
+    return Status::OK();
+  }();
+
+  group->Recycle(std::move(bufs[0]));
+  group->Recycle(std::move(bufs[1]));
+  return st;
 }
 
 Status Broadcast(TransportGroup* group, const std::vector<int>& ranks,
@@ -131,14 +269,26 @@ Status Reduce(TransportGroup* group, const std::vector<int>& ranks, int rank,
 
   if (i == root_index) {
     TraceSpan span(rank, TraceStream::kComm, "reduce.recv");
-    std::vector<float> recv_buf(n);
-    for (size_t j = 0; j < m; ++j) {
-      if (static_cast<int>(j) == root_index) continue;
-      RETURN_IF_ERROR(group->RecvFloats(ranks[j], rank, MakeTag(space, 0),
-                                        recv_buf.data(), n));
-      Axpy(1.0f, recv_buf.data(), data, n);
-    }
-    return Status::OK();
+    // Zero-copy accumulate: reduce straight from each received payload
+    // (member-index order unchanged); the one buffer cycles through the
+    // pool across members and calls.
+    std::vector<uint8_t> payload;
+    Status st = [&]() -> Status {
+      for (size_t j = 0; j < m; ++j) {
+        if (static_cast<int>(j) == root_index) continue;
+        RETURN_IF_ERROR(
+            group->Recv(ranks[j], rank, MakeTag(space, 0), &payload));
+        if (payload.size() != n * sizeof(float)) {
+          return Status::Internal(
+              StrFormat("reduce: payload %zu bytes, want %zu", payload.size(),
+                        n * sizeof(float)));
+        }
+        Axpy(1.0f, reinterpret_cast<const float*>(payload.data()), data, n);
+      }
+      return Status::OK();
+    }();
+    group->Recycle(std::move(payload));
+    return st;
   }
   TraceSpan span(rank, TraceStream::kComm, "reduce", n * sizeof(float));
   TraceCountBytes(rank, collective_keys::kReduce, n * sizeof(float));
@@ -160,19 +310,71 @@ Status RingAllgather(TransportGroup* group, const std::vector<int>& ranks,
   const size_t chunk = n / m;
   const int next = ranks[(i + 1) % m];
   const int prev = ranks[(i + m - 1) % m];
-  for (size_t s = 0; s + 1 < m; ++s) {
-    const size_t send_c = (i + m - s) % m;
-    const size_t recv_c = (i + m - s - 1) % m;
-    TraceSpan span(rank, TraceStream::kComm, "allgather",
-                   chunk * sizeof(float), static_cast<int>(s));
-    TraceCountBytes(rank, collective_keys::kRingAllgather,
-                    chunk * sizeof(float));
-    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s),
-                                data + send_c * chunk, chunk * sizeof(float)));
-    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
-                                      data + recv_c * chunk, chunk));
-  }
-  return Status::OK();
+
+  std::vector<uint8_t> bufs[2];
+  int cur = 0;
+  TransportHandle pending;
+  const size_t nsegs = NumSegments(chunk);  // all chunks are equal here
+
+  Status st = [&]() -> Status {
+    for (size_t s = 0; s + 1 < m; ++s) {
+      const size_t send_c = (i + m - s) % m;
+      const size_t recv_c = (i + m - s - 1) % m;
+      TraceSpan span(rank, TraceStream::kComm, "allgather",
+                     chunk * sizeof(float), static_cast<int>(s));
+      TraceCountBytes(rank, collective_keys::kRingAllgather,
+                      chunk * sizeof(float));
+      if (s == 0) {
+        // Only the first step copies out of `data` (it carries this rank's
+        // own chunk); every later send is a zero-copy forward of the chunk
+        // received the step before.
+        for (size_t g = 0; g < nsegs; ++g) {
+          const Chunk seg = ChunkOf(chunk, nsegs, g);
+          RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, 0),
+                                      data + send_c * chunk + seg.begin,
+                                      seg.count * sizeof(float)));
+        }
+      }
+      std::optional<TraceSpan> pipe;
+      if (nsegs > 1) {
+        pipe.emplace(rank, TraceStream::kComm, "allgather.pipe",
+                     chunk * sizeof(float), static_cast<int>(nsegs));
+        TraceIncrement(rank, "collective.pipeline.segments", nsegs);
+      }
+      for (size_t g = 0; g < nsegs; ++g) {
+        const Chunk seg = ChunkOf(chunk, nsegs, g);
+        if (!pending.valid()) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, s), &bufs[cur]);
+        }
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        std::vector<uint8_t>& payload = bufs[cur];
+        cur ^= 1;
+        if (g + 1 < nsegs) {
+          pending = group->PostRecv(prev, rank, MakeTag(space, s), &bufs[cur]);
+        } else if (s + 2 < m) {
+          pending =
+              group->PostRecv(prev, rank, MakeTag(space, s + 1), &bufs[cur]);
+        }
+        if (payload.size() != seg.count * sizeof(float)) {
+          return Status::Internal(
+              StrFormat("allgather: payload %zu bytes, want %zu",
+                        payload.size(), seg.count * sizeof(float)));
+        }
+        std::memcpy(data + recv_c * chunk + seg.begin, payload.data(),
+                    seg.count * sizeof(float));
+        if (s + 2 < m) {
+          RETURN_IF_ERROR(group->SendBuffer(rank, next, MakeTag(space, s + 1),
+                                            std::move(payload)));
+        }
+      }
+    }
+    return Status::OK();
+  }();
+
+  group->Recycle(std::move(bufs[0]));
+  group->Recycle(std::move(bufs[1]));
+  return st;
 }
 
 Status GatherBytes(TransportGroup* group, const std::vector<int>& ranks,
@@ -190,8 +392,13 @@ Status GatherBytes(TransportGroup* group, const std::vector<int>& ranks,
     (*out)[i] = payload;
     for (size_t j = 0; j < m; ++j) {
       if (static_cast<int>(j) == root_index) continue;
+      // Root-side wait per member, mirroring reduce.recv/broadcast.recv so
+      // merged traces show where the root blocks.
+      TraceSpan span(rank, TraceStream::kComm, "gather.recv", 0,
+                     static_cast<int>(j));
       RETURN_IF_ERROR(
           group->Recv(ranks[j], rank, MakeTag(space, 0), &(*out)[j]));
+      span.AddBytes((*out)[j].size());
     }
     return Status::OK();
   }

@@ -21,8 +21,35 @@ namespace bagua {
 
 /// Ring allreduce (reduce-scatter + allgather): on return every member's
 /// `data[0, n)` holds the elementwise sum over the group.
+///
+/// Implemented as a double-buffered pipelined ring: each step's receive is
+/// posted (PostRecv) before the previous segment is reduced, large chunks
+/// are split into wire segments (see SetRingPipelineSegmentBytes), the
+/// local contribution is accumulated straight into the received payload (no
+/// copy-out, no per-call scratch), and that payload — which is exactly the
+/// next step's send chunk — is forwarded to the successor zero-copy
+/// (TransportGroup::SendBuffer). Only the first step of each phase copies
+/// out of `data`. Results are bitwise identical to the seed blocking ring
+/// (collectives/seed.h): IEEE addition is commutative so payload+local and
+/// local+payload round to the same bits, segmentation never reorders the
+/// per-element accumulation (segments are disjoint subranges of the step's
+/// chunk and ring steps run in the same order), tags are unchanged, and the
+/// per-step trace byte accounting is unchanged.
 Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
                      int rank, uint32_t space, float* data, size_t n);
+
+/// \name Ring pipelining knob
+///
+/// Chunks whose wire size is at least twice this threshold are split into
+/// ceil(bytes / threshold) segments so the receiver can reduce segment g
+/// while segment g+1 is in flight. 0 disables segmentation. Sender and
+/// receiver derive the segmentation independently from the same chunk
+/// length (a pure function), so they always agree. Thread-safe; default
+/// 128 KiB.
+/// @{
+void SetRingPipelineSegmentBytes(size_t bytes);
+size_t RingPipelineSegmentBytes();
+/// @}
 
 /// Broadcast from `ranks[root_index]` to the group.
 Status Broadcast(TransportGroup* group, const std::vector<int>& ranks,

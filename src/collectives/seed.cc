@@ -1,0 +1,105 @@
+#include "collectives/seed.h"
+
+#include <cstring>
+
+#include "base/strings.h"
+#include "collectives/collectives.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+
+Status SeedRingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space, float* data, size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) {
+    return Status::InvalidArgument(
+        StrFormat("rank %d not in collective group", rank));
+  }
+  if (m == 1) return Status::OK();
+
+  const int next = ranks[(i + 1) % m];
+  const int prev = ranks[(i + m - 1) % m];
+  std::vector<float> recv_buf(n / m + 1);
+
+  // Phase 1: reduce-scatter. After step s we have accumulated chunk
+  // (i - s - 1 + m) mod m with one more contribution.
+  for (size_t s = 0; s + 1 < m; ++s) {
+    const size_t send_c = (i + m - s) % m;
+    const size_t recv_c = (i + m - s - 1) % m;
+    const Chunk sc = ChunkOf(n, m, send_c);
+    const Chunk rc = ChunkOf(n, m, recv_c);
+    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s), data + sc.begin,
+                                sc.count * sizeof(float)));
+    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
+                                      recv_buf.data(), rc.count));
+    Axpy(1.0f, recv_buf.data(), data + rc.begin, rc.count);
+  }
+
+  // Phase 2: allgather. Rank index i now owns fully reduced chunk (i+1)%m.
+  for (size_t s = 0; s + 1 < m; ++s) {
+    const size_t send_c = (i + 1 + m - s) % m;
+    const size_t recv_c = (i + m - s) % m;
+    const Chunk sc = ChunkOf(n, m, send_c);
+    const Chunk rc = ChunkOf(n, m, recv_c);
+    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, 1000 + s),
+                                data + sc.begin, sc.count * sizeof(float)));
+    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, 1000 + s),
+                                      data + rc.begin, rc.count));
+  }
+  return Status::OK();
+}
+
+Status SeedRingAllgather(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space, float* data, size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (n % m != 0) {
+    return Status::InvalidArgument(
+        StrFormat("allgather size %zu not divisible by group %zu", n, m));
+  }
+  if (m == 1) return Status::OK();
+  const size_t chunk = n / m;
+  const int next = ranks[(i + 1) % m];
+  const int prev = ranks[(i + m - 1) % m];
+  for (size_t s = 0; s + 1 < m; ++s) {
+    const size_t send_c = (i + m - s) % m;
+    const size_t recv_c = (i + m - s - 1) % m;
+    RETURN_IF_ERROR(group->Send(rank, next, MakeTag(space, s),
+                                data + send_c * chunk, chunk * sizeof(float)));
+    RETURN_IF_ERROR(group->RecvFloats(prev, rank, MakeTag(space, s),
+                                      data + recv_c * chunk, chunk));
+  }
+  return Status::OK();
+}
+
+Status SeedReduce(TransportGroup* group, const std::vector<int>& ranks,
+                  int rank, int root_index, uint32_t space, float* data,
+                  size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  if (root_index < 0 || static_cast<size_t>(root_index) >= m) {
+    return Status::InvalidArgument("reduce root out of range");
+  }
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1) return Status::OK();
+
+  if (i == root_index) {
+    std::vector<float> recv_buf(n);
+    for (size_t j = 0; j < m; ++j) {
+      if (static_cast<int>(j) == root_index) continue;
+      RETURN_IF_ERROR(group->RecvFloats(ranks[j], rank, MakeTag(space, 0),
+                                        recv_buf.data(), n));
+      Axpy(1.0f, recv_buf.data(), data, n);
+    }
+    return Status::OK();
+  }
+  return group->Send(rank, ranks[root_index], MakeTag(space, 0), data,
+                     n * sizeof(float));
+}
+
+}  // namespace bagua

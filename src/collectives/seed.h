@@ -1,0 +1,42 @@
+#ifndef BAGUA_COLLECTIVES_SEED_H_
+#define BAGUA_COLLECTIVES_SEED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief Frozen seed implementations of the ring collectives — the
+/// blocking send → recv-copy → reduce data path this repository shipped
+/// with, kept verbatim (minus tracing) as the differential baseline.
+///
+/// Two consumers, mirroring tensor/reference.h from the kernel rewrite:
+///   * scripts/comm_gate.sh benches these on a PoolMode::kUnpooled
+///     transport against the pooled pipelined fast path and requires a
+///     fixed speedup;
+///   * tests/comm_pipeline_test.cc asserts the fast path's results are
+///     bitwise identical to these, across thread counts and fault plans.
+///
+/// Not part of the training data path; never optimize these.
+
+/// Seed ring allreduce: per step, blocking send of the whole chunk, then a
+/// blocking RecvFloats (allocate + copy-out) into a per-call scratch
+/// vector, then the reduction.
+Status SeedRingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space, float* data, size_t n);
+
+/// Seed ring allgather: blocking send / RecvFloats per step.
+Status SeedRingAllgather(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space, float* data, size_t n);
+
+/// Seed reduce: the root receives each member into a freshly allocated
+/// n-float scratch vector and accumulates in member-index order.
+Status SeedReduce(TransportGroup* group, const std::vector<int>& ranks,
+                  int rank, int root_index, uint32_t space, float* data,
+                  size_t n);
+
+}  // namespace bagua
+
+#endif  // BAGUA_COLLECTIVES_SEED_H_

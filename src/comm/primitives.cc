@@ -53,108 +53,161 @@ Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
   TransportGroup* group = ctx->group();
   Rng rng = ctx->MakeRankRng();
 
+  // All per-call workspaces come from the transport pool (PooledScratch /
+  // AcquireBuffer + Recycle), so a steady-state training loop runs this
+  // primitive with zero heap allocations. Chunk 0 is the largest (ChunkOf
+  // gives the remainder to the first chunks), so it bounds every scratch.
+  const size_t maxc = std::max<size_t>(ChunkOf(n, m, 0).count, 1);
+
   // u = x + δ (or x when error compensation is off). Note: §3.2 writes the
   // residual with a minus sign; the telescoping error-feedback recursion of
   // DoubleSqueeze / 1-bit Adam *adds* the carried residual, so we store δ
   // with the standard sign (see DESIGN.md, "Known deltas").
-  std::vector<float> u(n);
+  PooledScratch u_scratch(group, n * sizeof(float));
+  float* u = u_scratch.floats();
   if (state != nullptr && state->worker_err.defined()) {
     BAGUA_CHECK_EQ(state->worker_err.numel(), n);
-    Add(data, state->worker_err.data(), u.data(), n);
+    Add(data, state->worker_err.data(), u, n);
   } else {
-    std::memcpy(u.data(), data, n * sizeof(float));
+    std::memcpy(u, data, n * sizeof(float));
   }
 
-  // Phase 1: compress every partition of u and ship partition j to rank j.
-  std::vector<float> decode_buf;
-  std::vector<uint8_t> payload;
-  std::vector<uint8_t> own_partition_payload;
-  for (size_t j = 0; j < m; ++j) {
-    const Chunk c = ChunkOf(n, m, j);
-    RETURN_IF_ERROR(codec.Compress(u.data() + c.begin, c.count, &rng,
-                                   &payload));
-    if (state != nullptr && state->worker_err.defined()) {
-      // δ' = (x − δ) − Q(x − δ), per partition.
-      decode_buf.resize(c.count);
-      RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(), c.count,
-                                       decode_buf.data()));
-      float* err = state->worker_err.data() + c.begin;
-      for (size_t k = 0; k < c.count; ++k) {
-        err[k] = u[c.begin + k] - decode_buf[k];
+  PooledScratch decode_scratch(group, maxc * sizeof(float));
+  float* decode_buf = decode_scratch.floats();
+  // Compressors assign out to exactly CompressedBytes(count), which never
+  // exceeds the capacity acquired here, so Compress never reallocates.
+  std::vector<uint8_t> payload = group->AcquireBuffer(codec.CompressedBytes(maxc));
+  std::vector<uint8_t> own_partition_payload =
+      group->AcquireBuffer(codec.CompressedBytes(maxc));
+  std::vector<uint8_t> rxbufs[2];
+  int cur = 0;
+  TransportHandle pending;
+
+  Status st = [&]() -> Status {
+    // Phase 1: compress every partition of u and ship partition j to rank j.
+    for (size_t j = 0; j < m; ++j) {
+      const Chunk c = ChunkOf(n, m, j);
+      RETURN_IF_ERROR(
+          codec.Compress(u + c.begin, c.count, &rng, &payload));
+      if (state != nullptr && state->worker_err.defined()) {
+        // δ' = (x − δ) − Q(x − δ), per partition.
+        RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(),
+                                         c.count, decode_buf));
+        float* err = state->worker_err.data() + c.begin;
+        for (size_t k = 0; k < c.count; ++k) {
+          err[k] = u[c.begin + k] - decode_buf[k];
+        }
+      }
+      if (static_cast<int>(j) == i) {
+        own_partition_payload.assign(payload.begin(), payload.end());
+      } else {
+        TraceSpan span(ctx->rank, TraceStream::kComm, "scatter_reduce.push",
+                       payload.size(), static_cast<int>(j));
+        TraceCountBytes(ctx->rank, "primitive.scatter_reduce.bytes",
+                        payload.size());
+        RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 0),
+                                    payload.data(), payload.size()));
       }
     }
-    if (static_cast<int>(j) == i) {
-      own_partition_payload = payload;
-    } else {
-      TraceSpan span(ctx->rank, TraceStream::kComm, "scatter_reduce.push",
-                     payload.size(), static_cast<int>(j));
+
+    // Phase 2 (server side of partition i): receive, decode, merge — with
+    // the next member's receive posted before the current decode+reduce
+    // runs, double-buffered. The merge stays in ascending member order, so
+    // the float accumulation is bitwise the seed's.
+    const Chunk mine = ChunkOf(n, m, i);
+    PooledScratch sum_scratch(group,
+                              std::max<size_t>(mine.count, 1) * sizeof(float));
+    float* sum = sum_scratch.floats();
+    std::fill(sum, sum + std::max<size_t>(mine.count, 1), 0.0f);
+    auto next_member = [&](size_t j) -> int {
+      for (size_t k = j + 1; k < m; ++k) {
+        if (static_cast<int>(k) != i) return static_cast<int>(k);
+      }
+      return -1;
+    };
+    for (size_t j = 0; j < m; ++j) {
+      const std::vector<uint8_t>* pj = &own_partition_payload;
+      if (static_cast<int>(j) != i) {
+        if (!pending.valid()) {
+          pending = group->PostRecv(ranks[j], ctx->rank, MakeTag(space, 0),
+                                    &rxbufs[cur]);
+        }
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        pj = &rxbufs[cur];
+        cur ^= 1;
+        const int nj = next_member(j);
+        if (nj >= 0) {
+          pending = group->PostRecv(ranks[nj], ctx->rank, MakeTag(space, 0),
+                                    &rxbufs[cur]);
+        }
+      }
+      RETURN_IF_ERROR(codec.Decompress(pj->data(), pj->size(), mine.count,
+                                       decode_buf));
+      Axpy(1.0f, decode_buf, sum, mine.count);
+    }
+
+    // Apply server-side error compensation and re-compress the merged
+    // partition: out = Q(Σ + ε), ε' = (Σ + ε) − out.
+    if (state != nullptr && state->server_err.defined()) {
+      BAGUA_CHECK_EQ(state->server_err.numel(), mine.count);
+      Add(sum, state->server_err.data(), sum, mine.count);
+    }
+    RETURN_IF_ERROR(codec.Compress(sum, mine.count, &rng, &payload));
+    if (state != nullptr && state->server_err.defined()) {
+      RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(),
+                                       mine.count, decode_buf));
+      float* err = state->server_err.data();
+      for (size_t k = 0; k < mine.count; ++k) {
+        err[k] = sum[k] - decode_buf[k];
+      }
+    }
+
+    // Phase 3: every server broadcasts its merged partition; decode into
+    // x'. Same double-buffered shape: the next partition is in flight
+    // while the current one decodes.
+    {
+      TraceSpan span(ctx->rank, TraceStream::kComm, "scatter_reduce.bcast",
+                     (m - 1) * payload.size());
       TraceCountBytes(ctx->rank, "primitive.scatter_reduce.bytes",
-                      payload.size());
-      RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 0),
-                                  payload.data(), payload.size()));
+                      (m - 1) * payload.size());
+      for (size_t j = 0; j < m; ++j) {
+        if (static_cast<int>(j) == i) continue;
+        RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 1),
+                                    payload.data(), payload.size()));
+      }
     }
-  }
-
-  // Phase 2 (server side of partition i): receive, decode, merge.
-  const Chunk mine = ChunkOf(n, m, i);
-  std::vector<float> sum(std::max<size_t>(mine.count, 1), 0.0f);
-  decode_buf.resize(std::max<size_t>(mine.count, 1));
-  std::vector<uint8_t> recv_payload;
-  for (size_t j = 0; j < m; ++j) {
-    const std::vector<uint8_t>* pj = &own_partition_payload;
-    if (static_cast<int>(j) != i) {
-      RETURN_IF_ERROR(group->Recv(ranks[j], ctx->rank, MakeTag(space, 0),
-                                  &recv_payload));
-      pj = &recv_payload;
-    }
-    RETURN_IF_ERROR(codec.Decompress(pj->data(), pj->size(), mine.count,
-                                     decode_buf.data()));
-    Axpy(1.0f, decode_buf.data(), sum.data(), mine.count);
-  }
-
-  // Apply server-side error compensation and re-compress the merged
-  // partition: out = Q(Σ + ε), ε' = (Σ + ε) − out.
-  if (state != nullptr && state->server_err.defined()) {
-    BAGUA_CHECK_EQ(state->server_err.numel(), mine.count);
-    Add(sum.data(), state->server_err.data(), sum.data(), mine.count);
-  }
-  RETURN_IF_ERROR(codec.Compress(sum.data(), mine.count, &rng, &payload));
-  if (state != nullptr && state->server_err.defined()) {
     RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(),
-                                     mine.count, decode_buf.data()));
-    float* err = state->server_err.data();
-    for (size_t k = 0; k < mine.count; ++k) {
-      err[k] = sum[k] - decode_buf[k];
-    }
-  }
-
-  // Phase 3: every server broadcasts its merged partition; decode into x'.
-  {
-    TraceSpan span(ctx->rank, TraceStream::kComm, "scatter_reduce.bcast",
-                   (m - 1) * payload.size());
-    TraceCountBytes(ctx->rank, "primitive.scatter_reduce.bytes",
-                    (m - 1) * payload.size());
+                                     mine.count, decode_buf));
+    std::memcpy(data + mine.begin, decode_buf, mine.count * sizeof(float));
     for (size_t j = 0; j < m; ++j) {
       if (static_cast<int>(j) == i) continue;
-      RETURN_IF_ERROR(group->Send(ctx->rank, ranks[j], MakeTag(space, 1),
-                                  payload.data(), payload.size()));
+      if (!pending.valid()) {
+        pending = group->PostRecv(ranks[j], ctx->rank, MakeTag(space, 1),
+                                  &rxbufs[cur]);
+      }
+      RETURN_IF_ERROR(group->Wait(&pending));
+      pending = TransportHandle();
+      const std::vector<uint8_t>& rx = rxbufs[cur];
+      cur ^= 1;
+      const int nj = next_member(j);
+      if (nj >= 0) {
+        pending = group->PostRecv(ranks[nj], ctx->rank, MakeTag(space, 1),
+                                  &rxbufs[cur]);
+      }
+      const Chunk c = ChunkOf(n, m, j);
+      RETURN_IF_ERROR(
+          codec.Decompress(rx.data(), rx.size(), c.count, decode_buf));
+      std::memcpy(data + c.begin, decode_buf, c.count * sizeof(float));
     }
-  }
-  RETURN_IF_ERROR(codec.Decompress(payload.data(), payload.size(), mine.count,
-                                   decode_buf.data()));
-  std::memcpy(data + mine.begin, decode_buf.data(),
-              mine.count * sizeof(float));
-  std::vector<uint8_t> rx;
-  for (size_t j = 0; j < m; ++j) {
-    if (static_cast<int>(j) == i) continue;
-    RETURN_IF_ERROR(group->Recv(ranks[j], ctx->rank, MakeTag(space, 1), &rx));
-    const Chunk c = ChunkOf(n, m, j);
-    decode_buf.resize(std::max<size_t>(c.count, 1));
-    RETURN_IF_ERROR(
-        codec.Decompress(rx.data(), rx.size(), c.count, decode_buf.data()));
-    std::memcpy(data + c.begin, decode_buf.data(), c.count * sizeof(float));
-  }
-  return Status::OK();
+    return Status::OK();
+  }();
+
+  group->Recycle(std::move(payload));
+  group->Recycle(std::move(own_partition_payload));
+  group->Recycle(std::move(rxbufs[0]));
+  group->Recycle(std::move(rxbufs[1]));
+  return st;
 }
 
 /// Resolves this step's peer set for the decentralized primitives.
@@ -193,55 +246,81 @@ Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
   TransportGroup* group = ctx->group();
   Rng rng = ctx->MakeRankRng();
 
-  std::vector<uint8_t> payload;
-  if (codec != nullptr) {
-    RETURN_IF_ERROR(codec->Compress(data, n, &rng, &payload));
-  } else {
-    payload.resize(n * sizeof(float));
-    std::memcpy(payload.data(), data, payload.size());
-  }
-  for (int p : peers) {
-    if (!group->IsAlive(p)) continue;  // dead peer: no point shipping bytes
-    // The peer index in the span name makes decentralized traces
-    // seed-sensitive: a different peer matching is a visibly different
-    // schedule, which the golden-determinism tests rely on.
-    TraceSpan span(ctx->rank, TraceStream::kComm, "decen.peer",
-                   payload.size(), p);
-    TraceCountBytes(ctx->rank, "primitive.decen.bytes", payload.size());
-    RETURN_IF_ERROR(group->Send(ctx->rank, p, MakeTag(space, 2),
-                                payload.data(), payload.size()));
-  }
-  std::vector<double> acc(n);
-  for (size_t k = 0; k < n; ++k) acc[k] = data[k];
+  // Pooled workspaces: payload (our model, possibly compressed), a double
+  // accumulator, a decode buffer, and the receive vector the transport
+  // cycles — so the gossip steady state allocates nothing.
+  std::vector<uint8_t> payload = group->AcquireBuffer(
+      codec != nullptr ? codec->CompressedBytes(n) : n * sizeof(float));
+  PooledScratch acc_scratch(group, n * sizeof(double));
+  double* acc = acc_scratch.doubles();
+  PooledScratch decode_scratch(group, n * sizeof(float));
+  float* decoded = decode_scratch.floats();
   std::vector<uint8_t> rx;
-  std::vector<float> decoded(n);
-  size_t contributions = 0;
-  for (int p : peers) {
-    const Status recv = group->Recv(p, ctx->rank, MakeTag(space, 2), &rx);
-    if (recv.IsDataLoss()) {
-      // Peer died mid-exchange: graceful degradation — average over the
-      // survivors instead of aborting (decentralized SGD tolerates a
-      // shrinking peer set; see §4's partial-averaging argument).
-      continue;
-    }
-    RETURN_IF_ERROR(recv);
+
+  Status st = [&]() -> Status {
     if (codec != nullptr) {
-      RETURN_IF_ERROR(
-          codec->Decompress(rx.data(), rx.size(), n, decoded.data()));
+      RETURN_IF_ERROR(codec->Compress(data, n, &rng, &payload));
     } else {
-      if (rx.size() != n * sizeof(float)) {
-        return Status::Internal("decentralized payload size mismatch");
-      }
-      std::memcpy(decoded.data(), rx.data(), rx.size());
+      payload.resize(n * sizeof(float));
+      std::memcpy(payload.data(), data, payload.size());
     }
-    for (size_t k = 0; k < n; ++k) acc[k] += decoded[k];
-    ++contributions;
-  }
-  const double inv = 1.0 / static_cast<double>(contributions + 1);
-  for (size_t k = 0; k < n; ++k) {
-    data[k] = static_cast<float>(acc[k] * inv);
-  }
-  return Status::OK();
+    for (int p : peers) {
+      if (!group->IsAlive(p)) continue;  // dead peer: no point shipping bytes
+      // The peer index in the span name makes decentralized traces
+      // seed-sensitive: a different peer matching is a visibly different
+      // schedule, which the golden-determinism tests rely on.
+      TraceSpan span(ctx->rank, TraceStream::kComm, "decen.peer",
+                     payload.size(), p);
+      TraceCountBytes(ctx->rank, "primitive.decen.bytes", payload.size());
+      RETURN_IF_ERROR(group->Send(ctx->rank, p, MakeTag(space, 2),
+                                  payload.data(), payload.size()));
+    }
+    for (size_t k = 0; k < n; ++k) acc[k] = data[k];
+    size_t contributions = 0;
+    TransportHandle pending;
+    for (size_t pi = 0; pi < peers.size(); ++pi) {
+      // The next peer's receive is posted before this payload is decoded
+      // and accumulated (descriptor-level pipelining; peer order — and
+      // therefore the accumulation order — is unchanged).
+      if (!pending.valid()) {
+        pending =
+            group->PostRecv(peers[pi], ctx->rank, MakeTag(space, 2), &rx);
+      }
+      const Status recv = group->Wait(&pending);
+      pending = TransportHandle();
+      if (pi + 1 < peers.size()) {
+        pending =
+            group->PostRecv(peers[pi + 1], ctx->rank, MakeTag(space, 2), &rx);
+      }
+      if (recv.IsDataLoss()) {
+        // Peer died mid-exchange: graceful degradation — average over the
+        // survivors instead of aborting (decentralized SGD tolerates a
+        // shrinking peer set; see §4's partial-averaging argument).
+        continue;
+      }
+      RETURN_IF_ERROR(recv);
+      if (codec != nullptr) {
+        RETURN_IF_ERROR(
+            codec->Decompress(rx.data(), rx.size(), n, decoded));
+      } else {
+        if (rx.size() != n * sizeof(float)) {
+          return Status::Internal("decentralized payload size mismatch");
+        }
+        std::memcpy(decoded, rx.data(), rx.size());
+      }
+      for (size_t k = 0; k < n; ++k) acc[k] += decoded[k];
+      ++contributions;
+    }
+    const double inv = 1.0 / static_cast<double>(contributions + 1);
+    for (size_t k = 0; k < n; ++k) {
+      data[k] = static_cast<float>(acc[k] * inv);
+    }
+    return Status::OK();
+  }();
+
+  group->Recycle(std::move(payload));
+  group->Recycle(std::move(rx));
+  return st;
 }
 
 /// Decentralized execution shared by D_FP_S and D_LP_S (codec == nullptr

@@ -69,6 +69,19 @@ Status FaultyTransport::Send(int src, int dst, uint64_t tag, const void* data,
   return SendRaw(src, dst, tag, data, bytes);
 }
 
+Status FaultyTransport::SendBuffer(int src, int dst, uint64_t tag,
+                                   std::vector<uint8_t>&& payload) {
+  if (plan_.empty()) {
+    return TransportGroup::SendBuffer(src, dst, tag, std::move(payload));
+  }
+  // A forwarded buffer still has to cross the injector: route it through
+  // the framed Send (paying the copy — correctness over speed under
+  // faults) and recycle the storage.
+  const Status st = Send(src, dst, tag, payload.data(), payload.size());
+  Recycle(std::move(payload));
+  return st;
+}
+
 Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
                                      const void* data, size_t bytes) {
   const uint32_t space = static_cast<uint32_t>(tag >> 32);
@@ -89,7 +102,10 @@ Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
                               static_cast<uint32_t>(dst),
                           MixSeed(space, msg_index))));
 
-  std::vector<uint8_t> frame;
+  // The wire frame rides the transport pool like any payload: acquired at
+  // the framed size (EncodeFrame then fills in place, no reallocation) and
+  // recycled below once the ARQ settles this logical message.
+  std::vector<uint8_t> frame = AcquireBuffer(wire::kHeaderBytes + bytes);
   wire::EncodeFrame(seq, data, bytes, &frame);
   const double wire_time =
       PointToPointTime(topo_, net_, src, dst, static_cast<double>(frame.size()));
@@ -102,6 +118,7 @@ Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
   int attempt = 0;
   bool delivered = false;
   double backoff = plan_.backoff_base_s;
+  Status send_status = Status::OK();
   while (attempt < plan_.max_attempts) {
     ++attempt;
     if (attempt > 1) {
@@ -127,8 +144,9 @@ Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
       std::vector<uint8_t> bad = frame;
       const size_t pos = static_cast<size_t>(rng.UniformInt(bad.size()));
       bad[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
-      RETURN_IF_ERROR(TransportGroup::Send(src, dst, tag, bad.data(),
-                                           bad.size()));
+      send_status = TransportGroup::Send(src, dst, tag, bad.data(),
+                                         bad.size());
+      if (!send_status.ok()) break;
       penalty += wire_time;
       continue;
     }
@@ -138,17 +156,23 @@ Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
       ++delays;
       penalty += PointToPointTime(topo_, net_, src, dst, 0.0);
     }
-    RETURN_IF_ERROR(
-        TransportGroup::Send(src, dst, tag, frame.data(), frame.size()));
+    send_status =
+        TransportGroup::Send(src, dst, tag, frame.data(), frame.size());
+    if (!send_status.ok()) break;
     if (f.duplicate) {
       ++duplicates;
-      RETURN_IF_ERROR(
-          TransportGroup::Send(src, dst, tag, frame.data(), frame.size()));
+      send_status =
+          TransportGroup::Send(src, dst, tag, frame.data(), frame.size());
+      if (!send_status.ok()) break;
       penalty += wire_time;
     }
     penalty += ack_time;  // the ack closing the stop-and-wait window
     delivered = true;
     break;
+  }
+  if (!send_status.ok()) {
+    Recycle(std::move(frame));
+    return send_status;
   }
 
   {
@@ -185,6 +209,7 @@ Status FaultyTransport::SendHardened(int src, int dst, uint64_t tag,
     std::lock_guard<std::mutex> lock(ss.mu);
     ss.penalty_s += penalty;
   }
+  Recycle(std::move(frame));
   if (!delivered) {
     return Status::DataLoss(
         StrFormat("send %d->%d tag=%llu lost after %d attempts", src, dst,
@@ -238,7 +263,7 @@ Status FaultyTransport::SendRaw(int src, int dst, uint64_t tag,
 
   if (f.drop) return Status::OK();  // the bytes simply never arrive
 
-  std::vector<uint8_t> payload(bytes);
+  std::vector<uint8_t> payload = AcquireBuffer(bytes);
   if (bytes > 0) std::memcpy(payload.data(), data, bytes);
   if (f.corrupt && !payload.empty()) {
     const size_t pos = static_cast<size_t>(rng.UniformInt(payload.size()));
@@ -269,20 +294,27 @@ Status FaultyTransport::SendRaw(int src, int dst, uint64_t tag,
     }
   }
 
-  if (!f.delay) {
-    RETURN_IF_ERROR(
-        TransportGroup::Send(src, dst, tag, payload.data(), payload.size()));
-    if (f.duplicate) {
+  Status st = [&]() -> Status {
+    if (!f.delay) {
       RETURN_IF_ERROR(
           TransportGroup::Send(src, dst, tag, payload.data(), payload.size()));
+      if (f.duplicate) {
+        RETURN_IF_ERROR(TransportGroup::Send(src, dst, tag, payload.data(),
+                                             payload.size()));
+      }
     }
-  }
-  if (flush_delayed) {
-    RETURN_IF_ERROR(TransportGroup::Send(src, dst, flush_tag,
-                                         flush_payload.data(),
-                                         flush_payload.size()));
-  }
-  return Status::OK();
+    if (flush_delayed) {
+      RETURN_IF_ERROR(TransportGroup::Send(src, dst, flush_tag,
+                                           flush_payload.data(),
+                                           flush_payload.size()));
+    }
+    return Status::OK();
+  }();
+  // `payload` is an empty shell when it was stashed as the delayed message
+  // (Recycle of an empty vector is a no-op).
+  Recycle(std::move(payload));
+  Recycle(std::move(flush_payload));
+  return st;
 }
 
 void FaultyTransport::FlushDelayed() {
@@ -345,10 +377,16 @@ Status FaultyTransport::Recv(int src, int dst, uint64_t tag,
   if (plan_.empty() || !plan_.harden) {
     return TransportGroup::Recv(src, dst, tag, out);
   }
+  // The frame buffer is hoisted out of the loop: each base Recv recycles
+  // the previous iteration's storage, and the final frame is recycled on
+  // delivery — hardened receives allocate nothing in steady state.
+  std::vector<uint8_t> frame;
   for (;;) {
-    std::vector<uint8_t> frame;
     RETURN_IF_ERROR(TransportGroup::Recv(src, dst, tag, &frame));
-    if (Unwrap(src, dst, tag, std::move(frame), out)) return Status::OK();
+    if (Unwrap(src, dst, tag, std::move(frame), out)) {
+      Recycle(std::move(frame));
+      return Status::OK();
+    }
   }
 }
 
@@ -359,15 +397,18 @@ Status FaultyTransport::RecvWithDeadline(int src, int dst, uint64_t tag,
     return TransportGroup::RecvWithDeadline(src, dst, tag, timeout, out);
   }
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<uint8_t> frame;
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - now);
-    std::vector<uint8_t> frame;
     RETURN_IF_ERROR(TransportGroup::RecvWithDeadline(
         src, dst, tag, left.count() > 0 ? left : std::chrono::milliseconds(0),
         &frame));
-    if (Unwrap(src, dst, tag, std::move(frame), out)) return Status::OK();
+    if (Unwrap(src, dst, tag, std::move(frame), out)) {
+      Recycle(std::move(frame));
+      return Status::OK();
+    }
   }
 }
 
@@ -378,11 +419,16 @@ Status FaultyTransport::TryRecvAny(int dst, uint64_t tag,
   }
   // Junk and duplicate frames are consumed silently; keep popping until a
   // deliverable frame surfaces (or nothing is pending).
+  std::vector<uint8_t> frame;
   for (;;) {
-    std::vector<uint8_t> frame;
     int src = -1;
-    RETURN_IF_ERROR(TransportGroup::TryRecvAny(dst, tag, &frame, &src));
+    Status st = TransportGroup::TryRecvAny(dst, tag, &frame, &src);
+    if (!st.ok()) {
+      Recycle(std::move(frame));  // storage from consumed junk frames
+      return st;
+    }
     if (Unwrap(src, dst, tag, std::move(frame), out)) {
+      Recycle(std::move(frame));
       if (src_out != nullptr) *src_out = src;
       return Status::OK();
     }

@@ -55,6 +55,8 @@ class FaultyTransport : public TransportGroup {
 
   Status Send(int src, int dst, uint64_t tag, const void* data,
               size_t bytes) override;
+  Status SendBuffer(int src, int dst, uint64_t tag,
+                    std::vector<uint8_t>&& payload) override;
   Status Recv(int src, int dst, uint64_t tag,
               std::vector<uint8_t>* out) override;
   Status RecvWithDeadline(int src, int dst, uint64_t tag,

@@ -160,6 +160,13 @@ inline void TraceCountBytes(int rank, const char* key, uint64_t bytes) {
 inline void TraceIncrement(int rank, const char* key, uint64_t delta = 1) {
   if (Tracer* t = GlobalTracer()) t->Increment(rank, key, delta);
 }
+/// Gauges are queryable via Tracer::metrics but are NOT merged into the
+/// golden Chrome-trace JSON — the home for diagnostics whose value depends
+/// on thread scheduling (e.g. the buffer pool's hit/miss split) and must
+/// therefore stay out of byte-identical traces.
+inline void TraceSetGauge(int rank, const char* key, double value) {
+  if (Tracer* t = GlobalTracer()) t->SetGauge(rank, key, value);
+}
 
 }  // namespace bagua
 

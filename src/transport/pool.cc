@@ -1,0 +1,105 @@
+#include "transport/pool.h"
+
+namespace bagua {
+
+namespace {
+
+/// Index of the highest set bit (bytes > 0).
+int Log2Floor(size_t bytes) {
+  int l = 0;
+  while (bytes >>= 1) ++l;
+  return l;
+}
+
+constexpr int kMinClassLog2 = 6;  // log2(kMinClassBytes)
+
+}  // namespace
+
+int BufferPool::ClassIndexFor(size_t bytes) {
+  if (bytes > kMaxClassBytes) return -1;
+  if (bytes <= kMinClassBytes) return 0;
+  const int floor = Log2Floor(bytes);
+  const bool pow2 = (bytes & (bytes - 1)) == 0;
+  return floor - kMinClassLog2 + (pow2 ? 0 : 1);
+}
+
+int BufferPool::ClassIndexOfCapacity(size_t capacity) {
+  if (capacity < kMinClassBytes) return -1;
+  const int idx = Log2Floor(capacity) - kMinClassLog2;
+  // Oversize buffers (beyond the largest class) are freed, not parked:
+  // letting them pile up in the top class could pin gigabytes.
+  if (idx >= kNumClasses) return -1;
+  return idx;
+}
+
+size_t BufferPool::ClassBytesFor(size_t bytes) {
+  const int idx = ClassIndexFor(bytes);
+  if (idx < 0) return 0;
+  return kMinClassBytes << idx;
+}
+
+std::vector<uint8_t> BufferPool::Acquire(size_t bytes, bool* hit) {
+  if (hit != nullptr) *hit = false;
+  if (bytes == 0) return {};
+  const int idx = ClassIndexFor(bytes);
+  if (idx >= 0) {
+    SizeClass& cls = classes_[idx];
+    std::unique_lock<std::mutex> lock(cls.mu);
+    if (!cls.free.empty()) {
+      std::vector<uint8_t> buf = std::move(cls.free.back());
+      cls.free.pop_back();
+      lock.unlock();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bytes_served_.fetch_add(bytes, std::memory_order_relaxed);
+      if (hit != nullptr) *hit = true;
+      // Capacity is at least the class size, so this resize never
+      // reallocates; shrinking is free, growing value-initializes only the
+      // delta (which the caller overwrites anyway).
+      buf.resize(bytes);
+      return buf;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> buf;
+  if (idx >= 0) buf.reserve(kMinClassBytes << idx);
+  buf.resize(bytes);
+  return buf;
+}
+
+void BufferPool::Release(std::vector<uint8_t>&& buf) {
+  const int idx = ClassIndexOfCapacity(buf.capacity());
+  if (idx < 0) {
+    if (buf.capacity() > 0) dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;  // too small to serve any class (or an empty moved-from shell)
+  }
+  SizeClass& cls = classes_[idx];
+  {
+    std::lock_guard<std::mutex> lock(cls.mu);
+    if (cls.free.size() < kMaxFreePerClass) {
+      cls.free.push_back(std::move(buf));
+      recycled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PoolStats BufferPool::stats() const {
+  PoolStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.recycled = recycled_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.bytes_served = bytes_served_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t BufferPool::FreeInClassFor(size_t bytes) const {
+  const int idx = ClassIndexFor(bytes == 0 ? 1 : bytes);
+  if (idx < 0) return 0;
+  const SizeClass& cls = classes_[idx];
+  std::lock_guard<std::mutex> lock(cls.mu);
+  return cls.free.size();
+}
+
+}  // namespace bagua

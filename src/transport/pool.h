@@ -1,0 +1,100 @@
+#ifndef BAGUA_TRANSPORT_POOL_H_
+#define BAGUA_TRANSPORT_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace bagua {
+
+/// \brief Snapshot of a BufferPool's accounting counters.
+///
+/// `misses` is the number the comm perf gate watches: once a messaging
+/// workload reaches steady state every Acquire must be served from a
+/// recycled buffer, so the miss counter stops moving — that is the
+/// "steady-state messaging does zero heap allocations" property of the
+/// transport fast path, asserted by tests and scripts/comm_gate.sh.
+struct PoolStats {
+  uint64_t hits = 0;         ///< Acquire served from a recycled buffer
+  uint64_t misses = 0;       ///< Acquire had to heap-allocate
+  uint64_t recycled = 0;     ///< Release parked the buffer for reuse
+  uint64_t dropped = 0;      ///< Release freed the buffer (class full/tiny)
+  uint64_t bytes_served = 0; ///< payload bytes delivered from recycled buffers
+};
+
+/// \brief Size-classed free list of payload buffers — the allocator behind
+/// the transport's zero-copy fast path.
+///
+/// Buffers are plain std::vector<uint8_t> binned into power-of-two size
+/// classes (64 B .. 64 MB). Acquire rounds the request up to its class and
+/// pops the most recently released buffer of that class (LIFO, so the
+/// storage is cache-warm); Release parks the buffer back in the class its
+/// *capacity* belongs to, so externally allocated vectors of any shape can
+/// re-enter the economy. Each class keeps at most kMaxFreePerClass buffers;
+/// excess releases free their memory, bounding the pool's footprint.
+///
+/// The pool recycles storage only, never values: every user fully
+/// overwrites the bytes it reads (Send memcpys the whole payload), so
+/// recycling cannot leak state between messages and all training results
+/// stay bitwise independent of pool history.
+///
+/// Thread safety: one mutex per size class (senders in different classes
+/// never contend); the stats counters are relaxed atomics.
+class BufferPool {
+ public:
+  static constexpr size_t kMinClassBytes = 1ull << 6;   // 64 B
+  static constexpr size_t kMaxClassBytes = 1ull << 26;  // 64 MB
+  static constexpr int kNumClasses = 21;                // 2^6 .. 2^26
+  static constexpr size_t kMaxFreePerClass = 64;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a buffer with size() == bytes and capacity() >= its size
+  /// class. Zero-byte requests return an empty vector and touch neither
+  /// the pool nor the counters (no allocation is involved either way).
+  /// Requests above kMaxClassBytes bypass the free lists (always a miss,
+  /// and Release will free rather than park them). `hit` (optional)
+  /// reports whether the buffer was recycled.
+  std::vector<uint8_t> Acquire(size_t bytes, bool* hit = nullptr);
+
+  /// Returns a buffer to the pool. Buffers with capacity below the
+  /// smallest class (including moved-from empties) are freed silently.
+  void Release(std::vector<uint8_t>&& buf);
+
+  PoolStats stats() const;
+
+  /// Number of buffers currently parked in the class that would serve a
+  /// `bytes`-sized Acquire (size-class accounting for tests).
+  size_t FreeInClassFor(size_t bytes) const;
+
+  /// Capacity of the class serving `bytes` (rounded-up power of two), or 0
+  /// when `bytes` is above kMaxClassBytes and bypasses the classes.
+  static size_t ClassBytesFor(size_t bytes);
+
+ private:
+  struct SizeClass {
+    mutable std::mutex mu;
+    std::vector<std::vector<uint8_t>> free;
+  };
+
+  /// Smallest class index whose capacity covers `bytes`; -1 if oversize.
+  static int ClassIndexFor(size_t bytes);
+  /// Largest class index whose capacity fits within `capacity`; -1 if the
+  /// buffer is too small to serve even the smallest class.
+  static int ClassIndexOfCapacity(size_t capacity);
+
+  SizeClass classes_[kNumClasses];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> recycled_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> bytes_served_{0};
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_TRANSPORT_POOL_H_

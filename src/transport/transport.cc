@@ -23,7 +23,8 @@ const char* SentBytesKey(uint64_t tag) {
 
 }  // namespace
 
-TransportGroup::TransportGroup(int world_size) : world_size_(world_size) {
+TransportGroup::TransportGroup(int world_size, PoolMode pool_mode)
+    : world_size_(world_size), pooled_(pool_mode == PoolMode::kPooled) {
   BAGUA_CHECK_GT(world_size, 0);
   boxes_.reserve(world_size);
   for (int i = 0; i < world_size; ++i) {
@@ -50,8 +51,55 @@ Status TransportGroup::Send(int src, int dst, uint64_t tag, const void* data,
     bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
     return Status::OK();
   }
-  std::vector<uint8_t> payload(bytes);
+  std::vector<uint8_t> payload;
+  if (pooled_) {
+    payload = pool_.Acquire(bytes);
+    // Pool observability rides on gauges, not counters: whether a given
+    // Send hits the shared free list depends on thread interleaving, and
+    // counters are merged into the golden trace JSON, which must stay
+    // byte-identical across runs. Gauges carry the same totals without
+    // entering the merged trace.
+    if (bytes > 0 && GlobalTracer() != nullptr) {
+      const PoolStats ps = pool_.stats();
+      TraceSetGauge(src, "transport.pool.hits", static_cast<double>(ps.hits));
+      TraceSetGauge(src, "transport.pool.misses",
+                    static_cast<double>(ps.misses));
+      TraceSetGauge(src, "transport.pool.bytes",
+                    static_cast<double>(ps.bytes_served));
+    }
+  } else {
+    payload.resize(bytes);
+  }
   if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  Box& box = *boxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TransportGroup::SendBuffer(int src, int dst, uint64_t tag,
+                                  std::vector<uint8_t>&& payload) {
+  if (src < 0 || src >= world_size_ || dst < 0 || dst >= world_size_) {
+    Recycle(std::move(payload));
+    return Status::InvalidArgument(
+        StrFormat("SendBuffer with bad ranks src=%d dst=%d (world=%d)", src,
+                  dst, world_size_));
+  }
+  if (shutdown_.load()) {
+    Recycle(std::move(payload));
+    return Status::Cancelled("transport shut down");
+  }
+  const size_t bytes = payload.size();
+  TraceCountBytes(src, SentBytesKey(tag), bytes);
+  if (!alive_[dst].load()) {
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    Recycle(std::move(payload));
+    return Status::OK();
+  }
   Box& box = *boxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -85,6 +133,11 @@ Status TransportGroup::Recv(int src, int dst, uint64_t tag,
     // this receive was waiting for will never arrive.
     return Status::DataLoss(StrFormat("peer rank %d is dead", src));
   }
+  // Close the buffer cycle: the caller's previous storage (typically last
+  // round's payload) re-enters the pool the moment the new one is handed
+  // over. Released only on success so failure paths (DataLoss/Cancelled)
+  // leave *out untouched, exactly like the seed transport.
+  if (pooled_) pool_.Release(std::move(*out));
   *out = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) box.queues.erase(it);
@@ -111,6 +164,7 @@ Status TransportGroup::RecvWithDeadline(int src, int dst, uint64_t tag,
   if (shutdown_.load()) return Status::Cancelled("transport shut down");
   auto it = box.queues.find(key);
   if (it != box.queues.end() && !it->second.empty()) {
+    if (pooled_) pool_.Release(std::move(*out));
     *out = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) box.queues.erase(it);
@@ -145,6 +199,7 @@ Status TransportGroup::TryRecvAny(int dst, uint64_t tag,
   if (ready.empty()) return Status::NotFound("no pending message");
   const int src = ready[box.rr_cursor++ % ready.size()];
   auto it = box.queues.find({src, tag});
+  if (pooled_) pool_.Release(std::move(*out));
   *out = std::move(it->second.front());
   it->second.pop_front();
   if (src_out != nullptr) *src_out = src;
@@ -155,14 +210,66 @@ Status TransportGroup::TryRecvAny(int dst, uint64_t tag,
 Status TransportGroup::RecvFloats(int src, int dst, uint64_t tag, float* out,
                                   size_t n) {
   std::vector<uint8_t> payload;
-  RETURN_IF_ERROR(Recv(src, dst, tag, &payload));
+  Status st = Recv(src, dst, tag, &payload);
+  if (!st.ok()) return st;
   if (payload.size() != n * sizeof(float)) {
-    return Status::Internal(
+    Status err = Status::Internal(
         StrFormat("RecvFloats: payload %zu bytes, want %zu", payload.size(),
                   n * sizeof(float)));
+    Recycle(std::move(payload));
+    return err;
   }
   std::memcpy(out, payload.data(), payload.size());
+  Recycle(std::move(payload));
   return Status::OK();
+}
+
+TransportHandle TransportGroup::Isend(int src, int dst, uint64_t tag,
+                                      const void* data, size_t bytes) {
+  TransportHandle h;
+  h.kind_ = TransportHandle::Kind::kSend;
+  h.src_ = src;
+  h.dst_ = dst;
+  h.tag_ = tag;
+  h.status_ = Send(src, dst, tag, data, bytes);
+  h.done_ = true;
+  return h;
+}
+
+TransportHandle TransportGroup::PostRecv(int src, int dst, uint64_t tag,
+                                         std::vector<uint8_t>* out) {
+  TransportHandle h;
+  h.kind_ = TransportHandle::Kind::kRecv;
+  h.src_ = src;
+  h.dst_ = dst;
+  h.tag_ = tag;
+  h.out_ = out;
+  return h;
+}
+
+Status TransportGroup::Wait(TransportHandle* h) {
+  if (h == nullptr || !h->valid()) {
+    return Status::InvalidArgument("Wait on an invalid transport handle");
+  }
+  if (h->done_) return h->status_;
+  // Only posted receives reach here (Isend completes inline). The virtual
+  // Recv runs now, so decorators (fault injection, wire delay) interpose on
+  // deferred completions exactly as on blocking ones.
+  h->status_ = Recv(h->src_, h->dst_, h->tag_, h->out_);
+  h->done_ = true;
+  return h->status_;
+}
+
+void TransportGroup::Recycle(std::vector<uint8_t>&& buf) {
+  if (pooled_) pool_.Release(std::move(buf));
+  // Unpooled: the moved-in vector frees on scope exit, one deallocation per
+  // message — the seed cost profile.
+}
+
+std::vector<uint8_t> TransportGroup::AcquireBuffer(size_t bytes) {
+  if (pooled_) return pool_.Acquire(bytes);
+  std::vector<uint8_t> buf(bytes);
+  return buf;
 }
 
 void TransportGroup::Shutdown() {
@@ -177,9 +284,15 @@ void TransportGroup::MarkDead(int rank) {
   if (rank < 0 || rank >= world_size_) return;
   alive_[rank].store(false);
   {
-    // The dead worker's inbox is lost with it.
+    // The dead worker's inbox is lost with it — but the buffers holding it
+    // are host memory, not the dead peer's, so they re-enter the pool.
     Box& box = *boxes_[rank];
     std::lock_guard<std::mutex> lock(box.mu);
+    if (pooled_) {
+      for (auto& kv : box.queues) {
+        for (auto& payload : kv.second) pool_.Release(std::move(payload));
+      }
+    }
     box.queues.clear();
   }
   // Wake every blocked receiver: any Recv(src == rank) must fail fast.

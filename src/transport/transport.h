@@ -12,15 +12,38 @@
 #include <vector>
 
 #include "base/status.h"
+#include "transport/pool.h"
 
 namespace bagua {
 
-/// \brief A point-to-point message: raw bytes plus routing metadata.
-struct Message {
-  int src = -1;
-  int dst = -1;
-  uint64_t tag = 0;
-  std::vector<uint8_t> payload;
+class TransportGroup;
+
+/// \brief Handle to a non-blocking transport operation (Isend/PostRecv).
+///
+/// Handles are plain values: movable, copyable before completion is
+/// irrelevant (they carry no ownership), and completed exactly once by
+/// TransportGroup::Wait. A default-constructed handle is invalid and Wait
+/// on it fails with InvalidArgument.
+class TransportHandle {
+ public:
+  TransportHandle() = default;
+
+  bool valid() const { return kind_ != Kind::kNone; }
+  bool done() const { return done_; }
+  /// Completion status; meaningful once done() (Isend completes inline).
+  const Status& status() const { return status_; }
+
+ private:
+  friend class TransportGroup;
+  enum class Kind { kNone, kSend, kRecv };
+
+  Kind kind_ = Kind::kNone;
+  bool done_ = false;
+  Status status_;
+  int src_ = -1;
+  int dst_ = -1;
+  uint64_t tag_ = 0;
+  std::vector<uint8_t>* out_ = nullptr;
 };
 
 /// \brief In-memory NCCL/MPI substitute: point-to-point send/recv between
@@ -38,14 +61,33 @@ struct Message {
 /// hardens it above (sequence numbers, checksums, deterministic
 /// retransmission), without any call-site changes.
 ///
+/// Zero-copy fast path: payload buffers come from a size-classed
+/// BufferPool instead of the heap. Send acquires a recycled buffer and
+/// moves it into the destination inbox; Recv moves it out to the caller
+/// (releasing the caller's previous storage back to the pool) and
+/// Recycle/RecvFloats return consumed buffers. In steady state the same
+/// buffers cycle pool → Send → inbox → caller → pool with zero heap
+/// allocations (`transport.pool.misses` stops moving), which is what
+/// scripts/comm_gate.sh asserts. Pooling lives *below* the virtual
+/// messaging surface, so decorators (FaultyTransport, WireDelayTransport)
+/// ride the pooled path unchanged. PoolMode::kUnpooled freezes the seed
+/// allocate-per-message behavior for differential benchmarks.
+///
 /// Rank liveness: a crashed worker is modeled by MarkDead(rank) — its inbox
-/// is purged and any Recv *from* it that would otherwise block forever
-/// fails fast with DataLoss, which is how synchronous algorithms detect a
-/// failed member and abort cleanly. MarkAlive(rank) re-admits a respawned
-/// worker (crash/recover flows in harness/).
+/// is purged (buffers returned to the pool) and any Recv *from* it that
+/// would otherwise block forever fails fast with DataLoss, which is how
+/// synchronous algorithms detect a failed member and abort cleanly.
+/// MarkAlive(rank) re-admits a respawned worker (crash/recover flows in
+/// harness/).
 class TransportGroup {
  public:
-  explicit TransportGroup(int world_size);
+  /// kUnpooled reproduces the seed transport exactly (one heap allocation
+  /// per message, Recycle frees): the frozen baseline the comm perf gate
+  /// measures the pooled fast path against.
+  enum class PoolMode { kPooled, kUnpooled };
+
+  explicit TransportGroup(int world_size,
+                          PoolMode pool_mode = PoolMode::kPooled);
   virtual ~TransportGroup() = default;
 
   int world_size() const { return world_size_; }
@@ -55,6 +97,20 @@ class TransportGroup {
   /// on the receive side, as with a real network).
   virtual Status Send(int src, int dst, uint64_t tag, const void* data,
                       size_t bytes);
+
+  /// Zero-copy send: moves `payload` into the destination inbox — no copy,
+  /// no allocation. Observable behavior (tag matching, FIFO, byte
+  /// accounting, dead-rank discard) is identical to
+  /// Send(src, dst, tag, payload.data(), payload.size()); the buffer is
+  /// consumed on every path (delivered, or recycled on discard/error).
+  /// This is how the pipelined ring collectives forward a received chunk to
+  /// the next rank without re-copying it out of the model buffer.
+  /// Decorators that interpose on Send must override this too —
+  /// FaultyTransport routes it back through its framed Send so forwarded
+  /// bytes still cross the injector; WireDelayTransport charges on the
+  /// receive side and needs no override.
+  virtual Status SendBuffer(int src, int dst, uint64_t tag,
+                            std::vector<uint8_t>&& payload);
 
   /// Blocking receive of the next message from `src` with tag `tag`
   /// addressed to `dst`. Returns DataLoss if `src` is dead and nothing from
@@ -82,6 +138,62 @@ class TransportGroup {
   /// Receives into a float span (payload must be exactly n*4 bytes).
   /// Non-virtual: built on the virtual Recv.
   Status RecvFloats(int src, int dst, uint64_t tag, float* out, size_t n);
+
+  /// \name Non-blocking handles
+  ///
+  /// Isend/PostRecv return immediately with a TransportHandle; Wait drives
+  /// the operation to completion. For this buffered in-memory transport an
+  /// Isend completes inline (Send never blocks), so its handle is already
+  /// done; PostRecv merely records the receive descriptor and Wait performs
+  /// the actual (virtual) Recv — which is what lets the pipelined ring
+  /// collectives express "post the next step's recv before reducing the
+  /// current chunk" while decorators like FaultyTransport still interpose
+  /// on every completed receive. Handles are completed at most once; Wait
+  /// on an already-done handle returns its recorded status.
+  /// @{
+
+  /// Buffered non-blocking send. Completes inline; the returned handle is
+  /// already done and carries the Send status.
+  TransportHandle Isend(int src, int dst, uint64_t tag, const void* data,
+                        size_t bytes);
+
+  /// Posts a receive descriptor for the next message from (src, tag)
+  /// addressed to dst. `out` must stay valid until Wait completes the
+  /// handle; its previous storage is recycled on successful completion
+  /// exactly as with a blocking Recv.
+  TransportHandle PostRecv(int src, int dst, uint64_t tag,
+                           std::vector<uint8_t>* out);
+
+  /// Completes the operation behind `h`. Idempotent once done; returns
+  /// InvalidArgument for a default-constructed handle.
+  Status Wait(TransportHandle* h);
+
+  /// @}
+
+  /// \name Buffer recycling
+  /// @{
+
+  /// Returns a consumed payload buffer to the pool (frees it when
+  /// unpooled). Callers that copy out of a received buffer and are done
+  /// with it call this to close the zero-allocation cycle.
+  void Recycle(std::vector<uint8_t>&& buf);
+
+  /// Acquires a buffer from the pool (plain allocation when unpooled).
+  /// Used by decorators and collectives for wire frames and scratch that
+  /// should ride the recycled-storage economy.
+  std::vector<uint8_t> AcquireBuffer(size_t bytes);
+
+  /// Pool accounting snapshot (all zeros when unpooled).
+  PoolStats pool_stats() const { return pool_.stats(); }
+
+  /// Buffers currently parked in the size class serving `bytes` (tests).
+  size_t PoolFreeInClassFor(size_t bytes) const {
+    return pool_.FreeInClassFor(bytes);
+  }
+
+  bool pooled() const { return pooled_; }
+
+  /// @}
 
   /// Marks the group shut down; pending and future Recv calls return
   /// Cancelled. Used for orderly teardown on failure paths.
@@ -121,10 +233,42 @@ class TransportGroup {
   };
 
   int world_size_;
+  bool pooled_;
+  BufferPool pool_;
   std::vector<std::unique_ptr<Box>> boxes_;
   std::unique_ptr<std::atomic<bool>[]> alive_;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> bytes_sent_{0};
+};
+
+/// \brief RAII scratch buffer drawn from a TransportGroup's pool.
+///
+/// Collectives and primitives use this for per-call workspaces (reduce
+/// accumulators, decode buffers) so that steady-state execution allocates
+/// nothing: the storage cycles through the same free lists as message
+/// payloads. The bytes are uninitialized garbage from previous uses —
+/// callers must fully overwrite what they read (zero-fill accumulators
+/// explicitly).
+///
+/// Alignment: the underlying storage comes from operator new, which is
+/// aligned to max_align_t, so reinterpreting as float/double is safe.
+class PooledScratch {
+ public:
+  PooledScratch(TransportGroup* group, size_t bytes)
+      : group_(group), buf_(group->AcquireBuffer(bytes)) {}
+  ~PooledScratch() { group_->Recycle(std::move(buf_)); }
+  PooledScratch(const PooledScratch&) = delete;
+  PooledScratch& operator=(const PooledScratch&) = delete;
+
+  uint8_t* bytes() { return buf_.data(); }
+  float* floats() { return reinterpret_cast<float*>(buf_.data()); }
+  double* doubles() { return reinterpret_cast<double*>(buf_.data()); }
+  std::vector<uint8_t>& vec() { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  TransportGroup* group_;
+  std::vector<uint8_t> buf_;
 };
 
 /// \brief Tag namespaces so concurrent collectives never cross-match.

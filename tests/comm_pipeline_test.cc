@@ -1,0 +1,250 @@
+// Differential tests of the pipelined ring collectives against the frozen
+// seed implementations (collectives/seed.h): same inputs, bitwise-identical
+// outputs — across world sizes, vector lengths, segmentation settings,
+// intra-op thread counts, and an active (hardened) fault plan — plus the
+// steady-state zero-allocation property of the pooled transport.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/sync.h"
+#include "collectives/collectives.h"
+#include "collectives/seed.h"
+#include "faults/faulty_transport.h"
+#include "trace/trace.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+/// Restores the global pipelining threshold / intra-op pool size on exit so
+/// tests cannot leak configuration into each other.
+struct ScopedSegmentBytes {
+  explicit ScopedSegmentBytes(size_t bytes)
+      : saved_(RingPipelineSegmentBytes()) {
+    SetRingPipelineSegmentBytes(bytes);
+  }
+  ~ScopedSegmentBytes() { SetRingPipelineSegmentBytes(saved_); }
+  size_t saved_;
+};
+struct ScopedIntraOpThreads {
+  explicit ScopedIntraOpThreads(int n) : saved_(IntraOpThreads()) {
+    SetIntraOpThreads(n);
+  }
+  ~ScopedIntraOpThreads() { SetIntraOpThreads(saved_); }
+  int saved_;
+};
+
+std::vector<std::vector<float>> MakeInputs(int world, size_t n,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> data(world);
+  for (auto& v : data) {
+    v.resize(n);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return data;
+}
+
+using RingFn = Status (*)(TransportGroup*, const std::vector<int>&, int,
+                          uint32_t, float*, size_t);
+
+void RunRing(TransportGroup* group, int world,
+             std::vector<std::vector<float>>* data, size_t n, uint32_t space,
+             RingFn fn) {
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    ASSERT_TRUE(fn(group, ranks, static_cast<int>(r), space,
+                   (*data)[r].data(), n)
+                    .ok());
+  });
+}
+
+void ExpectBitwiseEqual(const std::vector<std::vector<float>>& a,
+                        const std::vector<std::vector<float>>& b, size_t n) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(std::memcmp(a[r].data(), b[r].data(), n * sizeof(float)), 0)
+        << "rank " << r << " diverged from the seed result";
+  }
+}
+
+TEST(CommPipelineTest, AllreduceBitwiseMatchesSeedAcrossWorldsAndLengths) {
+  // A 256-byte threshold forces multi-segment pipelining on every chunk
+  // above 128 floats, so the sweep covers 0, 1, and many segments as well
+  // as non-divisible chunk splits.
+  ScopedSegmentBytes seg(256);
+  for (int world : {2, 3, 5, 8}) {
+    for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{1000},
+                     size_t{4096}, size_t{12345}}) {
+      const auto inputs = MakeInputs(world, n, 0x5eed + world);
+      auto seed_data = inputs;
+      auto pipe_data = inputs;
+      TransportGroup seed_group(world, TransportGroup::PoolMode::kUnpooled);
+      TransportGroup pipe_group(world);
+      RunRing(&seed_group, world, &seed_data, n, 1, SeedRingAllreduce);
+      RunRing(&pipe_group, world, &pipe_data, n, 1, RingAllreduce);
+      ExpectBitwiseEqual(seed_data, pipe_data, n);
+    }
+  }
+}
+
+TEST(CommPipelineTest, AllreduceBitwiseStableAcrossSegmentation) {
+  // The segment threshold changes the wire message sizes but must never
+  // change a single output bit.
+  const int world = 4;
+  const size_t n = 10000;
+  const auto inputs = MakeInputs(world, n, 0xcafe);
+  auto golden = inputs;
+  {
+    TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+    RunRing(&group, world, &golden, n, 1, SeedRingAllreduce);
+  }
+  for (size_t seg_bytes : {size_t{0}, size_t{64}, size_t{1024},
+                           size_t{1} << 17}) {
+    ScopedSegmentBytes seg(seg_bytes);
+    auto data = inputs;
+    TransportGroup group(world);
+    RunRing(&group, world, &data, n, 1, RingAllreduce);
+    ExpectBitwiseEqual(golden, data, n);
+  }
+}
+
+TEST(CommPipelineTest, AllreduceBitwiseStableAcrossIntraOpThreads) {
+  const int world = 4;
+  const size_t n = 8192;
+  ScopedSegmentBytes seg(512);
+  const auto inputs = MakeInputs(world, n, 0xbeef);
+  auto golden = inputs;
+  {
+    TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+    RunRing(&group, world, &golden, n, 1, SeedRingAllreduce);
+  }
+  for (int threads : {1, 2, 8}) {
+    ScopedIntraOpThreads pool(threads);
+    auto data = inputs;
+    TransportGroup group(world);
+    RunRing(&group, world, &data, n, 1, RingAllreduce);
+    ExpectBitwiseEqual(golden, data, n);
+  }
+}
+
+TEST(CommPipelineTest, AllreduceBitwiseUnderActiveFaultPlan) {
+  // The hardened ARQ retransmits through drops/dups/corruption; above it
+  // the pipelined ring must still reproduce the clean seed result exactly.
+  const int world = 4;
+  const size_t n = 3000;
+  ScopedSegmentBytes seg(1024);
+  const auto inputs = MakeInputs(world, n, 0xfa017);
+  auto golden = inputs;
+  {
+    TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+    RunRing(&group, world, &golden, n, 1, SeedRingAllreduce);
+  }
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.Drop(0.05).Duplicate(0.05).Corrupt(0.02);
+  FaultyTransport faulty(world, plan);
+  auto data = inputs;
+  RunRing(&faulty, world, &data, n, 1, RingAllreduce);
+  ExpectBitwiseEqual(golden, data, n);
+  EXPECT_GT(faulty.stats().messages, 0u);
+}
+
+TEST(CommPipelineTest, AllgatherBitwiseMatchesSeed) {
+  ScopedSegmentBytes seg(256);
+  for (int world : {2, 4, 8}) {
+    const size_t n = static_cast<size_t>(world) * 500;
+    const auto inputs = MakeInputs(world, n, 0xa6 + world);
+    auto seed_data = inputs;
+    auto pipe_data = inputs;
+    TransportGroup seed_group(world, TransportGroup::PoolMode::kUnpooled);
+    TransportGroup pipe_group(world);
+    RunRing(&seed_group, world, &seed_data, n, 1, SeedRingAllgather);
+    RunRing(&pipe_group, world, &pipe_data, n, 1, RingAllgather);
+    ExpectBitwiseEqual(seed_data, pipe_data, n);
+  }
+}
+
+TEST(CommPipelineTest, ReduceBitwiseMatchesSeed) {
+  const int world = 5;
+  const size_t n = 2048;
+  const auto inputs = MakeInputs(world, n, 0x12ed);
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  auto seed_data = inputs;
+  auto fast_data = inputs;
+  TransportGroup seed_group(world, TransportGroup::PoolMode::kUnpooled);
+  TransportGroup fast_group(world);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    ASSERT_TRUE(SeedReduce(&seed_group, ranks, static_cast<int>(r), 2, 1,
+                           seed_data[r].data(), n)
+                    .ok());
+    ASSERT_TRUE(Reduce(&fast_group, ranks, static_cast<int>(r), 2, 1,
+                       fast_data[r].data(), n)
+                    .ok());
+  });
+  ExpectBitwiseEqual(seed_data, fast_data, n);
+}
+
+TEST(CommPipelineTest, SteadyStateAllreduceDoesZeroAllocations) {
+  const int world = 4;
+  const size_t n = 4096;
+  ScopedSegmentBytes seg(2048);
+  TransportGroup group(world);
+  auto data = MakeInputs(world, n, 0x0a11);
+  uint32_t space = 1;
+  // Warm-up populates the free lists (misses are expected here)...
+  RunRing(&group, world, &data, n, space++, RingAllreduce);
+  const uint64_t misses_after_warmup = group.pool_stats().misses;
+  // ...after which every payload and scratch acquisition is a pool hit.
+  for (int iter = 0; iter < 5; ++iter) {
+    RunRing(&group, world, &data, n, space++, RingAllreduce);
+  }
+  const PoolStats s = group.pool_stats();
+  EXPECT_EQ(s.misses, misses_after_warmup)
+      << "steady-state collective still heap-allocates";
+  EXPECT_GT(s.hits, 0u);
+}
+
+TEST(CommPipelineTest, GatherRecvSpansTraced) {
+  const int world = 3;
+  Tracer tracer(world);
+  InstallGlobalTracer(&tracer);
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  TransportGroup group(world);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    std::vector<uint8_t> payload(16 + r, static_cast<uint8_t>(r));
+    std::vector<std::vector<uint8_t>> out;
+    ASSERT_TRUE(GatherBytes(&group, ranks, static_cast<int>(r), 0, 1,
+                            payload, &out)
+                    .ok());
+  });
+  UninstallGlobalTracer();
+  // The root receives world-1 payloads, one indexed gather.recv span each.
+  EXPECT_EQ(tracer.CountSpans("gather.recv"), static_cast<size_t>(world - 1));
+}
+
+TEST(CommPipelineTest, PipelineSpansEmittedWhenSegmented) {
+  const int world = 2;
+  const size_t n = 4096;  // 8192-byte chunks >> the 256-byte threshold
+  ScopedSegmentBytes seg(256);
+  Tracer tracer(world);
+  InstallGlobalTracer(&tracer);
+  auto data = MakeInputs(world, n, 0x9e6);
+  TransportGroup group(world);
+  RunRing(&group, world, &data, n, 1, RingAllreduce);
+  UninstallGlobalTracer();
+  EXPECT_GT(tracer.CountSpans("allreduce.pipe"), 0u);
+  EXPECT_GT(tracer.CounterTotal("collective.pipeline.segments"), 0u);
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "transport/pool.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+TEST(PoolTest, ClassRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BufferPool::ClassBytesFor(1), 64u);
+  EXPECT_EQ(BufferPool::ClassBytesFor(64), 64u);
+  EXPECT_EQ(BufferPool::ClassBytesFor(65), 128u);
+  EXPECT_EQ(BufferPool::ClassBytesFor(1000), 1024u);
+  EXPECT_EQ(BufferPool::ClassBytesFor(1024), 1024u);
+  EXPECT_EQ(BufferPool::ClassBytesFor(1025), 2048u);
+  EXPECT_EQ(BufferPool::ClassBytesFor(BufferPool::kMaxClassBytes),
+            BufferPool::kMaxClassBytes);
+  // Above the largest class there is no class at all.
+  EXPECT_EQ(BufferPool::ClassBytesFor(BufferPool::kMaxClassBytes + 1), 0u);
+}
+
+TEST(PoolTest, MissThenHitReusesStorage) {
+  BufferPool pool;
+  bool hit = true;
+  std::vector<uint8_t> buf = pool.Acquire(1000, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_GE(buf.capacity(), 1024u);
+  const uint8_t* storage = buf.data();
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.FreeInClassFor(1000), 1u);
+
+  // Any request in the same class gets the very same storage back (LIFO).
+  std::vector<uint8_t> again = pool.Acquire(600, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.data(), storage);
+  EXPECT_EQ(again.size(), 600u);
+
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.recycled, 1u);
+  EXPECT_EQ(s.bytes_served, 600u);
+}
+
+TEST(PoolTest, ZeroByteAcquireTouchesNothing) {
+  BufferPool pool;
+  bool hit = true;
+  std::vector<uint8_t> buf = pool.Acquire(0, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(buf.empty());
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses + s.recycled + s.dropped, 0u);
+  // Releasing a moved-from / empty shell is a silent no-op too.
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.stats().dropped, 0u);
+}
+
+TEST(PoolTest, SizeClassesAreIndependent) {
+  BufferPool pool;
+  std::vector<uint8_t> small = pool.Acquire(100);
+  std::vector<uint8_t> large = pool.Acquire(1 << 20);
+  pool.Release(std::move(small));
+  pool.Release(std::move(large));
+  EXPECT_EQ(pool.FreeInClassFor(100), 1u);
+  EXPECT_EQ(pool.FreeInClassFor(1 << 20), 1u);
+  // A mid-sized request misses: neither parked buffer serves its class.
+  bool hit = true;
+  std::vector<uint8_t> mid = pool.Acquire(1 << 12, &hit);
+  EXPECT_FALSE(hit);
+  pool.Release(std::move(mid));
+}
+
+TEST(PoolTest, ReleaseParksByCapacityNotSize) {
+  BufferPool pool;
+  // An externally allocated vector enters the economy through the class
+  // its capacity belongs to.
+  std::vector<uint8_t> external;
+  external.reserve(4096);
+  external.resize(10);
+  pool.Release(std::move(external));
+  EXPECT_EQ(pool.stats().recycled, 1u);
+  bool hit = false;
+  std::vector<uint8_t> buf = pool.Acquire(4096, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(buf.size(), 4096u);
+}
+
+TEST(PoolTest, ClassCapBoundsFootprint) {
+  BufferPool pool;
+  std::vector<std::vector<uint8_t>> bufs;
+  for (size_t i = 0; i < BufferPool::kMaxFreePerClass + 5; ++i) {
+    bufs.push_back(pool.Acquire(256));
+  }
+  for (auto& b : bufs) pool.Release(std::move(b));
+  EXPECT_EQ(pool.FreeInClassFor(256), BufferPool::kMaxFreePerClass);
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.recycled, BufferPool::kMaxFreePerClass);
+  EXPECT_EQ(s.dropped, 5u);
+}
+
+TEST(PoolTest, OversizeBypassesTheClasses) {
+  BufferPool pool;
+  const size_t huge = BufferPool::kMaxClassBytes + 1;
+  bool hit = true;
+  std::vector<uint8_t> buf = pool.Acquire(huge, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(buf.size(), huge);
+  // There is no class above kMaxClassBytes, so an oversize Acquire can
+  // never be served from the free lists, no matter what was released.
+  pool.Release(std::move(buf));
+  std::vector<uint8_t> again = pool.Acquire(huge, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  // Buffers whose capacity exceeds even the top class are freed outright
+  // rather than pinning memory in the free lists.
+  std::vector<uint8_t> giant;
+  giant.reserve(BufferPool::kMaxClassBytes * 2);
+  const uint64_t dropped_before = pool.stats().dropped;
+  pool.Release(std::move(giant));
+  EXPECT_EQ(pool.stats().dropped, dropped_before + 1);
+}
+
+TEST(PoolTest, PooledScratchRecyclesOnScopeExit) {
+  TransportGroup group(1);
+  {
+    PooledScratch scratch(&group, 512);
+    EXPECT_EQ(scratch.size(), 512u);
+    std::memset(scratch.bytes(), 0, scratch.size());
+    scratch.floats()[0] = 1.5f;
+    EXPECT_EQ(scratch.floats()[0], 1.5f);
+    EXPECT_EQ(group.PoolFreeInClassFor(512), 0u);
+  }
+  EXPECT_EQ(group.PoolFreeInClassFor(512), 1u);
+  // The next scratch of the class is a hit on the recycled storage.
+  const uint64_t hits_before = group.pool_stats().hits;
+  { PooledScratch scratch(&group, 300); }
+  EXPECT_EQ(group.pool_stats().hits, hits_before + 1);
+}
+
+TEST(PoolTest, UnpooledGroupReportsZeroStats) {
+  TransportGroup group(2, TransportGroup::PoolMode::kUnpooled);
+  EXPECT_FALSE(group.pooled());
+  const char msg[] = "seed path";
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), msg, sizeof(msg)).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+  group.Recycle(std::move(out));
+  const PoolStats s = group.pool_stats();
+  EXPECT_EQ(s.hits + s.misses + s.recycled + s.dropped, 0u);
+  EXPECT_EQ(group.PoolFreeInClassFor(sizeof(msg)), 0u);
+}
+
+}  // namespace
+}  // namespace bagua

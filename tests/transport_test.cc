@@ -268,6 +268,121 @@ TEST(TransportTest, MarkDeadWakesBlockedReceiver) {
   EXPECT_TRUE(status.IsDataLoss()) << status.ToString();
 }
 
+TEST(TransportTest, PooledRoundTripReusesBuffers) {
+  TransportGroup group(2);
+  ASSERT_TRUE(group.pooled());
+  std::vector<uint8_t> payload(1 << 10, 7);
+  std::vector<uint8_t> out;
+  // Two buffers circulate: one in flight, one held by the receiver's `out`
+  // until the next Recv swaps it back to the pool. So exactly two misses
+  // bootstrap the cycle and every later message is a hit.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        group.Send(0, 1, MakeTag(1, 0), payload.data(), payload.size()).ok());
+    ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+    ASSERT_EQ(out.size(), payload.size());
+  }
+  group.Recycle(std::move(out));
+  const PoolStats s = group.pool_stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 8u);
+  EXPECT_EQ(group.PoolFreeInClassFor(1 << 10), 2u);
+}
+
+TEST(TransportTest, RecvReleasesCallersPreviousStorageOnlyOnSuccess) {
+  TransportGroup group(2);
+  const uint32_t v = 3;
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &v, 4).ok());
+  std::vector<uint8_t> out = group.AcquireBuffer(256);
+  ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+  // The 256-byte buffer the caller held went back to the pool...
+  EXPECT_EQ(group.PoolFreeInClassFor(256), 1u);
+  // ...but a failing receive leaves the caller's storage alone.
+  std::vector<uint8_t> keep = group.AcquireBuffer(1024);
+  const uint8_t* storage = keep.data();
+  group.MarkDead(0);
+  EXPECT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &keep).IsDataLoss());
+  EXPECT_EQ(keep.data(), storage);
+  EXPECT_EQ(group.PoolFreeInClassFor(1024), 0u);
+}
+
+TEST(TransportTest, MarkDeadReturnsPurgedInboxToPool) {
+  TransportGroup group(3);
+  std::vector<uint8_t> payload(4096, 1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        group.Send(0, 1, MakeTag(1, i), payload.data(), payload.size()).ok());
+  }
+  EXPECT_EQ(group.PoolFreeInClassFor(4096), 0u);
+  // The dead rank's queued messages are lost, but their buffers are host
+  // memory and re-enter the free lists.
+  group.MarkDead(1);
+  EXPECT_EQ(group.PoolFreeInClassFor(4096), 3u);
+}
+
+TEST(TransportTest, IsendCompletesInline) {
+  TransportGroup group(2);
+  const uint32_t v = 9;
+  TransportHandle h = group.Isend(0, 1, MakeTag(1, 0), &v, 4);
+  EXPECT_TRUE(h.valid());
+  EXPECT_TRUE(h.done());
+  EXPECT_TRUE(h.status().ok());
+  // Wait on a done handle returns the recorded status; the message is
+  // already deliverable.
+  EXPECT_TRUE(group.Wait(&h).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(group.Recv(0, 1, MakeTag(1, 0), &out).ok());
+  uint32_t got;
+  std::memcpy(&got, out.data(), 4);
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(TransportTest, PostRecvIsInertUntilWait) {
+  TransportGroup group(2);
+  std::vector<uint8_t> out;
+  TransportHandle h = group.PostRecv(0, 1, MakeTag(1, 0), &out);
+  EXPECT_TRUE(h.valid());
+  EXPECT_FALSE(h.done());
+  EXPECT_TRUE(out.empty());  // nothing happens at post time
+  const uint32_t v = 5;
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &v, 4).ok());
+  ASSERT_TRUE(group.Wait(&h).ok());
+  EXPECT_TRUE(h.done());
+  ASSERT_EQ(out.size(), 4u);
+  uint32_t got;
+  std::memcpy(&got, out.data(), 4);
+  EXPECT_EQ(got, 5u);
+  // Wait is idempotent once done.
+  EXPECT_TRUE(group.Wait(&h).ok());
+}
+
+TEST(TransportTest, WaitOnInvalidHandleFails) {
+  TransportGroup group(2);
+  TransportHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_TRUE(group.Wait(&h).IsInvalidArgument());
+  EXPECT_TRUE(group.Wait(nullptr).IsInvalidArgument());
+}
+
+TEST(TransportTest, PostRecvOrderingAcrossTags) {
+  // Descriptors can be pre-posted out of arrival order; each Wait matches
+  // its own (src, tag) stream.
+  TransportGroup group(2);
+  std::vector<uint8_t> out_a, out_b;
+  TransportHandle hb = group.PostRecv(0, 1, MakeTag(2, 0), &out_b);
+  TransportHandle ha = group.PostRecv(0, 1, MakeTag(1, 0), &out_a);
+  const uint32_t a = 1, b = 2;
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(1, 0), &a, 4).ok());
+  ASSERT_TRUE(group.Send(0, 1, MakeTag(2, 0), &b, 4).ok());
+  ASSERT_TRUE(group.Wait(&ha).ok());
+  ASSERT_TRUE(group.Wait(&hb).ok());
+  uint32_t va, vb;
+  std::memcpy(&va, out_a.data(), 4);
+  std::memcpy(&vb, out_b.data(), 4);
+  EXPECT_EQ(va, 1u);
+  EXPECT_EQ(vb, 2u);
+}
+
 TEST(TransportTest, ManyThreadsStress) {
   constexpr int kWorld = 8, kMsgs = 50;
   TransportGroup group(kWorld);
