@@ -42,12 +42,16 @@ namespace bagua {
 ///                       overlap (bench_table5_ablation) write their
 ///                       sync-vs-engine wall-time comparison to PATH as
 ///                       one-key-per-line JSON (scripts/overlap_gate.sh)
+///   --serving-json=PATH run the embedding-serving gate (serving_gate.h)
+///                       instead of the regular bench and write its JSON
+///                       to PATH (scripts/serve_gate.sh)
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
   std::string kernels_json;
   std::string overlap_json;
   std::string comm_json;
+  std::string serving_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -56,8 +60,10 @@ struct BenchArgs {
 
 /// Parses the shared flags and REMOVES them from argv (compacting
 /// argc/argv in place), so binaries that forward the remainder — e.g. to
-/// benchmark::Initialize — never see them. Unknown arguments are left
-/// untouched.
+/// benchmark::Initialize — never see them. Unknown `--` flags are
+/// rejected with a clear error (a typo like --trace_out= used to be
+/// silently ignored and the bench ran without tracing); `--benchmark_*`
+/// flags and non-flag positionals pass through for google-benchmark.
 inline BenchArgs ParseArgs(int* argc, char** argv) {
   BenchArgs args;
   int out = 1;
@@ -93,6 +99,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--overlap-json= needs a path";
       }
+    } else if (std::strncmp(a, "--serving-json=", 15) == 0) {
+      args.serving_json = a + 15;
+      if (args.serving_json.empty()) {
+        args.ok = false;
+        args.error = "--serving-json= needs a path";
+      }
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -101,6 +113,10 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--threads= needs a positive integer";
       }
+    } else if (std::strncmp(a, "--", 2) == 0 &&
+               std::strncmp(a, "--benchmark_", 12) != 0) {
+      args.ok = false;
+      args.error = std::string("unknown flag: ") + a;
     } else {
       argv[out++] = argv[i];
     }
@@ -115,7 +131,8 @@ inline int BenchArgsError(const BenchArgs& args) {
   std::fprintf(stderr, "error: %s\nusage: [--trace-out=PATH]"
                        " [--trace-ranks=N] [--threads=N] [--quick]"
                        " [--kernels-json=PATH] [--comm-json=PATH]"
-                       " [--overlap-json=PATH]\n",
+                       " [--overlap-json=PATH] [--serving-json=PATH]"
+                       " [--benchmark_* passed through]\n",
                args.error.c_str());
   return 2;
 }

@@ -1,0 +1,91 @@
+// Sharded embedding serving bench: the DLRM front end of src/serve/ on a
+// live simulated cluster.
+//
+// Default mode sweeps the dynamic-batching and cache knobs over the same
+// seeded request stream and prints measured QPS, latency percentiles and
+// cache hit rate next to the DES-priced batch cost, demonstrating the
+// serving relaxations (batching, caching) change throughput but never the
+// logits. `--serving-json=PATH` switches to the perf-gate measurement
+// (bench/serving_gate.h, driven by scripts/serve_gate.sh).
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "serving_gate.h"
+#include "serve/pricing.h"
+#include "serve/serving.h"
+
+namespace bagua {
+namespace {
+
+int RunSweep(bool quick) {
+  ServingConfig base = ServingGateConfig(quick);
+  std::printf("embedding serving: world=%d, %zu requests, %zu tables x %zu"
+              " rows, dim %zu\n\n",
+              base.world, base.num_requests, base.model.num_tables,
+              base.model.rows_per_table, base.model.dim);
+  std::printf("%8s %8s %10s %12s %12s %10s\n", "batch", "cache", "qps",
+              "p50_us", "p99_us", "hit_rate");
+
+  const size_t batches[] = {1, 8, 32};
+  const size_t caches[] = {0, 512};
+  std::vector<float> golden;
+  for (const size_t cache_rows : caches) {
+    for (const size_t max_batch : batches) {
+      ServingConfig cfg = base;
+      cfg.policy.max_batch = max_batch;
+      if (max_batch == 1) cfg.policy.max_delay_us = 0;
+      cfg.cache_rows = cache_rows;
+      ServingReport rep;
+      const Status st = RunServingReplay(cfg, &rep);
+      if (!st.ok()) {
+        std::fprintf(stderr, "serving replay failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      if (golden.empty()) {
+        golden = rep.logits;
+      } else if (std::memcmp(golden.data(), rep.logits.data(),
+                             golden.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: logits changed under batch=%zu cache=%zu\n",
+                     max_batch, cache_rows);
+        return 1;
+      }
+      std::printf("%8zu %8zu %10.0f %12.1f %12.1f %10.3f\n", max_batch,
+                  cache_rows, rep.qps, rep.p50_latency_us,
+                  rep.p99_latency_us, rep.cache_hit_rate);
+    }
+  }
+  std::printf("\nall six configurations produced bitwise-identical"
+              " logits\n\n");
+
+  // Offline what-if: the same exchange priced on the paper's 25 Gbps
+  // fabric across batch sizes.
+  std::printf("DES-priced batch cost (Tcp25, hit rate 0.0):\n");
+  std::printf("%8s %14s %12s\n", "batch", "batch_us", "qps_bound");
+  for (const size_t max_batch : {8u, 32u, 128u}) {
+    const ServingCost cost = PriceServingBatch(
+        base.model, ClusterTopology::Make(base.world, 1),
+        NetworkConfig::Tcp25(), base.world,
+        max_batch / static_cast<size_t>(base.world), 0.0, 1e12);
+    std::printf("%8zu %14.1f %12.0f\n", max_batch, cost.batch_s * 1e6,
+                cost.qps_bound);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main(int argc, char** argv) {
+  const bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  if (!args.serving_json.empty()) {
+    return bagua::RunServingGate(args.serving_json, args.quick);
+  }
+  bagua::TraceSession trace_session(args);
+  return bagua::RunSweep(args.quick);
+}

@@ -1,0 +1,157 @@
+#ifndef BAGUA_BENCH_SERVING_GATE_H_
+#define BAGUA_BENCH_SERVING_GATE_H_
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "base/logging.h"
+#include "serve/pricing.h"
+#include "serve/serving.h"
+
+namespace bagua {
+
+/// \brief The serving perf gate behind `--serving-json=PATH`.
+///
+/// Replays the same seeded request stream twice against a 4-way sharded
+/// embedding store (serve/serving.h): once through the full front end
+/// (dynamic batching + LRU hot-row cache) and once degraded to batch=1
+/// with the cache disabled — one collective Gather per request, the
+/// serving analogue of the unbucketed seed data path. Writes a flat JSON
+/// report that scripts/serve_gate.sh greps without a JSON parser. The
+/// script fails the build unless
+///   * qps_speedup >= 1.5 (batching amortizes the per-collective latency
+///     and the cache keeps hot rows off the wire),
+///   * bitwise_identical == 1 (batch boundaries and cache hits change the
+///     schedule, never the bytes: both replays produce identical logits),
+///   * pool_misses_steady == 0 (past warm-up the AllToAll traffic is
+///     served entirely from recycled transport buffers).
+///
+/// The report also carries the DES-priced cost of one batched exchange
+/// (serve/pricing.h) so the measured and modeled views sit side by side.
+
+struct ServingGateReport {
+  double qps_batched = 0.0;
+  double qps_unbatched = 0.0;
+  double qps_speedup = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t pool_misses_steady = 0;
+  bool bitwise_identical = false;
+  double priced_batch_us = 0.0;
+  double priced_qps_bound = 0.0;
+};
+
+inline ServingConfig ServingGateConfig(bool quick) {
+  ServingConfig cfg;
+  cfg.model.num_tables = 4;
+  cfg.model.rows_per_table = 4096;
+  cfg.model.dim = 32;
+  cfg.model.dense_dim = 8;
+  cfg.model.slots_per_bag = 4;
+  cfg.model.seed = 20260808;
+  cfg.world = 4;
+  cfg.num_requests = quick ? 1024 : 4096;
+  cfg.policy.max_batch = 32;
+  cfg.policy.max_delay_us = 2000;
+  cfg.cache_rows = 512;
+  cfg.mean_interarrival_us = 20.0;
+  cfg.warmup_batches = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+inline ServingGateReport RunServingGateMeasurement(bool quick) {
+  ServingGateReport rep;
+  const ServingConfig batched = ServingGateConfig(quick);
+
+  ServingConfig unbatched = batched;
+  unbatched.policy.max_batch = 1;
+  unbatched.policy.max_delay_us = 0;
+  unbatched.cache_rows = 0;
+
+  ServingReport br, ur;
+  BAGUA_CHECK(RunServingReplay(batched, &br).ok());
+  BAGUA_CHECK(RunServingReplay(unbatched, &ur).ok());
+
+  rep.qps_batched = br.qps;
+  rep.qps_unbatched = ur.qps;
+  rep.qps_speedup = ur.qps > 0.0 ? br.qps / ur.qps : 0.0;
+  rep.p50_latency_us = br.p50_latency_us;
+  rep.p99_latency_us = br.p99_latency_us;
+  rep.cache_hit_rate = br.cache_hit_rate;
+  rep.pool_misses_steady = br.pool_misses_steady + ur.pool_misses_steady;
+  rep.bitwise_identical =
+      br.logits.size() == ur.logits.size() &&
+      std::memcmp(br.logits.data(), ur.logits.data(),
+                  br.logits.size() * sizeof(float)) == 0;
+
+  // Offline price of one steady-state batched exchange on the paper's
+  // fabric, at the hit rate the live run actually achieved.
+  const ServingCost cost = PriceServingBatch(
+      batched.model, ClusterTopology::Make(batched.world, 1),
+      NetworkConfig::Tcp25(), batched.world,
+      batched.policy.max_batch / batched.world, br.cache_hit_rate,
+      /*flops_per_s=*/1e12);
+  rep.priced_batch_us = cost.batch_s * 1e6;
+  rep.priced_qps_bound = cost.qps_bound;
+  return rep;
+}
+
+/// Runs the gate and writes the JSON report to `path`. Returns 0 on
+/// success, 1 if the report could not be written; the pass/fail decision
+/// is left to scripts/serve_gate.sh.
+inline int RunServingGate(const std::string& path, bool quick) {
+  std::fprintf(stdout,
+               "serving gate: batched+cached vs batch=1 uncached\n");
+  const ServingGateReport rep = RunServingGateMeasurement(quick);
+  std::fprintf(stdout,
+               "  qps        batched %10.0f  unbatched %10.0f  speedup %5.2fx\n"
+               "  latency    p50 %8.1f us  p99 %8.1f us\n"
+               "  cache hit rate %.3f, steady-state pool misses %llu,"
+               " bitwise identical %s\n"
+               "  priced batch %.1f us (qps bound %.0f)\n",
+               rep.qps_batched, rep.qps_unbatched, rep.qps_speedup,
+               rep.p50_latency_us, rep.p99_latency_us, rep.cache_hit_rate,
+               static_cast<unsigned long long>(rep.pool_misses_steady),
+               rep.bitwise_identical ? "yes" : "NO", rep.priced_batch_us,
+               rep.priced_qps_bound);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "serving gate: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[768];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"serving_gate\",\n"
+                "  \"quick\": %s,\n"
+                "  \"qps_batched\": %.2f,\n"
+                "  \"qps_unbatched\": %.2f,\n"
+                "  \"qps_speedup\": %.4f,\n"
+                "  \"p50_latency_us\": %.3f,\n"
+                "  \"p99_latency_us\": %.3f,\n"
+                "  \"cache_hit_rate\": %.4f,\n"
+                "  \"pool_misses_steady\": %llu,\n"
+                "  \"bitwise_identical\": %d,\n"
+                "  \"priced_batch_us\": %.3f,\n"
+                "  \"priced_qps_bound\": %.2f\n"
+                "}\n",
+                quick ? "true" : "false", rep.qps_batched, rep.qps_unbatched,
+                rep.qps_speedup, rep.p50_latency_us, rep.p99_latency_us,
+                rep.cache_hit_rate,
+                static_cast<unsigned long long>(rep.pool_misses_steady),
+                rep.bitwise_identical ? 1 : 0, rep.priced_batch_us,
+                rep.priced_qps_bound);
+  out << buf;
+  out.close();
+  std::fprintf(stdout, "serving gate report written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace bagua
+
+#endif  // BAGUA_BENCH_SERVING_GATE_H_

@@ -32,6 +32,9 @@ echo "==> measured-overlap gate (async comm engine vs synchronous executor)"
 echo "==> comm gate (zero-copy pooled transport + pipelined rings)"
 ./scripts/comm_gate.sh build
 
+echo "==> serving gate (dynamic batching + hot-row cache over sharded embeddings)"
+./scripts/serve_gate.sh build
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"
@@ -42,5 +45,8 @@ ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L sched
 
 echo "==> transport/collective tests under ${SANITIZER} (ctest -L comm)"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L comm
+
+echo "==> AllToAll + serving front-end tests under ${SANITIZER} (ctest -L serving)"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L serving
 
 echo "OK: plain + ${SANITIZER} suites passed"

@@ -1,0 +1,146 @@
+#include "collectives/alltoall.h"
+
+#include <cstring>
+#include <optional>
+
+#include "base/strings.h"
+#include "collectives/collectives.h"
+#include "trace/trace.h"
+
+namespace bagua {
+
+namespace {
+
+// Payload bytes this rank handed to Send inside the collective (headers
+// excluded), so the counter summed over the group equals the analytic
+// exchange volume: sum over ordered pairs (i, j), i != j, of |send_i[j]|.
+constexpr char kAllToAllBytesKey[] = "collective.alltoall.bytes";
+
+constexpr uint32_t kHeaderStep = 0;
+constexpr uint32_t kDataStep = 1;
+
+}  // namespace
+
+Status AllToAllBytes(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space,
+                     std::vector<std::vector<uint8_t>>&& send,
+                     std::vector<std::vector<uint8_t>>* recv) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) {
+    return Status::InvalidArgument(
+        StrFormat("rank %d not in collective group", rank));
+  }
+  if (send.size() != m) {
+    return Status::InvalidArgument(
+        StrFormat("alltoall: %zu send slots for group of %zu", send.size(),
+                  m));
+  }
+  recv->resize(m);
+  // Self-delivery never touches the wire.
+  (*recv)[i] = std::move(send[i]);
+  if (m == 1) return Status::OK();
+
+  uint64_t wire_bytes = 0;
+  for (size_t k = 1; k < m; ++k) {
+    wire_bytes += send[(i + k) % m].size();
+  }
+  TraceSpan span(rank, TraceStream::kComm, "alltoall", wire_bytes);
+  TraceCountBytes(rank, kAllToAllBytesKey, wire_bytes);
+
+  // Send phase, peers in ring order. Send never blocks (buffered), so
+  // issuing every outgoing byte before the first receive cannot deadlock,
+  // and it lets the receive loop below find its traffic already in flight.
+  for (size_t k = 1; k < m; ++k) {
+    const size_t j = (i + k) % m;
+    std::vector<uint8_t>& payload = send[j];
+    const uint64_t bytes = payload.size();
+    uint8_t header[8];
+    std::memcpy(header, &bytes, sizeof(bytes));
+    RETURN_IF_ERROR(group->Send(rank, ranks[j], MakeTag(space, kHeaderStep),
+                                header, sizeof(header)));
+    const size_t nsegs = WireSegmentsForBytes(bytes);
+    if (nsegs == 1) {
+      // Single segment: the caller's buffer is moved onto the wire whole —
+      // no copy on this side, and the receiver gets it as its result.
+      RETURN_IF_ERROR(group->SendBuffer(rank, ranks[j],
+                                        MakeTag(space, kDataStep),
+                                        std::move(payload)));
+    } else {
+      for (size_t g = 0; g < nsegs; ++g) {
+        const Chunk seg = ChunkOf(bytes, nsegs, g);
+        RETURN_IF_ERROR(group->Send(rank, ranks[j],
+                                    MakeTag(space, kDataStep),
+                                    payload.data() + seg.begin, seg.count));
+      }
+      group->Recycle(std::move(payload));
+    }
+  }
+
+  // Receive phase, peers in the mirrored ring order (peer i+k sends to us
+  // in its k-th send slot, so draining i-k first matches arrival order on
+  // a synchronous group). Per peer: header, then payload segments with the
+  // next receive posted before the current segment is copied out.
+  std::vector<uint8_t> bufs[2];
+  int cur = 0;
+  TransportHandle pending;
+  Status st = [&]() -> Status {
+    for (size_t k = 1; k < m; ++k) {
+      const size_t j = (i + m - k) % m;
+      const int peer = ranks[j];
+      RETURN_IF_ERROR(
+          group->Recv(peer, rank, MakeTag(space, kHeaderStep), &bufs[cur]));
+      if (bufs[cur].size() != 8) {
+        return Status::Internal(StrFormat("alltoall: header %zu bytes",
+                                          bufs[cur].size()));
+      }
+      uint64_t bytes = 0;
+      std::memcpy(&bytes, bufs[cur].data(), sizeof(bytes));
+      const size_t nsegs = WireSegmentsForBytes(bytes);
+      if (nsegs == 1) {
+        // The wire buffer IS the result: one move, zero copies.
+        std::vector<uint8_t>& out = (*recv)[j];
+        RETURN_IF_ERROR(
+            group->Recv(peer, rank, MakeTag(space, kDataStep), &out));
+        if (out.size() != bytes) {
+          return Status::Internal(
+              StrFormat("alltoall: payload %zu bytes, want %llu", out.size(),
+                        static_cast<unsigned long long>(bytes)));
+        }
+        continue;
+      }
+      std::optional<TraceSpan> pipe;
+      pipe.emplace(rank, TraceStream::kComm, "alltoall.pipe", bytes,
+                   static_cast<int>(nsegs));
+      TraceIncrement(rank, "collective.pipeline.segments", nsegs);
+      std::vector<uint8_t> out = group->AcquireBuffer(bytes);
+      pending = group->PostRecv(peer, rank, MakeTag(space, kDataStep),
+                                &bufs[cur]);
+      for (size_t g = 0; g < nsegs; ++g) {
+        const Chunk seg = ChunkOf(bytes, nsegs, g);
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        std::vector<uint8_t>& payload = bufs[cur];
+        cur ^= 1;
+        if (g + 1 < nsegs) {
+          pending = group->PostRecv(peer, rank, MakeTag(space, kDataStep),
+                                    &bufs[cur]);
+        }
+        if (payload.size() != seg.count) {
+          return Status::Internal(
+              StrFormat("alltoall: segment %zu bytes, want %zu",
+                        payload.size(), seg.count));
+        }
+        std::memcpy(out.data() + seg.begin, payload.data(), seg.count);
+      }
+      (*recv)[j] = std::move(out);
+    }
+    return Status::OK();
+  }();
+  group->Recycle(std::move(bufs[0]));
+  group->Recycle(std::move(bufs[1]));
+  return st;
+}
+
+}  // namespace bagua

@@ -1,0 +1,51 @@
+#ifndef BAGUA_COLLECTIVES_ALLTOALL_H_
+#define BAGUA_COLLECTIVES_ALLTOALL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief AllToAll: the personalized exchange the ring collectives do not
+/// cover — every member holds a distinct payload for every other member,
+/// and after one invocation every member holds every peer's payload for it.
+///
+/// This is the communication pattern of sharded embedding serving (DLRM):
+/// request ids fan out to the shard owners, embedding rows fan back, both
+/// as one AllToAll each. Payload sizes are per-pair and need not agree
+/// across peers (MPI_Alltoallv semantics); zero-length slices are legal and
+/// cross the wire as empty messages so tag matching stays in lockstep.
+///
+/// Protocol (inside tag namespace `space`):
+///   step 0  per-pair size headers (8 bytes), sent to every peer so the
+///           receiver can derive the same wire segmentation as the sender
+///           (WireSegmentsForBytes is a pure function of the byte count);
+///   step 1  payload wire segments, FIFO per (src, tag).
+///
+/// The fast path pipelines per-peer segments: every peer's next receive is
+/// posted (PostRecv) before the segment just landed is copied out, and a
+/// payload that fits a single segment is *moved* to the caller — the pooled
+/// buffer that crossed the wire IS the result, no copy, no allocation.
+/// Output buffers for multi-segment payloads are drawn from the transport
+/// pool; callers that are done with a slice should Recycle it to close the
+/// zero-allocation cycle (src/serve/ does).
+///
+/// Peers are served in ring order (i+1, i+2, ...) on both sides, so the
+/// schedule is deterministic and no pair of members can deadlock (Send
+/// never blocks; receives drain in the order peers were scheduled).
+///
+/// `send` must have exactly ranks.size() slots; send[i] (the member's own
+/// slot) is moved straight to (*recv)[i] without touching the wire. On
+/// return recv has ranks.size() slots with (*recv)[j] = what ranks[j] sent
+/// to this member. Bitwise identical to SeedAllToAllBytes
+/// (collectives/seed.h) at any segmentation, thread count, or fault plan.
+Status AllToAllBytes(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space,
+                     std::vector<std::vector<uint8_t>>&& send,
+                     std::vector<std::vector<uint8_t>>* recv);
+
+}  // namespace bagua
+
+#endif  // BAGUA_COLLECTIVES_ALLTOALL_H_

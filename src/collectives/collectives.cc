@@ -51,10 +51,7 @@ std::atomic<size_t> g_ring_segment_bytes{size_t{1} << 17};  // 128 KiB
 /// sender of a chunk and its receiver — who hold the same global chunk
 /// index, hence the same count — always split identically.
 size_t NumSegments(size_t count) {
-  const size_t seg = g_ring_segment_bytes.load(std::memory_order_relaxed);
-  const size_t bytes = count * sizeof(float);
-  if (seg == 0 || bytes < 2 * seg) return 1;
-  return (bytes + seg - 1) / seg;
+  return WireSegmentsForBytes(count * sizeof(float));
 }
 
 }  // namespace
@@ -65,6 +62,12 @@ void SetRingPipelineSegmentBytes(size_t bytes) {
 
 size_t RingPipelineSegmentBytes() {
   return g_ring_segment_bytes.load(std::memory_order_relaxed);
+}
+
+size_t WireSegmentsForBytes(size_t bytes) {
+  const size_t seg = g_ring_segment_bytes.load(std::memory_order_relaxed);
+  if (seg == 0 || bytes < 2 * seg) return 1;
+  return (bytes + seg - 1) / seg;
 }
 
 Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,

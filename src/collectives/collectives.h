@@ -38,17 +38,23 @@ namespace bagua {
 Status RingAllreduce(TransportGroup* group, const std::vector<int>& ranks,
                      int rank, uint32_t space, float* data, size_t n);
 
-/// \name Ring pipelining knob
+/// \name Wire-segment pipelining knob
 ///
 /// Chunks whose wire size is at least twice this threshold are split into
 /// ceil(bytes / threshold) segments so the receiver can reduce segment g
 /// while segment g+1 is in flight. 0 disables segmentation. Sender and
 /// receiver derive the segmentation independently from the same chunk
 /// length (a pure function), so they always agree. Thread-safe; default
-/// 128 KiB.
+/// 128 KiB. Shared by the ring collectives and AllToAll
+/// (collectives/alltoall.h).
 /// @{
 void SetRingPipelineSegmentBytes(size_t bytes);
 size_t RingPipelineSegmentBytes();
+
+/// Number of wire segments a `bytes`-long payload is split into under the
+/// current threshold — the pure function both endpoints of a transfer
+/// evaluate independently to agree on the split.
+size_t WireSegmentsForBytes(size_t bytes);
 /// @}
 
 /// Broadcast from `ranks[root_index]` to the group.

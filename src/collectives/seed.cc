@@ -102,4 +102,52 @@ Status SeedReduce(TransportGroup* group, const std::vector<int>& ranks,
                      n * sizeof(float));
 }
 
+Status SeedAllToAllBytes(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space,
+                         const std::vector<std::vector<uint8_t>>& send,
+                         std::vector<std::vector<uint8_t>>* recv) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (send.size() != m) {
+    return Status::InvalidArgument(
+        StrFormat("alltoall: %zu send slots for group of %zu", send.size(),
+                  m));
+  }
+  recv->assign(m, {});
+  (*recv)[i] = send[i];
+  if (m == 1) return Status::OK();
+
+  for (size_t k = 1; k < m; ++k) {
+    const size_t j = (i + k) % m;
+    const uint64_t bytes = send[j].size();
+    uint8_t header[8];
+    std::memcpy(header, &bytes, sizeof(bytes));
+    RETURN_IF_ERROR(group->Send(rank, ranks[j], MakeTag(space, 0), header,
+                                sizeof(header)));
+    RETURN_IF_ERROR(group->Send(rank, ranks[j], MakeTag(space, 1),
+                                send[j].data(), send[j].size()));
+  }
+  for (size_t k = 1; k < m; ++k) {
+    const size_t j = (i + m - k) % m;
+    std::vector<uint8_t> header;
+    RETURN_IF_ERROR(group->Recv(ranks[j], rank, MakeTag(space, 0), &header));
+    if (header.size() != 8) {
+      return Status::Internal(
+          StrFormat("alltoall: header %zu bytes", header.size()));
+    }
+    uint64_t bytes = 0;
+    std::memcpy(&bytes, header.data(), sizeof(bytes));
+    RETURN_IF_ERROR(
+        group->Recv(ranks[j], rank, MakeTag(space, 1), &(*recv)[j]));
+    if ((*recv)[j].size() != bytes) {
+      return Status::Internal(
+          StrFormat("alltoall: payload %zu bytes, want %llu",
+                    (*recv)[j].size(), static_cast<unsigned long long>(bytes)));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace bagua

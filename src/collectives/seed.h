@@ -37,6 +37,17 @@ Status SeedReduce(TransportGroup* group, const std::vector<int>& ranks,
                   int rank, int root_index, uint32_t space, float* data,
                   size_t n);
 
+/// Naive AllToAll baseline, frozen for differential testing against the
+/// pipelined AllToAllBytes (collectives/alltoall.h): per peer one 8-byte
+/// size header plus one unsegmented payload message, blocking Send/Recv,
+/// every buffer freshly allocated and copied. Same tag protocol (header
+/// step 0, data step 1), same peer order, so the two implementations are
+/// interchangeable on the wire — only the data path differs.
+Status SeedAllToAllBytes(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space,
+                         const std::vector<std::vector<uint8_t>>& send,
+                         std::vector<std::vector<uint8_t>>* recv);
+
 }  // namespace bagua
 
 #endif  // BAGUA_COLLECTIVES_SEED_H_

@@ -1,0 +1,277 @@
+#include "model/embedding.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "tensor/ops.h"
+
+namespace bagua {
+
+void PoolRows(const float* rows, size_t count, size_t dim, Pooling pooling,
+              float* out) {
+  std::memset(out, 0, dim * sizeof(float));
+  for (size_t r = 0; r < count; ++r) {
+    for (size_t d = 0; d < dim; ++d) out[d] += rows[r * dim + d];
+  }
+  if (pooling == Pooling::kMean && count > 0) {
+    const float inv = 1.0f / static_cast<float>(count);
+    for (size_t d = 0; d < dim; ++d) out[d] *= inv;
+  }
+}
+
+void InitEmbeddingRow(uint64_t seed, uint64_t row, size_t dim, float* out) {
+  Rng rng(MixSeed(seed, row));
+  for (size_t d = 0; d < dim; ++d) {
+    out[d] = static_cast<float>(rng.Normal() * 0.05);
+  }
+}
+
+// --------------------------------------------------------- EmbeddingBag
+
+EmbeddingBag::EmbeddingBag(std::string name, size_t rows, size_t dim,
+                           size_t slots_per_bag, Pooling pooling,
+                           uint64_t row_base)
+    : name_(std::move(name)), rows_(rows), dim_(dim), slots_(slots_per_bag),
+      pooling_(pooling), row_base_(row_base) {
+  table_ = Tensor::Zeros({rows, dim}, name_ + ".table");
+  gtable_ = Tensor::Zeros({rows, dim}, name_ + ".table.grad");
+}
+
+void EmbeddingBag::InitParams(Rng* rng) { InitTable(rng->Next()); }
+
+void EmbeddingBag::InitTable(uint64_t seed) {
+  for (size_t r = 0; r < rows_; ++r) {
+    InitEmbeddingRow(seed, row_base_ + r, dim_, table_.data() + r * dim_);
+  }
+}
+
+Status EmbeddingBag::Forward(const Tensor& in, Tensor* out) {
+  if (slots_ == 0 || in.numel() % slots_ != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: %zu ids not a multiple of %zu slots", name_.c_str(),
+                  in.numel(), slots_));
+  }
+  const size_t bags = in.numel() / slots_;
+  input_ = in.Clone();
+  *out = Tensor::Zeros({bags, dim_}, name_ + ".out");
+  std::vector<float> gathered(slots_ * dim_);
+  for (size_t b = 0; b < bags; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      const long id = std::lround(in[b * slots_ + s]);
+      if (id < 0 || static_cast<size_t>(id) >= rows_) {
+        return Status::InvalidArgument(
+            StrFormat("%s: row id %ld out of table %zu", name_.c_str(), id,
+                      rows_));
+      }
+      std::memcpy(gathered.data() + s * dim_, table_.data() + id * dim_,
+                  dim_ * sizeof(float));
+    }
+    PoolRows(gathered.data(), slots_, dim_, pooling_,
+             out->data() + b * dim_);
+  }
+  return Status::OK();
+}
+
+Status EmbeddingBag::ForwardIndices(const std::vector<uint32_t>& indices,
+                                    const std::vector<uint32_t>& offsets,
+                                    Tensor* out) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != indices.size()) {
+    return Status::InvalidArgument(name_ + ": malformed bag offsets");
+  }
+  const size_t bags = offsets.size() - 1;
+  *out = Tensor::Zeros({bags, dim_}, name_ + ".out");
+  std::vector<float> gathered;
+  for (size_t b = 0; b < bags; ++b) {
+    if (offsets[b + 1] < offsets[b]) {
+      return Status::InvalidArgument(name_ + ": bag offsets not monotone");
+    }
+    const size_t count = offsets[b + 1] - offsets[b];
+    gathered.resize(count * dim_);
+    for (size_t s = 0; s < count; ++s) {
+      const uint32_t id = indices[offsets[b] + s];
+      if (id >= rows_) {
+        return Status::InvalidArgument(
+            StrFormat("%s: row id %u out of table %zu", name_.c_str(), id,
+                      rows_));
+      }
+      std::memcpy(gathered.data() + s * dim_, table_.data() + id * dim_,
+                  dim_ * sizeof(float));
+    }
+    PoolRows(gathered.data(), count, dim_, pooling_,
+             out->data() + b * dim_);
+  }
+  return Status::OK();
+}
+
+Status EmbeddingBag::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  if (!input_.defined()) {
+    return Status::FailedPrecondition(name_ + ": Backward before Forward");
+  }
+  const size_t bags = input_.numel() / slots_;
+  if (grad_out.numel() != bags * dim_) {
+    return Status::InvalidArgument(name_ + ": grad_out shape mismatch");
+  }
+  const float scale = pooling_ == Pooling::kMean && slots_ > 0
+                          ? 1.0f / static_cast<float>(slots_)
+                          : 1.0f;
+  for (size_t b = 0; b < bags; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      const long id = std::lround(input_[b * slots_ + s]);
+      Axpy(scale, grad_out.data() + b * dim_, gtable_.data() + id * dim_,
+           dim_);
+    }
+  }
+  if (grad_in != nullptr) {
+    // Row ids are not differentiable; propagate zeros of the input shape.
+    *grad_in = Tensor::Zeros(input_.shape(), name_ + ".gin");
+  }
+  return Status::OK();
+}
+
+std::vector<Param> EmbeddingBag::params() {
+  return {{&table_, &gtable_, table_.name()}};
+}
+
+// ------------------------------------------------------------ sampling
+
+uint32_t SampleSkewedId(Rng* rng, size_t rows, double skew) {
+  BAGUA_CHECK_GT(rows, 0u);
+  const double u = std::pow(rng->Uniform(), skew);
+  auto id = static_cast<uint64_t>(u * static_cast<double>(rows));
+  if (id >= rows) id = rows - 1;
+  return static_cast<uint32_t>(id);
+}
+
+// ------------------------------------------------------------ DlrmModel
+
+DlrmModel::DlrmModel(const DlrmConfig& config) : config_(config) {
+  const DlrmConfig& c = config_;
+  BAGUA_CHECK_GT(c.num_tables, 0u);
+  BAGUA_CHECK_GT(c.dim, 0u);
+
+  size_t in = c.dense_dim;
+  size_t idx = 0;
+  for (size_t h : c.bottom_hidden) {
+    bottom_.push_back(std::make_unique<DenseLayer>(
+        StrFormat("dlrm.bottom%zu", idx++), in, h, Activation::kRelu));
+    in = h;
+  }
+  bottom_.push_back(std::make_unique<DenseLayer>(
+      StrFormat("dlrm.bottom%zu", idx), in, c.dim, Activation::kRelu));
+
+  for (size_t t = 0; t < c.num_tables; ++t) {
+    tables_.push_back(std::make_unique<EmbeddingBag>(
+        StrFormat("dlrm.table%zu", t), c.rows_per_table, c.dim,
+        c.slots_per_bag, c.pooling,
+        /*row_base=*/static_cast<uint64_t>(t) * c.rows_per_table));
+  }
+
+  in = c.dim * (c.num_tables + 1);  // pooled tables + bottom-MLP output
+  idx = 0;
+  for (size_t h : c.top_hidden) {
+    top_.push_back(std::make_unique<DenseLayer>(
+        StrFormat("dlrm.top%zu", idx++), in, h, Activation::kRelu));
+    in = h;
+  }
+  top_.push_back(std::make_unique<DenseLayer>(StrFormat("dlrm.top%zu", idx),
+                                              in, 1, Activation::kNone));
+
+  // Every parameter tensor gets its own stream keyed off config.seed (the
+  // tables via InitTable's per-row streams), so replicas agree bitwise.
+  Rng dense_rng(MixSeed(c.seed, 0x0D15EA5Eull));
+  for (auto& l : bottom_) l->InitParams(&dense_rng);
+  for (auto& l : top_) l->InitParams(&dense_rng);
+  for (size_t t = 0; t < c.num_tables; ++t) {
+    tables_[t]->InitTable(c.seed);
+  }
+}
+
+Status DlrmModel::Forward(const Tensor& dense, const Tensor& ids,
+                          Tensor* out) {
+  const DlrmConfig& c = config_;
+  const size_t slots = c.num_tables * c.slots_per_bag;
+  if (slots == 0 || ids.numel() % slots != 0) {
+    return Status::InvalidArgument("dlrm: ids shape mismatch");
+  }
+  const size_t batch = ids.numel() / slots;
+  Tensor pooled =
+      Tensor::Zeros({batch, c.num_tables * c.dim}, "dlrm.pooled");
+  Tensor bag_ids = Tensor::Zeros({batch, c.slots_per_bag}, "dlrm.bag_ids");
+  Tensor bag_out;
+  for (size_t t = 0; t < c.num_tables; ++t) {
+    for (size_t b = 0; b < batch; ++b) {
+      std::memcpy(bag_ids.data() + b * c.slots_per_bag,
+                  ids.data() + b * slots + t * c.slots_per_bag,
+                  c.slots_per_bag * sizeof(float));
+    }
+    RETURN_IF_ERROR(tables_[t]->Forward(bag_ids, &bag_out));
+    for (size_t b = 0; b < batch; ++b) {
+      std::memcpy(pooled.data() + b * c.num_tables * c.dim + t * c.dim,
+                  bag_out.data() + b * c.dim, c.dim * sizeof(float));
+    }
+  }
+  return ForwardPooled(dense, pooled, out);
+}
+
+Status DlrmModel::ForwardPooled(const Tensor& dense, const Tensor& pooled,
+                                Tensor* out) {
+  const DlrmConfig& c = config_;
+  if (dense.numel() % c.dense_dim != 0) {
+    return Status::InvalidArgument("dlrm: dense shape mismatch");
+  }
+  const size_t batch = dense.numel() / c.dense_dim;
+  if (pooled.numel() != batch * c.num_tables * c.dim) {
+    return Status::InvalidArgument("dlrm: pooled shape mismatch");
+  }
+
+  Tensor cur = dense.Clone();
+  Tensor next;
+  for (auto& l : bottom_) {
+    RETURN_IF_ERROR(l->Forward(cur, &next));
+    cur = std::move(next);
+  }
+
+  // Feature concat: [bottom output | pooled table vectors], per sample.
+  const size_t feat = c.dim * (c.num_tables + 1);
+  Tensor concat = Tensor::Zeros({batch, feat}, "dlrm.concat");
+  for (size_t b = 0; b < batch; ++b) {
+    std::memcpy(concat.data() + b * feat, cur.data() + b * c.dim,
+                c.dim * sizeof(float));
+    std::memcpy(concat.data() + b * feat + c.dim,
+                pooled.data() + b * c.num_tables * c.dim,
+                c.num_tables * c.dim * sizeof(float));
+  }
+
+  cur = std::move(concat);
+  for (auto& l : top_) {
+    RETURN_IF_ERROR(l->Forward(cur, &next));
+    cur = std::move(next);
+  }
+  *out = Tensor::Zeros({batch}, "dlrm.logits");
+  std::memcpy(out->data(), cur.data(), batch * sizeof(float));
+  return Status::OK();
+}
+
+void DlrmModel::SampleRequest(uint64_t sample_index,
+                              std::vector<float>* dense,
+                              std::vector<uint32_t>* ids) const {
+  const DlrmConfig& c = config_;
+  Rng rng(MixSeed(c.seed, MixSeed(0xD1E55A0Full, sample_index)));
+  dense->resize(c.dense_dim);
+  for (size_t d = 0; d < c.dense_dim; ++d) {
+    (*dense)[d] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  ids->resize(c.num_tables * c.slots_per_bag);
+  for (size_t t = 0; t < c.num_tables; ++t) {
+    for (size_t s = 0; s < c.slots_per_bag; ++s) {
+      (*ids)[t * c.slots_per_bag + s] =
+          SampleSkewedId(&rng, c.rows_per_table, c.id_skew);
+    }
+  }
+}
+
+}  // namespace bagua

@@ -1,0 +1,156 @@
+#ifndef BAGUA_MODEL_EMBEDDING_H_
+#define BAGUA_MODEL_EMBEDDING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/layer.h"
+
+namespace bagua {
+
+/// \brief Pooling applied over the rows of one embedding bag.
+enum class Pooling { kSum, kMean };
+
+/// \brief Pools `count` gathered rows of width `dim` into `out` in
+/// ascending row order (kMean divides the kSum result by count).
+///
+/// This is THE pooling kernel: both the local EmbeddingBag layer and the
+/// sharded serving path (src/serve/) feed their gathered rows through it,
+/// so a request served from shards + cache is bitwise identical to the
+/// same bag looked up in a local table. Empty bags pool to zeros.
+void PoolRows(const float* rows, size_t count, size_t dim, Pooling pooling,
+              float* out);
+
+/// \brief Fills one embedding row from the pair (seed, global row id).
+///
+/// Each row gets its own Rng stream (seeded by MixSeed(seed, row)), so the
+/// values a row holds depend only on its *global* id — never on which
+/// shard owns it or how many shards there are. The sharded EmbeddingStore
+/// (src/ps/embedding_store.h) initializes through this same helper, which
+/// is what makes its gathers bitwise comparable against a local table at
+/// any shard count.
+void InitEmbeddingRow(uint64_t seed, uint64_t row, size_t dim, float* out);
+
+/// \brief EmbeddingBag: sparse lookup + pooling, the DLRM sparse feature
+/// layer (one instance per categorical table).
+///
+/// Layer::Forward interprets the input as [bags, slots_per_bag] float-
+/// encoded row ids (fixed multi-hot arity, DLRM-style) and emits
+/// [bags, dim] pooled vectors. ForwardIndices exposes the CSR-style
+/// variable-arity form (indices + bag offsets) used by the serving path.
+/// Backward scatter-adds d(out) into the table gradient in bag-then-slot
+/// order, so gradients are deterministic for any duplicate-id pattern.
+class EmbeddingBag : public Layer {
+ public:
+  /// `row_base` is this table's offset in the merged global row space
+  /// (table t of a DLRM occupies [t*rows, (t+1)*rows)); local row r is
+  /// initialized as global row row_base + r.
+  EmbeddingBag(std::string name, size_t rows, size_t dim,
+               size_t slots_per_bag, Pooling pooling = Pooling::kSum,
+               uint64_t row_base = 0);
+
+  const std::string& name() const override { return name_; }
+  Status Forward(const Tensor& in, Tensor* out) override;
+  Status Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  std::vector<Param> params() override;
+
+  /// Draws a fresh base seed from `rng` and delegates to InitTable.
+  void InitParams(Rng* rng) override;
+
+  /// Initializes every row via InitEmbeddingRow(seed, row_base + r).
+  void InitTable(uint64_t seed);
+
+  /// CSR-style forward: bag b pools rows indices[offsets[b] ..
+  /// offsets[b+1]) in index order; out is [offsets.size()-1, dim].
+  Status ForwardIndices(const std::vector<uint32_t>& indices,
+                        const std::vector<uint32_t>& offsets, Tensor* out);
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+  size_t slots_per_bag() const { return slots_; }
+  const Tensor& table() const { return table_; }
+
+ private:
+  std::string name_;
+  size_t rows_;
+  size_t dim_;
+  size_t slots_;
+  Pooling pooling_;
+  uint64_t row_base_;
+  Tensor table_, gtable_;
+  Tensor input_;  // cached forward ids for Backward
+};
+
+/// \brief Deterministic skewed categorical id sampler.
+///
+/// Ids follow an approximate power law over [0, rows): a handful of hot
+/// rows absorb most lookups, the shape production embedding access takes
+/// (and what makes the serving front end's LRU hot-row cache earn its
+/// keep). `skew` >= 1; higher is hotter; 1.0 is uniform.
+uint32_t SampleSkewedId(Rng* rng, size_t rows, double skew);
+
+/// \brief DLRM configuration: categorical tables + the two dense MLPs.
+struct DlrmConfig {
+  size_t num_tables = 4;
+  size_t rows_per_table = 1024;
+  size_t dim = 16;           ///< embedding (and bottom-MLP output) width
+  size_t dense_dim = 8;      ///< continuous feature input width
+  size_t slots_per_bag = 4;  ///< multi-hot lookups per table per sample
+  std::vector<size_t> bottom_hidden = {16};  ///< dense_dim -> ... -> dim
+  std::vector<size_t> top_hidden = {32};     ///< concat -> ... -> 1
+  Pooling pooling = Pooling::kSum;
+  double id_skew = 4.0;   ///< SampleSkewedId exponent for synthetic data
+  uint64_t seed = 1234;
+
+  size_t total_rows() const { return num_tables * rows_per_table; }
+  /// Global row id of (table, local row) in the merged row space.
+  uint64_t GlobalRow(size_t table, uint32_t row) const {
+    return static_cast<uint64_t>(table) * rows_per_table + row;
+  }
+};
+
+/// \brief DLRM forward model: bottom MLP on dense features, EmbeddingBag
+/// per categorical table, feature concat, top MLP to one logit.
+///
+/// Inference-only on the dense side (the serving front end replays read
+/// traffic); the embedding tables still expose Backward/params for the
+/// sparse scatter-update path. All parameters are derived from
+/// config.seed, so every replica — and the sharded serving store — agrees
+/// on them without communication.
+class DlrmModel {
+ public:
+  explicit DlrmModel(const DlrmConfig& config);
+
+  /// dense: [batch, dense_dim]; ids: [batch, num_tables * slots_per_bag]
+  /// float-encoded local row ids, table-major per sample; out: [batch]
+  /// logits.
+  Status Forward(const Tensor& dense, const Tensor& ids, Tensor* out);
+
+  /// Forward where the pooled embedding vectors are supplied by the
+  /// caller ([batch, num_tables * dim], table-major) instead of looked up
+  /// locally — the serving path, which pools rows gathered from shards.
+  /// Bitwise identical to Forward given PoolRows-pooled inputs.
+  Status ForwardPooled(const Tensor& dense, const Tensor& pooled,
+                       Tensor* out);
+
+  /// Draws one sample's synthetic features: dense_dim uniform floats and
+  /// num_tables * slots_per_bag skewed ids, from the stream for
+  /// (config.seed, sample_index). Identical on every replica.
+  void SampleRequest(uint64_t sample_index, std::vector<float>* dense,
+                     std::vector<uint32_t>* ids) const;
+
+  const DlrmConfig& config() const { return config_; }
+  EmbeddingBag* table(size_t t) { return tables_[t].get(); }
+
+ private:
+  DlrmConfig config_;
+  std::vector<std::unique_ptr<DenseLayer>> bottom_;
+  std::vector<std::unique_ptr<EmbeddingBag>> tables_;
+  std::vector<std::unique_ptr<DenseLayer>> top_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_MODEL_EMBEDDING_H_

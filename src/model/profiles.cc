@@ -133,6 +133,25 @@ ModelProfile ModelProfile::LstmAlexNet() {
   return p;
 }
 
+ModelProfile ModelProfile::Dlrm() {
+  ModelProfile p;
+  p.name = "dlrm";
+  // Facebook-scale DLRM, shrunk ~100x: 8 categorical tables of 2M rows at
+  // dim 64 (~1G params, nearly all embeddings), small dense MLPs. Embedding
+  // blocks are lookup-bound (1 tensor each, negligible FLOPs); the MLPs
+  // carry the arithmetic. The serving pricer reads rows/dims off this
+  // profile; the live bench uses a smaller DlrmConfig with the same shape.
+  for (int t = 0; t < 8; ++t) {
+    p.blocks.push_back(
+        {StrFormat("table%02d", t), 2'000'000 * 64, 2.0e6, 1});
+  }
+  p.blocks.push_back({"bottom_mlp", 13 * 512 + 512 * 256 + 256 * 64, 0.5e6, 6});
+  p.blocks.push_back({"top_mlp", 576 * 512 + 512 * 256 + 256 * 1, 1.2e6, 6});
+  // Click-log epoch; small batch, lookup-dominated kernels run cold.
+  p.train = {4'000'000, 128, 0.0100, /*uses_adam=*/true};
+  return p;
+}
+
 std::vector<ModelProfile> ModelProfile::AllPaperModels() {
   return {Vgg16(), BertLarge(), BertBase(), Transformer(), LstmAlexNet()};
 }
@@ -141,6 +160,7 @@ ModelProfile ModelProfile::ByName(const std::string& name) {
   for (auto& p : AllPaperModels()) {
     if (p.name == name) return p;
   }
+  if (name == "dlrm") return Dlrm();
   LOG_FATAL << "unknown model profile: " << name;
   return {};
 }

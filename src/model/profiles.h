@@ -53,8 +53,14 @@ struct ModelProfile {
   static ModelProfile LstmAlexNet();
   static std::vector<ModelProfile> AllPaperModels();
 
+  /// DLRM-style recommender (sharded embedding serving workload): embedding
+  /// tables dominate params, MLPs dominate FLOPs. Not one of the paper's
+  /// Table 2 training workloads — used by the serving front end and its
+  /// offline pricing — so it is not in AllPaperModels().
+  static ModelProfile Dlrm();
+
   /// Looks a profile up by name ("vgg16", "bert-large", "bert-base",
-  /// "transformer", "lstm-alexnet"); aborts on unknown names.
+  /// "transformer", "lstm-alexnet", "dlrm"); aborts on unknown names.
   static ModelProfile ByName(const std::string& name);
 };
 

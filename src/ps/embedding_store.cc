@@ -1,0 +1,241 @@
+#include "ps/embedding_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "collectives/alltoall.h"
+#include "model/embedding.h"
+#include "trace/trace.h"
+
+namespace bagua {
+
+namespace {
+
+constexpr size_t kIdBytes = sizeof(uint64_t);
+
+// One sparse-PS collective consumes this many consecutive tag namespaces:
+// Gather burns two (id fan-out, row fan-back), ScatterUpdate one; we
+// always advance by the larger so both RPC kinds stay aligned across
+// members regardless of interleaving.
+constexpr uint32_t kSpacesPerOp = 2;
+
+}  // namespace
+
+EmbeddingShard::EmbeddingShard(TransportGroup* group, std::vector<int> ranks,
+                               int rank, size_t total_rows, size_t dim,
+                               uint64_t seed)
+    : group_(group), ranks_(std::move(ranks)), rank_(rank),
+      total_rows_(total_rows), dim_(dim) {
+  index_ = IndexIn(ranks_, rank_);
+  BAGUA_CHECK_GE(index_, 0);
+  BAGUA_CHECK_GT(dim_, 0u);
+  const size_t m = ranks_.size();
+  chunk_begin_.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    chunk_begin_[k] = ChunkOf(total_rows_, m, k).begin;
+  }
+  const Chunk mine = ChunkOf(total_rows_, m, static_cast<size_t>(index_));
+  row_begin_ = mine.begin;
+  owned_rows_ = mine.count;
+  rows_.resize(owned_rows_ * dim_);
+  for (size_t r = 0; r < owned_rows_; ++r) {
+    InitEmbeddingRow(seed, row_begin_ + r, dim_, rows_.data() + r * dim_);
+  }
+}
+
+int EmbeddingShard::OwnerOf(uint64_t global_id) const {
+  // chunk_begin_ is ascending; the owner is the last member whose range
+  // starts at or before the id.
+  auto it = std::upper_bound(chunk_begin_.begin(), chunk_begin_.end(),
+                             global_id);
+  return static_cast<int>(it - chunk_begin_.begin()) - 1;
+}
+
+const float* EmbeddingShard::LocalRow(uint64_t global_id) const {
+  if (global_id < row_begin_ || global_id >= row_begin_ + owned_rows_) {
+    return nullptr;
+  }
+  return rows_.data() + (global_id - row_begin_) * dim_;
+}
+
+uint32_t EmbeddingShard::NextSpace(uint32_t spaces) {
+  const uint32_t range = kSparsePsSpaceLimit - kSparsePsSpaceBase;
+  if (space_cursor_ + spaces > range) space_cursor_ = 0;
+  const uint32_t space = kSparsePsSpaceBase + space_cursor_;
+  space_cursor_ += spaces;
+  return space;
+}
+
+Status EmbeddingShard::Gather(const std::vector<uint64_t>& ids,
+                              std::vector<float>* out) {
+  const size_t m = ranks_.size();
+  const size_t n = ids.size();
+  const uint32_t space = NextSpace(kSpacesPerOp);
+  TraceSpan span(rank_, TraceStream::kComm, "ps.gather", n * dim_ * 4);
+  TraceIncrement(rank_, "ps.sparse.gather.rows", n);
+
+  // Bucket request slots by owning member, preserving request order.
+  std::vector<int> owner_of(n);
+  std::vector<size_t> bucket_count(m, 0);
+  for (size_t r = 0; r < n; ++r) {
+    if (ids[r] >= total_rows_) {
+      return Status::InvalidArgument(
+          StrFormat("gather: row %llu out of %zu",
+                    static_cast<unsigned long long>(ids[r]), total_rows_));
+    }
+    const int o = OwnerOf(ids[r]);
+    owner_of[r] = o;
+    ++bucket_count[o];
+  }
+  TraceIncrement(rank_, "ps.sparse.gather.remote",
+                 n - bucket_count[index_]);
+
+  std::vector<std::vector<uint8_t>> send(m);
+  std::vector<size_t> fill(m, 0);
+  for (size_t k = 0; k < m; ++k) {
+    send[k] = group_->AcquireBuffer(bucket_count[k] * kIdBytes);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const int o = owner_of[r];
+    std::memcpy(send[o].data() + fill[o] * kIdBytes, &ids[r], kIdBytes);
+    ++fill[o];
+  }
+
+  // RPC half 1: ids travel to their owners.
+  std::vector<std::vector<uint8_t>> requests;
+  RETURN_IF_ERROR(AllToAllBytes(group_, ranks_, rank_, space,
+                                std::move(send), &requests));
+
+  // Serve every incoming request from the owned slice (our own bucket
+  // arrives through the same path, moved rather than sent).
+  std::vector<std::vector<uint8_t>> reply(m);
+  for (size_t k = 0; k < m; ++k) {
+    std::vector<uint8_t>& req = requests[k];
+    if (req.size() % kIdBytes != 0) {
+      return Status::Internal(
+          StrFormat("gather: request of %zu bytes from member %zu",
+                    req.size(), k));
+    }
+    const size_t count = req.size() / kIdBytes;
+    reply[k] = group_->AcquireBuffer(count * dim_ * sizeof(float));
+    for (size_t r = 0; r < count; ++r) {
+      uint64_t id = 0;
+      std::memcpy(&id, req.data() + r * kIdBytes, kIdBytes);
+      const float* row = LocalRow(id);
+      if (row == nullptr) {
+        return Status::Internal(
+            StrFormat("gather: member %zu asked non-owned row %llu", k,
+                      static_cast<unsigned long long>(id)));
+      }
+      std::memcpy(reply[k].data() + r * dim_ * sizeof(float), row,
+                  dim_ * sizeof(float));
+    }
+    group_->Recycle(std::move(req));
+  }
+
+  // RPC half 2: rows travel back, in the order the ids arrived.
+  std::vector<std::vector<uint8_t>> rows_back;
+  RETURN_IF_ERROR(AllToAllBytes(group_, ranks_, rank_, space + 1,
+                                std::move(reply), &rows_back));
+
+  // Reassemble in request order: slot r is the fill[o]-th row of owner o's
+  // reply, with fill re-run in the same order as the bucketing pass.
+  out->resize(n * dim_);
+  std::fill(fill.begin(), fill.end(), 0);
+  for (size_t r = 0; r < n; ++r) {
+    const int o = owner_of[r];
+    if (rows_back[o].size() < (fill[o] + 1) * dim_ * sizeof(float)) {
+      return Status::Internal(
+          StrFormat("gather: short reply from member %d", o));
+    }
+    std::memcpy(out->data() + r * dim_,
+                rows_back[o].data() + fill[o] * dim_ * sizeof(float),
+                dim_ * sizeof(float));
+    ++fill[o];
+  }
+  for (size_t k = 0; k < m; ++k) {
+    group_->Recycle(std::move(rows_back[k]));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingShard::ScatterUpdate(const std::vector<uint64_t>& ids,
+                                     const std::vector<float>& deltas) {
+  const size_t m = ranks_.size();
+  const size_t n = ids.size();
+  if (deltas.size() != n * dim_) {
+    return Status::InvalidArgument(
+        StrFormat("scatter: %zu deltas for %zu ids of dim %zu",
+                  deltas.size(), n, dim_));
+  }
+  const uint32_t space = NextSpace(kSpacesPerOp);
+  TraceSpan span(rank_, TraceStream::kComm, "ps.scatter", n * dim_ * 4);
+  TraceIncrement(rank_, "ps.sparse.update.rows", n);
+
+  // Record wire format: 8-byte global id, then the dim-float delta row.
+  const size_t rec = kIdBytes + dim_ * sizeof(float);
+  std::vector<size_t> bucket_count(m, 0);
+  std::vector<int> owner_of(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (ids[r] >= total_rows_) {
+      return Status::InvalidArgument(
+          StrFormat("scatter: row %llu out of %zu",
+                    static_cast<unsigned long long>(ids[r]), total_rows_));
+    }
+    owner_of[r] = OwnerOf(ids[r]);
+    ++bucket_count[owner_of[r]];
+  }
+  std::vector<std::vector<uint8_t>> send(m);
+  std::vector<size_t> fill(m, 0);
+  for (size_t k = 0; k < m; ++k) {
+    send[k] = group_->AcquireBuffer(bucket_count[k] * rec);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const int o = owner_of[r];
+    uint8_t* dst = send[o].data() + fill[o] * rec;
+    std::memcpy(dst, &ids[r], kIdBytes);
+    std::memcpy(dst + kIdBytes, deltas.data() + r * dim_,
+                dim_ * sizeof(float));
+    ++fill[o];
+  }
+
+  std::vector<std::vector<uint8_t>> incoming;
+  RETURN_IF_ERROR(AllToAllBytes(group_, ranks_, rank_, space,
+                                std::move(send), &incoming));
+
+  // Apply in member-index order, then arrival order within a member: a
+  // total order fixed by the partition, not by timing, so duplicate ids
+  // accumulate identically on every run.
+  for (size_t k = 0; k < m; ++k) {
+    std::vector<uint8_t>& in = incoming[k];
+    if (in.size() % rec != 0) {
+      return Status::Internal(
+          StrFormat("scatter: payload of %zu bytes from member %zu",
+                    in.size(), k));
+    }
+    const size_t count = in.size() / rec;
+    for (size_t r = 0; r < count; ++r) {
+      const uint8_t* src = in.data() + r * rec;
+      uint64_t id = 0;
+      std::memcpy(&id, src, kIdBytes);
+      if (id < row_begin_ || id >= row_begin_ + owned_rows_) {
+        return Status::Internal(
+            StrFormat("scatter: member %zu updated non-owned row %llu", k,
+                      static_cast<unsigned long long>(id)));
+      }
+      float* row = rows_.data() + (id - row_begin_) * dim_;
+      for (size_t d = 0; d < dim_; ++d) {
+        float delta;
+        std::memcpy(&delta, src + kIdBytes + d * sizeof(float),
+                    sizeof(float));
+        row[d] += delta;
+      }
+    }
+    group_->Recycle(std::move(in));
+  }
+  return Status::OK();
+}
+
+}  // namespace bagua

@@ -1,0 +1,95 @@
+#ifndef BAGUA_PS_EMBEDDING_STORE_H_
+#define BAGUA_PS_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "collectives/collectives.h"
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief Row-range-sharded embedding store: each group member owns one
+/// contiguous slice of a merged global row space (all DLRM tables laid
+/// end to end; global id = table * rows_per_table + local row), split by
+/// the same ChunkOf partition the ring collectives use.
+///
+/// Unlike ShardedParameterServer (dense push/pull of the whole model),
+/// access here is *sparse*: a request touches a handful of rows scattered
+/// across shards. Both RPCs are collectives over AllToAllBytes
+/// (collectives/alltoall.h) in the sparse-PS tag namespace
+/// ([kSparsePsSpaceBase, kSparsePsSpaceLimit), transport.h):
+///
+///   Gather        ids fan out to their owners (one AllToAll), each owner
+///                 looks its slice up, rows fan back (a second AllToAll),
+///                 and the caller reassembles them in request order.
+///   ScatterUpdate (id, delta-row) records fan out to their owners; each
+///                 owner applies w[id] += delta in member-index order,
+///                 then arrival order within a member — a fixed order, so
+///                 the table stays bitwise identical across runs no matter
+///                 how requests were batched.
+///
+/// Every call advances this store's tag-space cursor identically on all
+/// members (both RPCs are collectives — all members call in the same
+/// order), so concurrent stores on one transport just need distinct
+/// cursors. Wire payloads are drawn from / recycled to the transport's
+/// buffer pool: in steady state a Gather performs zero heap allocations
+/// beyond the caller's output vector.
+///
+/// Rows are initialized via InitEmbeddingRow(seed, global id)
+/// (model/embedding.h): one Rng stream per *global* row, so the table's
+/// contents are invariant to the shard count — a 1-shard store and an
+/// 8-shard store hold bitwise-identical rows, which the serving tests
+/// exploit.
+class EmbeddingShard {
+ public:
+  /// Collective constructor: every member passes the same geometry.
+  /// Member k owns ChunkOf(total_rows, ranks.size(), k).
+  EmbeddingShard(TransportGroup* group, std::vector<int> ranks, int rank,
+                 size_t total_rows, size_t dim, uint64_t seed);
+
+  size_t total_rows() const { return total_rows_; }
+  size_t dim() const { return dim_; }
+  uint64_t row_begin() const { return row_begin_; }
+  size_t owned_rows() const { return owned_rows_; }
+
+  /// Collective sparse read. Every member calls with its own `ids` (any
+  /// length, duplicates fine); on return out has ids.size()*dim floats,
+  /// row r of `out` being global row ids[r]. Deterministic and bitwise
+  /// equal to a local InitEmbeddingRow table at any shard count.
+  Status Gather(const std::vector<uint64_t>& ids, std::vector<float>* out);
+
+  /// Collective sparse write: w[ids[r]] += deltas[r*dim .. r*dim+dim).
+  /// Duplicate ids accumulate. deltas must hold ids.size()*dim floats.
+  Status ScatterUpdate(const std::vector<uint64_t>& ids,
+                       const std::vector<float>& deltas);
+
+  /// Direct pointer to an owned row's dim floats; nullptr if this member
+  /// does not own `global_id`. Local fast path for tests and the serving
+  /// cache fill.
+  const float* LocalRow(uint64_t global_id) const;
+
+  /// Member index owning `global_id` (the ChunkOf partition inverted).
+  int OwnerOf(uint64_t global_id) const;
+
+ private:
+  /// Next per-collective tag namespace; advances by `spaces` each call.
+  uint32_t NextSpace(uint32_t spaces);
+
+  TransportGroup* group_;
+  std::vector<int> ranks_;
+  int rank_;
+  int index_;  // this member's position in ranks_
+  size_t total_rows_;
+  size_t dim_;
+  uint64_t row_begin_;
+  size_t owned_rows_;
+  std::vector<uint64_t> chunk_begin_;  // per-member first owned row
+  std::vector<float> rows_;            // owned slice, [owned_rows_, dim_]
+  uint32_t space_cursor_ = 0;          // offset into the sparse-PS range
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_PS_EMBEDDING_STORE_H_

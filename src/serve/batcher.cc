@@ -1,0 +1,47 @@
+#include "serve/batcher.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace bagua {
+
+std::vector<RequestBatch> FormBatches(
+    const std::vector<ServeRequest>& requests, const BatchingPolicy& policy) {
+  const size_t max_batch = policy.max_batch > 0 ? policy.max_batch : 1;
+  std::vector<RequestBatch> batches;
+  size_t begin = 0;
+  while (begin < requests.size()) {
+    const uint64_t t0 = requests[begin].arrival_us;
+    const uint64_t deadline = t0 + policy.max_delay_us;
+    size_t count = 1;
+    while (begin + count < requests.size() && count < max_batch &&
+           requests[begin + count].arrival_us <= deadline) {
+      ++count;
+    }
+    const uint64_t close_us = count == max_batch
+                                  ? requests[begin + count - 1].arrival_us
+                                  : deadline;
+    batches.push_back({begin, count, close_us});
+    begin += count;
+  }
+  return batches;
+}
+
+std::vector<ServeRequest> GenerateArrivals(size_t n,
+                                           double mean_interarrival_us,
+                                           uint64_t seed) {
+  BAGUA_CHECK_GT(mean_interarrival_us, 0.0);
+  Rng rng(MixSeed(seed, 0x5EE0A10Cull));
+  std::vector<ServeRequest> requests(n);
+  double t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    t += -std::log(1.0 - rng.Uniform()) * mean_interarrival_us;
+    requests[i].index = i;
+    requests[i].arrival_us = static_cast<uint64_t>(t);
+  }
+  return requests;
+}
+
+}  // namespace bagua

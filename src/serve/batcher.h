@@ -1,0 +1,58 @@
+#ifndef BAGUA_SERVE_BATCHER_H_
+#define BAGUA_SERVE_BATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bagua {
+
+/// \brief Dynamic batching policy: a batch closes when it holds max_batch
+/// requests or when max_delay_us has elapsed since its first request,
+/// whichever comes first — the classic throughput/latency dial of a
+/// serving front end.
+struct BatchingPolicy {
+  size_t max_batch = 32;
+  uint64_t max_delay_us = 1000;
+};
+
+/// \brief One request of the replayed stream. `arrival_us` is *virtual*
+/// time (deterministic, from the seeded arrival process), never wall
+/// time; `index` identifies the request's payload (model/embedding.h
+/// SampleRequest draws features from it).
+struct ServeRequest {
+  uint64_t index = 0;
+  uint64_t arrival_us = 0;
+};
+
+/// \brief A closed batch: requests [begin, begin+count) of the stream,
+/// dispatched at virtual time close_us.
+struct RequestBatch {
+  size_t begin = 0;
+  size_t count = 0;
+  uint64_t close_us = 0;
+};
+
+/// \brief Groups an arrival-ordered request stream into batches under
+/// `policy`.
+///
+/// A pure function of (requests, policy): batch formation is replayed
+/// over the virtual arrival timestamps, not measured on a live queue, so
+/// the batch boundaries — and everything downstream of them — are
+/// deterministic. A batch opening at t0 absorbs requests arriving in
+/// (t0, t0 + max_delay_us] up to max_batch; it closes at the arrival of
+/// its max_batch-th request or at t0 + max_delay_us, whichever is
+/// earlier. Every request's queueing delay is close_us - arrival_us.
+std::vector<RequestBatch> FormBatches(const std::vector<ServeRequest>& requests,
+                                      const BatchingPolicy& policy);
+
+/// \brief Draws `n` requests with exponential(mean_interarrival_us)
+/// virtual inter-arrival gaps from `seed` — a deterministic Poisson
+/// process, arrival-sorted by construction.
+std::vector<ServeRequest> GenerateArrivals(size_t n,
+                                           double mean_interarrival_us,
+                                           uint64_t seed);
+
+}  // namespace bagua
+
+#endif  // BAGUA_SERVE_BATCHER_H_

@@ -1,0 +1,47 @@
+#include "serve/cache.h"
+
+#include <cstring>
+
+namespace bagua {
+
+LruRowCache::LruRowCache(size_t capacity, size_t dim)
+    : capacity_(capacity), dim_(dim) {
+  arena_.resize(capacity_ * dim_);
+  map_.reserve(capacity_);
+}
+
+const float* LruRowCache::Lookup(uint64_t id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return arena_.data() + it->second->slot * dim_;
+}
+
+void LruRowCache::Insert(uint64_t id, const float* row) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    std::memcpy(arena_.data() + it->second->slot * dim_, row,
+                dim_ * sizeof(float));
+    return;
+  }
+  size_t slot;
+  if (map_.size() < capacity_) {
+    slot = map_.size();
+  } else {
+    const Entry victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim.id);
+    slot = victim.slot;
+  }
+  lru_.push_front({id, slot});
+  map_[id] = lru_.begin();
+  std::memcpy(arena_.data() + slot * dim_, row, dim_ * sizeof(float));
+}
+
+}  // namespace bagua

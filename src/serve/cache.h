@@ -1,0 +1,63 @@
+#ifndef BAGUA_SERVE_CACHE_H_
+#define BAGUA_SERVE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace bagua {
+
+/// \brief LRU cache of embedding rows, keyed by global row id.
+///
+/// The serving front end's hot-row cache: under skewed access
+/// (model/embedding.h SampleSkewedId) a small cache absorbs most lookups,
+/// turning remote Gather traffic into local copies. Storage is one flat
+/// [capacity, dim] float arena — inserting into a full cache evicts the
+/// least recently used row and reuses its slot, so a warmed cache never
+/// allocates.
+///
+/// Rows are cached by value and the backing store is read-only during a
+/// replay, so a cache hit returns bytes identical to a fresh Gather —
+/// which is why cached and uncached serving produce bitwise-identical
+/// logits (tests/serving_test.cc). Eviction order is a pure function of
+/// the lookup/insert sequence: deterministic for a deterministic replay.
+///
+/// Not thread-safe; each front-end rank owns one.
+class LruRowCache {
+ public:
+  /// `capacity` == 0 disables caching (every Lookup misses, Insert drops).
+  LruRowCache(size_t capacity, size_t dim);
+
+  /// Returns the cached row and refreshes its recency, or nullptr (a
+  /// miss). The pointer is valid until the next Insert.
+  const float* Lookup(uint64_t id);
+
+  /// Copies `row` (dim floats) in, evicting the LRU row if full.
+  /// Re-inserting a resident id refreshes its bytes and recency.
+  void Insert(uint64_t id, const float* row);
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t id;
+    size_t slot;  // row offset into arena_
+  };
+
+  size_t capacity_;
+  size_t dim_;
+  std::vector<float> arena_;            // [capacity, dim]
+  std::list<Entry> lru_;                // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_SERVE_CACHE_H_

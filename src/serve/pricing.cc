@@ -1,0 +1,75 @@
+#include "serve/pricing.h"
+
+#include <numeric>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace bagua {
+
+namespace {
+
+// Forward FLOPs of one sample through the dense stack: 2*in*out per
+// affine layer, bottom (dense_dim -> hidden... -> dim) plus top
+// (concat -> hidden... -> 1). Embedding lookups are memory-bound and
+// priced as communication, not FLOPs.
+double DenseFlopsPerSample(const DlrmConfig& m) {
+  double flops = 0.0;
+  size_t in = m.dense_dim;
+  for (size_t h : m.bottom_hidden) {
+    flops += 2.0 * static_cast<double>(in) * static_cast<double>(h);
+    in = h;
+  }
+  flops += 2.0 * static_cast<double>(in) * static_cast<double>(m.dim);
+  in = m.dim * (m.num_tables + 1);
+  for (size_t h : m.top_hidden) {
+    flops += 2.0 * static_cast<double>(in) * static_cast<double>(h);
+    in = h;
+  }
+  flops += 2.0 * static_cast<double>(in);
+  return flops;
+}
+
+}  // namespace
+
+ServingCost PriceServingBatch(const DlrmConfig& model,
+                              const ClusterTopology& topo,
+                              const NetworkConfig& net, int world,
+                              size_t batch_per_member, double cache_hit_rate,
+                              double flops_per_s) {
+  BAGUA_CHECK_GT(world, 0);
+  BAGUA_CHECK_LE(world, topo.world_size());
+  BAGUA_CHECK_GT(flops_per_s, 0.0);
+  if (cache_hit_rate < 0.0) cache_hit_rate = 0.0;
+  if (cache_hit_rate > 1.0) cache_hit_rate = 1.0;
+
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+
+  // Row-range sharding spreads lookups uniformly in expectation, so each
+  // ordered pair carries 1/world of a member's miss traffic. Hits are
+  // served from the local LRU and never reach the fabric.
+  const double lookups = static_cast<double>(batch_per_member) *
+                         static_cast<double>(model.num_tables) *
+                         static_cast<double>(model.slots_per_bag) *
+                         (1.0 - cache_hit_rate);
+  const double ids_per_pair =
+      lookups * sizeof(uint64_t) / static_cast<double>(world);
+  const double rows_per_pair = lookups * static_cast<double>(model.dim) *
+                               sizeof(float) / static_cast<double>(world);
+
+  ServingCost cost;
+  if (world > 1) {
+    cost.ids_alltoall_s = AllToAllCost(topo, net, ranks, ids_per_pair);
+    cost.rows_alltoall_s = AllToAllCost(topo, net, ranks, rows_per_pair);
+  }
+  cost.forward_s = DenseFlopsPerSample(model) *
+                   static_cast<double>(batch_per_member) / flops_per_s;
+  cost.batch_s = cost.ids_alltoall_s + cost.rows_alltoall_s + cost.forward_s;
+  const double requests =
+      static_cast<double>(batch_per_member) * static_cast<double>(world);
+  cost.qps_bound = cost.batch_s > 0.0 ? requests / cost.batch_s : 0.0;
+  return cost;
+}
+
+}  // namespace bagua

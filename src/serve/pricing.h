@@ -1,0 +1,40 @@
+#ifndef BAGUA_SERVE_PRICING_H_
+#define BAGUA_SERVE_PRICING_H_
+
+#include <cstddef>
+
+#include "model/embedding.h"
+#include "sim/collective_cost.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// \brief Offline price of one serving batch on the simulated fabric.
+///
+/// The same DES cost model that prices training iterations
+/// (sim/collective_cost.h alpha-beta flows) applied to the serving data
+/// path: an ids AllToAll out, a rows AllToAll back, then the dense DLRM
+/// stack. What-if analysis for the serving knobs — batch size, embedding
+/// dim, world size — without running the live bench.
+struct ServingCost {
+  double ids_alltoall_s = 0.0;   ///< request ids to their shard owners
+  double rows_alltoall_s = 0.0;  ///< embedding rows back to the requester
+  double forward_s = 0.0;        ///< bottom MLP + top MLP on the batch
+  double batch_s = 0.0;          ///< end-to-end, the sum of the above
+  double qps_bound = 0.0;        ///< world * batch_per_member / batch_s
+};
+
+/// Prices one global batch of `batch_per_member` requests per member over
+/// the first `world` devices of `topo`. `cache_hit_rate` scales the
+/// gathered-row volume down (hits never cross the wire); `flops_per_s` is
+/// the achieved dense-compute rate per member.
+ServingCost PriceServingBatch(const DlrmConfig& model,
+                              const ClusterTopology& topo,
+                              const NetworkConfig& net, int world,
+                              size_t batch_per_member, double cache_hit_rate,
+                              double flops_per_s);
+
+}  // namespace bagua
+
+#endif  // BAGUA_SERVE_PRICING_H_

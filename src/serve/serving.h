@@ -1,0 +1,85 @@
+#ifndef BAGUA_SERVE_SERVING_H_
+#define BAGUA_SERVE_SERVING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "model/embedding.h"
+#include "serve/batcher.h"
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \brief Configuration of one serving replay (see RunServingReplay).
+struct ServingConfig {
+  DlrmConfig model;
+  int world = 4;                ///< shard + front-end replica count
+  size_t num_requests = 1024;   ///< length of the replayed stream
+  BatchingPolicy policy;        ///< dynamic batching dial
+  size_t cache_rows = 256;      ///< per-rank LRU capacity; 0 disables
+  double mean_interarrival_us = 50.0;  ///< Poisson arrival spacing
+  size_t warmup_batches = 4;    ///< excluded from the steady-state
+                                ///< pool-miss accounting
+  uint64_t seed = 42;           ///< arrival-process stream
+};
+
+/// \brief What a replay reports. `logits` is the deterministic output
+/// (request-indexed, bitwise comparable across batching/caching
+/// configurations); latency and QPS are the serving metrics the bench
+/// gate consumes.
+struct ServingReport {
+  uint64_t requests = 0;
+  /// Hybrid per-request latency: virtual queueing delay (batch close -
+  /// arrival, from the seeded timeline) plus measured wall service time
+  /// of the request's batch, microseconds.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  /// requests / summed batch service wall time (rank 0's measurement).
+  double qps = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;  ///< hits / (hits + misses), all ranks
+  /// Transport-pool misses after the warmup batches: the zero-allocation
+  /// gate (scripts/serve_gate.sh asserts this stays 0 on a pooled group).
+  uint64_t pool_misses_steady = 0;
+  double service_wall_s = 0.0;
+  std::vector<float> logits;  ///< [num_requests], logits[i] = request i
+  /// Per-request hybrid latency, microseconds (basis of the percentiles;
+  /// in a collective-form partial report only owned slots are set).
+  std::vector<double> latency_us;
+};
+
+/// \brief Replays a seeded request stream against a sharded embedding
+/// store and reports serving metrics.
+///
+/// Every rank of `group` is both a storage shard (ps/embedding_store.h
+/// owns its row range) and a front-end replica. The stream's virtual
+/// arrival timeline and batch boundaries are formed once, identically on
+/// every rank (serve/batcher.h is pure); requests are then dealt
+/// round-robin — request i is served by rank i mod world — so per-rank
+/// loads differ but every rank walks the same global batch sequence and
+/// the sparse Gathers stay collective.
+///
+/// Per batch, a rank: draws its requests' features (model/embedding.h
+/// SampleRequest), filters needed rows through its LRU hot-row cache
+/// (serve/cache.h), Gathers only the misses, pools rows per bag
+/// (PoolRows) and runs the DLRM dense stack (ForwardPooled). Because
+/// pooling order, GEMM accumulation order, and cached bytes are all
+/// independent of how requests were batched, `logits` is bitwise
+/// identical for ANY (max_batch, max_delay, cache_rows) setting — the
+/// serving analogue of the repo's "relaxations don't change the bytes"
+/// contract, asserted by tests/serving_test.cc and the bench gate.
+///
+/// Collective: call from every rank's thread (base/sync.h ParallelFor)
+/// with the same config; `report` may be shared (rank 0 fills it).
+Status RunServingReplay(const ServingConfig& config, TransportGroup* group,
+                        int rank, ServingReport* report);
+
+/// Convenience single-call form: builds a pooled TransportGroup, spawns
+/// config.world rank threads, runs the replay, returns rank 0's report.
+Status RunServingReplay(const ServingConfig& config, ServingReport* report);
+
+}  // namespace bagua
+
+#endif  // BAGUA_SERVE_SERVING_H_

@@ -45,7 +45,8 @@ double RingAllreduceOver(const ClusterTopology& topo, const NetworkConfig& net,
   return 2.0 * path_latency + 2.0 * bytes * frac / bw;
 }
 
-/// All-to-all over `ranks`: every rank sends `bytes_per_pair` to every other.
+}  // namespace
+
 double AllToAllCost(const ClusterTopology& topo, const NetworkConfig& net,
                     const std::vector<int>& ranks, double bytes_per_pair) {
   std::vector<Flow> flows;
@@ -57,8 +58,6 @@ double AllToAllCost(const ClusterTopology& topo, const NetworkConfig& net,
   }
   return FlowSetTime(topo, net, flows);
 }
-
-}  // namespace
 
 double RingAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
                          double bytes) {

@@ -39,6 +39,12 @@ double IntraNodeBroadcastCost(const ClusterTopology& topo,
 double HierAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
                          double bytes);
 
+/// All-to-all over `ranks`: every rank sends `bytes_per_pair` to every
+/// other, all flows concurrent. Used by ScatterReduce's two phases and by
+/// the sharded-embedding serving pricer (serve/pricing.h).
+double AllToAllCost(const ClusterTopology& topo, const NetworkConfig& net,
+                    const std::vector<int>& ranks, double bytes_per_pair);
+
 /// Flat ScatterReduce (§3.3) over all ranks: all-to-all of per-rank
 /// partitions (phase 1), then all-to-all of merged partitions (phase 2).
 /// `phase1_bytes` / `phase2_bytes` are the *total per-rank payload* bytes in

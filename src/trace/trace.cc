@@ -20,6 +20,8 @@ const char* TraceStreamName(TraceStream stream) {
       return "fault";
     case TraceStream::kCommQueue:
       return "queue";
+    case TraceStream::kServe:
+      return "serve";
   }
   return "?";
 }

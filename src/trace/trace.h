@@ -24,8 +24,10 @@ enum class TraceStream : int {
   kCommQueue = 5,   ///< bucket wait in the async comm engine's queue
                     ///< (sched/engine.h) — begins at enqueue on the worker
                     ///< thread, ends at dequeue on the comm thread
+  kServe = 6,       ///< request serving: batch formation, embedding
+                    ///< gathers, model forward (src/serve/)
 };
-constexpr int kNumTraceStreams = 6;
+constexpr int kNumTraceStreams = 7;
 
 const char* TraceStreamName(TraceStream stream);
 

@@ -10,14 +10,15 @@ namespace bagua {
 
 namespace {
 
-/// Byte-counter key for a tag namespace, per the allocation map below:
-/// application collectives, gossip, or reserved fault-control traffic.
+/// Byte-counter key for a tag namespace. Classification comes from the
+/// audited TagSpaceName so the counters and the tag-space audit can never
+/// disagree; the strings stay literal so counter keys remain static.
 const char* SentBytesKey(uint64_t tag) {
   const uint32_t space = static_cast<uint32_t>(tag >> 32);
-  if (space >= kFaultControlSpace) return "transport.sent.fault_control";
-  if (space >= kGossipSpaceBase && space < kGossipSpaceLimit) {
-    return "transport.sent.gossip";
-  }
+  const char* name = TagSpaceName(space);
+  if (name[0] == 'f') return "transport.sent.fault_control";
+  if (name[0] == 's') return "transport.sent.serving";
+  if (name[0] == 'g') return "transport.sent.gossip";
   return "transport.sent.app";
 }
 

@@ -295,6 +295,16 @@ constexpr uint64_t MakeTag(uint32_t space, uint32_t step) {
 ///       kGossipSpaceBase + bucket index. Fixed (not NextSpace-allocated)
 ///       because gossip messages must match across workers at *different*
 ///       step counts.
+///   [0x90000000, 0xA0000000)  RESERVED for serving traffic (the DLRM
+///       inference front end of src/serve/). Split in half:
+///         [0x90000000, 0x98000000)  AllToAll collective instances
+///             (collectives/alltoall.h): space = kAllToAllSpaceBase +
+///             instance. Fixed like gossip — the exchange must match across
+///             members regardless of what each has executed before.
+///         [0x98000000, 0xA0000000)  sparse-PS RPCs (ps/embedding_store.h
+///             gather / scatter-update rounds): space = kSparsePsSpaceBase
+///             + round slot. Request-id and row payloads ride here so a
+///             serving burst can never cross-match a training collective.
 ///   [0xF0000000, 0xFFFFFFFF]  RESERVED for fault-control traffic (acks,
 ///       nacks, heartbeats) of the faults/ subsystem. Application code must
 ///       never allocate here: a retransmitted ack that cross-matched an
@@ -304,11 +314,47 @@ constexpr uint64_t MakeTag(uint32_t space, uint32_t step) {
 constexpr uint32_t kAppSpaceLimit = 0x80000000u;
 constexpr uint32_t kGossipSpaceBase = 0x80000000u;
 constexpr uint32_t kGossipSpaceLimit = 0x90000000u;
+constexpr uint32_t kServingSpaceBase = 0x90000000u;
+constexpr uint32_t kAllToAllSpaceBase = 0x90000000u;
+constexpr uint32_t kAllToAllSpaceLimit = 0x98000000u;
+constexpr uint32_t kSparsePsSpaceBase = 0x98000000u;
+constexpr uint32_t kSparsePsSpaceLimit = 0xA0000000u;
+constexpr uint32_t kServingSpaceLimit = 0xA0000000u;
 constexpr uint32_t kFaultControlSpace = 0xF0000000u;
 
 /// The reserved fault-control space carrying acks for data sent in `space`.
 constexpr uint32_t AckSpace(uint32_t space) {
   return kFaultControlSpace | (space & 0x0FFFFFFFu);
+}
+
+/// Compile-time audit of the allocation map: every reserved range sits
+/// above the dynamic application region, the ranges tile without overlap,
+/// and the serving sub-ranges exactly cover the serving namespace. New
+/// namespaces must extend these asserts (and TagSpaceName) or they do not
+/// exist as far as the audit is concerned.
+static_assert(kAppSpaceLimit == kGossipSpaceBase, "gap below gossip range");
+static_assert(kGossipSpaceLimit == kServingSpaceBase,
+              "gossip and serving ranges must tile");
+static_assert(kAllToAllSpaceBase == kServingSpaceBase &&
+                  kAllToAllSpaceLimit == kSparsePsSpaceBase &&
+                  kSparsePsSpaceLimit == kServingSpaceLimit,
+              "serving sub-ranges must cover the serving namespace");
+static_assert(kServingSpaceLimit <= kFaultControlSpace,
+              "serving range may not reach into fault control");
+
+/// Audited classification of a tag's 32-bit space word: "app", "gossip",
+/// "serving", or "fault_control". The transport's per-namespace byte
+/// counters (transport.sent.<name>) and the tag-audit tests are both built
+/// on this single function so they cannot drift apart.
+constexpr const char* TagSpaceName(uint32_t space) {
+  if (space >= kFaultControlSpace) return "fault_control";
+  if (space >= kServingSpaceBase && space < kServingSpaceLimit) {
+    return "serving";
+  }
+  if (space >= kGossipSpaceBase && space < kGossipSpaceLimit) {
+    return "gossip";
+  }
+  return "app";
 }
 /// @}
 

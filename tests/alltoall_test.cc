@@ -1,0 +1,294 @@
+// Differential tests of the pipelined AllToAll (collectives/alltoall.h)
+// against the frozen naive baseline (collectives/seed.h SeedAllToAllBytes):
+// same per-pair payloads, bitwise-identical exchanges — across world sizes
+// (including world 1), uneven per-peer splits, zero-length slices,
+// segmentation thresholds, intra-op thread counts, and an active
+// (hardened) fault plan — plus the steady-state zero-allocation property
+// on the pooled transport and the serving tag-namespace audit.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/sync.h"
+#include "collectives/alltoall.h"
+#include "collectives/collectives.h"
+#include "collectives/seed.h"
+#include "faults/faulty_transport.h"
+#include "trace/trace.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+/// Restores the global pipelining threshold / intra-op pool size on exit
+/// so tests cannot leak configuration into each other.
+struct ScopedSegmentBytes {
+  explicit ScopedSegmentBytes(size_t bytes)
+      : saved_(RingPipelineSegmentBytes()) {
+    SetRingPipelineSegmentBytes(bytes);
+  }
+  ~ScopedSegmentBytes() { SetRingPipelineSegmentBytes(saved_); }
+  size_t saved_;
+};
+struct ScopedIntraOpThreads {
+  explicit ScopedIntraOpThreads(int n) : saved_(IntraOpThreads()) {
+    SetIntraOpThreads(n);
+  }
+  ~ScopedIntraOpThreads() { SetIntraOpThreads(saved_); }
+  int saved_;
+};
+
+/// Uneven per-pair payload sizes with deliberate zero-length slices
+/// (MPI_Alltoallv semantics): a pure function of (src, dst, world) so
+/// every member derives the same exchange plan.
+size_t PairBytes(int src, int dst, int world) {
+  if ((src + dst) % 3 == 0) return 0;
+  return static_cast<size_t>((src * 131 + dst * 977 + world * 17) % 4093 + 1);
+}
+
+std::vector<std::vector<uint8_t>> MakeSend(int rank, int world,
+                                           uint64_t seed) {
+  Rng rng(MixSeed(seed, static_cast<uint64_t>(rank)));
+  std::vector<std::vector<uint8_t>> send(world);
+  for (int j = 0; j < world; ++j) {
+    send[j].resize(PairBytes(rank, j, world));
+    for (auto& b : send[j]) b = static_cast<uint8_t>(rng.Next());
+  }
+  return send;
+}
+
+using Exchange = std::vector<std::vector<std::vector<uint8_t>>>;
+
+Exchange RunFast(TransportGroup* group, int world, uint32_t space,
+                 uint64_t seed) {
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  Exchange recv(world);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    auto send = MakeSend(static_cast<int>(r), world, seed);
+    ASSERT_TRUE(AllToAllBytes(group, ranks, static_cast<int>(r), space,
+                              std::move(send), &recv[r])
+                    .ok());
+  });
+  return recv;
+}
+
+Exchange RunSeed(TransportGroup* group, int world, uint32_t space,
+                 uint64_t seed) {
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  Exchange recv(world);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    const auto send = MakeSend(static_cast<int>(r), world, seed);
+    ASSERT_TRUE(SeedAllToAllBytes(group, ranks, static_cast<int>(r), space,
+                                  send, &recv[r])
+                    .ok());
+  });
+  return recv;
+}
+
+void ExpectSameExchange(const Exchange& a, const Exchange& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size()) << "rank " << r;
+    for (size_t j = 0; j < a[r].size(); ++j) {
+      ASSERT_EQ(a[r][j].size(), b[r][j].size())
+          << "rank " << r << " slice from peer " << j;
+      EXPECT_EQ(std::memcmp(a[r][j].data(), b[r][j].data(), a[r][j].size()),
+                0)
+          << "rank " << r << " slice from peer " << j << " diverged";
+    }
+  }
+}
+
+TEST(AllToAllTest, BitwiseMatchesSeedAcrossWorldsUnevenAndZeroSlices) {
+  // A 256-byte threshold forces multi-segment pipelining on most pairs
+  // while PairBytes keeps other pairs empty or single-segment, so one
+  // sweep covers 0, 1, and many wire segments per pair.
+  ScopedSegmentBytes seg(256);
+  for (int world : {1, 2, 3, 5, 8}) {
+    const uint64_t seed = 0xa2a + static_cast<uint64_t>(world);
+    TransportGroup seed_group(world, TransportGroup::PoolMode::kUnpooled);
+    TransportGroup fast_group(world);
+    const Exchange golden =
+        RunSeed(&seed_group, world, kAllToAllSpaceBase, seed);
+    const Exchange fast = RunFast(&fast_group, world, kAllToAllSpaceBase,
+                                  seed);
+    ExpectSameExchange(golden, fast);
+  }
+}
+
+TEST(AllToAllTest, WorldOfOneRoundTripsOwnSlot) {
+  // The degenerate group: nothing crosses the wire, the member's own slot
+  // is moved straight to the output.
+  TransportGroup group(1);
+  std::vector<std::vector<uint8_t>> send(1);
+  send[0] = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> expect = send[0];
+  std::vector<std::vector<uint8_t>> recv;
+  ASSERT_TRUE(
+      AllToAllBytes(&group, {0}, 0, kAllToAllSpaceBase, std::move(send),
+                    &recv)
+          .ok());
+  ASSERT_EQ(recv.size(), 1u);
+  EXPECT_EQ(recv[0], expect);
+}
+
+TEST(AllToAllTest, AllEmptySlicesStayInLockstep) {
+  // Zero-length payloads still cross as header + empty message, so a
+  // fully empty exchange is legal and returns world empty slices.
+  const int world = 4;
+  TransportGroup group(world);
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  Exchange recv(world);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    std::vector<std::vector<uint8_t>> send(world);
+    ASSERT_TRUE(AllToAllBytes(&group, ranks, static_cast<int>(r),
+                              kAllToAllSpaceBase, std::move(send), &recv[r])
+                    .ok());
+  });
+  for (int r = 0; r < world; ++r) {
+    ASSERT_EQ(recv[r].size(), static_cast<size_t>(world));
+    for (const auto& slice : recv[r]) EXPECT_TRUE(slice.empty());
+  }
+}
+
+TEST(AllToAllTest, BitwiseStableAcrossSegmentation) {
+  // The segment threshold changes the wire message sizes but must never
+  // change a single output bit.
+  const int world = 4;
+  const uint64_t seed = 0x5e6;
+  Exchange golden;
+  {
+    TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+    golden = RunSeed(&group, world, kAllToAllSpaceBase, seed);
+  }
+  for (size_t seg_bytes : {size_t{0}, size_t{64}, size_t{1024},
+                           size_t{1} << 17}) {
+    ScopedSegmentBytes seg(seg_bytes);
+    TransportGroup group(world);
+    const Exchange fast = RunFast(&group, world, kAllToAllSpaceBase, seed);
+    ExpectSameExchange(golden, fast);
+  }
+}
+
+TEST(AllToAllTest, BitwiseStableAcrossIntraOpThreads) {
+  const int world = 4;
+  const uint64_t seed = 0x7ead;
+  ScopedSegmentBytes seg(512);
+  Exchange golden;
+  {
+    TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+    golden = RunSeed(&group, world, kAllToAllSpaceBase, seed);
+  }
+  for (int threads : {1, 2, 8}) {
+    ScopedIntraOpThreads pool(threads);
+    TransportGroup group(world);
+    const Exchange fast = RunFast(&group, world, kAllToAllSpaceBase, seed);
+    ExpectSameExchange(golden, fast);
+  }
+}
+
+TEST(AllToAllTest, BitwiseUnderActiveFaultPlan) {
+  // The hardened ARQ retransmits through drops/dups/corruption; above it
+  // the pipelined AllToAll must still reproduce the clean seed exchange.
+  const int world = 4;
+  const uint64_t seed = 0xfa2a;
+  ScopedSegmentBytes seg(1024);
+  Exchange golden;
+  {
+    TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+    golden = RunSeed(&group, world, kAllToAllSpaceBase, seed);
+  }
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.Drop(0.05).Duplicate(0.05).Corrupt(0.02);
+  FaultyTransport faulty(world, plan);
+  const Exchange fast = RunFast(&faulty, world, kAllToAllSpaceBase, seed);
+  ExpectSameExchange(golden, fast);
+  EXPECT_GT(faulty.stats().messages, 0u);
+}
+
+TEST(AllToAllTest, SteadyStateExchangeDoesZeroAllocations) {
+  const int world = 4;
+  ScopedSegmentBytes seg(256);
+  TransportGroup group(world);
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+
+  // One exchange round: sends drawn from the pool, every received slice
+  // recycled back, so buffers cycle pool -> wire -> pool.
+  auto round = [&](uint32_t space) {
+    ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+      const auto filled = MakeSend(static_cast<int>(r), world, 0x00c);
+      std::vector<std::vector<uint8_t>> send(world);
+      for (int j = 0; j < world; ++j) {
+        send[j] = group.AcquireBuffer(filled[j].size());
+        std::memcpy(send[j].data(), filled[j].data(), filled[j].size());
+      }
+      std::vector<std::vector<uint8_t>> recv;
+      ASSERT_TRUE(AllToAllBytes(&group, ranks, static_cast<int>(r), space,
+                                std::move(send), &recv)
+                      .ok());
+      for (auto& slice : recv) group.Recycle(std::move(slice));
+    });
+  };
+
+  // Prime every size class the exchange can touch (8-byte headers up to
+  // 4 KiB payloads) to the pool's per-class retention cap, so steady
+  // state cannot first-touch a class — or out-demand one under the
+  // adversarial thread interleaving of a loaded ctest run.
+  {
+    std::vector<std::vector<uint8_t>> parked;
+    for (size_t bytes = 64; bytes <= 8192; bytes *= 2) {
+      for (int k = 0; k < 64; ++k) {
+        parked.push_back(group.AcquireBuffer(bytes));
+      }
+    }
+    for (auto& buf : parked) group.Recycle(std::move(buf));
+  }
+
+  // Warm-up settles the exchange's own cycling (misses are expected
+  // here)...
+  uint32_t space = kAllToAllSpaceBase;
+  for (int iter = 0; iter < 3; ++iter) round(space++);
+  const uint64_t misses_after_warmup = group.pool_stats().misses;
+  // ...after which every payload and scratch acquisition is a pool hit.
+  for (int iter = 0; iter < 5; ++iter) round(space++);
+  const PoolStats s = group.pool_stats();
+  EXPECT_EQ(s.misses, misses_after_warmup)
+      << "steady-state AllToAll still heap-allocates";
+  EXPECT_GT(s.hits, 0u);
+}
+
+TEST(AllToAllTest, ExchangeTracedInServingNamespace) {
+  const int world = 3;
+  Tracer tracer(world);
+  InstallGlobalTracer(&tracer);
+  TransportGroup group(world);
+  RunFast(&group, world, kAllToAllSpaceBase, 0x7ace);
+  UninstallGlobalTracer();
+  EXPECT_EQ(tracer.CountSpans("alltoall"), static_cast<size_t>(world));
+  EXPECT_GT(tracer.CounterTotal("collective.alltoall.bytes"), 0u);
+}
+
+TEST(AllToAllTest, ServingTagNamespaceAudited) {
+  // The serving range tiles between gossip and fault control, its two
+  // sub-ranges cover it exactly, and the audit classifies every edge.
+  EXPECT_STREQ(TagSpaceName(kAllToAllSpaceBase), "serving");
+  EXPECT_STREQ(TagSpaceName(kSparsePsSpaceBase), "serving");
+  EXPECT_STREQ(TagSpaceName(kServingSpaceLimit - 1), "serving");
+  EXPECT_STREQ(TagSpaceName(kServingSpaceBase - 1), "gossip");
+  EXPECT_STREQ(TagSpaceName(kServingSpaceLimit), "app");
+  EXPECT_STREQ(TagSpaceName(kFaultControlSpace), "fault_control");
+  EXPECT_EQ(kAllToAllSpaceLimit, kSparsePsSpaceBase);
+}
+
+}  // namespace
+}  // namespace bagua

@@ -1,0 +1,499 @@
+// Tests of the sharded embedding serving stack: the EmbeddingBag/DLRM
+// layer (model/embedding.h), the row-range-sharded store riding AllToAll
+// (ps/embedding_store.h), the front end's LRU hot-row cache and dynamic
+// batcher (serve/), the end-to-end replay's central contract — batching
+// and caching change throughput, never the logits — and the DES serving
+// pricer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/sync.h"
+#include "model/embedding.h"
+#include "ps/embedding_store.h"
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/pricing.h"
+#include "serve/serving.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+// ------------------------------------------------------- model/embedding
+
+TEST(EmbeddingTest, PoolRowsSumMeanAndEmptyBags) {
+  const float rows[] = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  float out[2] = {-1.0f, -1.0f};
+  PoolRows(rows, 3, 2, Pooling::kSum, out);
+  EXPECT_EQ(out[0], 9.0f);
+  EXPECT_EQ(out[1], 12.0f);
+  PoolRows(rows, 3, 2, Pooling::kMean, out);
+  EXPECT_EQ(out[0], 3.0f);
+  EXPECT_EQ(out[1], 4.0f);
+  out[0] = out[1] = -1.0f;
+  PoolRows(rows, 0, 2, Pooling::kSum, out);  // empty bag pools to zeros
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+}
+
+TEST(EmbeddingTest, InitEmbeddingRowIsAPureFunctionOfSeedAndGlobalRow) {
+  const size_t dim = 16;
+  std::vector<float> a(dim), b(dim), c(dim);
+  InitEmbeddingRow(7, 123, dim, a.data());
+  InitEmbeddingRow(7, 123, dim, b.data());
+  InitEmbeddingRow(7, 124, dim, c.data());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), dim * sizeof(float)), 0);
+  EXPECT_NE(std::memcmp(a.data(), c.data(), dim * sizeof(float)), 0);
+}
+
+TEST(EmbeddingTest, ForwardPoolsTableRowsAndMatchesInitStream) {
+  const size_t rows = 32, dim = 4, slots = 3;
+  const uint64_t seed = 11, row_base = 64;
+  EmbeddingBag bag("emb", rows, dim, slots, Pooling::kSum, row_base);
+  bag.InitTable(seed);
+
+  Tensor ids = Tensor::Zeros({2, slots}, "ids");
+  const uint32_t picked[2][3] = {{0, 5, 5}, {31, 1, 0}};
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t s = 0; s < slots; ++s) {
+      ids[b * slots + s] = static_cast<float>(picked[b][s]);
+    }
+  }
+  Tensor out;
+  ASSERT_TRUE(bag.Forward(ids, &out).ok());
+
+  // Expected from the init stream directly: the table's row r must be
+  // InitEmbeddingRow(seed, row_base + r) — the invariant the sharded
+  // store leans on.
+  std::vector<float> row(dim), expect(dim);
+  for (size_t b = 0; b < 2; ++b) {
+    std::fill(expect.begin(), expect.end(), 0.0f);
+    for (size_t s = 0; s < slots; ++s) {
+      InitEmbeddingRow(seed, row_base + picked[b][s], dim, row.data());
+      for (size_t d = 0; d < dim; ++d) expect[d] += row[d];
+    }
+    for (size_t d = 0; d < dim; ++d) EXPECT_EQ(out[b * dim + d], expect[d]);
+  }
+}
+
+TEST(EmbeddingTest, ForwardIndicesHandlesVariableArityAndEmptyBags) {
+  const size_t rows = 8, dim = 2;
+  EmbeddingBag bag("emb", rows, dim, 1, Pooling::kMean);
+  bag.InitTable(3);
+  // Bags: {0,1,2}, {}, {7}.
+  const std::vector<uint32_t> indices = {0, 1, 2, 7};
+  const std::vector<uint32_t> offsets = {0, 3, 3, 4};
+  Tensor out;
+  ASSERT_TRUE(bag.ForwardIndices(indices, offsets, &out).ok());
+  ASSERT_EQ(out.numel(), 3 * dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const float mean = (bag.table()[0 * dim + d] + bag.table()[1 * dim + d] +
+                        bag.table()[2 * dim + d]) /
+                       3.0f;
+    EXPECT_EQ(out[0 * dim + d], mean);
+    EXPECT_EQ(out[1 * dim + d], 0.0f);  // empty bag
+    EXPECT_EQ(out[2 * dim + d], bag.table()[7 * dim + d]);
+  }
+  // Malformed offsets / out-of-table ids are rejected, not read OOB.
+  EXPECT_FALSE(bag.ForwardIndices(indices, {1, 4}, &out).ok());
+  Tensor bad = Tensor::Zeros({1}, "bad");
+  bad[0] = static_cast<float>(rows);
+  EXPECT_FALSE(bag.Forward(bad, &out).ok());
+}
+
+TEST(EmbeddingTest, BackwardScatterAddsDuplicatesDeterministically) {
+  const size_t rows = 4, dim = 2, slots = 2;
+  EmbeddingBag bag("emb", rows, dim, slots, Pooling::kMean);
+  bag.InitTable(1);
+  Tensor ids = Tensor::Zeros({1, slots}, "ids");
+  ids[0] = 2.0f;
+  ids[1] = 2.0f;  // duplicate id within the bag accumulates twice
+  Tensor out;
+  ASSERT_TRUE(bag.Forward(ids, &out).ok());
+  Tensor grad_out = Tensor::Zeros({1, dim}, "g");
+  grad_out[0] = 1.0f;
+  grad_out[1] = -4.0f;
+  Tensor grad_in;
+  ASSERT_TRUE(bag.Backward(grad_out, &grad_in).ok());
+  const Tensor* gtable = bag.params()[0].grad;
+  // Mean pooling scales by 1/slots; two occurrences of row 2 sum back up.
+  EXPECT_EQ((*gtable)[2 * dim + 0], 1.0f);
+  EXPECT_EQ((*gtable)[2 * dim + 1], -4.0f);
+  EXPECT_EQ((*gtable)[0], 0.0f);  // untouched rows stay zero
+}
+
+TEST(EmbeddingTest, SampleSkewedIdIsSkewedAndInRange) {
+  Rng rng(5);
+  const size_t rows = 1000;
+  size_t low = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const uint32_t id = SampleSkewedId(&rng, rows, 4.0);
+    ASSERT_LT(id, rows);
+    if (id < rows / 10) ++low;
+  }
+  // Under skew 4, far more than 10% of draws land in the lowest decile.
+  EXPECT_GT(low, 2000u);
+}
+
+TEST(EmbeddingTest, DlrmForwardPooledMatchesLocalForward) {
+  // The serving data path (pool gathered rows, then ForwardPooled) must be
+  // bitwise identical to the local all-in-one Forward.
+  DlrmConfig mc;
+  mc.num_tables = 2;
+  mc.rows_per_table = 64;
+  mc.dim = 8;
+  mc.dense_dim = 4;
+  mc.slots_per_bag = 2;
+  mc.bottom_hidden = {8};
+  mc.top_hidden = {8};
+  DlrmModel model(mc);
+  const size_t batch = 5, slots = mc.num_tables * mc.slots_per_bag;
+
+  Tensor dense = Tensor::Zeros({batch, mc.dense_dim}, "dense");
+  Tensor ids = Tensor::Zeros({batch, slots}, "ids");
+  Tensor pooled = Tensor::Zeros({batch, mc.num_tables * mc.dim}, "pooled");
+  std::vector<float> dense_req;
+  std::vector<uint32_t> ids_req;
+  std::vector<float> gathered(mc.slots_per_bag * mc.dim);
+  for (size_t k = 0; k < batch; ++k) {
+    model.SampleRequest(k, &dense_req, &ids_req);
+    std::memcpy(dense.data() + k * mc.dense_dim, dense_req.data(),
+                mc.dense_dim * sizeof(float));
+    for (size_t s = 0; s < slots; ++s) {
+      ids[k * slots + s] = static_cast<float>(ids_req[s]);
+    }
+    for (size_t t = 0; t < mc.num_tables; ++t) {
+      for (size_t s = 0; s < mc.slots_per_bag; ++s) {
+        InitEmbeddingRow(mc.seed,
+                         mc.GlobalRow(t, ids_req[t * mc.slots_per_bag + s]),
+                         mc.dim, gathered.data() + s * mc.dim);
+      }
+      PoolRows(gathered.data(), mc.slots_per_bag, mc.dim, mc.pooling,
+               pooled.data() + k * mc.num_tables * mc.dim + t * mc.dim);
+    }
+  }
+  Tensor out_local, out_pooled;
+  ASSERT_TRUE(model.Forward(dense, ids, &out_local).ok());
+  ASSERT_TRUE(model.ForwardPooled(dense, pooled, &out_pooled).ok());
+  ASSERT_EQ(out_local.numel(), batch);
+  EXPECT_EQ(std::memcmp(out_local.data(), out_pooled.data(),
+                        batch * sizeof(float)),
+            0);
+}
+
+// --------------------------------------------------- ps/embedding_store
+
+TEST(EmbeddingShardTest, GatherIsInvariantToShardCount) {
+  const size_t total_rows = 103, dim = 6;  // uneven split on purpose
+  const uint64_t seed = 21;
+  // Ids hit every shard, repeat, and arrive unsorted.
+  const std::vector<uint64_t> ids = {102, 0, 51, 7, 51, 33, 90, 0};
+
+  std::vector<float> golden(ids.size() * dim);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    InitEmbeddingRow(seed, ids[i], dim, golden.data() + i * dim);
+  }
+  for (int world : {1, 2, 4}) {
+    TransportGroup group(world);
+    std::vector<int> ranks(world);
+    std::iota(ranks.begin(), ranks.end(), 0);
+    std::vector<std::vector<float>> out(world);
+    ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+      EmbeddingShard shard(&group, ranks, static_cast<int>(r), total_rows,
+                           dim, seed);
+      ASSERT_TRUE(shard.Gather(ids, &out[r]).ok());
+    });
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(out[r].size(), golden.size()) << "world " << world;
+      EXPECT_EQ(std::memcmp(out[r].data(), golden.data(),
+                            golden.size() * sizeof(float)),
+                0)
+          << "world " << world << " rank " << r
+          << " diverged from the local init stream";
+    }
+  }
+}
+
+TEST(EmbeddingShardTest, OwnerAndLocalRowAgreeWithThePartition) {
+  const size_t total_rows = 10, dim = 2;
+  const int world = 3;
+  TransportGroup group(world);
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    EmbeddingShard shard(&group, ranks, static_cast<int>(r), total_rows, dim,
+                         3);
+    for (uint64_t id = 0; id < total_rows; ++id) {
+      const int owner = shard.OwnerOf(id);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, world);
+      const float* row = shard.LocalRow(id);
+      if (owner == static_cast<int>(r)) {
+        ASSERT_NE(row, nullptr);
+        std::vector<float> expect(dim);
+        InitEmbeddingRow(3, id, dim, expect.data());
+        EXPECT_EQ(std::memcmp(row, expect.data(), dim * sizeof(float)), 0);
+      } else {
+        EXPECT_EQ(row, nullptr);
+      }
+    }
+    EXPECT_EQ(shard.OwnerOf(0), 0);
+    EXPECT_EQ(shard.OwnerOf(total_rows - 1), world - 1);
+  });
+}
+
+TEST(EmbeddingShardTest, ScatterUpdateAccumulatesDuplicatesFromAllRanks) {
+  const size_t total_rows = 16, dim = 2;
+  const int world = 2;
+  const uint64_t seed = 9;
+  TransportGroup group(world);
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  // Both ranks update row 3 (rank 0 twice); row 12 is remote for rank 0.
+  std::vector<float> out0;
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    EmbeddingShard shard(&group, ranks, static_cast<int>(r), total_rows, dim,
+                         seed);
+    std::vector<uint64_t> ids;
+    std::vector<float> deltas;
+    if (r == 0) {
+      ids = {3, 12, 3};
+      deltas = {1.0f, 2.0f, 10.0f, 20.0f, 0.5f, 0.25f};
+    } else {
+      ids = {3};
+      deltas = {100.0f, 200.0f};
+    }
+    ASSERT_TRUE(shard.ScatterUpdate(ids, deltas).ok());
+    std::vector<float> got;
+    ASSERT_TRUE(shard.Gather({3, 12}, &got).ok());
+    if (r == 0) out0 = got;
+  });
+  std::vector<float> base3(dim), base12(dim);
+  InitEmbeddingRow(seed, 3, dim, base3.data());
+  InitEmbeddingRow(seed, 12, dim, base12.data());
+  ASSERT_EQ(out0.size(), 2 * dim);
+  EXPECT_FLOAT_EQ(out0[0], base3[0] + 1.0f + 0.5f + 100.0f);
+  EXPECT_FLOAT_EQ(out0[1], base3[1] + 2.0f + 0.25f + 200.0f);
+  EXPECT_FLOAT_EQ(out0[dim + 0], base12[0] + 10.0f);
+  EXPECT_FLOAT_EQ(out0[dim + 1], base12[1] + 20.0f);
+}
+
+// ----------------------------------------------------------- serve/cache
+
+TEST(LruRowCacheTest, HitsMissesAndEvictionOrder) {
+  const size_t dim = 2;
+  LruRowCache cache(2, dim);
+  const float r1[] = {1.0f, 1.5f}, r2[] = {2.0f, 2.5f}, r3[] = {3.0f, 3.5f};
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  cache.Insert(1, r1);
+  cache.Insert(2, r2);
+  const float* hit = cache.Lookup(1);  // refreshes 1; 2 is now LRU
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit[0], 1.0f);
+  EXPECT_EQ(hit[1], 1.5f);
+  cache.Insert(3, r3);  // evicts 2, not the refreshed 1
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(LruRowCacheTest, ReinsertRefreshesBytesAndCapacityZeroDisables) {
+  const size_t dim = 1;
+  LruRowCache cache(1, dim);
+  const float a = 1.0f, b = 9.0f;
+  cache.Insert(7, &a);
+  cache.Insert(7, &b);  // refresh in place, no eviction
+  const float* hit = cache.Lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit[0], 9.0f);
+  EXPECT_EQ(cache.size(), 1u);
+
+  LruRowCache off(0, dim);
+  off.Insert(7, &a);
+  EXPECT_EQ(off.Lookup(7), nullptr);
+  EXPECT_EQ(off.size(), 0u);
+}
+
+// --------------------------------------------------------- serve/batcher
+
+TEST(BatcherTest, ClosesOnMaxBatchOrMaxDelayWhicheverFirst) {
+  // Arrivals 0, 5, 30, 100 with max_batch=2, max_delay=10us:
+  //   batch 0 = {0, 5}   fills, closes at its 2nd arrival (5);
+  //   batch 1 = {30}     times out, closes at 30 + 10 = 40;
+  //   batch 2 = {100}    times out, closes at 110.
+  std::vector<ServeRequest> requests = {
+      {0, 0}, {1, 5}, {2, 30}, {3, 100}};
+  BatchingPolicy policy;
+  policy.max_batch = 2;
+  policy.max_delay_us = 10;
+  const auto batches = FormBatches(requests, policy);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].begin, 0u);
+  EXPECT_EQ(batches[0].count, 2u);
+  EXPECT_EQ(batches[0].close_us, 5u);
+  EXPECT_EQ(batches[1].begin, 2u);
+  EXPECT_EQ(batches[1].count, 1u);
+  EXPECT_EQ(batches[1].close_us, 40u);
+  EXPECT_EQ(batches[2].begin, 3u);
+  EXPECT_EQ(batches[2].count, 1u);
+  EXPECT_EQ(batches[2].close_us, 110u);
+
+  // An arrival exactly at the deadline is still absorbed.
+  requests = {{0, 0}, {1, 10}};
+  policy.max_batch = 8;
+  const auto edge = FormBatches(requests, policy);
+  ASSERT_EQ(edge.size(), 1u);
+  EXPECT_EQ(edge[0].count, 2u);
+  EXPECT_EQ(edge[0].close_us, 10u);
+
+  // max_batch=1, max_delay=0 degrades to one batch per request closing at
+  // its own arrival — the unbatched baseline of the serving gate.
+  policy.max_batch = 1;
+  policy.max_delay_us = 0;
+  const auto singles = FormBatches(requests, policy);
+  ASSERT_EQ(singles.size(), 2u);
+  EXPECT_EQ(singles[0].close_us, 0u);
+  EXPECT_EQ(singles[1].close_us, 10u);
+}
+
+TEST(BatcherTest, GeneratedArrivalsAreSortedDeterministicAndIndexed) {
+  const auto a = GenerateArrivals(256, 50.0, 42);
+  const auto b = GenerateArrivals(256, 50.0, 42);
+  const auto c = GenerateArrivals(256, 50.0, 43);
+  ASSERT_EQ(a.size(), 256u);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, i);
+    if (i > 0) EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    any_diff = any_diff || a[i].arrival_us != c[i].arrival_us;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds drew identical timelines";
+  // FormBatches partitions the stream exactly: every request in one batch.
+  BatchingPolicy policy;
+  const auto batches = FormBatches(a, policy);
+  size_t covered = 0;
+  for (const auto& batch : batches) {
+    EXPECT_EQ(batch.begin, covered);
+    covered += batch.count;
+  }
+  EXPECT_EQ(covered, a.size());
+}
+
+// ----------------------------------------------- end-to-end serving replay
+
+ServingConfig SmallServingConfig() {
+  ServingConfig config;
+  config.model.num_tables = 2;
+  config.model.rows_per_table = 128;
+  config.model.dim = 8;
+  config.model.dense_dim = 4;
+  config.model.slots_per_bag = 2;
+  config.model.bottom_hidden = {8};
+  config.model.top_hidden = {8};
+  config.model.seed = 77;
+  config.world = 2;
+  config.num_requests = 96;
+  config.policy.max_batch = 8;
+  config.policy.max_delay_us = 500;
+  config.cache_rows = 64;
+  config.mean_interarrival_us = 25.0;
+  config.warmup_batches = 2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ServingReplayTest, BatchingAndCachingNeverChangeTheLogits) {
+  const ServingConfig batched = SmallServingConfig();
+  ServingConfig unbatched = batched;
+  unbatched.policy.max_batch = 1;
+  unbatched.policy.max_delay_us = 0;
+  unbatched.cache_rows = 0;
+
+  ServingReport a, b;
+  ASSERT_TRUE(RunServingReplay(batched, &a).ok());
+  ASSERT_TRUE(RunServingReplay(unbatched, &b).ok());
+  ASSERT_EQ(a.logits.size(), batched.num_requests);
+  ASSERT_EQ(b.logits.size(), batched.num_requests);
+  EXPECT_EQ(std::memcmp(a.logits.data(), b.logits.data(),
+                        a.logits.size() * sizeof(float)),
+            0)
+      << "batch boundaries / cache hits changed the bytes";
+  // The skewed id stream makes the hot-row cache earn its keep...
+  EXPECT_GT(a.cache_hits, 0u);
+  EXPECT_GT(a.cache_hit_rate, 0.0);
+  // ...while the uncached run never reports a hit.
+  EXPECT_EQ(b.cache_hits, 0u);
+  // Steady state serves every wire payload from recycled pool buffers.
+  EXPECT_EQ(a.pool_misses_steady, 0u);
+  EXPECT_EQ(b.pool_misses_steady, 0u);
+  EXPECT_GT(a.qps, 0.0);
+  EXPECT_GE(a.p99_latency_us, a.p50_latency_us);
+}
+
+TEST(ServingReplayTest, ReplayIsDeterministicAndShardCountInvariant) {
+  const ServingConfig config = SmallServingConfig();
+  ServingReport a, b;
+  ASSERT_TRUE(RunServingReplay(config, &a).ok());
+  ASSERT_TRUE(RunServingReplay(config, &b).ok());
+  EXPECT_EQ(std::memcmp(a.logits.data(), b.logits.data(),
+                        a.logits.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+
+  // Same stream on a single self-sharded rank: ownership and wire traffic
+  // change completely, the logits must not.
+  ServingConfig solo = config;
+  solo.world = 1;
+  ServingReport c;
+  ASSERT_TRUE(RunServingReplay(solo, &c).ok());
+  EXPECT_EQ(std::memcmp(a.logits.data(), c.logits.data(),
+                        a.logits.size() * sizeof(float)),
+            0)
+      << "logits depend on the shard count";
+}
+
+// -------------------------------------------------------- serve/pricing
+
+TEST(ServingPricingTest, PricesAreConsistentAndRespondToTheKnobs) {
+  DlrmConfig model;
+  const auto topo = ClusterTopology::Make(4, 1);
+  const auto net = NetworkConfig::Tcp25();
+  const ServingCost cost = PriceServingBatch(model, topo, net, 4, 8, 0.0,
+                                             1e12);
+  EXPECT_GT(cost.ids_alltoall_s, 0.0);
+  EXPECT_GT(cost.rows_alltoall_s, 0.0);
+  EXPECT_GT(cost.forward_s, 0.0);
+  EXPECT_NEAR(cost.batch_s,
+              cost.ids_alltoall_s + cost.rows_alltoall_s + cost.forward_s,
+              1e-12);
+  EXPECT_NEAR(cost.qps_bound, 4.0 * 8.0 / cost.batch_s, 1e-6);
+
+  // Cache hits keep rows off the wire; a bigger batch costs more.
+  const ServingCost hot = PriceServingBatch(model, topo, net, 4, 8, 0.9,
+                                            1e12);
+  EXPECT_LT(hot.rows_alltoall_s, cost.rows_alltoall_s);
+  const ServingCost big = PriceServingBatch(model, topo, net, 4, 64, 0.0,
+                                            1e12);
+  EXPECT_GT(big.batch_s, cost.batch_s);
+
+  // A single member exchanges nothing with itself.
+  const ServingCost solo = PriceServingBatch(model, ClusterTopology::Make(1, 1),
+                                             net, 1, 8, 0.0, 1e12);
+  EXPECT_EQ(solo.ids_alltoall_s, 0.0);
+  EXPECT_EQ(solo.rows_alltoall_s, 0.0);
+  EXPECT_GT(solo.forward_s, 0.0);
+}
+
+}  // namespace
+}  // namespace bagua
