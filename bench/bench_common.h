@@ -45,6 +45,9 @@ namespace bagua {
 ///   --serving-json=PATH run the embedding-serving gate (serving_gate.h)
 ///                       instead of the regular bench and write its JSON
 ///                       to PATH (scripts/serve_gate.sh)
+///   --scale-json=PATH   bench_scalability writes its flat/hier/tree/PS
+///                       crossover gate numbers to PATH
+///                       (scripts/scale_gate.sh)
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
@@ -52,6 +55,7 @@ struct BenchArgs {
   std::string overlap_json;
   std::string comm_json;
   std::string serving_json;
+  std::string scale_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -105,6 +109,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--serving-json= needs a path";
       }
+    } else if (std::strncmp(a, "--scale-json=", 13) == 0) {
+      args.scale_json = a + 13;
+      if (args.scale_json.empty()) {
+        args.ok = false;
+        args.error = "--scale-json= needs a path";
+      }
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -132,6 +142,7 @@ inline int BenchArgsError(const BenchArgs& args) {
                        " [--trace-ranks=N] [--threads=N] [--quick]"
                        " [--kernels-json=PATH] [--comm-json=PATH]"
                        " [--overlap-json=PATH] [--serving-json=PATH]"
+                       " [--scale-json=PATH]"
                        " [--benchmark_* passed through]\n",
                args.error.c_str());
   return 2;

@@ -35,6 +35,9 @@ echo "==> comm gate (zero-copy pooled transport + pipelined rings)"
 echo "==> serving gate (dynamic batching + hot-row cache over sharded embeddings)"
 ./scripts/serve_gate.sh build
 
+echo "==> scale gate (flat vs hierarchical vs tree vs PS crossover sweep)"
+./scripts/scale_gate.sh build
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"
@@ -48,5 +51,8 @@ ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L comm
 
 echo "==> AllToAll + serving front-end tests under ${SANITIZER} (ctest -L serving)"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L serving
+
+echo "==> hierarchical collectives + scale model under ${SANITIZER} (ctest -L hier)"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L hier
 
 echo "OK: plain + ${SANITIZER} suites passed"

@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "collectives/hierarchy.h"
 #include "sim/collective_cost.h"
 #include "tensor/ops.h"
 
@@ -39,9 +40,28 @@ double AllreduceAlgorithm::CommCost(size_t numel, const ClusterTopology& topo,
 double AllreduceAlgorithm::WireBytes(size_t numel, const ClusterTopology& topo,
                                      bool hierarchical) const {
   const double bytes = numel * 4.0;
-  if (hierarchical) {
-    // Intra ring (2x) + leader share of the inter-node ring.
-    return 2.0 * bytes + 2.0 * bytes / topo.devices_per_node;
+  const double m = static_cast<double>(topo.world_size());
+  if (hierarchical && topo.devices_per_node > 1) {
+    // Per-rank average of the algorithm CFpS actually dispatches to
+    // (collectives/hierarchy.h).
+    switch (ChooseAllreduceAlgo(topo, static_cast<size_t>(bytes))) {
+      case AllreduceAlgo::kTree: {
+        // Gather slots up the tree plus (m-1) full copies broadcast down.
+        const double slots = static_cast<double>(
+            TreeGatherTotalSlots(static_cast<size_t>(m)) +
+            static_cast<size_t>(m) - 1);
+        return slots * bytes / m;
+      }
+      case AllreduceAlgo::kHierarchical: {
+        const double d = static_cast<double>(topo.devices_per_node);
+        const double nodes = static_cast<double>(topo.num_nodes);
+        // Intra reduce + broadcast (2(d-1) copies per node) plus the
+        // leaders' ring share, averaged over the d ranks of a node.
+        return (2.0 * (d - 1.0) + 2.0 * (nodes - 1.0) / nodes) * bytes / d;
+      }
+      case AllreduceAlgo::kFlatRing:
+        return 2.0 * bytes;
+    }
   }
   return 2.0 * bytes;
 }

@@ -1,0 +1,369 @@
+#include "collectives/hierarchy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "base/strings.h"
+#include "collectives/collectives.h"
+#include "tensor/ops.h"
+#include "trace/trace.h"
+
+namespace bagua {
+
+namespace {
+
+std::atomic<size_t> g_tree_threshold_bytes{size_t{4} << 10};  // 4 KiB
+
+constexpr char kHierBytes[] = "collective.hier_allreduce.bytes";
+constexpr char kTreeBytes[] = "collective.tree.bytes";
+
+size_t LowBit(size_t q) { return q & (~q + size_t{1}); }
+
+/// Subtree size of q-index `q` in an m-member binomial tree rooted at 0:
+/// the contiguous q-range [q, q + size) it gathers.
+size_t SubtreeSize(size_t q, size_t m) {
+  if (q == 0) return m;
+  return std::min(LowBit(q), m - q);
+}
+
+/// Children of `q`, ascending. Ascending child order makes the gathered
+/// payload's q-indices contiguous and ascending — the property the root's
+/// member-order reduction relies on.
+std::vector<size_t> ChildrenOf(size_t q, size_t m) {
+  std::vector<size_t> children;
+  const size_t limit = (q == 0) ? m : LowBit(q);
+  for (size_t off = 1; off < limit && q + off < m; off <<= 1) {
+    children.push_back(q + off);
+  }
+  return children;
+}
+
+}  // namespace
+
+size_t TreeGatherTotalSlots(size_t m) {
+  size_t slots = 0;
+  for (size_t q = 1; q < m; ++q) slots += SubtreeSize(q, m);
+  return slots;
+}
+
+void SetTreeAllreduceThresholdBytes(size_t bytes) {
+  g_tree_threshold_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+size_t TreeAllreduceThresholdBytes() {
+  return g_tree_threshold_bytes.load(std::memory_order_relaxed);
+}
+
+AllreduceAlgo ChooseAllreduceAlgo(const ClusterTopology& topo, size_t bytes) {
+  if (topo.world_size() <= 2) return AllreduceAlgo::kFlatRing;
+  const size_t threshold = TreeAllreduceThresholdBytes();
+  if (threshold > 0 && bytes <= threshold) return AllreduceAlgo::kTree;
+  if (topo.num_nodes > 1 && topo.devices_per_node > 1) {
+    return AllreduceAlgo::kHierarchical;
+  }
+  return AllreduceAlgo::kFlatRing;
+}
+
+Status TreeReduce(TransportGroup* group, const std::vector<int>& ranks,
+                  int rank, int root_index, uint32_t space, float* data,
+                  size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  if (root_index < 0 || static_cast<size_t>(root_index) >= m) {
+    return Status::InvalidArgument("tree reduce root out of range");
+  }
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1 || n == 0) return Status::OK();
+
+  // Work in q-space: q = 0 at the root, members shifted modulo m. Subtree
+  // q-ranges are contiguous, so the root can locate any member's slice.
+  const size_t q =
+      (static_cast<size_t>(i) + m - static_cast<size_t>(root_index)) % m;
+  auto rank_of_q = [&](size_t qi) {
+    return ranks[(static_cast<size_t>(root_index) + qi) % m];
+  };
+  const auto children = ChildrenOf(q, m);
+  const size_t vec_bytes = n * sizeof(float);
+
+  if (q == 0) {
+    // Root: gather every child's concatenated subtree payload, then reduce
+    // all member vectors in ascending *member* order — exactly SeedReduce.
+    TraceSpan span(rank, TraceStream::kComm, "tree.reduce");
+    std::vector<std::vector<uint8_t>> sub(children.size());
+    Status st = [&]() -> Status {
+      for (size_t c = 0; c < children.size(); ++c) {
+        RETURN_IF_ERROR(group->Recv(rank_of_q(children[c]), rank,
+                                    MakeTag(space, 0), &sub[c]));
+        const size_t want = SubtreeSize(children[c], m) * vec_bytes;
+        if (sub[c].size() != want) {
+          return Status::Internal(
+              StrFormat("tree.reduce: payload %zu bytes, want %zu",
+                        sub[c].size(), want));
+        }
+      }
+      for (size_t j = 0; j < m; ++j) {
+        if (static_cast<int>(j) == root_index) continue;
+        const size_t qj =
+            (j + m - static_cast<size_t>(root_index)) % m;
+        // Find the child subtree range holding qj.
+        size_t c = children.size();
+        for (size_t k = 0; k < children.size(); ++k) {
+          if (qj >= children[k] &&
+              qj < children[k] + SubtreeSize(children[k], m)) {
+            c = k;
+            break;
+          }
+        }
+        if (c == children.size()) {
+          return Status::Internal("tree.reduce: member outside all subtrees");
+        }
+        const float* slice = reinterpret_cast<const float*>(
+            sub[c].data() + (qj - children[c]) * vec_bytes);
+        Axpy(1.0f, slice, data, n);
+      }
+      return Status::OK();
+    }();
+    for (auto& buf : sub) group->Recycle(std::move(buf));
+    return st;
+  }
+
+  if (children.empty()) {
+    // Leaf: the payload is just the local vector.
+    TraceSpan span(rank, TraceStream::kComm, "tree.gather", vec_bytes);
+    TraceCountBytes(rank, kTreeBytes, vec_bytes);
+    return group->Send(rank, rank_of_q(q & (q - 1)), MakeTag(space, 0), data,
+                       vec_bytes);
+  }
+
+  // Interior node: concatenate [own vector | child subtrees, ascending]
+  // and forward zero-copy. No arithmetic happens here.
+  const size_t total = SubtreeSize(q, m) * vec_bytes;
+  TraceSpan span(rank, TraceStream::kComm, "tree.gather", total);
+  std::vector<uint8_t> payload = group->AcquireBuffer(total);
+  std::vector<uint8_t> rx;
+  Status st = [&]() -> Status {
+    std::memcpy(payload.data(), data, vec_bytes);
+    for (size_t c : children) {
+      RETURN_IF_ERROR(group->Recv(rank_of_q(c), rank, MakeTag(space, 0), &rx));
+      const size_t want = SubtreeSize(c, m) * vec_bytes;
+      if (rx.size() != want) {
+        return Status::Internal(StrFormat(
+            "tree.gather: payload %zu bytes, want %zu", rx.size(), want));
+      }
+      std::memcpy(payload.data() + (c - q) * vec_bytes, rx.data(), want);
+    }
+    TraceCountBytes(rank, kTreeBytes, total);
+    return group->SendBuffer(rank, rank_of_q(q & (q - 1)), MakeTag(space, 0),
+                             std::move(payload));
+  }();
+  group->Recycle(std::move(rx));
+  if (!st.ok()) group->Recycle(std::move(payload));
+  return st;
+}
+
+Status TreeBroadcast(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, int root_index, uint32_t space, float* data,
+                     size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  if (root_index < 0 || static_cast<size_t>(root_index) >= m) {
+    return Status::InvalidArgument("tree broadcast root out of range");
+  }
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1 || n == 0) return Status::OK();
+
+  const size_t q =
+      (static_cast<size_t>(i) + m - static_cast<size_t>(root_index)) % m;
+  auto rank_of_q = [&](size_t qi) {
+    return ranks[(static_cast<size_t>(root_index) + qi) % m];
+  };
+  if (q != 0) {
+    TraceSpan span(rank, TraceStream::kComm, "tree.bcast.recv");
+    RETURN_IF_ERROR(group->RecvFloats(rank_of_q(q & (q - 1)), rank,
+                                      MakeTag(space, 1), data, n));
+  }
+  const auto children = ChildrenOf(q, m);
+  if (!children.empty()) {
+    TraceSpan span(rank, TraceStream::kComm, "tree.bcast",
+                   children.size() * n * sizeof(float));
+    TraceCountBytes(rank, kTreeBytes, children.size() * n * sizeof(float));
+    // Largest subtree first, so deep branches start forwarding earliest.
+    for (size_t k = children.size(); k-- > 0;) {
+      RETURN_IF_ERROR(group->Send(rank, rank_of_q(children[k]),
+                                  MakeTag(space, 1), data,
+                                  n * sizeof(float)));
+    }
+  }
+  return Status::OK();
+}
+
+Status TreeAllreduce(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space, float* data, size_t n) {
+  RETURN_IF_ERROR(TreeReduce(group, ranks, rank, 0, space, data, n));
+  return TreeBroadcast(group, ranks, rank, 0, space, data, n);
+}
+
+Status HierarchicalAllreduce(TransportGroup* group,
+                             const ClusterTopology& topo, int rank,
+                             uint32_t space, float* data, size_t n) {
+  const int world = topo.world_size();
+  if (rank < 0 || rank >= world) {
+    return Status::InvalidArgument(
+        StrFormat("rank %d outside topology of %d", rank, world));
+  }
+  if (world == 1 || n == 0) return Status::OK();
+
+  const uint32_t s_reduce = HierSpace(space, 0);
+  const uint32_t s_ring = HierSpace(space, 1);
+  const uint32_t s_bcast = HierSpace(space, 2);
+  const int d = topo.devices_per_node;
+  std::vector<int> leaders(topo.num_nodes);
+  for (int k = 0; k < topo.num_nodes; ++k) leaders[k] = k * d;
+  if (d == 1) {
+    // One device per node: the leader ring IS the whole collective.
+    return RingAllreduce(group, leaders, rank, s_ring, data, n);
+  }
+
+  const int leader = topo.LeaderOf(rank);
+  const size_t nsegs = WireSegmentsForBytes(n * sizeof(float));
+
+  if (rank != leader) {
+    // Phase A: stream the local vector to the leader segment by segment
+    // (Send never blocks), then sit on phase C's broadcast receives. No
+    // barrier separates the phases — only the data dependency through the
+    // leader.
+    {
+      TraceSpan span(rank, TraceStream::kComm, "hier.reduce",
+                     n * sizeof(float));
+      TraceCountBytes(rank, kHierBytes, n * sizeof(float));
+      for (size_t g = 0; g < nsegs; ++g) {
+        const Chunk seg = ChunkOf(n, nsegs, g);
+        RETURN_IF_ERROR(group->Send(rank, leader, MakeTag(s_reduce, 0),
+                                    data + seg.begin,
+                                    seg.count * sizeof(float)));
+      }
+    }
+    TraceSpan span(rank, TraceStream::kComm, "hier.bcast.recv");
+    std::vector<uint8_t> bufs[2];
+    int cur = 0;
+    TransportHandle pending;
+    Status st = [&]() -> Status {
+      for (size_t g = 0; g < nsegs; ++g) {
+        const Chunk seg = ChunkOf(n, nsegs, g);
+        if (!pending.valid()) {
+          pending =
+              group->PostRecv(leader, rank, MakeTag(s_bcast, 0), &bufs[cur]);
+        }
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        std::vector<uint8_t>& payload = bufs[cur];
+        cur ^= 1;
+        if (g + 1 < nsegs) {
+          pending =
+              group->PostRecv(leader, rank, MakeTag(s_bcast, 0), &bufs[cur]);
+        }
+        if (payload.size() != seg.count * sizeof(float)) {
+          return Status::Internal(
+              StrFormat("hier.bcast: payload %zu bytes, want %zu",
+                        payload.size(), seg.count * sizeof(float)));
+        }
+        std::memcpy(data + seg.begin, payload.data(),
+                    seg.count * sizeof(float));
+      }
+      return Status::OK();
+    }();
+    group->Recycle(std::move(bufs[0]));
+    group->Recycle(std::move(bufs[1]));
+    return st;
+  }
+
+  // Leader. Phase A: accumulate members in ascending member order — per
+  // element this is exactly SeedReduce's order, segmentation only tiles the
+  // index space. The next (member, segment) receive is posted before the
+  // current segment reduces.
+  {
+    TraceSpan span(rank, TraceStream::kComm, "hier.reduce.recv",
+                   static_cast<size_t>(d - 1) * n * sizeof(float));
+    std::vector<uint8_t> bufs[2];
+    int cur = 0;
+    TransportHandle pending;
+    Status st = [&]() -> Status {
+      for (int j = 1; j < d; ++j) {
+        const int member = leader + j;
+        for (size_t g = 0; g < nsegs; ++g) {
+          const Chunk seg = ChunkOf(n, nsegs, g);
+          if (!pending.valid()) {
+            pending = group->PostRecv(member, rank, MakeTag(s_reduce, 0),
+                                      &bufs[cur]);
+          }
+          RETURN_IF_ERROR(group->Wait(&pending));
+          pending = TransportHandle();
+          std::vector<uint8_t>& payload = bufs[cur];
+          cur ^= 1;
+          if (g + 1 < nsegs) {
+            pending = group->PostRecv(member, rank, MakeTag(s_reduce, 0),
+                                      &bufs[cur]);
+          } else if (j + 1 < d) {
+            pending = group->PostRecv(leader + j + 1, rank,
+                                      MakeTag(s_reduce, 0), &bufs[cur]);
+          }
+          if (payload.size() != seg.count * sizeof(float)) {
+            return Status::Internal(
+                StrFormat("hier.reduce: payload %zu bytes, want %zu",
+                          payload.size(), seg.count * sizeof(float)));
+          }
+          Axpy(1.0f, reinterpret_cast<const float*>(payload.data()),
+               data + seg.begin, seg.count);
+        }
+      }
+      return Status::OK();
+    }();
+    group->Recycle(std::move(bufs[0]));
+    group->Recycle(std::move(bufs[1]));
+    RETURN_IF_ERROR(st);
+  }
+
+  if (topo.num_nodes > 1) {
+    RETURN_IF_ERROR(RingAllreduce(group, leaders, rank, s_ring, data, n));
+  }
+
+  // Phase C: stream the reduced vector back out, segment-major so every
+  // member starts receiving before the last segment is sent.
+  TraceSpan span(rank, TraceStream::kComm, "hier.bcast",
+                 static_cast<size_t>(d - 1) * n * sizeof(float));
+  TraceCountBytes(rank, kHierBytes,
+                  static_cast<size_t>(d - 1) * n * sizeof(float));
+  for (size_t g = 0; g < nsegs; ++g) {
+    const Chunk seg = ChunkOf(n, nsegs, g);
+    for (int j = 1; j < d; ++j) {
+      RETURN_IF_ERROR(group->Send(rank, leader + j, MakeTag(s_bcast, 0),
+                                  data + seg.begin,
+                                  seg.count * sizeof(float)));
+    }
+  }
+  return Status::OK();
+}
+
+Status AllreduceAuto(TransportGroup* group, const ClusterTopology& topo,
+                     int rank, uint32_t space, float* data, size_t n) {
+  switch (ChooseAllreduceAlgo(topo, n * sizeof(float))) {
+    case AllreduceAlgo::kHierarchical:
+      return HierarchicalAllreduce(group, topo, rank, space, data, n);
+    case AllreduceAlgo::kTree:
+    case AllreduceAlgo::kFlatRing: {
+      std::vector<int> ranks(topo.world_size());
+      for (int r = 0; r < topo.world_size(); ++r) ranks[r] = r;
+      if (ChooseAllreduceAlgo(topo, n * sizeof(float)) ==
+          AllreduceAlgo::kTree) {
+        return TreeAllreduce(group, ranks, rank, space, data, n);
+      }
+      return RingAllreduce(group, ranks, rank, space, data, n);
+    }
+  }
+  return Status::Internal("unreachable allreduce algorithm");
+}
+
+}  // namespace bagua

@@ -1,0 +1,114 @@
+#ifndef BAGUA_COLLECTIVES_HIERARCHY_H_
+#define BAGUA_COLLECTIVES_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// Topology-aware collectives: the two-tier algorithms the paper's testbed
+/// (fast NVLink inside a machine, a slow TCP ring between machines) wants,
+/// built on the same pooled zero-copy transport as the flat rings.
+///
+/// Three algorithms plus a selection policy:
+///   * HierarchicalAllreduce — intra-node reduce to the leader, pipelined
+///     ring allreduce over one leader per node, intra-node broadcast. The
+///     inter-node tier moves each byte exactly once per ring direction
+///     instead of once per device, which is what relieves the NIC at scale.
+///   * TreeReduce / TreeBroadcast / TreeAllreduce — binomial trees for
+///     small tensors, where the flat ring's 2(m-1) latency terms dominate;
+///     the tree pays ~log2(m) rounds instead.
+///   * ChooseAllreduceAlgo / AllreduceAuto — pick flat ring, hierarchical,
+///     or tree from the tensor size and the ClusterTopology.
+///
+/// Every algorithm here is frozen-seed-differential (tests/hierarchy_test):
+///   * HierarchicalAllreduce is bitwise identical to
+///     SeedHierarchicalAllreduce (collectives/seed.h) — the same
+///     seed-primitive composition run blocking and unpipelined — at any
+///     topology shape, segmentation, thread count, and fault plan. Each
+///     phase preserves the seed's per-element accumulation order exactly:
+///     the segmented intra reduce adds members in ascending member order
+///     per element, the leader ring is the existing pipelined RingAllreduce
+///     (itself bitwise the seed ring), and broadcasts move bytes verbatim.
+///   * TreeReduce is bitwise identical to SeedReduce: it is a *gather*
+///     tree — interior nodes forward raw concatenated subtree payloads
+///     without arithmetic, and only the root reduces, walking members in
+///     ascending member order. It trades up to a log-factor more wire
+///     bytes for exponentially fewer rounds, the right trade for the small
+///     tensors the policy routes here.
+///
+/// Tags: hierarchical phases run in the reserved hierarchy namespace
+/// (HierSpace(space, phase), transport.h) so leader-ring traffic can never
+/// cross-match application, serving, or fault-control tags. The tree
+/// collectives are generic subgroup collectives like Reduce/Broadcast and
+/// stay in the caller's space (steps 0 = gather, 1 = broadcast).
+
+/// Which allreduce the selection policy picked.
+enum class AllreduceAlgo { kFlatRing, kHierarchical, kTree };
+
+/// Tensor-size / topology policy:
+///   * groups of <= 2 ranks: flat ring (nothing to select);
+///   * payload at or below the tree threshold: binomial tree (latency
+///     bound);
+///   * multi-node AND multi-device: hierarchical (two genuine tiers);
+///   * otherwise (single node, or one device per node): flat ring.
+AllreduceAlgo ChooseAllreduceAlgo(const ClusterTopology& topo, size_t bytes);
+
+/// \name Tree threshold knob
+/// Payloads of at most this many bytes go to the binomial tree. Default
+/// 4 KiB; 0 disables the tree path. Thread-safe.
+/// @{
+void SetTreeAllreduceThresholdBytes(size_t bytes);
+size_t TreeAllreduceThresholdBytes();
+/// @}
+
+/// Dispatches to RingAllreduce / HierarchicalAllreduce / TreeAllreduce per
+/// ChooseAllreduceAlgo. All ranks derive the same choice from the same
+/// (topo, n), so the group always agrees on the wire protocol.
+Status AllreduceAuto(TransportGroup* group, const ClusterTopology& topo,
+                     int rank, uint32_t space, float* data, size_t n);
+
+/// Hierarchical allreduce over the whole topology: segmented intra-node
+/// reduce to each node leader, pipelined ring allreduce over the leaders,
+/// segmented intra-node broadcast. Phases are chained by per-rank data
+/// dependencies only — there is no group barrier between tiers, Send never
+/// blocks, and wire segments (SetRingPipelineSegmentBytes) stream through
+/// the pooled transport with zero steady-state allocations.
+/// Degenerate shapes: world of 1 is a no-op; one device per node runs the
+/// plain leader ring; a single node skips the ring.
+Status HierarchicalAllreduce(TransportGroup* group,
+                             const ClusterTopology& topo, int rank,
+                             uint32_t space, float* data, size_t n);
+
+/// Binomial gather-tree reduce (sum) to `ranks[root_index]`: interior
+/// nodes concatenate their own vector with their children's subtree
+/// payloads and forward the whole thing — no arithmetic — so the root
+/// holds every member's vector and reduces them in ascending member order,
+/// reproducing SeedReduce bitwise. Non-root members' buffers unchanged.
+Status TreeReduce(TransportGroup* group, const std::vector<int>& ranks,
+                  int rank, int root_index, uint32_t space, float* data,
+                  size_t n);
+
+/// Binomial-tree broadcast from `ranks[root_index]` (log2(m) rounds vs the
+/// flat broadcast's root-serialized m-1 sends). Pure byte movement.
+Status TreeBroadcast(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, int root_index, uint32_t space, float* data,
+                     size_t n);
+
+/// TreeReduce to ranks[0] + TreeBroadcast from ranks[0]: the small-tensor
+/// allreduce. Bitwise identical to SeedReduce followed by SeedBroadcast.
+Status TreeAllreduce(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, uint32_t space, float* data, size_t n);
+
+/// Sum over non-root members of their gather-subtree sizes for an m-member
+/// binomial tree — the total member-vector copies the gather phase puts on
+/// the wire (the tree's wire-byte multiplier, used by Algorithm::WireBytes
+/// and the scale bench).
+size_t TreeGatherTotalSlots(size_t m);
+
+}  // namespace bagua
+
+#endif  // BAGUA_COLLECTIVES_HIERARCHY_H_

@@ -102,6 +102,61 @@ Status SeedReduce(TransportGroup* group, const std::vector<int>& ranks,
                      n * sizeof(float));
 }
 
+Status SeedBroadcast(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, int root_index, uint32_t space, float* data,
+                     size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  if (root_index < 0 || static_cast<size_t>(root_index) >= m) {
+    return Status::InvalidArgument("broadcast root out of range");
+  }
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1) return Status::OK();
+
+  if (i == root_index) {
+    for (size_t j = 0; j < m; ++j) {
+      if (static_cast<int>(j) == root_index) continue;
+      RETURN_IF_ERROR(group->Send(rank, ranks[j], MakeTag(space, 0), data,
+                                  n * sizeof(float)));
+    }
+    return Status::OK();
+  }
+  return group->RecvFloats(ranks[root_index], rank, MakeTag(space, 0), data,
+                           n);
+}
+
+Status SeedHierarchicalAllreduce(TransportGroup* group,
+                                 const ClusterTopology& topo, int rank,
+                                 uint32_t space, float* data, size_t n) {
+  const int world = topo.world_size();
+  if (rank < 0 || rank >= world) {
+    return Status::InvalidArgument(
+        StrFormat("rank %d outside topology of %d", rank, world));
+  }
+  if (world == 1 || n == 0) return Status::OK();
+
+  const int d = topo.devices_per_node;
+  std::vector<int> leaders(topo.num_nodes);
+  for (int k = 0; k < topo.num_nodes; ++k) leaders[k] = k * d;
+  if (d == 1) {
+    return SeedRingAllreduce(group, leaders, rank, HierSpace(space, 1), data,
+                             n);
+  }
+
+  std::vector<int> node(d);
+  const int leader = topo.LeaderOf(rank);
+  for (int j = 0; j < d; ++j) node[j] = leader + j;
+
+  RETURN_IF_ERROR(
+      SeedReduce(group, node, rank, 0, HierSpace(space, 0), data, n));
+  if (topo.num_nodes > 1 && rank == leader) {
+    RETURN_IF_ERROR(SeedRingAllreduce(group, leaders, rank,
+                                      HierSpace(space, 1), data, n));
+  }
+  return SeedBroadcast(group, node, rank, 0, HierSpace(space, 2), data, n);
+}
+
 Status SeedAllToAllBytes(TransportGroup* group, const std::vector<int>& ranks,
                          int rank, uint32_t space,
                          const std::vector<std::vector<uint8_t>>& send,

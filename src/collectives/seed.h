@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/topology.h"
 #include "transport/transport.h"
 
 namespace bagua {
@@ -36,6 +37,23 @@ Status SeedRingAllgather(TransportGroup* group, const std::vector<int>& ranks,
 Status SeedReduce(TransportGroup* group, const std::vector<int>& ranks,
                   int rank, int root_index, uint32_t space, float* data,
                   size_t n);
+
+/// Seed broadcast: the root blocking-Sends the whole tensor to each member
+/// in ascending member order; members RecvFloats straight into place.
+Status SeedBroadcast(TransportGroup* group, const std::vector<int>& ranks,
+                     int rank, int root_index, uint32_t space, float* data,
+                     size_t n);
+
+/// Seed hierarchical allreduce — the differential baseline for
+/// collectives/hierarchy.h's HierarchicalAllreduce: SeedReduce to each node
+/// leader, SeedRingAllreduce over the leaders, SeedBroadcast back out, all
+/// blocking and unsegmented, on the same HierSpace(space, phase) tags as
+/// the fast path. Floating-point non-associativity means the hierarchical
+/// result can never be bitwise-compared to the flat seed ring; it is
+/// compared to this instead.
+Status SeedHierarchicalAllreduce(TransportGroup* group,
+                                 const ClusterTopology& topo, int rank,
+                                 uint32_t space, float* data, size_t n);
 
 /// Naive AllToAll baseline, frozen for differential testing against the
 /// pipelined AllToAllBytes (collectives/alltoall.h): per peer one 8-byte

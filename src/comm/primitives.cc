@@ -6,6 +6,7 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "collectives/collectives.h"
+#include "collectives/hierarchy.h"
 #include "sim/collective_cost.h"
 #include "tensor/ops.h"
 #include "trace/trace.h"
@@ -380,14 +381,10 @@ Status CFpS(CommContext* ctx, float* data, size_t n) {
     return ScatterReduceExec(ctx, WorldRanks(topo), kIdentity, data, n,
                              nullptr, space);
   }
-  const auto node_ranks = NodeRanks(topo, ctx->rank);
-  RETURN_IF_ERROR(
-      RingAllreduce(ctx->group(), node_ranks, ctx->rank, space, data, n));
-  if (topo.IsLeader(ctx->rank)) {
-    RETURN_IF_ERROR(RingAllreduce(ctx->group(), LeaderRanks(topo), ctx->rank,
-                                  space + 1, data, n));
-  }
-  return Broadcast(ctx->group(), node_ranks, ctx->rank, 0, space + 2, data, n);
+  // Topology-aware selection (collectives/hierarchy.h): tree for small
+  // tensors, hierarchical allreduce otherwise. All ranks derive the same
+  // choice from (topo, n).
+  return AllreduceAuto(ctx->group(), topo, ctx->rank, space, data, n);
 }
 
 Status CLpS(CommContext* ctx, const Compressor& codec, float* data, size_t n,
@@ -422,7 +419,14 @@ Status DLpS(CommContext* ctx, const Compressor& codec, PeerSelection peers,
 double EstimateCFpSCost(const ClusterTopology& topo, const NetworkConfig& net,
                         double bytes, bool hierarchical) {
   if (hierarchical && topo.devices_per_node > 1) {
-    return HierAllreduceCost(topo, net, bytes);
+    switch (ChooseAllreduceAlgo(topo, static_cast<size_t>(bytes))) {
+      case AllreduceAlgo::kTree:
+        return TreeAllreduceCost(topo, net, topo.world_size(), bytes);
+      case AllreduceAlgo::kHierarchical:
+        return HierRingAllreduceCost(topo, net, bytes);
+      case AllreduceAlgo::kFlatRing:
+        return RingAllreduceCost(topo, net, bytes);
+    }
   }
   return ScatterReduceCost(topo, net, bytes, bytes);
 }

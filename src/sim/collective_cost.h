@@ -39,6 +39,37 @@ double IntraNodeBroadcastCost(const ClusterTopology& topo,
 double HierAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
                          double bytes);
 
+/// Members stream their whole vector to the node leader, which serializes
+/// the (d-1) receives on its NVLink ingress:
+///   T = alpha_intra + (d-1) * (o_intra + bytes / bw_intra)
+/// This is the intra phase collectives/hierarchy.h actually runs (reduce to
+/// the leader), as opposed to IntraNodeAllreduceCost's symmetric ring.
+double IntraNodeReduceCost(const ClusterTopology& topo,
+                           const NetworkConfig& net, double bytes);
+
+/// Closed-form cost of HierarchicalAllreduce (collectives/hierarchy.h):
+/// intra-node reduce to the leader, pipelined leader ring, intra-node
+/// broadcast. Differs from HierAllreduceCost in pricing the intra tier as
+/// the leader-serialized reduce/broadcast the implementation uses rather
+/// than a symmetric intra ring.
+double HierRingAllreduceCost(const ClusterTopology& topo,
+                             const NetworkConfig& net, double bytes);
+
+/// \name Binomial-tree closed forms (collectives/hierarchy.h)
+/// `m` member ranks spread over the topology; the tier is the NIC whenever
+/// the tree spans nodes, NVLink otherwise. The gather-tree reduce pays
+/// ceil(log2 m) rounds of latency+overhead plus (m-1) member vectors
+/// serialized through the root's ingress port; the broadcast pays the
+/// full vector once per round.
+/// @{
+double TreeReduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                      int m, double bytes);
+double TreeBroadcastCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         int m, double bytes);
+double TreeAllreduceCost(const ClusterTopology& topo, const NetworkConfig& net,
+                         int m, double bytes);
+/// @}
+
 /// All-to-all over `ranks`: every rank sends `bytes_per_pair` to every
 /// other, all flows concurrent. Used by ScatterReduce's two phases and by
 /// the sharded-embedding serving pricer (serve/pricing.h).
@@ -78,6 +109,43 @@ double DecenRandomCost(const ClusterTopology& topo, const NetworkConfig& net,
 /// NIC carries one copy per node instead of one per device.
 double PsPushPullCost(const ClusterTopology& topo, const NetworkConfig& net,
                       double bytes, int num_servers, bool intra_aggregated);
+
+/// \name Discrete-event pricers
+///
+/// Segment-level recurrence simulations of the actual pipelined
+/// implementations: every message occupies its sender's egress port for
+/// o + seg/bw, arrives alpha later, and a segment may not be forwarded
+/// before it has been received (the data dependency the transport
+/// enforces). These resolve the pipelining the closed forms approximate —
+/// tests/scale_model_test.cc checks the two agree, and bench_scalability
+/// sweeps them to 2048 simulated ranks for the crossover table.
+/// @{
+
+/// Pipelined ring allreduce over `ranks` (2(m-1) steps x `segments`
+/// wire segments, as collectives/RingAllreduce runs).
+double DesRingAllreduceTime(const ClusterTopology& topo,
+                            const NetworkConfig& net,
+                            const std::vector<int>& ranks, double bytes,
+                            int segments);
+
+/// HierarchicalAllreduce: leader-serialized segmented intra reduce, DES
+/// leader ring, segmented intra broadcast.
+double DesHierAllreduceTime(const ClusterTopology& topo,
+                            const NetworkConfig& net, double bytes,
+                            int segments);
+
+/// TreeAllreduce over all ranks of `topo`: binomial gather with ingress
+/// serialization at every parent, then the mirrored broadcast with egress
+/// serialization (largest subtree first, as the implementation sends).
+double DesTreeAllreduceTime(const ClusterTopology& topo,
+                            const NetworkConfig& net, double bytes);
+
+/// Intra-aggregated parameter server: local reduce, sharded push, server
+/// aggregation at ps_server_reduce_Bps, sharded pull, local broadcast.
+double DesPsPushPullTime(const ClusterTopology& topo, const NetworkConfig& net,
+                         double bytes);
+
+/// @}
 
 }  // namespace bagua
 

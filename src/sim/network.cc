@@ -10,6 +10,9 @@ double FlowSetTime(const ClusterTopology& topo, const NetworkConfig& net,
   const int world = topo.world_size();
   std::vector<double> nic_out(nodes, 0.0), nic_in(nodes, 0.0);
   std::vector<double> nv_out(world, 0.0), nv_in(world, 0.0);
+  // Message counts per port direction, for the per-message overhead term.
+  std::vector<int> nic_out_msgs(nodes, 0), nic_in_msgs(nodes, 0);
+  std::vector<int> nv_out_msgs(world, 0), nv_in_msgs(world, 0);
   bool any_inter = false, any_intra = false;
 
   for (const Flow& f : flows) {
@@ -18,10 +21,14 @@ double FlowSetTime(const ClusterTopology& topo, const NetworkConfig& net,
       any_intra = true;
       nv_out[f.src] += f.bytes;
       nv_in[f.dst] += f.bytes;
+      ++nv_out_msgs[f.src];
+      ++nv_in_msgs[f.dst];
     } else {
       any_inter = true;
       nic_out[topo.NodeOf(f.src)] += f.bytes;
       nic_in[topo.NodeOf(f.dst)] += f.bytes;
+      ++nic_out_msgs[topo.NodeOf(f.src)];
+      ++nic_in_msgs[topo.NodeOf(f.dst)];
     }
   }
 
@@ -29,18 +36,28 @@ double FlowSetTime(const ClusterTopology& topo, const NetworkConfig& net,
   if (any_inter) {
     double worst = 0.0;
     for (int n = 0; n < nodes; ++n) {
-      worst = std::max(worst, std::max(nic_out[n], nic_in[n]));
+      worst = std::max(
+          worst,
+          std::max(nic_out[n] / net.inter_bw_Bps +
+                       nic_out_msgs[n] * net.inter_msg_overhead_s,
+                   nic_in[n] / net.inter_bw_Bps +
+                       nic_in_msgs[n] * net.inter_msg_overhead_s));
     }
-    inter_time = net.inter_latency_s + worst / net.inter_bw_Bps;
+    inter_time = net.inter_latency_s + worst;
   }
 
   double intra_time = 0.0;
   if (any_intra) {
     double worst = 0.0;
     for (int r = 0; r < world; ++r) {
-      worst = std::max(worst, std::max(nv_out[r], nv_in[r]));
+      worst = std::max(
+          worst,
+          std::max(nv_out[r] / net.intra_bw_Bps +
+                       nv_out_msgs[r] * net.intra_msg_overhead_s,
+                   nv_in[r] / net.intra_bw_Bps +
+                       nv_in_msgs[r] * net.intra_msg_overhead_s));
     }
-    intra_time = net.intra_latency_s + worst / net.intra_bw_Bps;
+    intra_time = net.intra_latency_s + worst;
   }
 
   return std::max(inter_time, intra_time);

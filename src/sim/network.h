@@ -22,6 +22,18 @@ struct NetworkConfig {
   /// One-way intra-node latency, seconds.
   double intra_latency_s = 5e-6;
 
+  /// LogGP-style per-message endpoint overhead 'o', seconds: CPU time a
+  /// port spends injecting or draining one message, paid per message on top
+  /// of the wire latency/bandwidth terms. Zero (the default) reproduces the
+  /// pure alpha-beta model, so legacy pricing is unchanged.
+  double inter_msg_overhead_s = 0.0;
+  double intra_msg_overhead_s = 0.0;
+
+  /// Parameter-server aggregation throughput, bytes/second: how fast a PS
+  /// shard can sum incoming pushes (BytePS-style CPU reduce). Zero (the
+  /// default) prices the server reduce as free, matching the legacy model.
+  double ps_server_reduce_Bps = 0.0;
+
   /// Named presets for the paper's three network conditions.
   static NetworkConfig Tcp(double gbps, double latency_s = 50e-6) {
     NetworkConfig cfg;

@@ -17,6 +17,7 @@ const char* SentBytesKey(uint64_t tag) {
   const uint32_t space = static_cast<uint32_t>(tag >> 32);
   const char* name = TagSpaceName(space);
   if (name[0] == 'f') return "transport.sent.fault_control";
+  if (name[0] == 'h') return "transport.sent.hier";
   if (name[0] == 's') return "transport.sent.serving";
   if (name[0] == 'g') return "transport.sent.gossip";
   return "transport.sent.app";

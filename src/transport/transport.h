@@ -305,6 +305,16 @@ constexpr uint64_t MakeTag(uint32_t space, uint32_t step) {
 ///             gather / scatter-update rounds): space = kSparsePsSpaceBase
 ///             + round slot. Request-id and row payloads ride here so a
 ///             serving burst can never cross-match a training collective.
+///   [0xA0000000, 0xB0000000)  RESERVED for hierarchical-collective phases
+///       (collectives/hierarchy.h). HierSpace(space, phase) maps an
+///       application space plus a phase index (0 = intra-node reduce,
+///       1 = leader ring, 2 = intra-node broadcast) into this range, so the
+///       leader-ring tags of a hierarchical allreduce can never collide
+///       with serving, gossip, or fault-control traffic — nor with the flat
+///       collectives of the application space they were derived from. The
+///       phase index is stored at bits 26..27 *offset by one*, which keeps
+///       AckSpace(HierSpace(s, p)) disjoint from AckSpace(s) for every
+///       NextSpace-allocated s (those stay far below 2^26).
 ///   [0xF0000000, 0xFFFFFFFF]  RESERVED for fault-control traffic (acks,
 ///       nacks, heartbeats) of the faults/ subsystem. Application code must
 ///       never allocate here: a retransmitted ack that cross-matched an
@@ -320,11 +330,23 @@ constexpr uint32_t kAllToAllSpaceLimit = 0x98000000u;
 constexpr uint32_t kSparsePsSpaceBase = 0x98000000u;
 constexpr uint32_t kSparsePsSpaceLimit = 0xA0000000u;
 constexpr uint32_t kServingSpaceLimit = 0xA0000000u;
+constexpr uint32_t kHierSpaceBase = 0xA0000000u;
+constexpr uint32_t kHierSpaceLimit = 0xB0000000u;
 constexpr uint32_t kFaultControlSpace = 0xF0000000u;
 
 /// The reserved fault-control space carrying acks for data sent in `space`.
 constexpr uint32_t AckSpace(uint32_t space) {
   return kFaultControlSpace | (space & 0x0FFFFFFFu);
+}
+
+/// The hierarchy space carrying phase `phase` (0 = intra reduce, 1 = leader
+/// ring, 2 = intra broadcast) of a hierarchical collective derived from
+/// application space `space`. The phase is biased by one so the low 28 bits
+/// are never identical to a plain application space — which keeps the
+/// paired AckSpace values disjoint as well.
+constexpr uint32_t kHierMaxPhase = 2;
+constexpr uint32_t HierSpace(uint32_t space, uint32_t phase) {
+  return kHierSpaceBase | ((phase + 1u) << 26) | (space & 0x03FFFFFFu);
 }
 
 /// Compile-time audit of the allocation map: every reserved range sits
@@ -339,15 +361,25 @@ static_assert(kAllToAllSpaceBase == kServingSpaceBase &&
                   kAllToAllSpaceLimit == kSparsePsSpaceBase &&
                   kSparsePsSpaceLimit == kServingSpaceLimit,
               "serving sub-ranges must cover the serving namespace");
-static_assert(kServingSpaceLimit <= kFaultControlSpace,
-              "serving range may not reach into fault control");
+static_assert(kServingSpaceLimit == kHierSpaceBase,
+              "serving and hierarchy ranges must tile");
+static_assert(kHierSpaceLimit <= kFaultControlSpace,
+              "hierarchy range may not reach into fault control");
+static_assert(HierSpace(0u, 0u) >= kHierSpaceBase &&
+                  HierSpace(0x03FFFFFFu, kHierMaxPhase) < kHierSpaceLimit,
+              "every hierarchy phase space must land inside the range");
+static_assert(AckSpace(HierSpace(7u, 0u)) != AckSpace(7u),
+              "hierarchy ack spaces must not shadow application ack spaces");
 
 /// Audited classification of a tag's 32-bit space word: "app", "gossip",
-/// "serving", or "fault_control". The transport's per-namespace byte
-/// counters (transport.sent.<name>) and the tag-audit tests are both built
-/// on this single function so they cannot drift apart.
+/// "serving", "hier", or "fault_control". The transport's per-namespace
+/// byte counters (transport.sent.<name>) and the tag-audit tests are both
+/// built on this single function so they cannot drift apart.
 constexpr const char* TagSpaceName(uint32_t space) {
   if (space >= kFaultControlSpace) return "fault_control";
+  if (space >= kHierSpaceBase && space < kHierSpaceLimit) {
+    return "hier";
+  }
   if (space >= kServingSpaceBase && space < kServingSpaceLimit) {
     return "serving";
   }

@@ -285,7 +285,10 @@ TEST(AllToAllTest, ServingTagNamespaceAudited) {
   EXPECT_STREQ(TagSpaceName(kSparsePsSpaceBase), "serving");
   EXPECT_STREQ(TagSpaceName(kServingSpaceLimit - 1), "serving");
   EXPECT_STREQ(TagSpaceName(kServingSpaceBase - 1), "gossip");
-  EXPECT_STREQ(TagSpaceName(kServingSpaceLimit), "app");
+  // The hierarchy control range tiles directly after serving.
+  EXPECT_STREQ(TagSpaceName(kServingSpaceLimit), "hier");
+  EXPECT_STREQ(TagSpaceName(kHierSpaceLimit - 1), "hier");
+  EXPECT_STREQ(TagSpaceName(kHierSpaceLimit), "app");
   EXPECT_STREQ(TagSpaceName(kFaultControlSpace), "fault_control");
   EXPECT_EQ(kAllToAllSpaceLimit, kSparsePsSpaceBase);
 }

@@ -76,6 +76,35 @@ TEST(BenchSmokeTest, Table4QuickRuns) {
   EXPECT_EQ(RunCommand(cmd), 0) << cmd;
 }
 
+TEST(BenchSmokeTest, ScaleGateWritesJsonContract) {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  const std::string json_path = std::string(dir) + "/bagua_scale_smoke.json";
+  std::remove(json_path.c_str());
+  const std::string cmd = BenchPath("bench_scalability") + " --quick" +
+                          " --scale-json=" + json_path + " > /dev/null";
+  ASSERT_EQ(RunCommand(cmd), 0) << cmd;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "scale gate did not write " << json_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // The exact keys scripts/scale_gate.sh greps for.
+  for (const char* key :
+       {"hier_speedup_16x8", "tree_speedup_16x8", "flat_hier_crossover_ranks",
+        "ps_crossover_ranks", "model_agreement_max_err"}) {
+    EXPECT_FALSE(std::isnan(JsonNumber(json, key))) << "missing " << key;
+  }
+  // Loose bounds (the hard gate lives in scripts/scale_gate.sh): the
+  // hierarchical split winning at all at 16x8, and the PS crossover
+  // landing at paper scale, are structural properties of the sweep.
+  EXPECT_GT(JsonNumber(json, "hier_speedup_16x8"), 1.0);
+  EXPECT_GE(JsonNumber(json, "ps_crossover_ranks"), 512.0);
+  std::remove(json_path.c_str());
+}
+
 TEST(BenchSmokeTest, BadFlagIsRejected) {
   const std::string cmd = BenchPath("bench_micro_primitives") +
                           " --kernels-json= 2> /dev/null";

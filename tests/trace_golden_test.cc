@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "collectives/hierarchy.h"
 #include "harness/report.h"
 #include "harness/trainer.h"
 #include "trace/merge.h"
@@ -144,7 +145,15 @@ TEST(TraceGoldenTest, MeasuredOverlapIsZeroSyncAndPositiveUnderEngine) {
   // runs between "bwd.seg" segments, never inside one) and strictly
   // positive once the engine moves communication to its own thread. A
   // small wire delay keeps the comm spans wide enough that at least one
-  // of the run's many dispatches lands inside a backward segment.
+  // of the run's many dispatches lands inside a backward segment — which
+  // needs the ring's 2(m-1) steps, so pin the selection policy there (the
+  // 4 KiB buckets would otherwise go to the binomial tree, whose few
+  // log2(m) rounds leave too thin a margin under a loaded machine).
+  struct RingOnly {
+    size_t saved = TreeAllreduceThresholdBytes();
+    RingOnly() { SetTreeAllreduceThresholdBytes(0); }
+    ~RingOnly() { SetTreeAllreduceThresholdBytes(saved); }
+  } ring_only;
   auto overlap_of = [](bool engine_on) {
     ConvergenceOptions opts = SmallRun("allreduce");
     opts.dims = {32, 128, 128, 8};  // heavier backward to overlap against
