@@ -48,6 +48,9 @@ namespace bagua {
 ///   --scale-json=PATH   bench_scalability writes its flat/hier/tree/PS
 ///                       crossover gate numbers to PATH
 ///                       (scripts/scale_gate.sh)
+///   --fl-json=PATH      run the federated round-reproducibility gate
+///                       (fl_gate.h) instead of the regular bench and
+///                       write its JSON to PATH (scripts/fl_gate.sh)
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
@@ -56,6 +59,7 @@ struct BenchArgs {
   std::string comm_json;
   std::string serving_json;
   std::string scale_json;
+  std::string fl_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -115,6 +119,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--scale-json= needs a path";
       }
+    } else if (std::strncmp(a, "--fl-json=", 10) == 0) {
+      args.fl_json = a + 10;
+      if (args.fl_json.empty()) {
+        args.ok = false;
+        args.error = "--fl-json= needs a path";
+      }
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -142,7 +152,7 @@ inline int BenchArgsError(const BenchArgs& args) {
                        " [--trace-ranks=N] [--threads=N] [--quick]"
                        " [--kernels-json=PATH] [--comm-json=PATH]"
                        " [--overlap-json=PATH] [--serving-json=PATH]"
-                       " [--scale-json=PATH]"
+                       " [--scale-json=PATH] [--fl-json=PATH]"
                        " [--benchmark_* passed through]\n",
                args.error.c_str());
   return 2;

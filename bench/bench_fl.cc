@@ -1,0 +1,93 @@
+// Federated-scale training rounds: thousands of intermittent clients on
+// the PS path of src/fl/, all driven from one node.
+//
+// Default mode sweeps clients x participation x dropout and prints per-
+// configuration participation, dropout, straggler and loss numbers next
+// to the schedule-IR round price, demonstrating that the windowed
+// executor, the thread count, and the dropout replay change wall time but
+// never the committed server state. `--fl-json=PATH` switches to the
+// round-reproducibility perf gate (bench/fl_gate.h, driven by
+// scripts/fl_gate.sh).
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "fl_gate.h"
+#include "fl/federated.h"
+#include "fl/pricing.h"
+
+namespace bagua {
+namespace {
+
+int RunSweep(bool quick) {
+  FlConfig base = FlGateConfig(quick);
+  base.rounds = quick ? 3 : 5;
+  base.threads = 4;
+  std::printf("federated rounds: %zu-param MLP, skew %.2f, %zu local steps,"
+              " %llu rounds per cell\n\n",
+              FlParamCount(base.client.model), base.skew,
+              base.client.local_steps,
+              static_cast<unsigned long long>(base.rounds));
+  std::printf("%8s %6s %8s %8s %8s %8s %8s %10s %8s\n", "clients", "part",
+              "dropout", "merged", "dropped", "rejoin", "straggle", "loss",
+              "wall_s");
+
+  const int client_counts[] = {64, 256, 1024};
+  const double participations[] = {0.05, 0.10, 0.25};
+  const double dropouts[] = {0.0, 0.05, 0.20};
+  for (const int clients : client_counts) {
+    if (quick && clients > 256) continue;
+    for (const double part : participations) {
+      for (const double drop : dropouts) {
+        FlConfig cfg = base;
+        cfg.num_clients = clients;
+        cfg.participation = part;
+        cfg.dropout = drop;
+        FlReport rep;
+        const Status st = RunFlTraining(cfg, &rep);
+        if (!st.ok()) {
+          std::fprintf(stderr, "fl run failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        std::printf("%8d %6.2f %8.2f %8llu %8llu %8llu %8llu %10.4f %8.2f\n",
+                    clients, part, drop,
+                    static_cast<unsigned long long>(rep.total_participants),
+                    static_cast<unsigned long long>(rep.total_dropouts),
+                    static_cast<unsigned long long>(rep.total_rejoins),
+                    static_cast<unsigned long long>(rep.total_stragglers),
+                    rep.rounds.back().mean_loss, rep.wall_s);
+      }
+    }
+  }
+
+  // Offline what-if: one round priced across cohort sizes on the paper's
+  // 25 Gbps fabric (PS term of sim/collective_cost).
+  NetworkConfig net = NetworkConfig::Tcp25();
+  net.ps_server_reduce_Bps = 10e9;
+  const StepPlan plan =
+      BuildFlRoundPlan(base.client.model, base.bucket_bytes);
+  std::printf("\nschedule-IR round price (Tcp25, %zu plan units):\n",
+              plan.units.size());
+  std::printf("%8s %14s %14s\n", "cohort", "round_us", "des_us");
+  for (const int cohort : {8, 32, 128, 1024}) {
+    const FlRoundCost cost = PriceFlRound(plan, cohort, net,
+                                          /*max_ticks=*/0, 1e9);
+    std::printf("%8d %14.1f %14.1f\n", cohort, cost.round_s * 1e6,
+                cost.des_round_s * 1e6);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bagua
+
+int main(int argc, char** argv) {
+  bagua::BenchArgs args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession session(args);
+  if (!args.fl_json.empty()) {
+    return bagua::RunFlGate(args.fl_json, args.quick);
+  }
+  return bagua::RunSweep(args.quick);
+}

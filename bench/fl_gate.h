@@ -1,0 +1,252 @@
+#ifndef BAGUA_BENCH_FL_GATE_H_
+#define BAGUA_BENCH_FL_GATE_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "base/logging.h"
+#include "fl/federated.h"
+#include "fl/pricing.h"
+#include "fl/sampling.h"
+
+namespace bagua {
+
+/// \brief The federated-round gate behind `--fl-json=PATH`.
+///
+/// Runs the acceptance config — 1024 clients, 10% participation, 5%
+/// dropout, 20 rounds on one node (256/8 under --quick) — four times:
+///
+///   1. windowed executor, 1 client thread        (reference run; records
+///      the executed dropout plan),
+///   2. windowed executor, 8 client threads, replaying the plan,
+///   3. full-broadcast executor, 4 threads claiming members in *reverse*
+///      order, replaying the plan,
+///   4. naive sequential baseline (one member at a time, transport
+///      unpooled, merge per arrival), replaying the plan.
+///
+/// scripts/fl_gate.sh fails the build unless
+///   * every replay commits a bitwise-identical final server state
+///     (bitwise_threads / bitwise_order / bitwise_naive all 1),
+///   * pool_misses_steady == 0 on the windowed runs (past two warm-up
+///     rounds the flow window keeps every size class inside the pool's
+///     free-list cap),
+///   * throughput_ratio — windowed/pooled rounds-per-second over the
+///     naive sequential baseline — stays above the no-regression floor
+///     (this box has one core, so the gate guards the overlap machinery's
+///     overhead rather than a parallel speedup).
+///
+/// The report also carries the schedule-IR price of one round (the PS
+/// term of sim/collective_cost over the same StepPlan the live rounds
+/// ship) so measured and modeled views sit side by side.
+
+struct FlGateReport {
+  int clients = 0;
+  int cohort = 0;
+  uint64_t rounds = 0;
+  uint64_t participants = 0;
+  uint64_t dropouts = 0;
+  uint64_t rejoins = 0;
+  uint64_t stragglers = 0;
+  uint64_t plan_units = 0;
+  uint64_t model_hash = 0;
+  double final_loss = 0.0;
+  bool bitwise_threads = false;
+  bool bitwise_order = false;
+  bool bitwise_naive = false;
+  bool stats_identical = false;
+  uint64_t pool_misses_steady = 0;
+  double rounds_per_s_fast = 0.0;
+  double rounds_per_s_naive = 0.0;
+  double throughput_ratio = 0.0;
+  double priced_round_us = 0.0;
+  double des_round_us = 0.0;
+};
+
+inline FlConfig FlGateConfig(bool quick) {
+  FlConfig cfg;
+  cfg.num_clients = quick ? 256 : 1024;
+  cfg.participation = 0.10;
+  cfg.rounds = quick ? 8 : 20;
+  cfg.dropout = 0.05;
+  cfg.skew = 0.5;
+  cfg.seed = 20260808;
+  cfg.threads = 1;
+  cfg.flow_window = 32;
+  cfg.dataset_samples = 4096;
+  return cfg;
+}
+
+inline bool SameFlState(const FlReport& a, const FlReport& b) {
+  return a.model_hash == b.model_hash &&
+         a.final_model.size() == b.final_model.size() &&
+         std::memcmp(a.final_model.data(), b.final_model.data(),
+                     a.final_model.size() * sizeof(float)) == 0;
+}
+
+inline bool SameFlRoundStats(const FlReport& a, const FlReport& b) {
+  if (a.rounds.size() != b.rounds.size()) return false;
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    const FlRoundStats& x = a.rounds[i];
+    const FlRoundStats& y = b.rounds[i];
+    if (x.cohort != y.cohort || x.participants != y.participants ||
+        x.dropouts != y.dropouts || x.skipped != y.skipped ||
+        x.rejoins != y.rejoins || x.stragglers != y.stragglers ||
+        x.total_weight != y.total_weight || x.max_ticks != y.max_ticks) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline FlGateReport RunFlGateMeasurement(bool quick) {
+  FlGateReport rep;
+
+  FlConfig base = FlGateConfig(quick);
+  FlReport ref;
+  BAGUA_CHECK(RunFlTraining(base, &ref).ok());
+
+  FlConfig wide = base;
+  wide.threads = 8;
+  wide.dropouts = ref.dropout_plan;  // replay the recorded crashes
+  FlReport wide_rep;
+  BAGUA_CHECK(RunFlTraining(wide, &wide_rep).ok());
+
+  FlConfig reversed = base;
+  reversed.threads = 4;
+  reversed.reverse_claim = true;
+  reversed.dropouts = ref.dropout_plan;
+  FlReport rev_rep;
+  BAGUA_CHECK(RunFlTraining(reversed, &rev_rep).ok());
+
+  FlConfig naive = base;
+  naive.naive_sequential = true;
+  naive.dropouts = ref.dropout_plan;
+  FlReport naive_rep;
+  BAGUA_CHECK(RunFlTraining(naive, &naive_rep).ok());
+
+  rep.clients = base.num_clients;
+  rep.cohort = CohortSize(base.num_clients, base.participation);
+  rep.rounds = base.rounds;
+  rep.participants = ref.total_participants;
+  rep.dropouts = ref.total_dropouts;
+  rep.rejoins = ref.total_rejoins;
+  rep.stragglers = ref.total_stragglers;
+  rep.plan_units = ref.plan_units;
+  rep.model_hash = ref.model_hash;
+  rep.final_loss = ref.rounds.back().mean_loss;
+  rep.bitwise_threads = SameFlState(ref, wide_rep);
+  rep.bitwise_order = SameFlState(ref, rev_rep);
+  rep.bitwise_naive = SameFlState(ref, naive_rep);
+  rep.stats_identical = SameFlRoundStats(ref, wide_rep) &&
+                        SameFlRoundStats(ref, naive_rep);
+  rep.pool_misses_steady =
+      ref.pool_misses_steady + wide_rep.pool_misses_steady;
+  // "fast" is the better of the two windowed runs: on a multi-core host
+  // the 8-thread replay wins, on a one-core host the single-thread
+  // windowed run does — either way the gate compares the windowed/pooled
+  // executor's best against the naive sequential baseline.
+  const double fast_wall = std::min(ref.wall_s, wide_rep.wall_s);
+  rep.rounds_per_s_fast = fast_wall > 0.0 ? base.rounds / fast_wall : 0.0;
+  rep.rounds_per_s_naive =
+      naive_rep.wall_s > 0.0 ? base.rounds / naive_rep.wall_s : 0.0;
+  rep.throughput_ratio = rep.rounds_per_s_naive > 0.0
+                             ? rep.rounds_per_s_fast / rep.rounds_per_s_naive
+                             : 0.0;
+
+  NetworkConfig net = NetworkConfig::Tcp25();
+  net.ps_server_reduce_Bps = 10e9;
+  uint64_t max_ticks = 0;
+  for (const FlRoundStats& r : ref.rounds) {
+    max_ticks = std::max(max_ticks, r.max_ticks);
+  }
+  const FlRoundCost cost =
+      PriceFlRound(BuildFlRoundPlan(base.client.model, base.bucket_bytes),
+                   rep.cohort, net, max_ticks, /*ticks_per_s=*/1e9);
+  rep.priced_round_us = cost.round_s * 1e6;
+  rep.des_round_us = cost.des_round_s * 1e6;
+  return rep;
+}
+
+/// Runs the gate and writes the JSON report to `path`. Returns 0 on
+/// success, 1 if the report could not be written; the pass/fail decision
+/// is left to scripts/fl_gate.sh.
+inline int RunFlGate(const std::string& path, bool quick) {
+  std::fprintf(stdout, "fl gate: windowed executor vs naive sequential\n");
+  const FlGateReport rep = RunFlGateMeasurement(quick);
+  std::fprintf(
+      stdout,
+      "  %d clients, cohort %d, %llu rounds: %llu participants,"
+      " %llu dropouts, %llu rejoins, %llu stragglers\n"
+      "  rounds/s   fast %8.2f  naive %8.2f  ratio %5.2fx\n"
+      "  bitwise    threads %s  order %s  naive %s  stats %s\n"
+      "  steady-state pool misses %llu, final loss %.4f, hash %llu\n"
+      "  priced round %.1f us (des %.1f us, %llu plan units)\n",
+      rep.clients, rep.cohort, static_cast<unsigned long long>(rep.rounds),
+      static_cast<unsigned long long>(rep.participants),
+      static_cast<unsigned long long>(rep.dropouts),
+      static_cast<unsigned long long>(rep.rejoins),
+      static_cast<unsigned long long>(rep.stragglers), rep.rounds_per_s_fast,
+      rep.rounds_per_s_naive, rep.throughput_ratio,
+      rep.bitwise_threads ? "yes" : "NO", rep.bitwise_order ? "yes" : "NO",
+      rep.bitwise_naive ? "yes" : "NO", rep.stats_identical ? "yes" : "NO",
+      static_cast<unsigned long long>(rep.pool_misses_steady), rep.final_loss,
+      static_cast<unsigned long long>(rep.model_hash), rep.priced_round_us,
+      rep.des_round_us, static_cast<unsigned long long>(rep.plan_units));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "fl gate: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"fl_gate\",\n"
+                "  \"quick\": %s,\n"
+                "  \"clients\": %d,\n"
+                "  \"cohort\": %d,\n"
+                "  \"rounds\": %llu,\n"
+                "  \"participants\": %llu,\n"
+                "  \"dropouts\": %llu,\n"
+                "  \"rejoins\": %llu,\n"
+                "  \"stragglers\": %llu,\n"
+                "  \"plan_units\": %llu,\n"
+                "  \"model_hash\": %llu,\n"
+                "  \"final_loss\": %.6f,\n"
+                "  \"bitwise_threads\": %d,\n"
+                "  \"bitwise_order\": %d,\n"
+                "  \"bitwise_naive\": %d,\n"
+                "  \"stats_identical\": %d,\n"
+                "  \"pool_misses_steady\": %llu,\n"
+                "  \"rounds_per_s_fast\": %.3f,\n"
+                "  \"rounds_per_s_naive\": %.3f,\n"
+                "  \"throughput_ratio\": %.4f,\n"
+                "  \"priced_round_us\": %.3f,\n"
+                "  \"des_round_us\": %.3f\n"
+                "}\n",
+                quick ? "true" : "false", rep.clients, rep.cohort,
+                static_cast<unsigned long long>(rep.rounds),
+                static_cast<unsigned long long>(rep.participants),
+                static_cast<unsigned long long>(rep.dropouts),
+                static_cast<unsigned long long>(rep.rejoins),
+                static_cast<unsigned long long>(rep.stragglers),
+                static_cast<unsigned long long>(rep.plan_units),
+                static_cast<unsigned long long>(rep.model_hash),
+                rep.final_loss, rep.bitwise_threads ? 1 : 0,
+                rep.bitwise_order ? 1 : 0, rep.bitwise_naive ? 1 : 0,
+                rep.stats_identical ? 1 : 0,
+                static_cast<unsigned long long>(rep.pool_misses_steady),
+                rep.rounds_per_s_fast, rep.rounds_per_s_naive,
+                rep.throughput_ratio, rep.priced_round_us, rep.des_round_us);
+  out << buf;
+  out.close();
+  std::fprintf(stdout, "fl gate report written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace bagua
+
+#endif  // BAGUA_BENCH_FL_GATE_H_

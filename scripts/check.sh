@@ -38,6 +38,9 @@ echo "==> serving gate (dynamic batching + hot-row cache over sharded embeddings
 echo "==> scale gate (flat vs hierarchical vs tree vs PS crossover sweep)"
 ./scripts/scale_gate.sh build
 
+echo "==> fl gate (federated round reproducibility across executors)"
+./scripts/fl_gate.sh build
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"
@@ -54,5 +57,8 @@ ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L serving
 
 echo "==> hierarchical collectives + scale model under ${SANITIZER} (ctest -L hier)"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L hier
+
+echo "==> federated rounds + client lifecycle under ${SANITIZER} (ctest -L fl)"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L fl
 
 echo "OK: plain + ${SANITIZER} suites passed"

@@ -1,0 +1,181 @@
+#include "fl/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/strings.h"
+
+namespace bagua {
+namespace {
+
+// Offsets of the four parameter blocks in the flat vector.
+struct FlLayout {
+  size_t w1, b1, w2, b2, total;
+};
+
+FlLayout LayoutOf(const FlModelConfig& m) {
+  FlLayout l;
+  l.w1 = 0;
+  l.b1 = l.w1 + m.dim * m.hidden;
+  l.w2 = l.b1 + m.hidden;
+  l.b2 = l.w2 + m.hidden * m.classes;
+  l.total = l.b2 + m.classes;
+  return l;
+}
+
+// Forward + (optionally) backward for one batch. Adds the mean-over-batch
+// gradient into `grad` (doubles, may be null for loss-only evaluation) and
+// returns the mean loss. Strictly sequential: sample by sample, class by
+// class, so the float/double operation order never depends on threading.
+double BatchPass(const FlModelConfig& m, const float* params, const Tensor& x,
+                 const Tensor& y, double* grad) {
+  const FlLayout l = LayoutOf(m);
+  const size_t batch = y.numel();
+  BAGUA_CHECK_GT(batch, 0u);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  const float* w1 = params + l.w1;
+  const float* b1 = params + l.b1;
+  const float* w2 = params + l.w2;
+  const float* b2 = params + l.b2;
+
+  std::vector<double> h(m.hidden), logits(m.classes), p(m.classes),
+      dh(m.hidden);
+  double loss = 0.0;
+  for (size_t s = 0; s < batch; ++s) {
+    const float* xs = x.data() + s * m.dim;
+    const size_t label = static_cast<size_t>(y[s]);
+    BAGUA_CHECK_LT(label, m.classes);
+    for (size_t j = 0; j < m.hidden; ++j) {
+      double acc = b1[j];
+      for (size_t i = 0; i < m.dim; ++i) acc += xs[i] * w1[i * m.hidden + j];
+      h[j] = std::tanh(acc);
+    }
+    for (size_t k = 0; k < m.classes; ++k) {
+      double acc = b2[k];
+      for (size_t j = 0; j < m.hidden; ++j) {
+        acc += h[j] * w2[j * m.classes + k];
+      }
+      logits[k] = acc;
+    }
+    double mx = logits[0];
+    for (size_t k = 1; k < m.classes; ++k) mx = std::max(mx, logits[k]);
+    double z = 0.0;
+    for (size_t k = 0; k < m.classes; ++k) z += std::exp(logits[k] - mx);
+    for (size_t k = 0; k < m.classes; ++k) p[k] = std::exp(logits[k] - mx) / z;
+    loss += -std::log(std::max(p[label], 1e-12));
+    if (grad == nullptr) continue;
+
+    for (size_t j = 0; j < m.hidden; ++j) dh[j] = 0.0;
+    for (size_t k = 0; k < m.classes; ++k) {
+      const double dl = (p[k] - (k == label ? 1.0 : 0.0)) * inv_batch;
+      grad[l.b2 + k] += dl;
+      for (size_t j = 0; j < m.hidden; ++j) {
+        grad[l.w2 + j * m.classes + k] += h[j] * dl;
+        dh[j] += w2[j * m.classes + k] * dl;
+      }
+    }
+    for (size_t j = 0; j < m.hidden; ++j) {
+      const double dpre = dh[j] * (1.0 - h[j] * h[j]);
+      grad[l.b1 + j] += dpre;
+      for (size_t i = 0; i < m.dim; ++i) {
+        grad[l.w1 + i * m.hidden + j] += xs[i] * dpre;
+      }
+    }
+  }
+  return loss * inv_batch;
+}
+
+}  // namespace
+
+size_t FlParamCount(const FlModelConfig& model) {
+  return LayoutOf(model).total;
+}
+
+void InitFlParams(const FlModelConfig& model, uint64_t seed,
+                  std::vector<float>* params) {
+  const FlLayout l = LayoutOf(model);
+  params->assign(l.total, 0.0f);
+  Rng rng(MixSeed(seed, 0xF1A907ull));
+  const double s1 = 1.0 / std::sqrt(static_cast<double>(model.dim));
+  const double s2 = 1.0 / std::sqrt(static_cast<double>(model.hidden));
+  for (size_t i = 0; i < model.dim * model.hidden; ++i) {
+    (*params)[l.w1 + i] = static_cast<float>(rng.Normal() * s1);
+  }
+  for (size_t i = 0; i < model.hidden * model.classes; ++i) {
+    (*params)[l.w2 + i] = static_cast<float>(rng.Normal() * s2);
+  }
+}
+
+uint64_t FlBaseComputeTicks(const FlClientConfig& cfg) {
+  const size_t steps =
+      cfg.aggregation == FlAggregation::kFedSgd ? 1 : cfg.local_steps;
+  const uint64_t flops =
+      2ull * (cfg.model.dim * cfg.model.hidden +
+              cfg.model.hidden * cfg.model.classes);
+  return steps * cfg.batch_size * flops / 64ull + 1ull;
+}
+
+double FlBatchLoss(const FlModelConfig& model, const float* params,
+                   const Tensor& x, const Tensor& y) {
+  return BatchPass(model, params, x, y, nullptr);
+}
+
+Status RunFlClient(const FlClientConfig& cfg, const FederatedView& data,
+                   int client, uint64_t round, const std::vector<float>& global,
+                   FlClientResult* out) {
+  const size_t numel = FlParamCount(cfg.model);
+  if (global.size() != numel) {
+    return Status::InvalidArgument(
+        StrFormat("global model %zu != %zu params", global.size(), numel));
+  }
+  out->contribution.clear();
+  out->samples = 0;
+  out->mean_loss = 0.0;
+  out->compute_ticks = 0;
+  const size_t shard = data.ClientSize(client);
+  if (shard == 0) return Status::OK();  // nothing local to learn from
+
+  const size_t steps =
+      cfg.aggregation == FlAggregation::kFedSgd ? 1 : cfg.local_steps;
+  BAGUA_CHECK_GT(steps, 0u);
+
+  std::vector<float> w = global;
+  std::vector<double> grad(numel);
+  Tensor x, y;
+  double loss_sum = 0.0;
+  for (size_t step = 0; step < steps; ++step) {
+    RETURN_IF_ERROR(data.GetClientBatch(
+        client, round, step, cfg.batch_size, &x, &y));
+    std::fill(grad.begin(), grad.end(), 0.0);
+    loss_sum += BatchPass(cfg.model, w.data(), x, y, grad.data());
+    if (cfg.aggregation == FlAggregation::kFedSgd) break;
+    for (size_t i = 0; i < numel; ++i) {
+      w[i] = static_cast<float>(w[i] - cfg.lr * grad[i]);
+    }
+  }
+
+  out->contribution.resize(numel);
+  if (cfg.aggregation == FlAggregation::kFedSgd) {
+    for (size_t i = 0; i < numel; ++i) {
+      out->contribution[i] = static_cast<float>(grad[i]);
+    }
+  } else {
+    for (size_t i = 0; i < numel; ++i) {
+      out->contribution[i] = w[i] - global[i];
+    }
+  }
+  out->samples = static_cast<uint32_t>(std::min<size_t>(shard, 0xFFFFFFFFu));
+  out->mean_loss = loss_sum / static_cast<double>(steps);
+
+  // Virtual local-compute time: per-sample model flops, plus a seeded
+  // per-(client, round) slowdown so straggler accounting has something
+  // deterministic to measure.
+  const uint64_t base = FlBaseComputeTicks(cfg);
+  Rng jitter(MixSeed(0x57A66E12ull, MixSeed(round + 1, client + 1)));
+  out->compute_ticks = base + jitter.UniformInt(base);  // up to 2x straggle
+  return Status::OK();
+}
+
+}  // namespace bagua

@@ -1,0 +1,79 @@
+#ifndef BAGUA_FL_CLIENT_H_
+#define BAGUA_FL_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "model/data.h"
+
+namespace bagua {
+
+/// \brief The client-local model: a 2-layer MLP (dim → hidden, tanh →
+/// classes, softmax cross-entropy) sized so that thousands of simulated
+/// clients per round stay cheap even under TSan.
+///
+/// Layout of the flat parameter vector (param-server order):
+///   W1 [dim x hidden] | b1 [hidden] | W2 [hidden x classes] | b2 [classes]
+struct FlModelConfig {
+  size_t dim = 32;
+  size_t hidden = 16;
+  size_t classes = 8;
+};
+
+size_t FlParamCount(const FlModelConfig& model);
+
+/// Seeded init: W1/W2 scaled-normal, biases zero. Every replica derives the
+/// same initial global model from the seed.
+void InitFlParams(const FlModelConfig& model, uint64_t seed,
+                  std::vector<float>* params);
+
+/// \brief How a client turns the global model into its round contribution.
+enum class FlAggregation {
+  kFedAvg,  ///< run local SGD steps, contribute delta = w_local - w_global
+  kFedSgd,  ///< contribute one raw minibatch gradient at the global model
+};
+
+/// \brief Per-round local-training knobs shared by every client.
+struct FlClientConfig {
+  FlModelConfig model;
+  FlAggregation aggregation = FlAggregation::kFedAvg;
+  size_t local_steps = 4;    ///< SGD steps per round (FedAvg; FedSGD uses 1)
+  size_t batch_size = 16;
+  double lr = 0.1;           ///< client-local learning rate
+};
+
+/// \brief One client's round output.
+struct FlClientResult {
+  std::vector<float> contribution;  ///< delta (FedAvg) or gradient (FedSGD)
+  uint32_t samples = 0;             ///< FedAvg weight n_k (0 ⇒ skip client)
+  double mean_loss = 0.0;           ///< mean training loss over local steps
+  uint64_t compute_ticks = 0;       ///< virtual local-compute time (DES)
+};
+
+/// Deterministic virtual compute ticks of one client's local training
+/// before its per-(client, round) straggle jitter (jitter adds up to one
+/// more base on top). The server derives its straggler threshold from this
+/// same formula, so the two can never drift apart.
+uint64_t FlBaseComputeTicks(const FlClientConfig& cfg);
+
+/// Mean softmax cross-entropy of `params` over a batch (evaluation helper;
+/// sequential double-precision loops, bitwise deterministic).
+double FlBatchLoss(const FlModelConfig& model, const float* params,
+                   const Tensor& x, const Tensor& y);
+
+/// \brief Runs client `client`'s local training for `round` starting from
+/// the global model `global` and fills `out`.
+///
+/// Pure sequential arithmetic over client-owned storage: no shared state,
+/// no reductions whose order depends on thread count — so a client's
+/// contribution is a function of (client, round, global weights, data)
+/// only, and any execution schedule produces bitwise-identical bytes.
+/// Clients with empty shards return samples = 0 and an empty contribution.
+Status RunFlClient(const FlClientConfig& cfg, const FederatedView& data,
+                   int client, uint64_t round, const std::vector<float>& global,
+                   FlClientResult* out);
+
+}  // namespace bagua
+
+#endif  // BAGUA_FL_CLIENT_H_

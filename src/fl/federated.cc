@@ -1,0 +1,474 @@
+#include "fl/federated.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "faults/faulty_transport.h"
+#include "faults/wire.h"
+#include "fl/sampling.h"
+#include "model/data.h"
+#include "ps/server.h"
+#include "trace/trace.h"
+
+namespace bagua {
+namespace {
+
+// Stream salts: every derived rng purpose gets its own constant so streams
+// can never alias across subsystems sharing one seed.
+constexpr uint64_t kFlShardSalt = 0xF15A4D5Bull;
+constexpr uint64_t kFlCrashUnitSalt = 0xFEC4A54Dull;
+
+/// Fixed-layout metadata riding in front of the first delta unit. The
+/// weight (FedAvg's n_k) travels with the payload so the server never needs
+/// client-side state; ticks/loss feed the round accounting.
+struct FlWireHeader {
+  uint32_t client = 0;
+  uint32_t samples = 0;
+  uint64_t ticks = 0;
+  double mean_loss = 0.0;
+};
+static_assert(sizeof(FlWireHeader) == 24, "wire header layout is fixed");
+
+/// Flat-model offset of each plan unit: unit i covers
+/// [offsets[i], offsets[i] + units[i].numel). Plan order is the wire order.
+std::vector<size_t> UnitOffsets(const StepPlan& plan) {
+  std::vector<size_t> offsets(plan.units.size());
+  size_t at = 0;
+  for (size_t u = 0; u < plan.units.size(); ++u) {
+    offsets[u] = at;
+    at += plan.units[u].numel;
+  }
+  return offsets;
+}
+
+/// How many delta units a crashing member uploads before dying: a pure
+/// function of (plan seed, round, rank), in [0, units]. 0 = crash before
+/// any send; units would be a crash after a complete upload, so the draw
+/// is over [0, units).
+size_t CrashUnitOf(uint64_t seed, uint64_t round, int rank, size_t units) {
+  Rng rng(MixSeed(MixSeed(seed, kFlCrashUnitSalt), MixSeed(round, rank)));
+  return static_cast<size_t>(rng.UniformInt(units));
+}
+
+/// Members with ticks in the top quarter of the jitter span (jitter is
+/// uniform in [0, base] on top of base) count as the round's stragglers.
+uint64_t StragglerThresholdTicks(const FlClientConfig& cfg) {
+  const uint64_t base = FlBaseComputeTicks(cfg);
+  return base + base - base / 4;
+}
+
+/// Everything one round's worker tasks share, read-only (or internally
+/// synchronized), so the client lambda stays a capture of one pointer.
+struct RoundContext {
+  const FlConfig* cfg = nullptr;
+  const FederatedView* view = nullptr;
+  TransportGroup* transport = nullptr;
+  const StepPlan* plan = nullptr;
+  const std::vector<size_t>* offsets = nullptr;
+  const std::vector<float>* global = nullptr;
+  const std::vector<int>* cohort = nullptr;
+  const std::set<int>* crashed_ranks = nullptr;
+  uint64_t round = 0;
+  uint64_t dropout_seed = 0;
+  size_t numel = 0;
+};
+
+/// One cohort member's life: receive the model, train locally, upload the
+/// delta unit by unit — or a deterministic prefix of it, then die. Runs on
+/// a client-executor thread; touches only member-owned storage plus the
+/// thread-safe transport/tracer, so any claim schedule produces the same
+/// bytes on the wire.
+void RunMember(const RoundContext& ctx, int client) {
+  const int src = client + 1;
+  const uint64_t r = ctx.round;
+  TransportGroup* t = ctx.transport;
+
+  std::vector<uint8_t> mbuf;
+  Status st = t->Recv(0, src, MakeTag(FlModelSpace(), r), &mbuf);
+  if (!st.ok()) return;  // shutdown / teardown path
+  BAGUA_CHECK_EQ(mbuf.size(), ctx.numel * sizeof(float));
+
+  TraceSpan span(src, TraceStream::kFl, "fl.local", mbuf.size(),
+                 static_cast<int>(r));
+  std::vector<float> global(ctx.numel);
+  std::memcpy(global.data(), mbuf.data(), ctx.numel * sizeof(float));
+  t->Recycle(std::move(mbuf));
+
+  FlClientResult res;
+  st = RunFlClient(ctx.cfg->client, *ctx.view, client, r, global, &res);
+  BAGUA_CHECK(st.ok());
+
+  const size_t units = ctx.plan->units.size();
+  const bool crashed = ctx.crashed_ranks->count(src) != 0;
+  const size_t limit =
+      crashed ? CrashUnitOf(ctx.dropout_seed, r, src, units) : units;
+
+  // Empty-shard members upload zeros with weight 0 — the server's schedule
+  // stays uniform and the merge ignores them.
+  std::vector<float> zeros;
+  const float* contrib = res.contribution.data();
+  if (res.contribution.empty()) {
+    zeros.assign(ctx.numel, 0.0f);
+    contrib = zeros.data();
+  }
+
+  FlWireHeader hdr;
+  hdr.client = static_cast<uint32_t>(client);
+  hdr.samples = res.samples;
+  hdr.ticks = res.compute_ticks;
+  hdr.mean_loss = res.mean_loss;
+
+  for (size_t u = 0; u < limit; ++u) {
+    const size_t payload = ctx.plan->units[u].numel * sizeof(float);
+    const size_t head = u == 0 ? sizeof(FlWireHeader) : 0;
+    std::vector<uint8_t> buf = t->AcquireBuffer(head + payload);
+    if (head != 0) std::memcpy(buf.data(), &hdr, head);
+    std::memcpy(buf.data() + head, contrib + (*ctx.offsets)[u], payload);
+    span.AddBytes(head + payload);
+    st = t->SendBuffer(src, 0, MakeTag(FlDeltaSpace(static_cast<uint32_t>(u)),
+                                       r),
+                       std::move(buf));
+    BAGUA_CHECK(st.ok());
+  }
+  if (crashed) {
+    t->MarkDead(src);
+    TraceIncrement(src, "fl.crashes");
+  }
+}
+
+}  // namespace
+
+ModelProfile BuildFlModelProfile(const FlModelConfig& model) {
+  ModelProfile p;
+  p.name = "fl-mlp";
+  BlockProfile fc1;
+  fc1.name = "fc1";
+  fc1.params = model.dim * model.hidden + model.hidden;
+  fc1.flops = 2.0 * static_cast<double>(model.dim * model.hidden);
+  fc1.num_tensors = 2;
+  BlockProfile fc2;
+  fc2.name = "fc2";
+  fc2.params = model.hidden * model.classes + model.classes;
+  fc2.flops = 2.0 * static_cast<double>(model.hidden * model.classes);
+  fc2.num_tensors = 2;
+  p.blocks = {fc1, fc2};
+  p.train.samples_per_epoch = 0;
+  return p;
+}
+
+StepPlan BuildFlRoundPlan(const FlModelConfig& model, size_t bucket_bytes) {
+  StepPlan plan = FusedUnitsPlan(BuildFlModelProfile(model), bucket_bytes);
+  // The upload is merged host-side by the FL server — the summation
+  // service shape, which is also what prices the round's PS term.
+  ServerReduce(&plan);
+  return plan;
+}
+
+FaultPlan BuildFlDropoutPlan(const FlConfig& cfg) {
+  FaultPlan plan;
+  plan.seed = MixSeed(cfg.seed, kFlCrashUnitSalt);
+  if (cfg.dropout <= 0.0) return plan;
+  const int cohort_size = CohortSize(cfg.num_clients, cfg.participation);
+  for (uint64_t r = 1; r <= cfg.rounds; ++r) {
+    const std::vector<int> cohort =
+        SampleCohort(cfg.seed, r, cfg.num_clients, cohort_size);
+    for (const int c : cohort) {
+      Rng rng(MixSeed(MixSeed(plan.seed, r), static_cast<uint64_t>(c) + 1));
+      if (rng.Bernoulli(cfg.dropout)) {
+        plan.CrashAt(/*rank=*/c + 1, /*step=*/r, /*recover=*/true);
+      }
+    }
+  }
+  return plan;
+}
+
+Status RunFlTraining(const FlConfig& cfg, FlReport* report) {
+  if (cfg.num_clients <= 0) {
+    return Status::InvalidArgument("num_clients must be positive");
+  }
+  if (cfg.rounds == 0) return Status::InvalidArgument("rounds must be >= 1");
+  if (cfg.threads <= 0 || cfg.flow_window <= 0) {
+    return Status::InvalidArgument("threads and flow_window must be >= 1");
+  }
+  const auto wall_begin = std::chrono::steady_clock::now();
+
+  const StepPlan plan = BuildFlRoundPlan(cfg.client.model, cfg.bucket_bytes);
+  RETURN_IF_ERROR(plan.Validate());
+  const size_t units = plan.units.size();
+  if (units > kFlMaxUnits) {
+    return Status::InvalidArgument("round plan exceeds the fl delta range");
+  }
+  const std::vector<size_t> offsets = UnitOffsets(plan);
+  const size_t numel = FlParamCount(cfg.client.model);
+  BAGUA_CHECK_EQ(offsets.back() + plan.units.back().numel, numel);
+
+  SyntheticClassification::Options data_opts;
+  data_opts.num_samples = cfg.dataset_samples;
+  data_opts.dim = cfg.client.model.dim;
+  data_opts.classes = cfg.client.model.classes;
+  data_opts.seed = cfg.data_seed;
+  const SyntheticClassification dataset(data_opts);
+  FederatedShardOptions shard_opts;
+  shard_opts.num_clients = cfg.num_clients;
+  shard_opts.skew = cfg.skew;
+  shard_opts.seed = MixSeed(cfg.data_seed, kFlShardSalt);
+  const FederatedView view(&dataset, shard_opts);
+
+  const int world = cfg.num_clients + 1;
+  FaultyTransport* faulty = nullptr;
+  std::unique_ptr<TransportGroup> transport;
+  if (!cfg.message_faults.rules.empty()) {
+    FaultPlan wire_plan = cfg.message_faults;
+    wire_plan.harden = true;  // the FL driver has no recovery of its own
+    auto owned = std::make_unique<FaultyTransport>(world, wire_plan);
+    faulty = owned.get();
+    transport = std::move(owned);
+  } else {
+    transport = std::make_unique<TransportGroup>(
+        world, cfg.naive_sequential ? TransportGroup::PoolMode::kUnpooled
+                                    : TransportGroup::PoolMode::kPooled);
+  }
+
+  ShardedParameterServer ps(numel, /*num_shards=*/4, /*num_workers=*/1);
+  std::vector<float> global(numel);
+  InitFlParams(cfg.client.model, cfg.seed, &global);
+  RETURN_IF_ERROR(ps.InitWeights(global.data(), numel));
+
+  FaultPlan dropout_plan = cfg.dropouts;
+  if (dropout_plan.rules.empty() && cfg.dropout > 0.0) {
+    dropout_plan = BuildFlDropoutPlan(cfg);
+  }
+  // round -> ranks crashing in it (kCrash rules; other kinds belong to
+  // message_faults and are ignored here).
+  std::vector<std::set<int>> crashes(cfg.rounds + 1);
+  for (const FaultRule& rule : dropout_plan.rules) {
+    if (rule.kind != FaultKind::kCrash) continue;
+    if (rule.at_step >= 1 && rule.at_step <= cfg.rounds) {
+      crashes[rule.at_step].insert(rule.src);
+    }
+  }
+
+  report->rounds.clear();
+  report->rounds.reserve(cfg.rounds);
+  report->total_participants = 0;
+  report->total_dropouts = 0;
+  report->total_rejoins = 0;
+  report->total_stragglers = 0;
+  report->plan_units = units;
+  report->dropout_plan = dropout_plan;
+
+  const uint64_t straggler_ticks = StragglerThresholdTicks(cfg.client);
+  const int cohort_size = CohortSize(cfg.num_clients, cfg.participation);
+  const uint64_t model_bytes = numel * sizeof(float);
+  std::vector<float> delta(numel);  // server-side staging scratch
+  const uint64_t warmup_rounds = std::min<uint64_t>(2, cfg.rounds);
+  uint64_t warm_misses = 0;
+
+  // Pre-populate the pool's free lists to the flow-control ceiling: at
+  // most `window` members are in flight, each holding one model buffer and
+  // one buffer per delta unit. Demand-driven warm-up would only reach the
+  // all-time peak after whichever round's thread schedule happens to
+  // overlap the most — allocating mid-run on the unlucky round — whereas
+  // the ceiling is static, so paying it up front makes every later
+  // acquire a hit no matter how the threads interleave.
+  if (!cfg.naive_sequential && transport->pooled()) {
+    const size_t window =
+        std::min<size_t>(cfg.flow_window, static_cast<size_t>(cohort_size));
+    std::vector<std::vector<uint8_t>> held;
+    held.reserve(window * (units + 1));
+    for (size_t i = 0; i < window; ++i) {
+      held.push_back(transport->AcquireBuffer(model_bytes));
+      for (size_t u = 0; u < units; ++u) {
+        const size_t head = u == 0 ? sizeof(FlWireHeader) : 0;
+        held.push_back(transport->AcquireBuffer(
+            head + plan.units[u].numel * sizeof(float)));
+      }
+    }
+    for (std::vector<uint8_t>& buf : held) {
+      transport->Recycle(std::move(buf));
+    }
+  }
+
+  for (uint64_t r = 1; r <= cfg.rounds; ++r) {
+    TraceSpan round_span(0, TraceStream::kFl, "fl.round", 0,
+                         static_cast<int>(r));
+    TraceIncrement(0, "fl.rounds");
+    FlRoundStats stats;
+    stats.round = r;
+
+    const std::vector<int> cohort =
+        SampleCohort(cfg.seed, r, cfg.num_clients, cohort_size);
+    stats.cohort = static_cast<int>(cohort.size());
+    for (const int c : cohort) {
+      if (!transport->IsAlive(c + 1)) {
+        transport->MarkAlive(c + 1);  // rejoin after an earlier crash
+        ++stats.rejoins;
+        TraceIncrement(0, "fl.rejoins");
+      }
+    }
+
+    RETURN_IF_ERROR(ps.Pull(global.data(), numel));
+    RETURN_IF_ERROR(ps.BeginFlRound(r));
+
+    RoundContext ctx;
+    ctx.cfg = &cfg;
+    ctx.view = &view;
+    ctx.transport = transport.get();
+    ctx.plan = &plan;
+    ctx.offsets = &offsets;
+    ctx.global = &global;
+    ctx.cohort = &cohort;
+    ctx.crashed_ranks = &crashes[r];
+    ctx.round = r;
+    ctx.dropout_seed = dropout_plan.seed;
+    ctx.numel = numel;
+
+    auto send_model = [&](size_t i) -> Status {
+      stats.bytes_down += model_bytes;
+      return transport->Send(0, cohort[i] + 1, MakeTag(FlModelSpace(), r),
+                             global.data(), model_bytes);
+    };
+
+    // Harvests member i's delta units in plan order, staging into `delta`;
+    // a mid-upload crash surfaces as DataLoss and discards the stage. The
+    // weighted accumulate happens here — on the server thread, in the
+    // ascending member order of the caller — which is the whole
+    // determinism story: the merge order is imposed by the server, not by
+    // whichever client finished first.
+    auto harvest = [&](int client) -> Status {
+      const int src = client + 1;
+      FlWireHeader hdr;
+      bool dropped = false;
+      for (size_t u = 0; u < units; ++u) {
+        std::vector<uint8_t> buf;
+        const Status st = transport->Recv(
+            src, 0, MakeTag(FlDeltaSpace(static_cast<uint32_t>(u)), r), &buf);
+        if (st.IsDataLoss()) {
+          dropped = true;
+          break;
+        }
+        RETURN_IF_ERROR(st);
+        const size_t head = u == 0 ? sizeof(FlWireHeader) : 0;
+        const size_t payload = plan.units[u].numel * sizeof(float);
+        if (buf.size() != head + payload) {
+          return Status(StatusCode::kInternal,
+                        StrFormat("fl unit %zu carried %zu bytes, want %zu",
+                                  u, buf.size(), head + payload));
+        }
+        if (head != 0) std::memcpy(&hdr, buf.data(), head);
+        std::memcpy(delta.data() + offsets[u], buf.data() + head, payload);
+        stats.bytes_up += buf.size();
+        transport->Recycle(std::move(buf));
+      }
+      if (dropped) {
+        ++stats.dropouts;
+        TraceIncrement(0, "fl.dropouts");
+        return Status::OK();
+      }
+      if (hdr.samples == 0) {
+        ++stats.skipped;
+        TraceIncrement(0, "fl.skipped");
+      } else {
+        RETURN_IF_ERROR(ps.AccumulateWeighted(
+            delta.data(), numel, static_cast<double>(hdr.samples)));
+        ++stats.participants;
+        TraceIncrement(0, "fl.participants");
+        stats.mean_loss += hdr.mean_loss;
+        stats.total_weight += static_cast<double>(hdr.samples);
+      }
+      stats.max_ticks = std::max(stats.max_ticks, hdr.ticks);
+      if (hdr.ticks >= straggler_ticks) {
+        ++stats.stragglers;
+        TraceIncrement(0, "fl.stragglers");
+      }
+      return Status::OK();
+    };
+
+    Status round_status = Status::OK();
+    if (cfg.naive_sequential) {
+      // Baseline: strictly one member at a time — model down, local
+      // training inline on this thread, delta up, merge. Identical
+      // messages and merge order, so identical bits; none of the overlap.
+      for (size_t i = 0; i < cohort.size(); ++i) {
+        RETURN_IF_ERROR(send_model(i));
+        RunMember(ctx, cohort[i]);
+        round_status = harvest(cohort[i]);
+        if (!round_status.ok()) break;
+      }
+    } else {
+      // A permuted claim order can only be driven deadlock-free with every
+      // model already in flight (a windowed send to member i + K waits on
+      // member i, which a descending claimer visits last).
+      const size_t window =
+          cfg.reverse_claim
+              ? cohort.size()
+              : std::min<size_t>(cfg.flow_window, cohort.size());
+      std::atomic<size_t> claim{0};
+      std::vector<std::thread> pool;
+      pool.reserve(cfg.threads);
+      for (int t = 0; t < cfg.threads; ++t) {
+        pool.emplace_back([&ctx, &claim, &cfg] {
+          const size_t n = ctx.cohort->size();
+          while (true) {
+            const size_t idx = claim.fetch_add(1);
+            if (idx >= n) return;
+            const size_t i = cfg.reverse_claim ? n - 1 - idx : idx;
+            RunMember(ctx, (*ctx.cohort)[i]);
+          }
+        });
+      }
+      size_t next_send = 0;
+      for (; next_send < window; ++next_send) {
+        round_status = send_model(next_send);
+        if (!round_status.ok()) break;
+      }
+      for (size_t i = 0; round_status.ok() && i < cohort.size(); ++i) {
+        round_status = harvest(cohort[i]);
+        if (round_status.ok() && next_send < cohort.size()) {
+          round_status = send_model(next_send++);
+        }
+      }
+      if (!round_status.ok()) transport->Shutdown();
+      for (std::thread& t : pool) t.join();
+    }
+    RETURN_IF_ERROR(round_status);
+
+    const double scale = cfg.client.aggregation == FlAggregation::kFedSgd
+                             ? -cfg.server_lr
+                             : 1.0;
+    RETURN_IF_ERROR(ps.CommitFlRound(r, scale));
+
+    if (stats.participants > 0) {
+      stats.mean_loss /= static_cast<double>(stats.participants);
+    }
+    round_span.AddBytes(stats.bytes_up);
+    report->total_participants += stats.participants;
+    report->total_dropouts += stats.dropouts;
+    report->total_rejoins += stats.rejoins;
+    report->total_stragglers += stats.stragglers;
+    report->rounds.push_back(stats);
+    if (r == warmup_rounds) warm_misses = transport->pool_stats().misses;
+  }
+
+  report->final_model.assign(numel, 0.0f);
+  RETURN_IF_ERROR(ps.Pull(report->final_model.data(), numel));
+  report->model_hash =
+      wire::Fnv1a(report->final_model.data(), numel * sizeof(float));
+  report->pool = transport->pool_stats();
+  report->pool_misses_steady = report->pool.misses - warm_misses;
+  report->bytes_sent = transport->TotalBytesSent();
+  report->fault_stats = faulty != nullptr ? faulty->stats() : FaultStats{};
+  report->wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_begin)
+                       .count();
+  return Status::OK();
+}
+
+}  // namespace bagua

@@ -1,0 +1,172 @@
+#ifndef BAGUA_FL_FEDERATED_H_
+#define BAGUA_FL_FEDERATED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "faults/fault_plan.h"
+#include "fl/client.h"
+#include "model/profiles.h"
+#include "sched/plan.h"
+#include "transport/pool.h"
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// \name FL tag helpers (allocation map: transport/transport.h)
+///
+/// The per-round model broadcast rides one space; each delta plan unit
+/// rides its own space so a mid-upload crash leaves a deterministic
+/// partial prefix in the server's inbox. `step` is the round in both.
+/// @{
+constexpr uint32_t kFlMaxUnits = kFlDeltaSpaceLimit - kFlDeltaSpaceBase;
+constexpr uint32_t FlModelSpace() { return kFlModelSpaceBase; }
+constexpr uint32_t FlDeltaSpace(uint32_t unit) {
+  return kFlDeltaSpaceBase + unit;
+}
+static_assert(FlModelSpace() >= kFlSpaceBase &&
+                  FlModelSpace() < kFlModelSpaceLimit,
+              "model space must live in the fl model range");
+static_assert(FlDeltaSpace(kFlMaxUnits - 1) < kFlSpaceLimit,
+              "every delta unit space must live in the fl range");
+/// @}
+
+/// \brief One federated-training run: `rounds` rounds of cohort sampling,
+/// client-local training and server-side weighted merge over the PS path.
+///
+/// Rank layout: the server is rank 0 and client c is rank c + 1, so a
+/// single node drives num_clients + 1 lightweight rank contexts. Clients
+/// are *intermittent*: only sampled cohort members run in a round, a
+/// member that crashed mid-upload stays dead (transport MarkDead) until
+/// the next round that samples it re-admits it (MarkAlive).
+struct FlConfig {
+  FlClientConfig client;
+
+  int num_clients = 64;
+  double participation = 0.25;  ///< cohort fraction per round
+  uint64_t rounds = 5;
+  /// Drives cohort sampling and global-model init. Everything else derives
+  /// its streams from purpose-specific MixSeed constants, so one seed
+  /// reproduces the entire run.
+  uint64_t seed = 42;
+
+  /// Data heterogeneity (model/data.h FederatedView).
+  double skew = 0.5;
+  size_t dataset_samples = 4096;
+  uint64_t data_seed = 1234;
+
+  /// Client-executor threads. The committed server state is bitwise
+  /// independent of this (and of the claim order below): the server
+  /// accumulates member deltas in ascending client order no matter which
+  /// thread produced them when.
+  int threads = 1;
+  /// Flow control: the server keeps at most this many model broadcasts
+  /// outstanding (member i + window's model ships only after member i's
+  /// delta is harvested). Bounds per-size-class live pool buffers below
+  /// BufferPool::kMaxFreePerClass so steady-state rounds allocate nothing.
+  int flow_window = 32;
+  /// Tests only: client threads claim cohort members in descending order.
+  /// Forces a full upfront broadcast (the window would deadlock against a
+  /// non-ascending claim order) — used to prove order-invariance.
+  bool reverse_claim = false;
+  /// Baseline for the fl perf gate: one client at a time on the calling
+  /// thread, transport unpooled, merge per arrival. Same messages, same
+  /// order — bitwise identical state, none of the overlap.
+  bool naive_sequential = false;
+
+  /// Per-(member, round) probability of a mid-round crash. Used only when
+  /// `dropouts` has no rules: RunFlTraining then builds the crash plan via
+  /// BuildFlDropoutPlan and records it in the report for replay.
+  double dropout = 0.0;
+  /// The crash schedule (kCrash rules: rank = client + 1, at_step = round).
+  /// Supply a recorded plan to replay a run's dropouts exactly; the crash
+  /// *unit* (how much of the upload precedes the crash) derives from
+  /// `dropouts.seed`, so plan + seed fully determine the fault behavior.
+  FaultPlan dropouts;
+  /// Message faults (drop/duplicate/corrupt rules): when non-empty the run
+  /// wraps the transport in a hardened FaultyTransport, which must not
+  /// change the committed state by a single bit.
+  FaultPlan message_faults;
+
+  /// Bucket size for the round's StepPlan — the schedule IR that shapes
+  /// the delta upload into per-unit messages and prices the round.
+  size_t bucket_bytes = 1024;
+  /// FedSGD commit scale is -server_lr (FedAvg commits at +1).
+  double server_lr = 0.1;
+};
+
+/// \brief Per-round accounting, all fields deterministic for a config.
+struct FlRoundStats {
+  uint64_t round = 0;
+  int cohort = 0;        ///< members sampled
+  int participants = 0;  ///< full deltas merged
+  int dropouts = 0;      ///< crashed mid-round (partial uploads discarded)
+  int skipped = 0;       ///< empty-shard members (weight 0)
+  int rejoins = 0;       ///< members re-admitted after an earlier crash
+  int stragglers = 0;    ///< members in the slow tail of compute ticks
+  double mean_loss = 0.0;      ///< mean local loss over participants
+  double total_weight = 0.0;   ///< sum of merged n_k
+  uint64_t max_ticks = 0;      ///< slowest member's virtual compute
+  uint64_t bytes_down = 0;     ///< model broadcast bytes
+  uint64_t bytes_up = 0;       ///< delta upload bytes received
+};
+
+/// \brief Result of a run. `final_model` / `model_hash` are the bitwise
+/// reproducibility surface: identical across thread counts, claim orders,
+/// pooling modes, and replayed dropout plans.
+struct FlReport {
+  std::vector<FlRoundStats> rounds;
+  std::vector<float> final_model;
+  uint64_t model_hash = 0;  ///< Fnv1a over final_model bytes
+
+  uint64_t total_participants = 0;
+  uint64_t total_dropouts = 0;
+  uint64_t total_rejoins = 0;
+  uint64_t total_stragglers = 0;
+
+  /// The crash plan the run executed (recorded for replay).
+  FaultPlan dropout_plan;
+  /// Injector counters when message_faults was active (zeros otherwise).
+  FaultStats fault_stats;
+  PoolStats pool;
+  /// Pool misses after the two warm-up rounds. The flow window bounds live
+  /// buffers per size class below the pool's free-list cap, so once the
+  /// free lists are populated every acquire must hit: steady state is 0.
+  uint64_t pool_misses_steady = 0;
+  uint64_t bytes_sent = 0;
+
+  size_t plan_units = 0;  ///< delta messages per member per round
+  double wall_s = 0.0;    ///< measured wall time (diagnostic, not golden)
+};
+
+/// The FL client model as a profiled model: one block per layer, so the
+/// schedule IR's unitizers (sched/plan.h) can bucket the delta exactly as
+/// they bucket training gradients.
+ModelProfile BuildFlModelProfile(const FlModelConfig& model);
+
+/// The round's communication schedule: FusedUnitsPlan over the FL model at
+/// `bucket_bytes`, routed through the summation service (ServerReduce) —
+/// the IR consumed by both the real executor and the round pricer.
+StepPlan BuildFlRoundPlan(const FlModelConfig& model, size_t bucket_bytes);
+
+/// Builds the seeded crash schedule for `cfg`: walks every round's cohort
+/// (a pure function of cfg.seed) and flips a per-(round, member) coin at
+/// cfg.dropout. Returned plan rules are sorted by (round, rank).
+FaultPlan BuildFlDropoutPlan(const FlConfig& cfg);
+
+/// \brief Runs the full federated training loop and fills `report`.
+///
+/// Per round: sample the cohort (sorted ascending), re-admit previously
+/// crashed members, broadcast the global model under the flow window,
+/// execute members on the client-thread pool, and harvest each member's
+/// delta units *in ascending client order* — staging them in scratch and
+/// discarding on a mid-upload crash (DataLoss) — into the PS's weighted
+/// FL accumulator, committing once per round. Instrumented on the kFl
+/// trace stream: fl.round[r] spans on rank 0, fl.local[r] spans on client
+/// ranks, fl.* counters.
+Status RunFlTraining(const FlConfig& cfg, FlReport* report);
+
+}  // namespace bagua
+
+#endif  // BAGUA_FL_FEDERATED_H_

@@ -1,0 +1,54 @@
+#include "fl/pricing.h"
+
+#include "base/logging.h"
+#include "sim/collective_cost.h"
+
+namespace bagua {
+
+FlRoundCost PriceFlRound(const StepPlan& plan, int cohort,
+                         const NetworkConfig& net, uint64_t max_ticks,
+                         double ticks_per_s) {
+  BAGUA_CHECK_GT(cohort, 0);
+  FlRoundCost cost;
+  // Server = node 0, one node per cohort member: every flow crosses the
+  // NIC tier, and the server port serializes the fan-out/fan-in, exactly
+  // like a BytePS summation server at partial participation.
+  const ClusterTopology topo = ClusterTopology::Make(cohort + 1, 1);
+
+  double model_bytes = 0.0;
+  for (const PlanUnit& u : plan.units) model_bytes += u.numel * 4.0;
+
+  std::vector<Flow> down;
+  down.reserve(cohort);
+  for (int m = 1; m <= cohort; ++m) {
+    down.push_back(Flow{0, m, model_bytes});
+  }
+  cost.broadcast_s = FlowSetTime(topo, net, down);
+
+  // Uploads walk the plan: unit u of every member is one flow set, and the
+  // sets run back to back (the executor receives units in plan order).
+  for (const PlanUnit& u : plan.units) {
+    std::vector<Flow> up;
+    up.reserve(cohort);
+    for (int m = 1; m <= cohort; ++m) {
+      up.push_back(Flow{m, 0, u.numel * 4.0});
+    }
+    cost.upload_s += FlowSetTime(topo, net, up);
+  }
+  if (net.ps_server_reduce_Bps > 0.0) {
+    cost.upload_s += cohort * model_bytes / net.ps_server_reduce_Bps;
+  }
+  if (ticks_per_s > 0.0) {
+    cost.compute_s = static_cast<double>(max_ticks) / ticks_per_s;
+  }
+  cost.round_s = cost.broadcast_s + cost.compute_s + cost.upload_s;
+
+  // The DES recurrence of the same pattern: cohort worker nodes pushing
+  // the whole model against the sharded summation service and pulling it
+  // back — the reference the closed form is sanity-checked against.
+  cost.des_round_s = DesPsPushPullTime(ClusterTopology::Make(cohort, 1), net,
+                                       model_bytes);
+  return cost;
+}
+
+}  // namespace bagua

@@ -1,0 +1,38 @@
+#ifndef BAGUA_FL_PRICING_H_
+#define BAGUA_FL_PRICING_H_
+
+#include "fl/federated.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace bagua {
+
+/// \brief Offline price of one federated round on the simulated fabric —
+/// the PS term of sim/collective_cost applied to the FL data path.
+///
+/// The cohort is modeled as `cohort` single-device nodes pushing against
+/// one server node, which is exactly the flow set the real executor
+/// produces: a model broadcast fanning out of the server NIC, then the
+/// per-unit delta uploads fanning back in (serialized through the server's
+/// ingress plus its ps_server_reduce_Bps summation rate). The per-unit
+/// upload term walks the same StepPlan the live round ships, so a bucket
+/// knob that changes the wire schedule changes the price.
+struct FlRoundCost {
+  double broadcast_s = 0.0;  ///< model down to the cohort (flow set)
+  double upload_s = 0.0;     ///< per-plan-unit deltas up + server reduce
+  double compute_s = 0.0;    ///< slowest member's local training
+  double round_s = 0.0;      ///< closed-form total (sum of the above)
+  double des_round_s = 0.0;  ///< DES push-pull recurrence (PS term)
+};
+
+/// Prices one round of `plan` with `cohort` participating members on
+/// `net`. `ticks_per_s` converts client compute ticks (FlClientResult) to
+/// seconds; `max_ticks` is the round's slowest member (0 prices compute as
+/// free).
+FlRoundCost PriceFlRound(const StepPlan& plan, int cohort,
+                         const NetworkConfig& net, uint64_t max_ticks,
+                         double ticks_per_s);
+
+}  // namespace bagua
+
+#endif  // BAGUA_FL_PRICING_H_

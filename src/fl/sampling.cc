@@ -1,0 +1,40 @@
+#include "fl/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace bagua {
+
+int CohortSize(int num_clients, double participation) {
+  BAGUA_CHECK_GT(num_clients, 0);
+  const int cohort = static_cast<int>(
+      std::ceil(participation * static_cast<double>(num_clients)));
+  return std::min(num_clients, std::max(1, cohort));
+}
+
+std::vector<int> SampleCohort(uint64_t seed, uint64_t round, int num_clients,
+                              int cohort) {
+  BAGUA_CHECK_GT(num_clients, 0);
+  BAGUA_CHECK_GT(cohort, 0);
+  BAGUA_CHECK_LE(cohort, num_clients);
+  Rng rng(MixSeed(seed, MixSeed(0xF17C0407u, round)));
+  std::vector<int> ids(num_clients);
+  std::iota(ids.begin(), ids.end(), 0);
+  // Partial Fisher-Yates: after i swaps the prefix [0, i) is a uniform
+  // without-replacement draw; only `cohort` swaps are needed.
+  for (int i = 0; i < cohort; ++i) {
+    const int j =
+        i + static_cast<int>(rng.UniformInt(
+                static_cast<uint64_t>(num_clients - i)));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(cohort);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace bagua

@@ -1,0 +1,26 @@
+#ifndef BAGUA_FL_SAMPLING_H_
+#define BAGUA_FL_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bagua {
+
+/// \brief Number of clients sampled per round at `participation` fraction:
+/// ceil(participation * num_clients), clamped to [1, num_clients].
+int CohortSize(int num_clients, double participation);
+
+/// \brief The per-round client cohort: `cohort` distinct client ids drawn
+/// without replacement from [0, num_clients), returned in ascending order.
+///
+/// A pure function of (seed, round, num_clients, cohort) — no global state,
+/// no threading — so the same round always samples the same cohort on any
+/// machine at any intra-op thread count, and a changed seed or round
+/// changes it. The draw is a partial Fisher-Yates shuffle seeded from
+/// MixSeed(seed, round), which is uniform over cohorts.
+std::vector<int> SampleCohort(uint64_t seed, uint64_t round, int num_clients,
+                              int cohort);
+
+}  // namespace bagua
+
+#endif  // BAGUA_FL_SAMPLING_H_

@@ -99,6 +99,85 @@ Status SyntheticClassification::GetShardBatch(int rank, int world,
   return Status::OK();
 }
 
+FederatedView::FederatedView(const SyntheticClassification* data,
+                             const FederatedShardOptions& opts)
+    : data_(data), opts_(opts) {
+  BAGUA_CHECK(data != nullptr);
+  BAGUA_CHECK_GT(opts.num_clients, 0);
+  BAGUA_CHECK_GE(opts.skew, 0.0);
+  BAGUA_CHECK_LE(opts.skew, 1.0);
+  client_samples_.resize(opts.num_clients);
+  const size_t classes = data->classes();
+  // Clients preferring class y are those with client % classes == y; under
+  // full skew a sample may only land on one of them.
+  const size_t preferring =
+      (static_cast<size_t>(opts.num_clients) + classes - 1) / classes;
+  Rng rng(MixSeed(opts.seed, 0xFEDE7A7Eull));
+  for (size_t s = 0; s < data->size(); ++s) {
+    const size_t y = data->label(s);
+    size_t client;
+    if (rng.Bernoulli(opts.skew)) {
+      const size_t slot = rng.UniformInt(preferring);
+      client = y + slot * classes;
+      if (client >= static_cast<size_t>(opts.num_clients)) client = y;
+    } else {
+      client = rng.UniformInt(opts.num_clients);
+    }
+    client_samples_[client].push_back(static_cast<uint32_t>(s));
+  }
+}
+
+size_t FederatedView::ClientSize(int client) const {
+  BAGUA_CHECK_GE(client, 0);
+  BAGUA_CHECK_LT(client, opts_.num_clients);
+  return client_samples_[client].size();
+}
+
+Status FederatedView::GetClientBatch(int client, uint64_t round, size_t step,
+                                     size_t batch_size, Tensor* x,
+                                     Tensor* y) const {
+  if (client < 0 || client >= opts_.num_clients) {
+    return Status::InvalidArgument("bad client id");
+  }
+  const std::vector<uint32_t>& shard = client_samples_[client];
+  if (shard.empty()) {
+    return Status::OutOfRange(
+        StrFormat("client %d holds no samples", client));
+  }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  // Per-(client, round) shuffle of the shard-local indices; steps walk the
+  // shuffled shard and wrap around.
+  Rng rng(MixSeed(opts_.seed, MixSeed(round + 1, client + 1)));
+  std::vector<uint32_t> order(shard.size());
+  rng.Permutation(shard.size(), order.data());
+
+  const size_t dim = data_->dim();
+  *x = Tensor::Zeros({batch_size, dim}, "fl.batch.x");
+  *y = Tensor::Zeros({batch_size}, "fl.batch.y");
+  for (size_t b = 0; b < batch_size; ++b) {
+    const size_t local = order[(step * batch_size + b) % shard.size()];
+    const size_t global = shard[local];
+    std::memcpy(x->data() + b * dim, data_->feature(global),
+                dim * sizeof(float));
+    (*y)[b] = static_cast<float>(data_->label(global));
+  }
+  return Status::OK();
+}
+
+double FederatedView::ClientLabelConcentration(int client) const {
+  BAGUA_CHECK_GE(client, 0);
+  BAGUA_CHECK_LT(client, opts_.num_clients);
+  const std::vector<uint32_t>& shard = client_samples_[client];
+  if (shard.empty()) return 0.0;
+  std::vector<size_t> counts(data_->classes(), 0);
+  for (const uint32_t s : shard) ++counts[data_->label(s)];
+  size_t top = 0;
+  for (const size_t c : counts) top = std::max(top, c);
+  return static_cast<double>(top) / static_cast<double>(shard.size());
+}
+
 Status SyntheticClassification::GetAll(Tensor* x, Tensor* y) const {
   *x = Tensor::Zeros({opts_.num_samples, opts_.dim}, "all.x");
   *y = Tensor::Zeros({opts_.num_samples}, "all.y");

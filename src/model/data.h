@@ -51,10 +51,58 @@ class SyntheticClassification {
   /// Whole-dataset accessors for evaluation.
   Status GetAll(Tensor* x, Tensor* y) const;
 
+  /// Raw sample accessors (federated views address samples directly).
+  const float* feature(size_t i) const { return features_.data() + i * dim(); }
+  size_t label(size_t i) const { return static_cast<size_t>(labels_[i]); }
+
  private:
   Options opts_;
   std::vector<float> features_;  // [num_samples, dim]
   std::vector<float> labels_;    // [num_samples]
+};
+
+/// \brief Per-client partition knobs for federated training (src/fl/).
+///
+/// `skew` dials client data heterogeneity from 0 (IID: every sample lands
+/// on a uniformly random client) to 1 (fully label-skewed: every sample
+/// lands on a client whose preferred class — client % classes — matches
+/// its label). The assignment is a pure function of (data seed, shard
+/// seed), so every run partitions identically.
+struct FederatedShardOptions {
+  int num_clients = 64;
+  double skew = 0.5;
+  uint64_t seed = 99;
+};
+
+/// \brief Client-indexed view over a SyntheticClassification dataset — the
+/// federated analogue of the rank-strided ShardSize/GetShardBatch pair.
+///
+/// Clients own disjoint sample lists (possibly empty under heavy skew);
+/// batches are drawn from a per-(client, round) shuffle and wrap around
+/// the client's shard, so small shards still serve any number of local
+/// steps deterministically.
+class FederatedView {
+ public:
+  FederatedView(const SyntheticClassification* data,
+                const FederatedShardOptions& opts);
+
+  int num_clients() const { return opts_.num_clients; }
+  size_t ClientSize(int client) const;
+
+  /// Fills `x` [batch, dim] and `y` [batch] with client-local samples for
+  /// local step `step` of `round` (per-(client, round) shuffle, wrapping).
+  /// Fails on empty shards — callers skip those clients.
+  Status GetClientBatch(int client, uint64_t round, size_t step,
+                        size_t batch_size, Tensor* x, Tensor* y) const;
+
+  /// Fraction of the client's samples carrying its most common label — 1/C
+  ///-ish when IID, → 1 under full skew (heterogeneity diagnostic).
+  double ClientLabelConcentration(int client) const;
+
+ private:
+  const SyntheticClassification* data_;
+  FederatedShardOptions opts_;
+  std::vector<std::vector<uint32_t>> client_samples_;
 };
 
 }  // namespace bagua

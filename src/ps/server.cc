@@ -113,4 +113,64 @@ uint64_t ShardedParameterServer::num_async_pushes() const {
   return async_pushes_.load(std::memory_order_relaxed);
 }
 
+Status ShardedParameterServer::BeginFlRound(uint64_t round) {
+  std::lock_guard<std::mutex> lock(fl_mu_);
+  if (fl_open_round_ != 0) {
+    return Status::FailedPrecondition(
+        StrFormat("fl round %llu still open",
+                  static_cast<unsigned long long>(fl_open_round_)));
+  }
+  if (round != fl_committed_ + 1) {
+    return Status::InvalidArgument(
+        StrFormat("fl round %llu out of order (committed %llu)",
+                  static_cast<unsigned long long>(round),
+                  static_cast<unsigned long long>(fl_committed_)));
+  }
+  fl_acc_.assign(total_numel_, 0.0);
+  fl_total_weight_ = 0.0;
+  fl_open_round_ = round;
+  return Status::OK();
+}
+
+Status ShardedParameterServer::AccumulateWeighted(const float* delta, size_t n,
+                                                  double weight) {
+  std::lock_guard<std::mutex> lock(fl_mu_);
+  if (fl_open_round_ == 0) {
+    return Status::FailedPrecondition("no fl round open");
+  }
+  if (n != total_numel_) {
+    return Status::InvalidArgument("AccumulateWeighted size mismatch");
+  }
+  if (weight <= 0.0) return Status::OK();  // empty shards contribute nothing
+  double* acc = fl_acc_.data();
+  for (size_t i = 0; i < n; ++i) acc[i] += weight * delta[i];
+  fl_total_weight_ += weight;
+  return Status::OK();
+}
+
+Status ShardedParameterServer::CommitFlRound(uint64_t round, double scale) {
+  std::lock_guard<std::mutex> lock(fl_mu_);
+  if (fl_open_round_ != round) {
+    return Status::InvalidArgument(
+        StrFormat("commit of round %llu but round %llu is open",
+                  static_cast<unsigned long long>(round),
+                  static_cast<unsigned long long>(fl_open_round_)));
+  }
+  if (fl_total_weight_ > 0.0) {
+    const double step = scale / fl_total_weight_;
+    for (int s = 0; s < num_shards_; ++s) {
+      const Chunk c = ChunkOf(total_numel_, num_shards_, s);
+      std::lock_guard<std::mutex> shard_lock(shards_[s]->mu);
+      float* w = shards_[s]->weights.data();
+      const double* acc = fl_acc_.data() + c.begin;
+      for (size_t i = 0; i < c.count; ++i) {
+        w[i] = static_cast<float>(w[i] + step * acc[i]);
+      }
+    }
+  }
+  fl_open_round_ = 0;
+  fl_committed_ = round;
+  return Status::OK();
+}
+
 }  // namespace bagua

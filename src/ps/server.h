@@ -55,6 +55,33 @@ class ShardedParameterServer {
   /// Number of async pushes applied so far (staleness diagnostics).
   uint64_t num_async_pushes() const;
 
+  /// \name Federated rounds (src/fl/)
+  ///
+  /// A third push mode for partial-participation rounds: the cohort size
+  /// varies per round and contributions carry per-member weights (FedAvg's
+  /// n_k). Callers accumulate in *deterministic member order* — the FL
+  /// server receives member deltas in ascending client id regardless of
+  /// which worker thread produced them — so the per-shard float
+  /// accumulation order, and therefore the committed weights, are bitwise
+  /// identical across client execution orders and thread counts.
+  /// @{
+
+  /// Opens round `round` (must be exactly last committed + 1): zeroes the
+  /// weighted accumulators. The accumulator storage is allocated once and
+  /// reused across rounds.
+  Status BeginFlRound(uint64_t round);
+
+  /// Accumulates `weight` * delta into the open round, shard by shard.
+  Status AccumulateWeighted(const float* delta, size_t n, double weight);
+
+  /// Commits the open round: w += scale * (accumulated / total_weight).
+  /// FedAvg passes scale = +1 with parameter deltas accumulated; FedSGD
+  /// passes scale = -lr with raw gradients. A round with zero total weight
+  /// (every member dropped) commits unchanged — still a round.
+  Status CommitFlRound(uint64_t round, double scale);
+
+  /// @}
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -70,6 +97,16 @@ class ShardedParameterServer {
   int num_workers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> async_pushes_{0};
+
+  // FL-round state: guarded by fl_mu_ (a single caller drives rounds, the
+  // lock is a safety net). fl_acc_ spans the whole model in doubles so the
+  // weighted merge is a fixed-order double-precision sum regardless of
+  // shard count.
+  std::mutex fl_mu_;
+  std::vector<double> fl_acc_;
+  double fl_total_weight_ = 0.0;
+  uint64_t fl_open_round_ = 0;   // 0 = no round open
+  uint64_t fl_committed_ = 0;    // rounds [1..fl_committed_] applied
 };
 
 }  // namespace bagua

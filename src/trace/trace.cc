@@ -22,6 +22,8 @@ const char* TraceStreamName(TraceStream stream) {
       return "queue";
     case TraceStream::kServe:
       return "serve";
+    case TraceStream::kFl:
+      return "fl";
   }
   return "?";
 }

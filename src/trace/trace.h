@@ -26,8 +26,11 @@ enum class TraceStream : int {
                     ///< thread, ends at dequeue on the comm thread
   kServe = 6,       ///< request serving: batch formation, embedding
                     ///< gathers, model forward (src/serve/)
+  kFl = 7,          ///< federated rounds: cohort sampling, per-client
+                    ///< local training, server-side weighted merge
+                    ///< (src/fl/)
 };
-constexpr int kNumTraceStreams = 7;
+constexpr int kNumTraceStreams = 8;
 
 const char* TraceStreamName(TraceStream stream);
 

@@ -16,7 +16,12 @@ namespace {
 const char* SentBytesKey(uint64_t tag) {
   const uint32_t space = static_cast<uint32_t>(tag >> 32);
   const char* name = TagSpaceName(space);
-  if (name[0] == 'f') return "transport.sent.fault_control";
+  // "fl" and "fault_control" share a first letter; disambiguate on the
+  // second before the single-letter dispatch below.
+  if (name[0] == 'f') {
+    return name[1] == 'l' ? "transport.sent.fl"
+                          : "transport.sent.fault_control";
+  }
   if (name[0] == 'h') return "transport.sent.hier";
   if (name[0] == 's') return "transport.sent.serving";
   if (name[0] == 'g') return "transport.sent.gossip";

@@ -315,6 +315,22 @@ constexpr uint64_t MakeTag(uint32_t space, uint32_t step) {
 ///       phase index is stored at bits 26..27 *offset by one*, which keeps
 ///       AckSpace(HierSpace(s, p)) disjoint from AckSpace(s) for every
 ///       NextSpace-allocated s (those stay far below 2^26).
+///   [0xB0000000, 0xC0000000)  RESERVED for federated-learning control
+///       traffic (src/fl/): the per-round model broadcast and delta upload
+///       between the FL server (rank 0) and thousands of lightweight
+///       client rank contexts. Split in half:
+///         [0xB1000000, 0xB2000000)  model broadcast: space =
+///             kFlModelSpaceBase (+ plan-unit index, unused today — the
+///             model ships as one message); `step` = round.
+///         [0xB2000000, 0xB3000000)  delta upload: space =
+///             kFlDeltaSpaceBase + plan-unit index; `step` = round. One
+///             message per StepPlan unit, so a mid-upload client crash
+///             leaves a deterministic partial prefix behind.
+///       The sub-bases are offset from kFlSpaceBase by >= 2^24 so
+///       AckSpace(fl space) can never shadow the ack space of a
+///       NextSpace-allocated application space (those stay far below
+///       2^24), and they sit below 2^26 so they can never shadow a
+///       HierSpace ack (whose phase bias starts at 2^26).
 ///   [0xF0000000, 0xFFFFFFFF]  RESERVED for fault-control traffic (acks,
 ///       nacks, heartbeats) of the faults/ subsystem. Application code must
 ///       never allocate here: a retransmitted ack that cross-matched an
@@ -332,6 +348,12 @@ constexpr uint32_t kSparsePsSpaceLimit = 0xA0000000u;
 constexpr uint32_t kServingSpaceLimit = 0xA0000000u;
 constexpr uint32_t kHierSpaceBase = 0xA0000000u;
 constexpr uint32_t kHierSpaceLimit = 0xB0000000u;
+constexpr uint32_t kFlSpaceBase = 0xB0000000u;
+constexpr uint32_t kFlModelSpaceBase = 0xB1000000u;
+constexpr uint32_t kFlModelSpaceLimit = 0xB2000000u;
+constexpr uint32_t kFlDeltaSpaceBase = 0xB2000000u;
+constexpr uint32_t kFlDeltaSpaceLimit = 0xB3000000u;
+constexpr uint32_t kFlSpaceLimit = 0xC0000000u;
 constexpr uint32_t kFaultControlSpace = 0xF0000000u;
 
 /// The reserved fault-control space carrying acks for data sent in `space`.
@@ -363,8 +385,21 @@ static_assert(kAllToAllSpaceBase == kServingSpaceBase &&
               "serving sub-ranges must cover the serving namespace");
 static_assert(kServingSpaceLimit == kHierSpaceBase,
               "serving and hierarchy ranges must tile");
-static_assert(kHierSpaceLimit <= kFaultControlSpace,
-              "hierarchy range may not reach into fault control");
+static_assert(kHierSpaceLimit == kFlSpaceBase,
+              "hierarchy and fl ranges must tile");
+static_assert(kFlSpaceBase < kFlModelSpaceBase &&
+                  kFlModelSpaceLimit == kFlDeltaSpaceBase &&
+                  kFlDeltaSpaceLimit <= kFlSpaceLimit,
+              "fl sub-ranges must nest inside the fl namespace");
+static_assert(kFlSpaceLimit <= kFaultControlSpace,
+              "fl range may not reach into fault control");
+static_assert((kFlModelSpaceBase & 0x0FFFFFFFu) >= (1u << 24) &&
+                  (kFlDeltaSpaceLimit & 0x0FFFFFFFu) <= (1u << 26),
+              "fl ack spaces must sit between application and hierarchy "
+              "ack spaces");
+static_assert(AckSpace(kFlModelSpaceBase) != AckSpace(7u) &&
+                  AckSpace(kFlDeltaSpaceBase) != AckSpace(HierSpace(7u, 0u)),
+              "fl ack spaces must not shadow application or hierarchy acks");
 static_assert(HierSpace(0u, 0u) >= kHierSpaceBase &&
                   HierSpace(0x03FFFFFFu, kHierMaxPhase) < kHierSpaceLimit,
               "every hierarchy phase space must land inside the range");
@@ -372,11 +407,14 @@ static_assert(AckSpace(HierSpace(7u, 0u)) != AckSpace(7u),
               "hierarchy ack spaces must not shadow application ack spaces");
 
 /// Audited classification of a tag's 32-bit space word: "app", "gossip",
-/// "serving", "hier", or "fault_control". The transport's per-namespace
-/// byte counters (transport.sent.<name>) and the tag-audit tests are both
-/// built on this single function so they cannot drift apart.
+/// "serving", "hier", "fl", or "fault_control". The transport's
+/// per-namespace byte counters (transport.sent.<name>) and the tag-audit
+/// tests are both built on this single function so they cannot drift apart.
 constexpr const char* TagSpaceName(uint32_t space) {
   if (space >= kFaultControlSpace) return "fault_control";
+  if (space >= kFlSpaceBase && space < kFlSpaceLimit) {
+    return "fl";
+  }
   if (space >= kHierSpaceBase && space < kHierSpaceLimit) {
     return "hier";
   }

@@ -288,7 +288,10 @@ TEST(AllToAllTest, ServingTagNamespaceAudited) {
   // The hierarchy control range tiles directly after serving.
   EXPECT_STREQ(TagSpaceName(kServingSpaceLimit), "hier");
   EXPECT_STREQ(TagSpaceName(kHierSpaceLimit - 1), "hier");
-  EXPECT_STREQ(TagSpaceName(kHierSpaceLimit), "app");
+  // ...and the fl control range tiles directly after hierarchy.
+  EXPECT_STREQ(TagSpaceName(kHierSpaceLimit), "fl");
+  EXPECT_STREQ(TagSpaceName(kFlSpaceLimit - 1), "fl");
+  EXPECT_STREQ(TagSpaceName(kFlSpaceLimit), "app");
   EXPECT_STREQ(TagSpaceName(kFaultControlSpace), "fault_control");
   EXPECT_EQ(kAllToAllSpaceLimit, kSparsePsSpaceBase);
 }

@@ -105,6 +105,39 @@ TEST(BenchSmokeTest, ScaleGateWritesJsonContract) {
   std::remove(json_path.c_str());
 }
 
+TEST(BenchSmokeTest, FlGateWritesJsonContract) {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  const std::string json_path = std::string(dir) + "/bagua_fl_smoke.json";
+  std::remove(json_path.c_str());
+  const std::string cmd = BenchPath("bench_fl") + " --quick" +
+                          " --fl-json=" + json_path + " > /dev/null";
+  ASSERT_EQ(RunCommand(cmd), 0) << cmd;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "fl gate did not write " << json_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // The exact keys scripts/fl_gate.sh greps for.
+  for (const char* key :
+       {"bitwise_threads", "bitwise_order", "bitwise_naive", "stats_identical",
+        "pool_misses_steady", "throughput_ratio", "model_hash"}) {
+    EXPECT_FALSE(std::isnan(JsonNumber(json, key))) << "missing " << key;
+  }
+  // Correctness keys are not allowed to be flaky, so the smoke test holds
+  // them to the same bar as scripts/fl_gate.sh; only the timing ratio's
+  // threshold stays in the script.
+  EXPECT_EQ(JsonNumber(json, "bitwise_threads"), 1.0);
+  EXPECT_EQ(JsonNumber(json, "bitwise_order"), 1.0);
+  EXPECT_EQ(JsonNumber(json, "bitwise_naive"), 1.0);
+  EXPECT_EQ(JsonNumber(json, "stats_identical"), 1.0);
+  EXPECT_EQ(JsonNumber(json, "pool_misses_steady"), 0.0);
+  EXPECT_GT(JsonNumber(json, "throughput_ratio"), 0.0);
+  std::remove(json_path.c_str());
+}
+
 TEST(BenchSmokeTest, BadFlagIsRejected) {
   const std::string cmd = BenchPath("bench_micro_primitives") +
                           " --kernels-json= 2> /dev/null";

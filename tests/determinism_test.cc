@@ -9,6 +9,7 @@
 
 #include "base/parallel.h"
 #include "base/rng.h"
+#include "fl/federated.h"
 #include "harness/autotune.h"
 #include "harness/trainer.h"
 #include "tensor/ops.h"
@@ -167,6 +168,34 @@ TEST(DeterminismTest, TrainingIsBitwiseInvariantToIntraOpThreads) {
     }
   }
   SetIntraOpThreads(0);
+}
+
+TEST(DeterminismTest, FederatedRoundsAreBitwiseReproducible) {
+  // The FL engine joins the same contract as the synchronous trainers: a
+  // whole multi-round run — cohort sampling, non-IID local training,
+  // mid-round crashes, weighted merge — is a pure function of its seeds,
+  // and the client-executor thread count changes wall time only.
+  auto run = [](uint64_t seed, int threads) {
+    FlConfig cfg;
+    cfg.num_clients = 48;
+    cfg.participation = 0.25;
+    cfg.rounds = 3;
+    cfg.seed = seed;
+    cfg.dropout = 0.2;
+    cfg.threads = threads;
+    cfg.dataset_samples = 512;
+    FlReport rep;
+    BAGUA_CHECK(RunFlTraining(cfg, &rep).ok());
+    return rep;
+  };
+  const FlReport a = run(555, 1);
+  const FlReport b = run(555, 4);
+  ASSERT_EQ(a.final_model.size(), b.final_model.size());
+  EXPECT_EQ(a.model_hash, b.model_hash);
+  for (size_t i = 0; i < a.final_model.size(); ++i) {
+    ASSERT_EQ(a.final_model[i], b.final_model[i]) << "param " << i;
+  }
+  EXPECT_NE(run(556, 1).model_hash, a.model_hash);
 }
 
 TEST(DeterminismTest, TimingModelIsPure) {

@@ -1,0 +1,502 @@
+// Property tests of the federated round engine (src/fl/): cohort sampling
+// is a pure seeded function, client contributions and the server's
+// weighted merge are bitwise reproducible across thread counts, member
+// claim orders, executors and replayed dropout plans, the crash/rejoin
+// lifecycle holds at 256+ clients without steady-state pool allocations,
+// the fl tag namespace stays tiled against every other range, and the
+// schedule-IR round price behaves sanely.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "fl/client.h"
+#include "fl/federated.h"
+#include "fl/pricing.h"
+#include "fl/sampling.h"
+#include "model/data.h"
+#include "ps/server.h"
+#include "sim/collective_cost.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+struct ScopedIntraOpThreads {
+  explicit ScopedIntraOpThreads(int n) : saved_(IntraOpThreads()) {
+    SetIntraOpThreads(n);
+  }
+  ~ScopedIntraOpThreads() { SetIntraOpThreads(saved_); }
+  int saved_;
+};
+
+// A run small enough that the multi-run bitwise tests stay fast under TSan
+// yet still exercises dropouts, rejoins, skips and multi-unit uploads.
+FlConfig SmallConfig() {
+  FlConfig cfg;
+  cfg.num_clients = 64;
+  cfg.participation = 0.25;
+  cfg.rounds = 4;
+  cfg.seed = 7;
+  cfg.dropout = 0.15;
+  cfg.skew = 0.5;
+  cfg.dataset_samples = 1024;
+  cfg.threads = 1;
+  return cfg;
+}
+
+bool SameState(const FlReport& a, const FlReport& b) {
+  return a.model_hash == b.model_hash &&
+         a.final_model.size() == b.final_model.size() &&
+         std::memcmp(a.final_model.data(), b.final_model.data(),
+                     a.final_model.size() * sizeof(float)) == 0;
+}
+
+void ExpectSameRoundStats(const FlReport& a, const FlReport& b) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.rounds[i].cohort, b.rounds[i].cohort);
+    EXPECT_EQ(a.rounds[i].participants, b.rounds[i].participants);
+    EXPECT_EQ(a.rounds[i].dropouts, b.rounds[i].dropouts);
+    EXPECT_EQ(a.rounds[i].skipped, b.rounds[i].skipped);
+    EXPECT_EQ(a.rounds[i].rejoins, b.rounds[i].rejoins);
+    EXPECT_EQ(a.rounds[i].stragglers, b.rounds[i].stragglers);
+    EXPECT_EQ(a.rounds[i].total_weight, b.rounds[i].total_weight);
+    EXPECT_EQ(a.rounds[i].max_ticks, b.rounds[i].max_ticks);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cohort sampling.
+
+TEST(FlSampling, CohortSizeCeilsAndClamps) {
+  EXPECT_EQ(CohortSize(100, 0.10), 10);
+  EXPECT_EQ(CohortSize(100, 0.101), 11);  // ceil, not round
+  EXPECT_EQ(CohortSize(100, 0.0), 1);     // at least one member
+  EXPECT_EQ(CohortSize(100, 1.0), 100);
+  EXPECT_EQ(CohortSize(100, 5.0), 100);   // clamped to the population
+  EXPECT_EQ(CohortSize(1, 0.5), 1);
+}
+
+TEST(FlSampling, DeterministicSortedWithoutReplacement) {
+  for (uint64_t round = 1; round <= 32; ++round) {
+    const std::vector<int> a = SampleCohort(42, round, 1000, 100);
+    const std::vector<int> b = SampleCohort(42, round, 1000, 100);
+    EXPECT_EQ(a, b) << "round " << round;
+    ASSERT_EQ(a.size(), 100u);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    const std::set<int> distinct(a.begin(), a.end());
+    EXPECT_EQ(distinct.size(), a.size()) << "drawn with replacement";
+    EXPECT_GE(a.front(), 0);
+    EXPECT_LT(a.back(), 1000);
+  }
+}
+
+TEST(FlSampling, SeedAndRoundChangeTheCohort) {
+  const std::vector<int> base = SampleCohort(42, 3, 1000, 100);
+  EXPECT_NE(base, SampleCohort(43, 3, 1000, 100));
+  EXPECT_NE(base, SampleCohort(42, 4, 1000, 100));
+}
+
+TEST(FlSampling, IntraOpThreadCountInvariant) {
+  std::vector<int> at1, at8;
+  {
+    ScopedIntraOpThreads t(1);
+    at1 = SampleCohort(99, 5, 4096, 512);
+  }
+  {
+    ScopedIntraOpThreads t(8);
+    at8 = SampleCohort(99, 5, 4096, 512);
+  }
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(FlSampling, FullParticipationSamplesEveryone) {
+  const std::vector<int> all = SampleCohort(1, 1, 17, 17);
+  ASSERT_EQ(all.size(), 17u);
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(all[i], i);
+}
+
+// ---------------------------------------------------------------------------
+// Client-local training.
+
+TEST(FlClient, ContributionBitwiseRepeatable) {
+  SyntheticClassification::Options opts;
+  opts.num_samples = 512;
+  opts.dim = 32;
+  opts.classes = 8;
+  opts.seed = 11;
+  const SyntheticClassification data(opts);
+  FederatedShardOptions shard;
+  shard.num_clients = 16;
+  shard.skew = 0.5;
+  shard.seed = 22;
+  const FederatedView view(&data, shard);
+
+  FlClientConfig cfg;
+  std::vector<float> global;
+  InitFlParams(cfg.model, 7, &global);
+
+  FlClientResult a, b;
+  ASSERT_TRUE(RunFlClient(cfg, view, 3, 2, global, &a).ok());
+  {
+    ScopedIntraOpThreads t(8);  // client math must not touch the pool
+    ASSERT_TRUE(RunFlClient(cfg, view, 3, 2, global, &b).ok());
+  }
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.compute_ticks, b.compute_ticks);
+  ASSERT_EQ(a.contribution.size(), b.contribution.size());
+  EXPECT_EQ(std::memcmp(a.contribution.data(), b.contribution.data(),
+                        a.contribution.size() * sizeof(float)),
+            0);
+  EXPECT_GT(a.samples, 0u);
+  EXPECT_GE(a.compute_ticks, FlBaseComputeTicks(cfg));
+
+  // FedSGD contributes a raw gradient, not a post-SGD delta.
+  FlClientConfig sgd = cfg;
+  sgd.aggregation = FlAggregation::kFedSgd;
+  FlClientResult g;
+  ASSERT_TRUE(RunFlClient(sgd, view, 3, 2, global, &g).ok());
+  ASSERT_EQ(g.contribution.size(), a.contribution.size());
+  EXPECT_NE(std::memcmp(g.contribution.data(), a.contribution.data(),
+                        a.contribution.size() * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Server-side weighted merge: the full transport path must land exactly on
+// the FedAvg spec, replicated here in plain double arithmetic.
+
+TEST(FlMerge, OneRoundMatchesHandComputedFedAvg) {
+  FlConfig cfg = SmallConfig();
+  cfg.rounds = 1;
+  cfg.dropout = 0.0;
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(cfg, &rep).ok());
+
+  // Mirror the run: same dataset, same shards (the shard-seed salt is the
+  // frozen kFlShardSalt constant in fl/federated.cc), same cohort.
+  SyntheticClassification::Options data_opts;
+  data_opts.num_samples = cfg.dataset_samples;
+  data_opts.dim = cfg.client.model.dim;
+  data_opts.classes = cfg.client.model.classes;
+  data_opts.seed = cfg.data_seed;
+  const SyntheticClassification dataset(data_opts);
+  FederatedShardOptions shard;
+  shard.num_clients = cfg.num_clients;
+  shard.skew = cfg.skew;
+  shard.seed = MixSeed(cfg.data_seed, 0xF15A4D5Bull);
+  const FederatedView view(&dataset, shard);
+
+  std::vector<float> global;
+  InitFlParams(cfg.client.model, cfg.seed, &global);
+  const size_t numel = global.size();
+
+  std::vector<double> acc(numel, 0.0);
+  double total = 0.0;
+  for (const int client : SampleCohort(cfg.seed, 1, cfg.num_clients,
+                                       CohortSize(cfg.num_clients,
+                                                  cfg.participation))) {
+    FlClientResult res;
+    ASSERT_TRUE(RunFlClient(cfg.client, view, client, 1, global, &res).ok());
+    if (res.samples == 0) continue;
+    const double w = static_cast<double>(res.samples);
+    for (size_t i = 0; i < numel; ++i) acc[i] += w * res.contribution[i];
+    total += w;
+  }
+  ASSERT_GT(total, 0.0);
+
+  std::vector<float> expect(numel);
+  for (size_t i = 0; i < numel; ++i) {
+    expect[i] = static_cast<float>(global[i] + (1.0 / total) * acc[i]);
+  }
+  ASSERT_EQ(rep.final_model.size(), numel);
+  EXPECT_EQ(std::memcmp(rep.final_model.data(), expect.data(),
+                        numel * sizeof(float)),
+            0)
+      << "transport path diverged from the FedAvg spec";
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise reproducibility of the committed state.
+
+TEST(FlDeterminism, StateBitwiseAcrossThreadCounts) {
+  FlConfig cfg = SmallConfig();
+  FlReport ref;
+  ASSERT_TRUE(RunFlTraining(cfg, &ref).ok());
+  EXPECT_GT(ref.total_dropouts, 0u) << "config should exercise crashes";
+
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    FlConfig replay = cfg;
+    replay.threads = threads;
+    replay.dropouts = ref.dropout_plan;
+    FlReport rep;
+    ASSERT_TRUE(RunFlTraining(replay, &rep).ok());
+    EXPECT_TRUE(SameState(ref, rep));
+    ExpectSameRoundStats(ref, rep);
+  }
+}
+
+TEST(FlDeterminism, StateBitwiseAcrossClaimOrderAndExecutor) {
+  FlConfig cfg = SmallConfig();
+  FlReport ref;
+  ASSERT_TRUE(RunFlTraining(cfg, &ref).ok());
+
+  FlConfig reversed = cfg;
+  reversed.threads = 4;
+  reversed.reverse_claim = true;  // full upfront broadcast, descending claims
+  reversed.dropouts = ref.dropout_plan;
+  FlReport rev;
+  ASSERT_TRUE(RunFlTraining(reversed, &rev).ok());
+  EXPECT_TRUE(SameState(ref, rev));
+
+  FlConfig naive = cfg;
+  naive.naive_sequential = true;  // unpooled, merge per arrival
+  naive.dropouts = ref.dropout_plan;
+  FlReport seq;
+  ASSERT_TRUE(RunFlTraining(naive, &seq).ok());
+  EXPECT_TRUE(SameState(ref, seq));
+  ExpectSameRoundStats(ref, seq);
+}
+
+TEST(FlDeterminism, DropoutPlanIsDeterministicAndReplayable) {
+  FlConfig cfg = SmallConfig();
+  cfg.dropout = 0.25;
+
+  const FaultPlan plan_a = BuildFlDropoutPlan(cfg);
+  const FaultPlan plan_b = BuildFlDropoutPlan(cfg);
+  ASSERT_EQ(plan_a.rules.size(), plan_b.rules.size());
+  EXPECT_GT(plan_a.rules.size(), 0u);
+  for (size_t i = 0; i < plan_a.rules.size(); ++i) {
+    EXPECT_EQ(plan_a.rules[i].src, plan_b.rules[i].src);
+    EXPECT_EQ(plan_a.rules[i].at_step, plan_b.rules[i].at_step);
+    EXPECT_EQ(plan_a.rules[i].kind, FaultKind::kCrash);
+  }
+
+  FlReport ref;
+  ASSERT_TRUE(RunFlTraining(cfg, &ref).ok());
+  EXPECT_EQ(ref.dropout_plan.rules.size(), plan_a.rules.size());
+
+  FlConfig replay = cfg;
+  replay.threads = 8;
+  replay.dropout = 0.0;  // the supplied plan must win over the probability
+  replay.dropouts = ref.dropout_plan;
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(replay, &rep).ok());
+  EXPECT_TRUE(SameState(ref, rep));
+  EXPECT_EQ(rep.total_dropouts, ref.total_dropouts);
+  ExpectSameRoundStats(ref, rep);
+
+  FlConfig clean = cfg;
+  clean.dropout = 0.0;
+  EXPECT_TRUE(BuildFlDropoutPlan(clean).rules.empty());
+}
+
+TEST(FlDeterminism, SeedChangesTheState) {
+  FlConfig cfg = SmallConfig();
+  cfg.dropout = 0.0;
+  FlReport a, b;
+  ASSERT_TRUE(RunFlTraining(cfg, &a).ok());
+  cfg.seed += 1;
+  ASSERT_TRUE(RunFlTraining(cfg, &b).ok());
+  EXPECT_FALSE(SameState(a, b));
+}
+
+TEST(FlDeterminism, FedSgdCommitsBitwiseToo) {
+  FlConfig cfg = SmallConfig();
+  cfg.client.aggregation = FlAggregation::kFedSgd;
+  FlReport ref;
+  ASSERT_TRUE(RunFlTraining(cfg, &ref).ok());
+
+  FlConfig replay = cfg;
+  replay.threads = 8;
+  replay.dropouts = ref.dropout_plan;
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(replay, &rep).ok());
+  EXPECT_TRUE(SameState(ref, rep));
+}
+
+TEST(FlDeterminism, HardenedMessageFaultsDoNotChangeTheState) {
+  FlConfig cfg = SmallConfig();
+  cfg.dropout = 0.0;
+  FlReport clean;
+  ASSERT_TRUE(RunFlTraining(cfg, &clean).ok());
+
+  FlConfig faulty = cfg;
+  faulty.message_faults.seed = 0xD15EA5E;
+  faulty.message_faults.Drop(0.05).Duplicate(0.05).Corrupt(0.02);
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(faulty, &rep).ok());
+  EXPECT_TRUE(SameState(clean, rep));
+  EXPECT_GT(rep.fault_stats.messages, 0u);
+  EXPECT_GT(rep.fault_stats.drops + rep.fault_stats.duplicates +
+                rep.fault_stats.corruptions,
+            0u)
+      << "fault plan never fired - the test proves nothing";
+  EXPECT_EQ(rep.fault_stats.data_loss, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Client lifecycle at scale: repeated drop / rejoin across rounds.
+
+TEST(FlLifecycle, RepeatedDropAndRejoinAt256Clients) {
+  FlConfig cfg;
+  cfg.num_clients = 256;
+  cfg.participation = 0.20;
+  cfg.rounds = 12;
+  cfg.seed = 2026;
+  cfg.dropout = 0.30;  // heavy churn: many members crash and later rejoin
+  cfg.threads = 8;
+  cfg.dataset_samples = 1024;
+
+  FlReport ref;
+  ASSERT_TRUE(RunFlTraining(cfg, &ref).ok());
+  EXPECT_GT(ref.total_dropouts, 0u);
+  EXPECT_GT(ref.total_rejoins, 0u) << "no crashed member was re-admitted";
+  EXPECT_EQ(ref.pool_misses_steady, 0u)
+      << "steady-state rounds must run entirely from recycled buffers";
+  for (const FlRoundStats& r : ref.rounds) {
+    EXPECT_EQ(r.participants + r.dropouts + r.skipped, r.cohort)
+        << "round " << r.round << " lost track of a member";
+  }
+
+  FlConfig replay = cfg;
+  replay.threads = 2;
+  replay.dropouts = ref.dropout_plan;
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(replay, &rep).ok());
+  EXPECT_TRUE(SameState(ref, rep));
+  EXPECT_EQ(rep.total_rejoins, ref.total_rejoins);
+}
+
+TEST(FlLifecycle, EmptyShardsAreSkippedNotMerged) {
+  FlConfig cfg;
+  cfg.num_clients = 128;
+  cfg.participation = 0.50;
+  cfg.rounds = 2;
+  cfg.dropout = 0.0;
+  cfg.skew = 1.0;
+  cfg.dataset_samples = 64;  // far fewer samples than clients
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(cfg, &rep).ok());
+  uint64_t skipped = 0;
+  for (const FlRoundStats& r : rep.rounds) skipped += r.skipped;
+  EXPECT_GT(skipped, 0u) << "config should produce empty shards";
+  for (const FlRoundStats& r : rep.rounds) {
+    EXPECT_GT(r.total_weight, 0.0);
+  }
+}
+
+TEST(FlTraining, LossDecreasesOverRounds) {
+  FlConfig cfg;
+  cfg.num_clients = 32;
+  cfg.participation = 0.50;
+  cfg.rounds = 6;
+  cfg.dropout = 0.0;
+  cfg.skew = 0.2;
+  cfg.dataset_samples = 2048;
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(cfg, &rep).ok());
+  EXPECT_LT(rep.rounds.back().mean_loss, rep.rounds.front().mean_loss);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance configuration itself (the fl gate's full run, inline).
+
+TEST(FlAcceptance, FullScaleRoundsReplayBitwise) {
+  FlConfig cfg;
+  cfg.num_clients = 1024;
+  cfg.participation = 0.10;
+  cfg.rounds = 20;
+  cfg.dropout = 0.05;
+  cfg.seed = 20260808;
+  cfg.threads = 1;
+
+  FlReport ref;
+  ASSERT_TRUE(RunFlTraining(cfg, &ref).ok());
+  EXPECT_EQ(ref.rounds.size(), 20u);
+  EXPECT_GT(ref.total_dropouts, 0u);
+
+  FlConfig replay = cfg;
+  replay.threads = 8;
+  replay.dropouts = ref.dropout_plan;
+  FlReport rep;
+  ASSERT_TRUE(RunFlTraining(replay, &rep).ok());
+  EXPECT_TRUE(SameState(ref, rep));
+  ExpectSameRoundStats(ref, rep);
+  EXPECT_EQ(ref.pool_misses_steady + rep.pool_misses_steady, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tag namespace audit: the fl control ranges stay tiled against every
+// other subsystem (compile-time asserts live in transport/transport.h;
+// this keeps the runtime name mapping and ack math honest too).
+
+TEST(FlTags, NamespaceIsTiledAndNamed) {
+  EXPECT_STREQ(TagSpaceName(FlModelSpace()), "fl");
+  EXPECT_STREQ(TagSpaceName(FlDeltaSpace(0)), "fl");
+  EXPECT_STREQ(TagSpaceName(FlDeltaSpace(kFlMaxUnits - 1)), "fl");
+  EXPECT_STRNE(TagSpaceName(FlModelSpace()), TagSpaceName(7u));
+  EXPECT_STRNE(TagSpaceName(FlModelSpace()), TagSpaceName(kFaultControlSpace));
+
+  EXPECT_GE(FlModelSpace(), kFlSpaceBase);
+  EXPECT_LT(FlDeltaSpace(kFlMaxUnits - 1), kFlSpaceLimit);
+  EXPECT_LT(FlModelSpace(), kFlDeltaSpaceBase);  // model and delta disjoint
+
+  // Ack spaces of fl traffic never shadow application, hierarchy or fault
+  // control spaces.
+  EXPECT_NE(AckSpace(FlModelSpace()), AckSpace(7u));
+  EXPECT_NE(AckSpace(FlDeltaSpace(0)), AckSpace(HierSpace(7u, 0u)));
+  EXPECT_NE(AckSpace(FlModelSpace()), kFaultControlSpace);
+
+  // Distinct (space, round) pairs produce distinct wire tags.
+  std::set<uint64_t> tags;
+  for (uint32_t round = 1; round <= 4; ++round) {
+    tags.insert(MakeTag(FlModelSpace(), round));
+    for (uint32_t u = 0; u < 3; ++u) {
+      tags.insert(MakeTag(FlDeltaSpace(u), round));
+    }
+  }
+  EXPECT_EQ(tags.size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Round pricing (schedule IR -> sim/collective_cost PS term).
+
+TEST(FlPricing, RoundCostIsPositiveAndMonotoneInCohort) {
+  const FlModelConfig model;
+  const StepPlan plan = BuildFlRoundPlan(model, 1024);
+  EXPECT_GE(plan.units.size(), 2u);
+
+  NetworkConfig net = NetworkConfig::Tcp25();
+  net.ps_server_reduce_Bps = 10e9;
+  double prev = 0.0;
+  for (const int cohort : {4, 16, 64, 256}) {
+    const FlRoundCost cost = PriceFlRound(plan, cohort, net,
+                                          /*max_ticks=*/1000, 1e9);
+    EXPECT_GT(cost.broadcast_s, 0.0);
+    EXPECT_GT(cost.upload_s, 0.0);
+    EXPECT_GT(cost.compute_s, 0.0);
+    EXPECT_GT(cost.des_round_s, 0.0);
+    EXPECT_GT(cost.round_s, prev) << "cohort " << cohort;
+    prev = cost.round_s;
+  }
+}
+
+TEST(FlPricing, PlanCoversTheWholeModel) {
+  const FlModelConfig model;
+  const StepPlan plan = BuildFlRoundPlan(model, 1024);
+  size_t covered = 0;
+  for (const PlanUnit& u : plan.units) covered += u.numel;
+  EXPECT_EQ(covered, FlParamCount(model));
+}
+
+}  // namespace
+}  // namespace bagua

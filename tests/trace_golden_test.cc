@@ -10,6 +10,7 @@
 #include <string>
 
 #include "collectives/hierarchy.h"
+#include "fl/federated.h"
 #include "harness/report.h"
 #include "harness/trainer.h"
 #include "trace/merge.h"
@@ -64,6 +65,52 @@ TEST(TraceGoldenTest, IdenticalFaultedRunsProduceIdenticalTraces) {
   EXPECT_NE(std::string::npos, a.find("arq.retry"));
   EXPECT_NE(std::string::npos, a.find("fault.retries"));
   EXPECT_EQ(std::string::npos, clean.find("arq.retry"));
+}
+
+/// Runs federated training with a fresh tracer sized to the FL rank
+/// layout (server + one rank per client) and returns the merged JSON.
+std::string FlTraceOf(const FlConfig& cfg) {
+  Tracer tracer(cfg.num_clients + 1);
+  InstallGlobalTracer(&tracer);
+  FlReport rep;
+  const Status st = RunFlTraining(cfg, &rep);
+  UninstallGlobalTracer();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return MergedChromeTrace(tracer);
+}
+
+TEST(TraceGoldenTest, FederatedRoundTraceIsGoldenIncludingDropouts) {
+  // Per-rank virtual clocks make the FL trace — round spans on the
+  // server, local-training spans on client ranks, crash/rejoin counters —
+  // a pure function of the config, dropout rounds included: the crash
+  // schedule and the crash *unit* both derive from the seed.
+  FlConfig cfg;
+  cfg.num_clients = 32;
+  cfg.participation = 0.25;
+  cfg.rounds = 3;
+  cfg.seed = 91;
+  cfg.dropout = 0.25;
+  cfg.dataset_samples = 512;
+  const std::string a = FlTraceOf(cfg);
+  const std::string b = FlTraceOf(cfg);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical, dropout round and all
+
+  // The FL stream is actually in there.
+  EXPECT_NE(a.find("fl.round"), std::string::npos);
+  EXPECT_NE(a.find("fl.local"), std::string::npos);
+  EXPECT_NE(a.find("fl.dropouts"), std::string::npos);
+
+  // Dropouts leave marks: the clean run's trace is a different document.
+  FlConfig clean = cfg;
+  clean.dropout = 0.0;
+  EXPECT_NE(FlTraceOf(clean), a);
+
+  // Seed sensitivity: a different seed samples different cohorts and
+  // crashes different members, visibly changing the trace.
+  FlConfig reseeded = cfg;
+  reseeded.seed += 1;
+  EXPECT_NE(FlTraceOf(reseeded), a);
 }
 
 TEST(TraceGoldenTest, ChangedSeedChangesTrace) {
