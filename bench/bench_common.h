@@ -51,6 +51,11 @@ namespace bagua {
 ///   --fl-json=PATH      run the federated round-reproducibility gate
 ///                       (fl_gate.h) instead of the regular bench and
 ///                       write its JSON to PATH (scripts/fl_gate.sh)
+///   --mem-json=PATH     run the whole-step memory gate (mem_gate.h) —
+///                       training loop + serving replay to steady state,
+///                       zero arena misses per step — and write the
+///                       per-subsystem byte table to PATH
+///                       (scripts/mem_gate.sh)
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
@@ -60,6 +65,7 @@ struct BenchArgs {
   std::string serving_json;
   std::string scale_json;
   std::string fl_json;
+  std::string mem_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -125,6 +131,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--fl-json= needs a path";
       }
+    } else if (std::strncmp(a, "--mem-json=", 11) == 0) {
+      args.mem_json = a + 11;
+      if (args.mem_json.empty()) {
+        args.ok = false;
+        args.error = "--mem-json= needs a path";
+      }
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -153,6 +165,7 @@ inline int BenchArgsError(const BenchArgs& args) {
                        " [--kernels-json=PATH] [--comm-json=PATH]"
                        " [--overlap-json=PATH] [--serving-json=PATH]"
                        " [--scale-json=PATH] [--fl-json=PATH]"
+                       " [--mem-json=PATH]"
                        " [--benchmark_* passed through]\n",
                args.error.c_str());
   return 2;

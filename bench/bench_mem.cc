@@ -1,0 +1,22 @@
+// Whole-step memory gate: drives a full training loop (C_FP_S and
+// compressed C_LP_S) plus the embedding-serving replay to steady state and
+// asserts the shared arena (base/arena.h) stops missing — the PR 5
+// zero-allocation discipline extended from one collective to the whole
+// step. `--mem-json=PATH` writes the per-subsystem byte-attribution table
+// and the steady-state miss counters (bench/mem_gate.h, driven by
+// scripts/mem_gate.sh). Without the flag it runs the same measurement and
+// prints the table.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mem_gate.h"
+
+int main(int argc, char** argv) {
+  auto args = bagua::ParseArgs(&argc, argv);
+  if (!args.ok) return bagua::BenchArgsError(args);
+  bagua::TraceSession trace(args);
+  const std::string path =
+      args.mem_json.empty() ? "BENCH_MEM.json" : args.mem_json;
+  return bagua::RunMemGate(path, args.quick);
+}

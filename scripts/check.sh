@@ -41,6 +41,12 @@ echo "==> scale gate (flat vs hierarchical vs tree vs PS crossover sweep)"
 echo "==> fl gate (federated round reproducibility across executors)"
 ./scripts/fl_gate.sh build
 
+echo "==> mem gate (whole-step zero-allocation + per-subsystem attribution)"
+./scripts/mem_gate.sh build
+
+echo "==> arena allocator tests (ctest -L mem)"
+ctest --test-dir build --output-on-failure -j "$JOBS" -L mem
+
 echo "==> ${SANITIZER} sanitizer build + tier-1 tests"
 cmake -B "build-${SANITIZER}" -S . -DBAGUA_SANITIZE="${SANITIZER}" >/dev/null
 cmake --build "build-${SANITIZER}" -j "$JOBS"
@@ -60,5 +66,15 @@ ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L hier
 
 echo "==> federated rounds + client lifecycle under ${SANITIZER} (ctest -L fl)"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L fl
+
+echo "==> arena allocator tests under ${SANITIZER} (ctest -L mem)"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "$JOBS" -L mem
+
+if [ "${SANITIZER}" != "address" ]; then
+  echo "==> ASan build + arena allocator tests (ctest -L mem)"
+  cmake -B build-address -S . -DBAGUA_SANITIZE=address >/dev/null
+  cmake --build build-address -j "$JOBS" --target arena_test pool_test
+  ctest --test-dir build-address --output-on-failure -j "$JOBS" -L mem
+fi
 
 echo "OK: plain + ${SANITIZER} suites passed"

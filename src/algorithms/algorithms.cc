@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/strings.h"
 #include "collectives/hierarchy.h"
@@ -12,6 +13,15 @@
 namespace bagua {
 
 namespace {
+
+/// Per-bucket algorithm scratch (momenta staging, PS push/pull staging,
+/// gossip accumulators) recycles through the "algo" arena: these run once
+/// per bucket per step, squarely inside the whole-step zero-allocation
+/// discipline bench/mem_gate.h enforces.
+Arena& AlgoArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("algo");
+  return *arena;
+}
 
 /// Average-and-apply: scales the summed gradient by 1/world and runs the
 /// optimizer over the bucket's flat span.
@@ -165,11 +175,12 @@ Status OneBitAdamAlgorithm::OnBucketReady(BaguaContext* ctx, Bucket* bucket) {
   const float* g = bucket->grad_data();
   // m ← β1·m + (1−β1)·(g_local / world): workers update the shared momentum
   // with their local gradient, then synchronize the compressed momenta.
-  std::vector<float> local_m(n);
+  ArenaScratch local_m_scratch(&AlgoArena(), n * sizeof(float));
+  float* local_m = local_m_scratch.floats();
   for (size_t i = 0; i < n; ++i) {
     local_m[i] = b1 * m[i] + (1.0f - b1) * g[i];
   }
-  RETURN_IF_ERROR(CLpS(&ctx->comm, codec_, local_m.data(), n,
+  RETURN_IF_ERROR(CLpS(&ctx->comm, codec_, local_m, n,
                        &states_[bucket->index]));
   const float inv_world = 1.0f / static_cast<float>(ctx->world_size());
   const float lr = static_cast<float>(adam->lr());
@@ -294,20 +305,24 @@ Status AsyncPsAlgorithm::OnBucketReady(BaguaContext* ctx, Bucket* bucket) {
   // Push this bucket's gradient slice (applied immediately server-side)
   // and pull the freshest weights for the slice — no cross-worker barrier.
   const size_t offset = bucket_offsets_[bucket->index];
-  std::vector<float> scratch(total_numel_, 0.0f);
+  ArenaScratch push_scratch(&AlgoArena(), total_numel_ * sizeof(float));
+  float* scratch = push_scratch.floats();
+  // The server applies the whole span; slices outside this bucket must be
+  // zero, so clear the (recycled, uninitialized) block explicitly.
+  std::memset(scratch, 0, total_numel_ * sizeof(float));
   if (codec_ != nullptr) {
     // async-lp: the gradient crosses the (simulated) wire compressed; the
     // server applies the decoded update.
     Rng rng = ctx->comm.MakeRankRng();
     RETURN_IF_ERROR(RoundTrip(*codec_, bucket->grad_data(), bucket->numel,
-                              &rng, scratch.data() + offset));
+                              &rng, scratch + offset));
   } else {
-    std::memcpy(scratch.data() + offset, bucket->grad_data(),
+    std::memcpy(scratch + offset, bucket->grad_data(),
                 bucket->numel * sizeof(float));
   }
-  RETURN_IF_ERROR(server_->PushGradAsync(scratch.data(), total_numel_, lr_));
-  RETURN_IF_ERROR(server_->Pull(scratch.data(), total_numel_));
-  std::memcpy(bucket->value_data(), scratch.data() + offset,
+  RETURN_IF_ERROR(server_->PushGradAsync(scratch, total_numel_, lr_));
+  RETURN_IF_ERROR(server_->Pull(scratch, total_numel_));
+  std::memcpy(bucket->value_data(), scratch + offset,
               bucket->numel * sizeof(float));
   return Status::OK();
 }

@@ -1,0 +1,219 @@
+#include "base/arena.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace bagua {
+
+namespace {
+
+constexpr int kMinClassLog2 = 6;  // log2(SizeClassMap::kMinClassBytes)
+
+int Log2Floor(size_t v) {
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+int SizeClassMap::ClassIndexFor(size_t bytes) {
+  if (bytes > kMaxClassBytes) return -1;
+  if (bytes <= kMinClassBytes) return 0;
+  const int floor = Log2Floor(bytes);
+  const bool pow2 = (bytes & (bytes - 1)) == 0;
+  return floor - kMinClassLog2 + (pow2 ? 0 : 1);
+}
+
+int SizeClassMap::ClassIndexOfCapacity(size_t capacity) {
+  if (capacity < kMinClassBytes) return -1;
+  const int idx = Log2Floor(capacity) - kMinClassLog2;
+  if (idx >= kNumClasses) return -1;
+  return idx;
+}
+
+size_t SizeClassMap::ClassBytesFor(size_t bytes) {
+  const int idx = ClassIndexFor(bytes);
+  if (idx < 0) return 0;
+  return ClassCapacity(idx);
+}
+
+Arena::Arena(std::string tag) : tag_(std::move(tag)) {}
+
+Arena::~Arena() {
+  const int64_t outstanding = outstanding_.load(std::memory_order_acquire);
+  if (outstanding != 0) {
+    LOG_FATAL << "arena '" << tag_ << "' destroyed with " << outstanding
+              << " live allocation(s); freeing them later would be a "
+                 "use-after-free. Recycle every handle before teardown.";
+  }
+  for (auto& cls : classes_) {
+    for (void* p : cls.free) std::free(p);
+    cls.free.clear();
+  }
+}
+
+void* Arena::Allocate(size_t bytes) {
+  if (bytes == 0) return nullptr;
+  const int idx = SizeClassMap::ClassIndexFor(bytes);
+  const size_t rounded =
+      idx >= 0 ? SizeClassMap::ClassCapacity(idx) : (bytes + 63) / 64 * 64;
+  void* ptr = nullptr;
+  if (idx >= 0) {
+    SizeClass& cls = classes_[idx];
+    std::lock_guard<std::mutex> lock(cls.mu);
+    if (!cls.free.empty()) {
+      ptr = cls.free.back();
+      cls.free.pop_back();
+    }
+  }
+  if (ptr != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (posix_memalign(&ptr, 64, rounded) != 0 || ptr == nullptr) {
+      LOG_FATAL << "arena '" << tag_ << "': posix_memalign(" << rounded
+                << ") failed";
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (idx < 0) oversize_.fetch_add(1, std::memory_order_relaxed);
+  }
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  BumpLive(rounded);
+  return ptr;
+}
+
+void Arena::Deallocate(void* ptr, size_t bytes) {
+  if (ptr == nullptr || bytes == 0) return;
+  const int idx = SizeClassMap::ClassIndexFor(bytes);
+  const size_t rounded =
+      idx >= 0 ? SizeClassMap::ClassCapacity(idx) : (bytes + 63) / 64 * 64;
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  DropLive(rounded);
+  if (idx >= 0) {
+    SizeClass& cls = classes_[idx];
+    std::lock_guard<std::mutex> lock(cls.mu);
+    if (cls.free.size() < static_cast<size_t>(kMaxFreePerClass)) {
+      cls.free.push_back(ptr);
+      return;
+    }
+  }
+  if (idx >= 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_bytes_.fetch_add(rounded, std::memory_order_relaxed);
+  }
+  std::free(ptr);
+}
+
+void Arena::NoteExternalAlloc(size_t bytes) {
+  if (bytes == 0) return;
+  BumpLive(bytes);
+}
+
+void Arena::NoteExternalFree(size_t bytes) {
+  if (bytes == 0) return;
+  // Saturate at zero: a sloppy owner must not wrap the gauge to 2^64.
+  uint64_t cur = live_bytes_.load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t drop = std::min<uint64_t>(cur, bytes);
+    if (live_bytes_.compare_exchange_weak(cur, cur - drop,
+                                          std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void Arena::ResetPeakBytes() {
+  peak_bytes_.store(live_bytes_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+ArenaStats Arena::stats() const {
+  ArenaStats s;
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.oversize = oversize_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.dropped_bytes = dropped_bytes_.load(std::memory_order_relaxed);
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int Arena::FreeInClassFor(size_t bytes) const {
+  const int idx = SizeClassMap::ClassIndexFor(bytes);
+  if (idx < 0) return 0;
+  auto& cls = const_cast<Arena*>(this)->classes_[idx];
+  std::lock_guard<std::mutex> lock(cls.mu);
+  return static_cast<int>(cls.free.size());
+}
+
+void Arena::BumpLive(size_t bytes) {
+  const uint64_t live =
+      live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void Arena::DropLive(size_t bytes) {
+  live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+MemoryRegistry& MemoryRegistry::Global() {
+  // Heap-allocated and never destroyed: arenas must outlive every static
+  // object that might hold a handle, so teardown order can't bite.
+  static MemoryRegistry* registry = new MemoryRegistry();
+  return *registry;
+}
+
+Arena& MemoryRegistry::ArenaFor(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Arena* a : arenas_) {
+    if (a->tag() == tag) return *a;
+  }
+  arenas_.push_back(new Arena(tag));
+  return *arenas_.back();
+}
+
+Arena& MemoryRegistry::Register(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Arena* a : arenas_) {
+    if (a->tag() == tag) {
+      LOG_FATAL << "memory registry: tag '" << tag
+                << "' registered twice; two subsystems would double-count "
+                   "one arena. Pick a distinct tag.";
+    }
+  }
+  arenas_.push_back(new Arena(tag));
+  return *arenas_.back();
+}
+
+std::vector<ArenaSnapshot> MemoryRegistry::Snapshot() const {
+  std::vector<ArenaSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(arenas_.size());
+    for (Arena* a : arenas_) out.push_back({a->tag(), a->stats()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ArenaSnapshot& a, const ArenaSnapshot& b) {
+              return a.tag < b.tag;
+            });
+  return out;
+}
+
+Arena& TensorArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("tensor");
+  return *arena;
+}
+
+}  // namespace bagua

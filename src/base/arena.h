@@ -1,0 +1,216 @@
+#ifndef BAGUA_BASE_ARENA_H_
+#define BAGUA_BASE_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bagua {
+
+/// \brief Shared size-class geometry for every pooled allocator in the tree.
+///
+/// Both the raw-block Arena below and the transport BufferPool bucket
+/// requests into the same 21 power-of-two classes, 64 B .. 64 MiB. Keeping
+/// the math in one place guarantees the two layers agree on what "fits a
+/// class" means, so bytes attributed across layers add up.
+struct SizeClassMap {
+  static constexpr size_t kMinClassBytes = 1ull << 6;   // 64 B
+  static constexpr size_t kMaxClassBytes = 1ull << 26;  // 64 MiB
+  static constexpr int kNumClasses = 21;                // 2^6 .. 2^26
+
+  /// Class index serving `bytes`, or -1 if larger than the largest class.
+  /// Zero-byte requests map to class 0.
+  static int ClassIndexFor(size_t bytes);
+
+  /// Class index whose capacity is exactly representable by `capacity`
+  /// (i.e. the class a block of that many bytes parks in), or -1 if the
+  /// capacity is below the smallest class or above the largest.
+  static int ClassIndexOfCapacity(size_t capacity);
+
+  /// Rounded-up class capacity serving `bytes`, or 0 if oversize.
+  static size_t ClassBytesFor(size_t bytes);
+
+  /// Capacity of class `idx` (no bounds check beyond debug assertions).
+  static size_t ClassCapacity(int idx) { return kMinClassBytes << idx; }
+};
+
+/// \brief Monotonic counters + live/peak gauges for one arena.
+///
+/// `live_bytes`/`peak_bytes` include bytes "noted" by external owners (see
+/// Arena::NoteExternalAlloc) so a subsystem whose storage is still owned by
+/// std::vector (e.g. the transport pool free lists) attributes honestly.
+struct ArenaStats {
+  uint64_t allocs = 0;       ///< Allocate() calls that returned storage.
+  uint64_t frees = 0;        ///< Deallocate() calls that released storage.
+  uint64_t hits = 0;         ///< Allocations served from a free list.
+  uint64_t misses = 0;       ///< Allocations that had to go to the OS.
+  uint64_t oversize = 0;     ///< Allocations above the largest size class.
+  uint64_t dropped = 0;      ///< Freed blocks released because a class was full.
+  uint64_t dropped_bytes = 0;  ///< Capacity of those released blocks.
+  uint64_t live_bytes = 0;   ///< Bytes currently allocated (incl. external).
+  uint64_t peak_bytes = 0;   ///< High-water mark of live_bytes.
+};
+
+/// \brief A size-classed, recycling arena for 64-byte-aligned raw blocks.
+///
+/// Allocate() rounds the request up to a power-of-two class and serves it
+/// from a per-class LIFO free list when possible (a *hit*); otherwise it
+/// takes one posix_memalign (a *miss*). Deallocate() parks the block back
+/// in its class, capped at kMaxFreePerClass blocks per class, so steady
+/// state footprint is bounded and steady-state allocation count is zero —
+/// the property `bench/mem_gate.h` asserts for the whole training step.
+///
+/// Returned memory is *uninitialized* (recycled blocks hold stale bytes);
+/// callers that need zeroed storage must memset, exactly as they must with
+/// the transport pool. Arena placement therefore cannot alter numerics:
+/// every consumer overwrites before reading.
+///
+/// Thread safety: all methods are safe for concurrent use (per-class
+/// mutexes, relaxed atomics for stats). Reuse *order* under contention is
+/// scheduling-dependent, which is why arena stats are exported as trace
+/// gauges, never counters (counters must merge byte-identically).
+class Arena {
+ public:
+  static constexpr int kMaxFreePerClass = 64;
+
+  explicit Arena(std::string tag);
+
+  /// Aborts with a diagnostic if blocks are still outstanding: destroying
+  /// an arena under live handles would turn every one of them into a
+  /// use-after-free, so we fail loudly instead of exhibiting UB.
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a 64-byte-aligned block of at least `bytes` bytes
+  /// (uninitialized), or nullptr when `bytes == 0` (no counters touched).
+  /// Oversize requests (> kMaxClassBytes) are served exactly, bypass the
+  /// free lists, and count as both a miss and an `oversize`.
+  void* Allocate(size_t bytes);
+
+  /// Returns a block obtained from Allocate(`bytes`). `bytes` must be the
+  /// same value passed to Allocate — the class is recomputed from it.
+  /// nullptr / zero-byte pairs are ignored.
+  void Deallocate(void* ptr, size_t bytes);
+
+  /// Attributes `bytes` owned by an external container (e.g. a
+  /// std::vector free list) to this arena's live/peak gauges without the
+  /// arena owning the storage. Pairs with NoteExternalFree.
+  void NoteExternalAlloc(size_t bytes);
+
+  /// Reverse of NoteExternalAlloc. Saturates at zero rather than
+  /// underflowing if an owner releases more than it noted.
+  void NoteExternalFree(size_t bytes);
+
+  ArenaStats stats() const;
+
+  /// Rebases the peak gauge to the current live bytes, so a report can
+  /// measure the high-water mark of one workload phase instead of the
+  /// whole process (e.g. mem_gate excludes its own free-list priming).
+  /// Call only while the arena is quiescent.
+  void ResetPeakBytes();
+
+  /// Number of parked free blocks in the class serving `bytes` (testing).
+  int FreeInClassFor(size_t bytes) const;
+
+  const std::string& tag() const { return tag_; }
+
+ private:
+  void BumpLive(size_t bytes);
+  void DropLive(size_t bytes);
+
+  struct SizeClass {
+    std::mutex mu;
+    std::vector<void*> free;
+  };
+
+  std::string tag_;
+  SizeClass classes_[SizeClassMap::kNumClasses];
+
+  std::atomic<uint64_t> allocs_{0};
+  std::atomic<uint64_t> frees_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> oversize_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> dropped_bytes_{0};
+  std::atomic<uint64_t> live_bytes_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+  std::atomic<int64_t> outstanding_{0};  ///< Allocated-but-not-freed blocks.
+};
+
+/// \brief One (tag, stats) row of a registry snapshot.
+struct ArenaSnapshot {
+  std::string tag;
+  ArenaStats stats;
+};
+
+/// \brief Process-wide map from subsystem tag to its arena.
+///
+/// Tags name subsystems ("tensor", "transport", "comm", "compress", "fl",
+/// "serve", "serve.cache", ...). ArenaFor() creates an arena on first use;
+/// Register() creates one explicitly and aborts on a tag collision so two
+/// subsystems cannot silently share (and double-count) one arena. Arenas
+/// live for the process lifetime — they are deliberately leaked at exit so
+/// static-destruction order can never tear an arena down under a live
+/// handle.
+class MemoryRegistry {
+ public:
+  static MemoryRegistry& Global();
+
+  /// Returns the arena for `tag`, creating it on first use.
+  Arena& ArenaFor(const std::string& tag);
+
+  /// Creates the arena for `tag`; aborts if the tag is already registered.
+  Arena& Register(const std::string& tag);
+
+  /// Stats for every registered arena, sorted by tag.
+  std::vector<ArenaSnapshot> Snapshot() const;
+
+ private:
+  MemoryRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Arena*> arenas_;  // Sorted insertion not required; looked up linearly.
+};
+
+/// Convenience accessors for the hot, always-present subsystem arenas.
+Arena& TensorArena();
+
+/// \brief RAII scratch block drawn from a subsystem arena.
+///
+/// The arena analogue of transport's PooledScratch: acquire in the
+/// constructor, recycle in the destructor, contents uninitialized. Use for
+/// per-call scratch in compressors, collectives and fl so steady-state
+/// steps allocate nothing.
+class ArenaScratch {
+ public:
+  ArenaScratch(Arena* arena, size_t bytes)
+      : arena_(arena), bytes_(bytes), ptr_(arena->Allocate(bytes)) {}
+  ArenaScratch(const std::string& tag, size_t bytes)
+      : ArenaScratch(&MemoryRegistry::Global().ArenaFor(tag), bytes) {}
+
+  ~ArenaScratch() { arena_->Deallocate(ptr_, bytes_); }
+
+  ArenaScratch(const ArenaScratch&) = delete;
+  ArenaScratch& operator=(const ArenaScratch&) = delete;
+
+  uint8_t* bytes() { return static_cast<uint8_t*>(ptr_); }
+  float* floats() { return static_cast<float*>(ptr_); }
+  double* doubles() { return static_cast<double*>(ptr_); }
+  uint32_t* u32() { return static_cast<uint32_t*>(ptr_); }
+  size_t size_bytes() const { return bytes_; }
+
+ private:
+  Arena* arena_;
+  size_t bytes_;
+  void* ptr_;
+};
+
+}  // namespace bagua
+
+#endif  // BAGUA_BASE_ARENA_H_

@@ -347,6 +347,31 @@ Status HierarchicalAllreduce(TransportGroup* group,
   return Status::OK();
 }
 
+AllreduceAlgo ChooseGroupAllreduceAlgo(size_t group_size, size_t bytes) {
+  if (group_size <= 2) return AllreduceAlgo::kFlatRing;
+  const size_t threshold = TreeAllreduceThresholdBytes();
+  if (threshold > 0 && bytes <= threshold) return AllreduceAlgo::kTree;
+  return AllreduceAlgo::kFlatRing;
+}
+
+Status GroupAllreduceAuto(TransportGroup* group, const std::vector<int>& ranks,
+                          int rank, uint32_t space, float* data, size_t n) {
+  if (ChooseGroupAllreduceAlgo(ranks.size(), n * sizeof(float)) ==
+      AllreduceAlgo::kTree) {
+    return TreeAllreduce(group, ranks, rank, space, data, n);
+  }
+  return RingAllreduce(group, ranks, rank, space, data, n);
+}
+
+Status GroupBroadcastAuto(TransportGroup* group, const std::vector<int>& ranks,
+                          int rank, int root_index, uint32_t space, float* data,
+                          size_t n) {
+  if (ranks.size() > 2) {
+    return TreeBroadcast(group, ranks, rank, root_index, space, data, n);
+  }
+  return Broadcast(group, ranks, rank, root_index, space, data, n);
+}
+
 Status AllreduceAuto(TransportGroup* group, const ClusterTopology& topo,
                      int rank, uint32_t space, float* data, size_t n) {
   switch (ChooseAllreduceAlgo(topo, n * sizeof(float))) {

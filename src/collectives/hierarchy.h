@@ -71,6 +71,28 @@ size_t TreeAllreduceThresholdBytes();
 Status AllreduceAuto(TransportGroup* group, const ClusterTopology& topo,
                      int rank, uint32_t space, float* data, size_t n);
 
+/// Subgroup flavor of the policy, for callers that own the tiering
+/// themselves (the intra-node phases of C_LP_S and decentralized
+/// execution): groups of <= 2 members flat ring (nothing to select), small
+/// payloads binomial tree, everything else flat ring. Never hierarchical —
+/// a subgroup has no second tier. Pure in (group_size, bytes), so every
+/// member derives the same choice.
+AllreduceAlgo ChooseGroupAllreduceAlgo(size_t group_size, size_t bytes);
+
+/// Dispatches RingAllreduce / TreeAllreduce over an explicit subgroup per
+/// ChooseGroupAllreduceAlgo. Runs in the caller's `space` (ring steps s /
+/// 1000+s, tree steps 0/1 — disjoint protocols, one collective per space).
+Status GroupAllreduceAuto(TransportGroup* group, const std::vector<int>& ranks,
+                          int rank, uint32_t space, float* data, size_t n);
+
+/// Broadcast over an explicit subgroup: binomial tree for > 2 members
+/// (log2(m) rounds instead of the flat broadcast's root-serialized m-1
+/// sends), flat otherwise. Both move the root's bytes verbatim, so the
+/// choice can never affect numerics.
+Status GroupBroadcastAuto(TransportGroup* group, const std::vector<int>& ranks,
+                          int rank, int root_index, uint32_t space, float* data,
+                          size_t n);
+
 /// Hierarchical allreduce over the whole topology: segmented intra-node
 /// reduce to each node leader, pipelined ring allreduce over the leaders,
 /// segmented intra-node broadcast. Phases are chained by per-rank data

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/strings.h"
 #include "collectives/collectives.h"
@@ -14,6 +15,15 @@
 namespace bagua {
 
 namespace {
+
+/// Numeric workspaces (accumulators, decode buffers) draw from the "comm"
+/// subsystem arena; only bytes that actually cross the transport surface
+/// stay on the transport pool. This splits the gauges honestly: wire
+/// footprint under "transport", reduction scratch under "comm".
+Arena& CommArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("comm");
+  return *arena;
+}
 
 std::vector<int> WorldRanks(const ClusterTopology& topo) {
   std::vector<int> ranks(topo.world_size());
@@ -54,17 +64,18 @@ Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
   TransportGroup* group = ctx->group();
   Rng rng = ctx->MakeRankRng();
 
-  // All per-call workspaces come from the transport pool (PooledScratch /
-  // AcquireBuffer + Recycle), so a steady-state training loop runs this
-  // primitive with zero heap allocations. Chunk 0 is the largest (ChunkOf
-  // gives the remainder to the first chunks), so it bounds every scratch.
+  // All per-call workspaces are recycled (ArenaScratch from the comm arena
+  // for numeric buffers, AcquireBuffer + Recycle for wire payloads), so a
+  // steady-state training loop runs this primitive with zero heap
+  // allocations. Chunk 0 is the largest (ChunkOf gives the remainder to
+  // the first chunks), so it bounds every scratch.
   const size_t maxc = std::max<size_t>(ChunkOf(n, m, 0).count, 1);
 
   // u = x + δ (or x when error compensation is off). Note: §3.2 writes the
   // residual with a minus sign; the telescoping error-feedback recursion of
   // DoubleSqueeze / 1-bit Adam *adds* the carried residual, so we store δ
   // with the standard sign (see DESIGN.md, "Known deltas").
-  PooledScratch u_scratch(group, n * sizeof(float));
+  ArenaScratch u_scratch(&CommArena(), n * sizeof(float));
   float* u = u_scratch.floats();
   if (state != nullptr && state->worker_err.defined()) {
     BAGUA_CHECK_EQ(state->worker_err.numel(), n);
@@ -73,7 +84,7 @@ Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
     std::memcpy(u, data, n * sizeof(float));
   }
 
-  PooledScratch decode_scratch(group, maxc * sizeof(float));
+  ArenaScratch decode_scratch(&CommArena(), maxc * sizeof(float));
   float* decode_buf = decode_scratch.floats();
   // Compressors assign out to exactly CompressedBytes(count), which never
   // exceeds the capacity acquired here, so Compress never reallocates.
@@ -116,8 +127,8 @@ Status ScatterReduceExec(CommContext* ctx, const std::vector<int>& ranks,
     // runs, double-buffered. The merge stays in ascending member order, so
     // the float accumulation is bitwise the seed's.
     const Chunk mine = ChunkOf(n, m, i);
-    PooledScratch sum_scratch(group,
-                              std::max<size_t>(mine.count, 1) * sizeof(float));
+    ArenaScratch sum_scratch(&CommArena(),
+                             std::max<size_t>(mine.count, 1) * sizeof(float));
     float* sum = sum_scratch.floats();
     std::fill(sum, sum + std::max<size_t>(mine.count, 1), 0.0f);
     auto next_member = [&](size_t j) -> int {
@@ -247,14 +258,15 @@ Status DecenExchange(CommContext* ctx, const std::vector<int>& peers,
   TransportGroup* group = ctx->group();
   Rng rng = ctx->MakeRankRng();
 
-  // Pooled workspaces: payload (our model, possibly compressed), a double
-  // accumulator, a decode buffer, and the receive vector the transport
-  // cycles — so the gossip steady state allocates nothing.
+  // Recycled workspaces: payload (our model, possibly compressed) and the
+  // receive vector cycle through the transport pool; the double
+  // accumulator and decode buffer come from the comm arena — so the
+  // gossip steady state allocates nothing.
   std::vector<uint8_t> payload = group->AcquireBuffer(
       codec != nullptr ? codec->CompressedBytes(n) : n * sizeof(float));
-  PooledScratch acc_scratch(group, n * sizeof(double));
+  ArenaScratch acc_scratch(&CommArena(), n * sizeof(double));
   double* acc = acc_scratch.doubles();
-  PooledScratch decode_scratch(group, n * sizeof(float));
+  ArenaScratch decode_scratch(&CommArena(), n * sizeof(float));
   float* decoded = decode_scratch.floats();
   std::vector<uint8_t> rx;
 
@@ -336,10 +348,11 @@ Status DecenExec(CommContext* ctx, const Compressor* codec,
     return DecenExchange(ctx, peers, codec, data, n, space);
   }
   // Hierarchical (§3.4): workers within a node switch to centralized
-  // allreduce; only leaders run the decentralized exchange.
+  // allreduce; only leaders run the decentralized exchange. The intra-node
+  // phases ride the same topology-aware selection as C_FP_S / C_LP_S.
   const auto node_ranks = NodeRanks(topo, ctx->rank);
-  RETURN_IF_ERROR(RingAllreduce(ctx->group(), node_ranks, ctx->rank, space,
-                                data, n));
+  RETURN_IF_ERROR(GroupAllreduceAuto(ctx->group(), node_ranks, ctx->rank,
+                                     space, data, n));
   Scale(data, 1.0f / static_cast<float>(topo.devices_per_node), n);
   if (topo.IsLeader(ctx->rank)) {
     const auto leaders = LeaderRanks(topo);
@@ -349,7 +362,8 @@ Status DecenExec(CommContext* ctx, const Compressor* codec,
     const auto peers = SelectPeers(&leader_ctx, leaders, selection);
     RETURN_IF_ERROR(DecenExchange(ctx, peers, codec, data, n, space + 1));
   }
-  return Broadcast(ctx->group(), node_ranks, ctx->rank, 0, space + 2, data, n);
+  return GroupBroadcastAuto(ctx->group(), node_ranks, ctx->rank, 0, space + 2,
+                            data, n);
 }
 
 }  // namespace
@@ -396,15 +410,19 @@ Status CLpS(CommContext* ctx, const Compressor& codec, float* data, size_t n,
                              space);
   }
   // Hierarchical C_LP_S (§3.4): aggregate inside the node at full precision,
-  // exchange compressed among leaders, then broadcast within the node.
+  // exchange compressed among leaders, then broadcast within the node. The
+  // intra-node phases go through the same topology-aware selection C_FP_S
+  // uses (collectives/hierarchy.h): small payloads take the binomial tree,
+  // large ones the pipelined ring; the broadcast trees for > 2 devices.
   const auto node_ranks = NodeRanks(topo, ctx->rank);
-  RETURN_IF_ERROR(
-      RingAllreduce(ctx->group(), node_ranks, ctx->rank, space, data, n));
+  RETURN_IF_ERROR(GroupAllreduceAuto(ctx->group(), node_ranks, ctx->rank,
+                                     space, data, n));
   if (topo.IsLeader(ctx->rank)) {
     RETURN_IF_ERROR(ScatterReduceExec(ctx, LeaderRanks(topo), codec, data, n,
                                       state, space + 1));
   }
-  return Broadcast(ctx->group(), node_ranks, ctx->rank, 0, space + 2, data, n);
+  return GroupBroadcastAuto(ctx->group(), node_ranks, ctx->rank, 0, space + 2,
+                            data, n);
 }
 
 Status DFpS(CommContext* ctx, PeerSelection peers, float* data, size_t n) {

@@ -4,10 +4,18 @@
 #include <cmath>
 #include <cstring>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/strings.h"
 
 namespace bagua {
+
+namespace {
+Arena& CompressArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("compress");
+  return *arena;
+}
+}  // namespace
 
 CountSketchCompressor::CountSketchCompressor(double compression, int rows,
                                              uint64_t seed)
@@ -64,7 +72,11 @@ Status CountSketchCompressor::Decompress(const uint8_t* in, size_t bytes,
   }
   const size_t width = WidthFor(n);
   const float* counters = reinterpret_cast<const float*>(in);
-  std::vector<float> estimates(static_cast<size_t>(rows_));
+  // Every slot of `estimates` is assigned per element before the median
+  // selection reads it, so recycled (uninitialized) arena storage is safe.
+  ArenaScratch est_scratch(&CompressArena(),
+                           static_cast<size_t>(rows_) * sizeof(float));
+  float* estimates = est_scratch.floats();
   for (size_t i = 0; i < n; ++i) {
     for (int r = 0; r < rows_; ++r) {
       size_t bucket;
@@ -73,8 +85,7 @@ Status CountSketchCompressor::Decompress(const uint8_t* in, size_t bytes,
       estimates[static_cast<size_t>(r)] =
           sign * counters[static_cast<size_t>(r) * width + bucket];
     }
-    std::nth_element(estimates.begin(),
-                     estimates.begin() + rows_ / 2, estimates.end());
+    std::nth_element(estimates, estimates + rows_ / 2, estimates + rows_);
     out[i] = estimates[static_cast<size_t>(rows_) / 2];
   }
   return Status::OK();

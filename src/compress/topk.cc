@@ -5,11 +5,21 @@
 #include <cstring>
 #include <numeric>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "base/strings.h"
 
 namespace bagua {
+
+namespace {
+/// Selection scratch recycles through the "compress" subsystem arena so
+/// steady-state compression allocates nothing and its bytes are gauged.
+Arena& CompressArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("compress");
+  return *arena;
+}
+}  // namespace
 
 TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
   BAGUA_CHECK(fraction > 0.0 && fraction <= 1.0)
@@ -40,20 +50,21 @@ Status TopKCompressor::Compress(const float* in, size_t n, Rng* /*rng*/,
   // plain floats instead of re-evaluating fabs O(n log n) times). The
   // selection itself is sequential with a deterministic tie-break, so the
   // kept set is identical at any intra-op thread count.
-  std::vector<float> mag(n);
+  ArenaScratch mag_scratch(&CompressArena(), n * sizeof(float));
+  float* mag = mag_scratch.floats();
   IntraOpFor(n, kElementwiseGrain, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) mag[i] = std::fabs(in[i]);
   });
-  std::vector<uint32_t> idx(n);
-  std::iota(idx.begin(), idx.end(), 0u);
-  std::nth_element(idx.begin(), idx.begin() + (k > 0 ? k - 1 : 0), idx.end(),
-                   [&mag](uint32_t a, uint32_t b) {
+  ArenaScratch idx_scratch(&CompressArena(), n * sizeof(uint32_t));
+  uint32_t* idx = idx_scratch.u32();
+  std::iota(idx, idx + n, 0u);
+  std::nth_element(idx, idx + (k > 0 ? k - 1 : 0), idx + n,
+                   [mag](uint32_t a, uint32_t b) {
                      const float fa = mag[a], fb = mag[b];
                      if (fa != fb) return fa > fb;
                      return a < b;  // deterministic tie-break
                    });
-  idx.resize(k);
-  std::sort(idx.begin(), idx.end());
+  std::sort(idx, idx + k);
 
   out->resize(CompressedBytes(n));
   uint32_t* indices = reinterpret_cast<uint32_t*>(out->data());

@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/strings.h"
 
 namespace bagua {
 namespace {
+
+/// Client-local training scratch recycles through the "fl" arena: a
+/// thousand-client round re-runs BatchPass constantly, and the federated
+/// gate holds the whole round to the steady-state-zero-allocation bar.
+Arena& FlArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("fl");
+  return *arena;
+}
 
 // Offsets of the four parameter blocks in the flat vector.
 struct FlLayout {
@@ -40,8 +50,15 @@ double BatchPass(const FlModelConfig& m, const float* params, const Tensor& x,
   const float* w2 = params + l.w2;
   const float* b2 = params + l.b2;
 
-  std::vector<double> h(m.hidden), logits(m.classes), p(m.classes),
-      dh(m.hidden);
+  // One block, four views: h / dh (hidden) and logits / p (classes). Every
+  // slot is assigned before it is read (dh is zeroed explicitly below), so
+  // uninitialized recycled storage cannot leak into the math.
+  ArenaScratch fwd_scratch(
+      &FlArena(), (2 * m.hidden + 2 * m.classes) * sizeof(double));
+  double* h = fwd_scratch.doubles();
+  double* dh = h + m.hidden;
+  double* logits = dh + m.hidden;
+  double* p = logits + m.classes;
   double loss = 0.0;
   for (size_t s = 0; s < batch; ++s) {
     const float* xs = x.data() + s * m.dim;
@@ -141,15 +158,18 @@ Status RunFlClient(const FlClientConfig& cfg, const FederatedView& data,
       cfg.aggregation == FlAggregation::kFedSgd ? 1 : cfg.local_steps;
   BAGUA_CHECK_GT(steps, 0u);
 
-  std::vector<float> w = global;
-  std::vector<double> grad(numel);
+  ArenaScratch w_scratch(&FlArena(), numel * sizeof(float));
+  float* w = w_scratch.floats();
+  std::memcpy(w, global.data(), numel * sizeof(float));
+  ArenaScratch grad_scratch(&FlArena(), numel * sizeof(double));
+  double* grad = grad_scratch.doubles();
   Tensor x, y;
   double loss_sum = 0.0;
   for (size_t step = 0; step < steps; ++step) {
     RETURN_IF_ERROR(data.GetClientBatch(
         client, round, step, cfg.batch_size, &x, &y));
-    std::fill(grad.begin(), grad.end(), 0.0);
-    loss_sum += BatchPass(cfg.model, w.data(), x, y, grad.data());
+    std::fill(grad, grad + numel, 0.0);
+    loss_sum += BatchPass(cfg.model, w, x, y, grad);
     if (cfg.aggregation == FlAggregation::kFedSgd) break;
     for (size_t i = 0; i < numel; ++i) {
       w[i] = static_cast<float>(w[i] - cfg.lr * grad[i]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/strings.h"
 #include "collectives/alltoall.h"
@@ -43,6 +44,15 @@ EmbeddingShard::EmbeddingShard(TransportGroup* group, std::vector<int> ranks,
   for (size_t r = 0; r < owned_rows_; ++r) {
     InitEmbeddingRow(seed, row_begin_ + r, dim_, rows_.data() + r * dim_);
   }
+  // The owned table slice dominates the PS footprint once embedding
+  // tables scale; attribute it for the lifetime of the shard.
+  MemoryRegistry::Global().ArenaFor("ps.embedding").NoteExternalAlloc(
+      rows_.capacity() * sizeof(float));
+}
+
+EmbeddingShard::~EmbeddingShard() {
+  MemoryRegistry::Global().ArenaFor("ps.embedding").NoteExternalFree(
+      rows_.capacity() * sizeof(float));
 }
 
 int EmbeddingShard::OwnerOf(uint64_t global_id) const {

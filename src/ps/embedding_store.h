@@ -49,6 +49,12 @@ class EmbeddingShard {
   EmbeddingShard(TransportGroup* group, std::vector<int> ranks, int rank,
                  size_t total_rows, size_t dim, uint64_t seed);
 
+  /// Releases the "ps.embedding" byte attribution of the owned slice.
+  ~EmbeddingShard();
+
+  EmbeddingShard(const EmbeddingShard&) = delete;
+  EmbeddingShard& operator=(const EmbeddingShard&) = delete;
+
   size_t total_rows() const { return total_rows_; }
   size_t dim() const { return dim_; }
   uint64_t row_begin() const { return row_begin_; }

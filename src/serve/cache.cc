@@ -2,12 +2,24 @@
 
 #include <cstring>
 
+#include "base/arena.h"
+
 namespace bagua {
 
 LruRowCache::LruRowCache(size_t capacity, size_t dim)
     : capacity_(capacity), dim_(dim) {
   arena_.resize(capacity_ * dim_);
   map_.reserve(capacity_);
+  // The row store is the serving footprint that grows with cache size;
+  // attribute it so `memory.serve.cache.live_bytes` reflects every
+  // resident front-end cache.
+  MemoryRegistry::Global().ArenaFor("serve.cache").NoteExternalAlloc(
+      arena_.capacity() * sizeof(float));
+}
+
+LruRowCache::~LruRowCache() {
+  MemoryRegistry::Global().ArenaFor("serve.cache").NoteExternalFree(
+      arena_.capacity() * sizeof(float));
 }
 
 const float* LruRowCache::Lookup(uint64_t id) {

@@ -28,7 +28,13 @@ namespace bagua {
 class LruRowCache {
  public:
   /// `capacity` == 0 disables caching (every Lookup misses, Insert drops).
+  /// The flat row store is attributed to the "serve.cache" arena gauges
+  /// for its lifetime (storage stays vector-owned).
   LruRowCache(size_t capacity, size_t dim);
+  ~LruRowCache();
+
+  LruRowCache(const LruRowCache&) = delete;
+  LruRowCache& operator=(const LruRowCache&) = delete;
 
   /// Returns the cached row and refreshes its recency, or nullptr (a
   /// miss). The pointer is valid until the next Insert.

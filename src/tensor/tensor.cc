@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "base/arena.h"
 #include "base/logging.h"
 #include "base/strings.h"
 
@@ -17,18 +18,27 @@ size_t NumelOf(const std::vector<size_t>& shape) {
 }
 }  // namespace
 
-std::shared_ptr<Buffer> Buffer::Allocate(size_t size) {
+namespace {
+// Zero-float buffers still get a real (class-0) block so data() stays
+// non-null; the request size must match in Allocate and ~Buffer because
+// the arena recomputes the size class from it.
+size_t BufferRequestBytes(size_t size) {
   const size_t bytes = size * sizeof(float);
-  void* ptr = nullptr;
-  const size_t aligned = (bytes + 63) / 64 * 64;
-  if (posix_memalign(&ptr, 64, aligned > 0 ? aligned : 64) != 0) {
-    LOG_FATAL << "Buffer allocation of " << bytes << " bytes failed";
-  }
-  std::memset(ptr, 0, aligned > 0 ? aligned : 64);
+  return bytes > 0 ? bytes : 1;
+}
+}  // namespace
+
+std::shared_ptr<Buffer> Buffer::Allocate(size_t size) {
+  const size_t bytes = BufferRequestBytes(size);
+  void* ptr = TensorArena().Allocate(bytes);
+  // Recycled arena blocks hold stale bytes; Buffer's contract is
+  // zero-initialized storage, which is also what keeps arena placement
+  // invisible to every bitwise differential suite.
+  std::memset(ptr, 0, bytes);
   return std::shared_ptr<Buffer>(new Buffer(static_cast<float*>(ptr), size));
 }
 
-Buffer::~Buffer() { std::free(data_); }
+Buffer::~Buffer() { TensorArena().Deallocate(data_, BufferRequestBytes(size_)); }
 
 Tensor Tensor::Zeros(std::vector<size_t> shape, std::string name) {
   Tensor t;

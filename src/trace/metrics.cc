@@ -1,5 +1,7 @@
 #include "trace/metrics.h"
 
+#include "base/arena.h"
+
 namespace bagua {
 
 void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
@@ -55,6 +57,25 @@ void RecordKernelTime(const char* name, uint64_t wall_ns, uint64_t flops) {
   m.Add(base + ".calls", 1);
   m.Add(base + ".ns", wall_ns);
   if (flops > 0) m.Add(base + ".flops", flops);
+}
+
+MetricsRegistry& MemoryMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void ResetMemoryMetrics() { MemoryMetrics().Clear(); }
+
+void PublishMemoryGauges() {
+  MetricsRegistry& m = MemoryMetrics();
+  for (const ArenaSnapshot& snap : MemoryRegistry::Global().Snapshot()) {
+    const std::string base = "memory." + snap.tag;
+    m.SetGauge(base + ".live_bytes",
+               static_cast<double>(snap.stats.live_bytes));
+    m.SetGauge(base + ".peak_bytes",
+               static_cast<double>(snap.stats.peak_bytes));
+    m.SetGauge(base + ".allocs", static_cast<double>(snap.stats.allocs));
+  }
 }
 
 }  // namespace bagua

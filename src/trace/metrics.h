@@ -65,6 +65,21 @@ void ResetKernelMetrics();
 void RecordKernelTime(const char* name, uint64_t wall_ns, uint64_t flops);
 /// @}
 
+/// \name Process-wide memory metrics.
+///
+/// Every subsystem arena (base/arena.h MemoryRegistry) is mirrored here as
+/// `memory.<tag>.{live_bytes,peak_bytes,allocs}` *gauges* by
+/// PublishMemoryGauges(). Gauges, never counters: arena reuse order is
+/// scheduling-dependent, and only counters must merge byte-identically
+/// into the golden Chrome trace.
+/// @{
+MetricsRegistry& MemoryMetrics();
+void ResetMemoryMetrics();
+
+/// Snapshots MemoryRegistry::Global() into MemoryMetrics() gauges.
+void PublishMemoryGauges();
+/// @}
+
 }  // namespace bagua
 
 #endif  // BAGUA_TRACE_METRICS_H_

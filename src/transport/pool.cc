@@ -4,38 +4,36 @@ namespace bagua {
 
 namespace {
 
-/// Index of the highest set bit (bytes > 0).
-int Log2Floor(size_t bytes) {
-  int l = 0;
-  while (bytes >>= 1) ++l;
-  return l;
+/// Arena the pool's bytes are attributed to. The arena never owns the
+/// storage (vectors do); it only carries the live/peak gauges.
+Arena& TransportArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("transport");
+  return *arena;
 }
-
-constexpr int kMinClassLog2 = 6;  // log2(kMinClassBytes)
 
 }  // namespace
 
+BufferPool::~BufferPool() {
+  for (SizeClass& cls : classes_) {
+    std::lock_guard<std::mutex> lock(cls.mu);
+    for (const std::vector<uint8_t>& buf : cls.free) {
+      TransportArena().NoteExternalFree(buf.capacity());
+    }
+  }
+}
+
 int BufferPool::ClassIndexFor(size_t bytes) {
-  if (bytes > kMaxClassBytes) return -1;
-  if (bytes <= kMinClassBytes) return 0;
-  const int floor = Log2Floor(bytes);
-  const bool pow2 = (bytes & (bytes - 1)) == 0;
-  return floor - kMinClassLog2 + (pow2 ? 0 : 1);
+  return SizeClassMap::ClassIndexFor(bytes);
 }
 
 int BufferPool::ClassIndexOfCapacity(size_t capacity) {
-  if (capacity < kMinClassBytes) return -1;
-  const int idx = Log2Floor(capacity) - kMinClassLog2;
   // Oversize buffers (beyond the largest class) are freed, not parked:
   // letting them pile up in the top class could pin gigabytes.
-  if (idx >= kNumClasses) return -1;
-  return idx;
+  return SizeClassMap::ClassIndexOfCapacity(capacity);
 }
 
 size_t BufferPool::ClassBytesFor(size_t bytes) {
-  const int idx = ClassIndexFor(bytes);
-  if (idx < 0) return 0;
-  return kMinClassBytes << idx;
+  return SizeClassMap::ClassBytesFor(bytes);
 }
 
 std::vector<uint8_t> BufferPool::Acquire(size_t bytes, bool* hit) {
@@ -61,15 +59,21 @@ std::vector<uint8_t> BufferPool::Acquire(size_t bytes, bool* hit) {
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   std::vector<uint8_t> buf;
-  if (idx >= 0) buf.reserve(kMinClassBytes << idx);
+  const size_t reserved = idx >= 0 ? SizeClassMap::ClassCapacity(idx) : bytes;
+  buf.reserve(reserved);
   buf.resize(bytes);
+  TransportArena().NoteExternalAlloc(reserved);
   return buf;
 }
 
 void BufferPool::Release(std::vector<uint8_t>&& buf) {
   const int idx = ClassIndexOfCapacity(buf.capacity());
   if (idx < 0) {
-    if (buf.capacity() > 0) dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (buf.capacity() > 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_bytes_.fetch_add(buf.capacity(), std::memory_order_relaxed);
+      TransportArena().NoteExternalFree(buf.capacity());
+    }
     return;  // too small to serve any class (or an empty moved-from shell)
   }
   SizeClass& cls = classes_[idx];
@@ -82,6 +86,8 @@ void BufferPool::Release(std::vector<uint8_t>&& buf) {
     }
   }
   dropped_.fetch_add(1, std::memory_order_relaxed);
+  dropped_bytes_.fetch_add(buf.capacity(), std::memory_order_relaxed);
+  TransportArena().NoteExternalFree(buf.capacity());
 }
 
 PoolStats BufferPool::stats() const {
@@ -90,6 +96,7 @@ PoolStats BufferPool::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.recycled = recycled_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.dropped_bytes = dropped_bytes_.load(std::memory_order_relaxed);
   s.bytes_served = bytes_served_.load(std::memory_order_relaxed);
   return s;
 }

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "base/arena.h"
+
 namespace bagua {
 
 /// \brief Snapshot of a BufferPool's accounting counters.
@@ -21,11 +23,25 @@ struct PoolStats {
   uint64_t misses = 0;       ///< Acquire had to heap-allocate
   uint64_t recycled = 0;     ///< Release parked the buffer for reuse
   uint64_t dropped = 0;      ///< Release freed the buffer (class full/tiny)
+  uint64_t dropped_bytes = 0;  ///< capacity of buffers freed at the cap
   uint64_t bytes_served = 0; ///< payload bytes delivered from recycled buffers
 };
 
 /// \brief Size-classed free list of payload buffers — the allocator behind
 /// the transport's zero-copy fast path.
+///
+/// The pool is a thin size-class *policy* over the shared arena geometry:
+/// class math delegates to base/arena.h SizeClassMap (the same 21 classes
+/// the subsystem arenas use), and every byte the pool causes to be heap
+/// allocated or freed is attributed to the "transport" arena's live/peak
+/// gauges via NoteExternalAlloc/NoteExternalFree. Storage itself stays
+/// owned by std::vector<uint8_t>: the transport surface (Send/Recv,
+/// SendBuffer, channels) moves vectors by value, so handing out raw arena
+/// blocks would force a copy or an API break — the vectors keep the
+/// zero-copy fast path, the arena keeps the accounting. Attribution is at
+/// allocation-causing sites only: vectors that enter the economy from
+/// outside are counted when (and if) the pool frees them, saturating at
+/// zero rather than going negative.
 ///
 /// Buffers are plain std::vector<uint8_t> binned into power-of-two size
 /// classes (64 B .. 64 MB). Acquire rounds the request up to its class and
@@ -44,12 +60,19 @@ struct PoolStats {
 /// never contend); the stats counters are relaxed atomics.
 class BufferPool {
  public:
-  static constexpr size_t kMinClassBytes = 1ull << 6;   // 64 B
-  static constexpr size_t kMaxClassBytes = 1ull << 26;  // 64 MB
-  static constexpr int kNumClasses = 21;                // 2^6 .. 2^26
+  // Geometry is shared with the subsystem arenas (single source of truth).
+  static constexpr size_t kMinClassBytes = SizeClassMap::kMinClassBytes;
+  static constexpr size_t kMaxClassBytes = SizeClassMap::kMaxClassBytes;
+  static constexpr int kNumClasses = SizeClassMap::kNumClasses;
   static constexpr size_t kMaxFreePerClass = 64;
 
   BufferPool() = default;
+  /// Un-notes the parked free-list capacity from the "transport" arena
+  /// gauge: a pool that dies with its TransportGroup must not leave its
+  /// recycled bytes attributed as live forever. (Buffers still in flight
+  /// stay noted until the owner drops them back into *some* pool — the
+  /// documented saturating approximation.)
+  ~BufferPool();
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -92,6 +115,7 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> recycled_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> dropped_bytes_{0};
   std::atomic<uint64_t> bytes_served_{0};
 };
 

@@ -73,6 +73,11 @@ Status TransportGroup::Send(int src, int dst, uint64_t tag, const void* data,
                     static_cast<double>(ps.misses));
       TraceSetGauge(src, "transport.pool.bytes",
                     static_cast<double>(ps.bytes_served));
+      // Cap-induced heap churn: bytes the pool had to free because a size
+      // class was already full (or the buffer fit no class). A climbing
+      // gauge here means kMaxFreePerClass is too small for the workload.
+      TraceSetGauge(src, "transport.pool.dropped_bytes",
+                    static_cast<double>(ps.dropped_bytes));
     }
   } else {
     payload.resize(bytes);

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/arena.h"
+#include "base/sync.h"
+
+namespace bagua {
+namespace {
+
+// ----------------------------------------------------------- size classes
+
+TEST(SizeClassMapTest, GeometryMatchesPoolRounding) {
+  EXPECT_EQ(SizeClassMap::kNumClasses, 21);
+  EXPECT_EQ(SizeClassMap::ClassCapacity(0), SizeClassMap::kMinClassBytes);
+  EXPECT_EQ(SizeClassMap::ClassCapacity(SizeClassMap::kNumClasses - 1),
+            SizeClassMap::kMaxClassBytes);
+
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(0), 0);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(1), 0);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(64), 0);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(65), 1);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(1024), 4);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(1025), 5);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(SizeClassMap::kMaxClassBytes),
+            SizeClassMap::kNumClasses - 1);
+  EXPECT_EQ(SizeClassMap::ClassIndexFor(SizeClassMap::kMaxClassBytes + 1), -1);
+
+  EXPECT_EQ(SizeClassMap::ClassBytesFor(1000), 1024u);
+  EXPECT_EQ(SizeClassMap::ClassBytesFor(SizeClassMap::kMaxClassBytes + 1), 0u);
+
+  // Capacity → class is exact for powers of two in range, -1 outside.
+  EXPECT_EQ(SizeClassMap::ClassIndexOfCapacity(64), 0);
+  EXPECT_EQ(SizeClassMap::ClassIndexOfCapacity(SizeClassMap::kMaxClassBytes),
+            SizeClassMap::kNumClasses - 1);
+  EXPECT_EQ(SizeClassMap::ClassIndexOfCapacity(32), -1);
+}
+
+// ----------------------------------------------------------------- arena
+
+TEST(ArenaTest, BlocksAre64ByteAligned) {
+  Arena arena("test.align");
+  for (size_t bytes : {1ul, 100ul, 4096ul, 100000ul}) {
+    void* p = arena.Allocate(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u) << bytes;
+    // The block is writable over the full request.
+    std::memset(p, 0xab, bytes);
+    arena.Deallocate(p, bytes);
+  }
+}
+
+TEST(ArenaTest, MissThenHitReusesBlock) {
+  Arena arena("test.reuse");
+  void* first = arena.Allocate(1000);
+  arena.Deallocate(first, 1000);
+  EXPECT_EQ(arena.FreeInClassFor(1000), 1);
+
+  // Any request in the same class gets the very same block back (LIFO).
+  void* again = arena.Allocate(600);
+  EXPECT_EQ(again, first);
+  arena.Deallocate(again, 600);
+
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.allocs, 2u);
+  EXPECT_EQ(s.frees, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.live_bytes, 0u);
+  EXPECT_EQ(s.peak_bytes, 1024u);  // one 1024-byte class block at a time
+}
+
+TEST(ArenaTest, ZeroByteAllocateReturnsNullAndCountsNothing) {
+  Arena arena("test.zero");
+  EXPECT_EQ(arena.Allocate(0), nullptr);
+  arena.Deallocate(nullptr, 0);  // ignored
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.allocs + s.frees + s.hits + s.misses, 0u);
+}
+
+TEST(ArenaTest, OversizeServedExactlyAndNeverParked) {
+  Arena arena("test.oversize");
+  const size_t huge = SizeClassMap::kMaxClassBytes + 1;
+  void* p = arena.Allocate(huge);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+  // Oversize blocks count as miss + oversize, and live rounds to 64 B.
+  ArenaStats s = arena.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.oversize, 1u);
+  EXPECT_EQ(s.live_bytes, (huge + 63) / 64 * 64);
+  arena.Deallocate(p, huge);
+  // Never parked: a second oversize request is another miss.
+  void* q = arena.Allocate(huge);
+  EXPECT_EQ(arena.stats().misses, 2u);
+  arena.Deallocate(q, huge);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+}
+
+TEST(ArenaTest, ClassCapDropsBeyondAndAccountsBytes) {
+  Arena arena("test.cap");
+  std::vector<void*> blocks;
+  const int n = Arena::kMaxFreePerClass + 5;
+  for (int i = 0; i < n; ++i) blocks.push_back(arena.Allocate(256));
+  for (void* p : blocks) arena.Deallocate(p, 256);
+  EXPECT_EQ(arena.FreeInClassFor(256), Arena::kMaxFreePerClass);
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.dropped, 5u);
+  EXPECT_EQ(s.dropped_bytes, 5u * 256u);
+  EXPECT_EQ(s.live_bytes, 0u);
+}
+
+TEST(ArenaTest, PeakTracksHighWaterAndResets) {
+  Arena arena("test.peak");
+  void* a = arena.Allocate(64);
+  void* b = arena.Allocate(64);
+  EXPECT_EQ(arena.stats().peak_bytes, 128u);
+  arena.Deallocate(b, 64);
+  EXPECT_EQ(arena.stats().live_bytes, 64u);
+  EXPECT_EQ(arena.stats().peak_bytes, 128u);  // monotone
+  arena.ResetPeakBytes();
+  EXPECT_EQ(arena.stats().peak_bytes, 64u);  // rebased to current live
+  arena.Deallocate(a, 64);
+}
+
+TEST(ArenaTest, ExternalNotesMoveGaugesAndSaturate) {
+  Arena arena("test.external");
+  arena.NoteExternalAlloc(4096);
+  EXPECT_EQ(arena.stats().live_bytes, 4096u);
+  EXPECT_EQ(arena.stats().peak_bytes, 4096u);
+  // A sloppy owner releasing more than it noted saturates at zero instead
+  // of wrapping the gauge to 2^64.
+  arena.NoteExternalFree(1 << 20);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+  EXPECT_EQ(arena.stats().peak_bytes, 4096u);
+}
+
+TEST(ArenaTest, ScratchRecyclesOnScopeExit) {
+  Arena arena("test.scratch");
+  {
+    ArenaScratch scratch(&arena, 512);
+    EXPECT_EQ(scratch.size_bytes(), 512u);
+    std::memset(scratch.bytes(), 0, 512);
+    scratch.floats()[0] = 1.5f;
+    EXPECT_EQ(scratch.floats()[0], 1.5f);
+    EXPECT_EQ(arena.FreeInClassFor(512), 0);
+  }
+  EXPECT_EQ(arena.FreeInClassFor(512), 1);
+  const uint64_t hits_before = arena.stats().hits;
+  { ArenaScratch scratch(&arena, 300); }
+  EXPECT_EQ(arena.stats().hits, hits_before + 1);
+}
+
+TEST(ArenaTest, ConcurrentAllocFreeKeepsBooksBalanced) {
+  Arena arena("test.parallel");
+  ParallelFor(8, [&](size_t t) {
+    for (int i = 0; i < 200; ++i) {
+      const size_t bytes = 64u << (t % 4);
+      void* p = arena.Allocate(bytes);
+      static_cast<uint8_t*>(p)[0] = static_cast<uint8_t>(i);
+      arena.Deallocate(p, bytes);
+    }
+  });
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.allocs, 1600u);
+  EXPECT_EQ(s.frees, 1600u);
+  EXPECT_EQ(s.live_bytes, 0u);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(MemoryRegistryTest, ArenaForCreatesOnceAndSnapshotIsSorted) {
+  Arena& a = MemoryRegistry::Global().ArenaFor("test.registry.b");
+  Arena& b = MemoryRegistry::Global().ArenaFor("test.registry.a");
+  EXPECT_EQ(&a, &MemoryRegistry::Global().ArenaFor("test.registry.b"));
+  void* p = a.Allocate(128);
+
+  const auto snap = MemoryRegistry::Global().Snapshot();
+  int idx_a = -1, idx_b = -1;
+  for (size_t i = 0; i < snap.size(); ++i) {
+    if (snap[i].tag == "test.registry.a") idx_a = static_cast<int>(i);
+    if (snap[i].tag == "test.registry.b") {
+      idx_b = static_cast<int>(i);
+      EXPECT_GE(snap[i].stats.live_bytes, 128u);
+    }
+  }
+  ASSERT_GE(idx_a, 0);
+  ASSERT_GE(idx_b, 0);
+  EXPECT_LT(idx_a, idx_b);  // sorted by tag
+  a.Deallocate(p, 128);
+  (void)b;
+}
+
+// ------------------------------------------------------------ death paths
+
+TEST(ArenaDeathTest, RegisterTagCollisionAborts) {
+  EXPECT_DEATH(
+      {
+        MemoryRegistry::Global().Register("test.death.dup");
+        MemoryRegistry::Global().Register("test.death.dup");
+      },
+      "registered twice");
+}
+
+TEST(ArenaDeathTest, TeardownWithLiveHandlesAborts) {
+  EXPECT_DEATH(
+      {
+        Arena doomed("test.death.live");
+        (void)doomed.Allocate(100);
+        // dtor fires here with one outstanding block
+      },
+      "live allocation");
+}
+
+}  // namespace
+}  // namespace bagua

@@ -6,12 +6,14 @@
 
 #include "base/sync.h"
 #include "collectives/collectives.h"
+#include "collectives/hierarchy.h"
 #include "comm/context.h"
 #include "comm/primitives.h"
 #include "compress/fp16.h"
 #include "compress/onebit.h"
 #include "compress/qsgd.h"
 #include "tensor/ops.h"
+#include "trace/trace.h"
 
 namespace bagua {
 namespace {
@@ -244,6 +246,34 @@ TEST(CLpSTest, HierarchicalQsgdApproximatesSum) {
   }
   EXPECT_LT(std::sqrt(err / norm), 0.05);
   // All ranks agree.
+  for (int r = 1; r < 8; ++r) {
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(data[r][i], data[0][i]);
+  }
+}
+
+TEST(CLpSTest, HierarchicalSmallBucketsRouteIntraNodeThroughTree) {
+  // Hierarchical C_LP_S dispatches its intra-node phases through the same
+  // topology-aware selection C_FP_S uses: a 512-byte bucket sits under the
+  // tree threshold, so the intra-node aggregate runs as a binomial gather
+  // tree and the closing broadcast as a binomial tree (> 2 devices).
+  const auto topo = ClusterTopology::Make(2, 4);
+  Cluster cluster(topo, /*hierarchical=*/true);
+  const size_t n = 128;
+  ASSERT_LE(n * sizeof(float), TreeAllreduceThresholdBytes());
+  auto data = MakeData(8, n);
+  QsgdCompressor codec(8, 64);
+  Tracer tracer(8);
+  InstallGlobalTracer(&tracer);
+  std::vector<Status> st(8);
+  ParallelFor(8, [&](size_t r) {
+    auto ctx = cluster.Ctx(static_cast<int>(r));
+    st[r] = CLpS(&ctx, codec, data[r].data(), n, nullptr);
+  });
+  UninstallGlobalTracer();
+  for (int r = 0; r < 8; ++r) ASSERT_TRUE(st[r].ok());
+  EXPECT_GT(tracer.CountSpans("tree.reduce"), 0u);
+  EXPECT_GT(tracer.CountSpans("tree.bcast"), 0u);
+  // The relaxed routing never breaks the replica-consistency contract.
   for (int r = 1; r < 8; ++r) {
     for (size_t i = 0; i < n; ++i) ASSERT_EQ(data[r][i], data[0][i]);
   }

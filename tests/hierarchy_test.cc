@@ -447,6 +447,119 @@ TEST(HierarchyTest, AllreduceAutoMatchesChosenAlgorithm) {
   }
 }
 
+// ------------------------------------------------- subgroup auto dispatch
+
+TEST(HierarchyTest, GroupSelectionPolicy) {
+  const size_t big = size_t{1} << 20;
+  // Tiny groups: nothing to select, even for tiny payloads.
+  EXPECT_EQ(ChooseGroupAllreduceAlgo(1, 64), AllreduceAlgo::kFlatRing);
+  EXPECT_EQ(ChooseGroupAllreduceAlgo(2, 64), AllreduceAlgo::kFlatRing);
+  // Small payloads in real groups: tree (latency bound).
+  EXPECT_EQ(ChooseGroupAllreduceAlgo(3, 64), AllreduceAlgo::kTree);
+  EXPECT_EQ(ChooseGroupAllreduceAlgo(8, 4096), AllreduceAlgo::kTree);
+  // Large payloads: flat ring. Never hierarchical — no second tier.
+  EXPECT_EQ(ChooseGroupAllreduceAlgo(8, big), AllreduceAlgo::kFlatRing);
+  // The shared threshold knob moves the boundary; zero disables the tree.
+  {
+    ScopedTreeThreshold threshold(0);
+    EXPECT_EQ(ChooseGroupAllreduceAlgo(8, 64), AllreduceAlgo::kFlatRing);
+  }
+  {
+    ScopedTreeThreshold threshold(big);
+    EXPECT_EQ(ChooseGroupAllreduceAlgo(8, big), AllreduceAlgo::kTree);
+  }
+}
+
+TEST(HierarchyTest, GroupAllreduceAutoMatchesChosenSeedComposition) {
+  // An explicit non-trivial subgroup (the intra-node shape C_LP_S hands
+  // over): ranks {1,2,3,5} of a 6-rank world.
+  const int world = 6;
+  const std::vector<int> ranks = {1, 2, 3, 5};
+  auto run_members = [&](const std::function<void(size_t)>& fn) {
+    ParallelFor(ranks.size(), fn);
+  };
+  // Below the threshold: bitwise identical to SeedReduce + SeedBroadcast
+  // (the tree is a gather tree; only the root reduces, in member order).
+  {
+    const size_t n = 64;  // 256 bytes <= 4 KiB threshold
+    ASSERT_EQ(ChooseGroupAllreduceAlgo(ranks.size(), n * sizeof(float)),
+              AllreduceAlgo::kTree);
+    const auto inputs = MakeInputs(world, n, 0x56b1);
+    auto golden = inputs;
+    {
+      TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+      run_members([&](size_t m) {
+        const int rank = ranks[m];
+        ASSERT_TRUE(
+            SeedReduce(&group, ranks, rank, 0, 1, golden[rank].data(), n)
+                .ok());
+        ASSERT_TRUE(
+            SeedBroadcast(&group, ranks, rank, 0, 2, golden[rank].data(), n)
+                .ok());
+      });
+    }
+    auto data = inputs;
+    TransportGroup group(world);
+    run_members([&](size_t m) {
+      const int rank = ranks[m];
+      ASSERT_TRUE(
+          GroupAllreduceAuto(&group, ranks, rank, 1, data[rank].data(), n)
+              .ok());
+    });
+    ExpectBitwiseEqual(golden, data, n);
+  }
+  // Above the threshold: bitwise identical to the seed ring.
+  {
+    const size_t n = 4097;  // 16388 bytes > 4 KiB threshold
+    ASSERT_EQ(ChooseGroupAllreduceAlgo(ranks.size(), n * sizeof(float)),
+              AllreduceAlgo::kFlatRing);
+    const auto inputs = MakeInputs(world, n, 0x56b2);
+    auto golden = inputs;
+    {
+      TransportGroup group(world, TransportGroup::PoolMode::kUnpooled);
+      run_members([&](size_t m) {
+        const int rank = ranks[m];
+        ASSERT_TRUE(
+            SeedRingAllreduce(&group, ranks, rank, 1, golden[rank].data(), n)
+                .ok());
+      });
+    }
+    auto data = inputs;
+    TransportGroup group(world);
+    run_members([&](size_t m) {
+      const int rank = ranks[m];
+      ASSERT_TRUE(
+          GroupAllreduceAuto(&group, ranks, rank, 1, data[rank].data(), n)
+              .ok());
+    });
+    ExpectBitwiseEqual(golden, data, n);
+  }
+}
+
+TEST(HierarchyTest, GroupBroadcastAutoMovesRootBytesVerbatim) {
+  const int world = 5;
+  std::vector<int> ranks(world);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  const size_t n = 1000;
+  const int root_index = 2;
+  const auto inputs = MakeInputs(world, n, 0x56b3);
+  auto data = inputs;
+  TransportGroup group(world);
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    ASSERT_TRUE(GroupBroadcastAuto(&group, ranks, static_cast<int>(r),
+                                   root_index, 1, data[r].data(), n)
+                    .ok());
+  });
+  // > 2 members routes through the binomial tree; either way every rank
+  // must hold the root's bytes exactly.
+  for (int r = 0; r < world; ++r) {
+    ASSERT_EQ(std::memcmp(data[r].data(), inputs[root_index].data(),
+                          n * sizeof(float)),
+              0)
+        << "rank " << r;
+  }
+}
+
 // ----------------------------------------------------------- tag namespace
 
 TEST(HierarchyTest, HierTagNamespaceAudited) {

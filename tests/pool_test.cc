@@ -100,6 +100,10 @@ TEST(PoolTest, ClassCapBoundsFootprint) {
   const PoolStats s = pool.stats();
   EXPECT_EQ(s.recycled, BufferPool::kMaxFreePerClass);
   EXPECT_EQ(s.dropped, 5u);
+  // Cap-boundary accounting: the dropped buffers' *capacity* (the 256-byte
+  // class, not the requested size) is surfaced byte-exactly, so the
+  // transport.pool.dropped_bytes gauge can show what the cap is costing.
+  EXPECT_EQ(s.dropped_bytes, 5u * BufferPool::ClassBytesFor(256));
 }
 
 TEST(PoolTest, OversizeBypassesTheClasses) {
@@ -119,9 +123,12 @@ TEST(PoolTest, OversizeBypassesTheClasses) {
   // rather than pinning memory in the free lists.
   std::vector<uint8_t> giant;
   giant.reserve(BufferPool::kMaxClassBytes * 2);
+  const size_t giant_capacity = giant.capacity();
   const uint64_t dropped_before = pool.stats().dropped;
+  const uint64_t dropped_bytes_before = pool.stats().dropped_bytes;
   pool.Release(std::move(giant));
   EXPECT_EQ(pool.stats().dropped, dropped_before + 1);
+  EXPECT_EQ(pool.stats().dropped_bytes, dropped_bytes_before + giant_capacity);
 }
 
 TEST(PoolTest, PooledScratchRecyclesOnScopeExit) {
