@@ -56,6 +56,11 @@ namespace bagua {
 ///                       zero arena misses per step — and write the
 ///                       per-subsystem byte table to PATH
 ///                       (scripts/mem_gate.sh)
+///   --precision-json=PATH run the mixed-precision gate (precision_gate.h)
+///                       — vectorized convert kernels vs naive scalars,
+///                       bf16 wire vs fp32 wire under WireDelayTransport,
+///                       bitwise-deterministic bf16 training — and write
+///                       its JSON to PATH (scripts/precision_gate.sh)
 struct BenchArgs {
   std::string trace_out;
   int trace_ranks = 64;
@@ -66,6 +71,7 @@ struct BenchArgs {
   std::string scale_json;
   std::string fl_json;
   std::string mem_json;
+  std::string precision_json;
   bool quick = false;
   int threads = 0;
   bool ok = true;
@@ -137,6 +143,12 @@ inline BenchArgs ParseArgs(int* argc, char** argv) {
         args.ok = false;
         args.error = "--mem-json= needs a path";
       }
+    } else if (std::strncmp(a, "--precision-json=", 17) == 0) {
+      args.precision_json = a + 17;
+      if (args.precision_json.empty()) {
+        args.ok = false;
+        args.error = "--precision-json= needs a path";
+      }
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -165,7 +177,7 @@ inline int BenchArgsError(const BenchArgs& args) {
                        " [--kernels-json=PATH] [--comm-json=PATH]"
                        " [--overlap-json=PATH] [--serving-json=PATH]"
                        " [--scale-json=PATH] [--fl-json=PATH]"
-                       " [--mem-json=PATH]"
+                       " [--mem-json=PATH] [--precision-json=PATH]"
                        " [--benchmark_* passed through]\n",
                args.error.c_str());
   return 2;

@@ -7,6 +7,7 @@
 #include "bench_common.h"
 #include "comm_gate.h"
 #include "kernel_gate.h"
+#include "precision_gate.h"
 
 #include "base/logging.h"
 #include "base/sync.h"
@@ -115,6 +116,11 @@ int main(int argc, char** argv) {
   if (!args.comm_json.empty()) {
     // Comm gate mode: seed-vs-pooled transport and seed-vs-pipelined rings.
     return bagua::RunCommGate(args.comm_json, args.quick);
+  }
+  if (!args.precision_json.empty()) {
+    // Precision gate mode: vectorized converts, bf16 wire, mixed-precision
+    // training determinism.
+    return bagua::RunPrecisionGate(args.precision_json, args.quick);
   }
   bagua::TraceSession trace_session(args);
   benchmark::Initialize(&argc, argv);

@@ -15,6 +15,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/sync.h"
+#include "compress/fp16.h"
 #include "compress/sketch.h"
 #include "compress/topk.h"
 #include "core/runtime.h"
@@ -245,6 +246,9 @@ inline MemGateReport RunMemGateMeasurement(bool quick) {
     for (auto& v : in) v = static_cast<float>(rng.Normal());
     const TopKCompressor topk(0.05);
     const CountSketchCompressor sketch(8.0);
+    // fp16's Decompress stages the unaligned wire payload through the
+    // compress arena before the vectorized widen — same zero-miss rule.
+    const Fp16Compressor fp16;
     std::vector<uint8_t> payload;
     auto roundtrip = [&](const Compressor& codec) {
       BAGUA_CHECK(codec.Compress(in.data(), n, nullptr, &payload).ok());
@@ -254,11 +258,13 @@ inline MemGateReport RunMemGateMeasurement(bool quick) {
     };
     roundtrip(topk);
     roundtrip(sketch);
+    roundtrip(fp16);
     const uint64_t before = TotalArenaMisses();
     const int reps = quick ? 4 : 16;
     for (int r = 0; r < reps; ++r) {
       roundtrip(topk);
       roundtrip(sketch);
+      roundtrip(fp16);
     }
     rep.train_arena_misses_steady += TotalArenaMisses() - before;
   }

@@ -236,6 +236,30 @@ class Fp16AllreduceAlgorithm : public Algorithm {
   Fp16Compressor codec_;
 };
 
+/// \brief bf16-wire allreduce: the dense gradient sum travels as 2-byte
+/// bf16 payloads with fp32 accumulation (collectives/wire_format.h) — the
+/// wire-dtype relaxation, as opposed to allreduce-fp16's *compressed*
+/// ScatterReduce (C_LP_S with a codec). Halves every phase's wire bytes
+/// while the canonical requantization chain keeps results bitwise
+/// identical across flat/hierarchical/tree execution.
+class Bf16AllreduceAlgorithm : public Algorithm {
+ public:
+  Bf16AllreduceAlgorithm() = default;
+  const std::string& name() const override { return name_; }
+  AlgorithmTraits traits() const override {
+    return {true, false, true, false};
+  }
+  Status OnBucketReady(BaguaContext* ctx, Bucket* bucket) override;
+  double CommCost(size_t numel, const ClusterTopology& topo,
+                  const NetworkConfig& net, bool hierarchical) const override;
+  double CodecCost(size_t numel, const DeviceConfig& dev) const override;
+  double WireBytes(size_t numel, const ClusterTopology& topo,
+                   bool hierarchical) const override;
+
+ private:
+  std::string name_ = "allreduce-bf16";
+};
+
 }  // namespace bagua
 
 #endif  // BAGUA_ALGORITHMS_ALGORITHMS_H_

@@ -30,6 +30,9 @@ Result<std::unique_ptr<Algorithm>> MakeAlgorithm(const std::string& name) {
   if (name == "allreduce-fp16") {
     return std::unique_ptr<Algorithm>(new Fp16AllreduceAlgorithm());
   }
+  if (name == "allreduce-bf16") {
+    return std::unique_ptr<Algorithm>(new Bf16AllreduceAlgorithm());
+  }
   if (name == "async-decen") {
     return std::unique_ptr<Algorithm>(new AsyncDecenAlgorithm());
   }
@@ -45,9 +48,10 @@ Result<std::unique_ptr<Algorithm>> MakeAlgorithm(const std::string& name) {
 }
 
 std::vector<std::string> RegisteredAlgorithms() {
-  return {"allreduce",    "qsgd8",       "qsgd4",
-          "1bit-adam",    "decen-32bits", "decen-8bits",
-          "allreduce-fp16", "local-sgd-4", "async-decen"};
+  return {"allreduce",      "qsgd8",        "qsgd4",
+          "1bit-adam",      "decen-32bits", "decen-8bits",
+          "allreduce-fp16", "allreduce-bf16", "local-sgd-4",
+          "async-decen"};
 }
 
 std::vector<CoverageRow> SupportMatrix() {

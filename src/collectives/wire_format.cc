@@ -1,0 +1,494 @@
+// Reduced-precision-wire allreduce (see wire_format.h for the chain
+// contract). Transport idioms mirror collectives.cc / hierarchy.cc:
+// AcquireBuffer + SendBuffer zero-copy forwarding, double-buffered
+// PostRecv pipelining on the chain path, every buffer recycled on exit so
+// steady state allocates nothing.
+
+#include "collectives/wire_format.h"
+
+#include <cstring>
+
+#include "base/arena.h"
+#include "base/strings.h"
+#include "collectives/collectives.h"
+#include "collectives/hierarchy.h"
+#include "trace/trace.h"
+
+namespace bagua {
+
+namespace {
+
+constexpr char kChainBytes[] = "collective.chain_allreduce.bytes";
+constexpr char kWireTreeBytes[] = "collective.wire_tree.bytes";
+
+/// Numeric scratch (packed local contributions) shares the "comm" arena
+/// with the primitives' reduction workspaces; wire payloads stay on the
+/// transport pool.
+Arena& WireArena() {
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("comm");
+  return *arena;
+}
+
+/// Per-dtype wire-byte counter, emitted next to the per-collective one so
+/// the harness report shows how many bytes crossed the wire reduced.
+void CountWireBytes(int rank, WireDtype wire, size_t bytes) {
+  switch (wire) {
+    case WireDtype::kFp32:
+      TraceCountBytes(rank, "comm.wire.fp32_bytes", bytes);
+      return;
+    case WireDtype::kBf16:
+      TraceCountBytes(rank, "comm.wire.bf16_bytes", bytes);
+      return;
+    case WireDtype::kFp16:
+      TraceCountBytes(rank, "comm.wire.fp16_bytes", bytes);
+      return;
+  }
+}
+
+size_t LowBit(size_t q) { return q & (~q + size_t{1}); }
+
+size_t SubtreeSize(size_t q, size_t m) {
+  if (q == 0) return m;
+  return q + LowBit(q) <= m ? LowBit(q) : m - q;
+}
+
+/// Children of q in an m-member binomial tree rooted at 0, ascending
+/// (hierarchy.cc's shape: gathered q-ranges are contiguous ascending).
+std::vector<size_t> ChildrenOf(size_t q, size_t m) {
+  std::vector<size_t> children;
+  const size_t limit = (q == 0) ? m : LowBit(q);
+  for (size_t off = 1; off < limit && q + off < m; off <<= 1) {
+    children.push_back(q + off);
+  }
+  return children;
+}
+
+}  // namespace
+
+Status ChainAllreduceWire(TransportGroup* group, const std::vector<int>& ranks,
+                          int rank, uint32_t space, WireDtype wire,
+                          float* data, size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) {
+    return Status::InvalidArgument(
+        StrFormat("rank %d not in collective group", rank));
+  }
+  if (m == 1) {
+    RoundToWire(wire, data, n);  // the m = 1 contract: F(W(x_0))
+    return Status::OK();
+  }
+  if (n == 0) return Status::OK();
+
+  const size_t eb = WireDtypeBytes(wire);
+  const size_t wire_bytes = n * eb;
+  const size_t nseg = WireSegmentsForBytes(wire_bytes);
+  const int next = static_cast<size_t>(i) + 1 < m ? ranks[i + 1] : -1;
+  const int prev = i > 0 ? ranks[i - 1] : -1;
+  const bool last = next < 0;
+  const uint64_t up_tag = MakeTag(space, 0);
+  const uint64_t down_tag = MakeTag(space, 1);
+
+  TraceSpan span(rank, TraceStream::kComm, "allreduce.chain", wire_bytes,
+                 static_cast<int>(nseg));
+
+  // Rank 0 only packs and streams; no receive on the up sweep.
+  if (i == 0) {
+    Status st = [&]() -> Status {
+      TraceCountBytes(rank, kChainBytes, wire_bytes);
+      CountWireBytes(rank, wire, wire_bytes);
+      for (size_t g = 0; g < nseg; ++g) {
+        const Chunk seg = ChunkOf(n, nseg, g);
+        std::vector<uint8_t> buf = group->AcquireBuffer(seg.count * eb);
+        buf.resize(seg.count * eb);
+        PackWire(wire, data + seg.begin, buf.data(), seg.count);
+        RETURN_IF_ERROR(group->SendBuffer(rank, next, up_tag, std::move(buf)));
+      }
+      return Status::OK();
+    }();
+    if (!st.ok()) return st;
+  } else {
+    // Pack the local contribution once; segments combine from slices.
+    ArenaScratch own_scratch(&WireArena(), wire_bytes);
+    PackWire(wire, data, own_scratch.bytes(), n);
+
+    std::vector<uint8_t> bufs[2];
+    int cur = 0;
+    TransportHandle pending;
+    Status st = [&]() -> Status {
+      if (!last) {
+        TraceCountBytes(rank, kChainBytes, wire_bytes);
+        CountWireBytes(rank, wire, wire_bytes);
+      }
+      for (size_t g = 0; g < nseg; ++g) {
+        const Chunk seg = ChunkOf(n, nseg, g);
+        if (!pending.valid()) {
+          pending = group->PostRecv(prev, rank, up_tag, &bufs[cur]);
+        }
+        RETURN_IF_ERROR(group->Wait(&pending));
+        pending = TransportHandle();
+        std::vector<uint8_t>& payload = bufs[cur];
+        cur ^= 1;
+        if (g + 1 < nseg) {  // double buffer: post before reducing
+          pending = group->PostRecv(prev, rank, up_tag, &bufs[cur]);
+        }
+        if (payload.size() != seg.count * eb) {
+          return Status::Internal(
+              StrFormat("allreduce.chain: payload %zu bytes, want %zu",
+                        payload.size(), seg.count * eb));
+        }
+        // q_r = W(F(q_{r-1}) + F(W(x_r))), in place in the payload.
+        WireChainCombine(wire, payload.data(),
+                         own_scratch.bytes() + seg.begin * eb, seg.count);
+        if (!last) {
+          RETURN_IF_ERROR(
+              group->SendBuffer(rank, next, up_tag, std::move(payload)));
+        } else {
+          // q* segment: this rank's result, and the head of the down sweep.
+          UnpackWire(wire, payload.data(), data + seg.begin, seg.count);
+          TraceCountBytes(rank, kChainBytes, seg.count * eb);
+          CountWireBytes(rank, wire, seg.count * eb);
+          RETURN_IF_ERROR(
+              group->SendBuffer(rank, prev, down_tag, std::move(payload)));
+        }
+      }
+      return Status::OK();
+    }();
+    for (auto& b : bufs) group->Recycle(std::move(b));
+    if (!st.ok()) return st;
+  }
+
+  if (last) return Status::OK();
+
+  // Down sweep: q* flows (m-1 .. 0) verbatim; unpack locally, forward.
+  std::vector<uint8_t> bufs[2];
+  int cur = 0;
+  TransportHandle pending;
+  Status st = [&]() -> Status {
+    if (i > 0) {
+      TraceCountBytes(rank, kChainBytes, wire_bytes);
+      CountWireBytes(rank, wire, wire_bytes);
+    }
+    for (size_t g = 0; g < nseg; ++g) {
+      const Chunk seg = ChunkOf(n, nseg, g);
+      if (!pending.valid()) {
+        pending = group->PostRecv(next, rank, down_tag, &bufs[cur]);
+      }
+      RETURN_IF_ERROR(group->Wait(&pending));
+      pending = TransportHandle();
+      std::vector<uint8_t>& payload = bufs[cur];
+      cur ^= 1;
+      if (g + 1 < nseg) {
+        pending = group->PostRecv(next, rank, down_tag, &bufs[cur]);
+      }
+      if (payload.size() != seg.count * eb) {
+        return Status::Internal(
+            StrFormat("allreduce.chain.down: payload %zu bytes, want %zu",
+                      payload.size(), seg.count * eb));
+      }
+      UnpackWire(wire, payload.data(), data + seg.begin, seg.count);
+      if (i > 0) {
+        RETURN_IF_ERROR(
+            group->SendBuffer(rank, prev, down_tag, std::move(payload)));
+      }
+    }
+    return Status::OK();
+  }();
+  for (auto& b : bufs) group->Recycle(std::move(b));
+  return st;
+}
+
+Status HierAllreduceWire(TransportGroup* group, const ClusterTopology& topo,
+                         int rank, uint32_t space, WireDtype wire, float* data,
+                         size_t n) {
+  const int m = topo.world_size();
+  const int d = topo.devices_per_node;
+  if (m == 1) {
+    RoundToWire(wire, data, n);
+    return Status::OK();
+  }
+  if (n == 0) return Status::OK();
+  std::vector<int> ranks;
+  if (d == 1 || topo.num_nodes == 1) {
+    // One genuine tier: the chain over all ranks realizes the contract.
+    ranks.resize(m);
+    for (int r = 0; r < m; ++r) ranks[r] = r;
+    return ChainAllreduceWire(group, ranks, rank, space, wire, data, n);
+  }
+
+  const int node = topo.NodeOf(rank);
+  const int leader = node * d;
+  const int nodes = topo.num_nodes;
+  const size_t eb = WireDtypeBytes(wire);
+  const size_t wire_bytes = n * eb;
+  // Tags: 0 = leader up chain, 1 = leader down chain, 2 = member gather,
+  // 3 = member fan-out. Each (src, dst, tag) pair is FIFO-distinct.
+  const uint64_t lead_up = MakeTag(space, 0);
+  const uint64_t lead_down = MakeTag(space, 1);
+  const uint64_t gather = MakeTag(space, 2);
+  const uint64_t fanout = MakeTag(space, 3);
+
+  TraceSpan span(rank, TraceStream::kComm, "allreduce.wire_hier", wire_bytes);
+
+  if (rank != leader) {
+    // Member: ship the packed contribution, await the packed q*.
+    std::vector<uint8_t> buf = group->AcquireBuffer(wire_bytes);
+    buf.resize(wire_bytes);
+    PackWire(wire, data, buf.data(), n);
+    TraceCountBytes(rank, kChainBytes, wire_bytes);
+    CountWireBytes(rank, wire, wire_bytes);
+    Status st = group->SendBuffer(rank, leader, gather, std::move(buf));
+    if (!st.ok()) {
+      group->Recycle(std::move(buf));
+      return st;
+    }
+    std::vector<uint8_t> rx;
+    st = [&]() -> Status {
+      RETURN_IF_ERROR(group->Recv(leader, rank, fanout, &rx));
+      if (rx.size() != wire_bytes) {
+        return Status::Internal(
+            StrFormat("wire_hier fanout: payload %zu bytes, want %zu",
+                      rx.size(), wire_bytes));
+      }
+      UnpackWire(wire, rx.data(), data, n);
+      return Status::OK();
+    }();
+    group->Recycle(std::move(rx));
+    return st;
+  }
+
+  // Leader: fold the global ascending-rank chain across this node's slot.
+  // acc arrives from the previous leader (nodes > node 0), the leader's
+  // own contribution folds first, then members ascending — exactly ranks
+  // node*d .. node*d + d - 1 of the contract's recurrence.
+  ArenaScratch own_scratch(&WireArena(), wire_bytes);
+  PackWire(wire, data, own_scratch.bytes(), n);
+
+  std::vector<uint8_t> acc;
+  std::vector<uint8_t> rx;
+  Status st = [&]() -> Status {
+    if (node == 0) {
+      acc = group->AcquireBuffer(wire_bytes);
+      acc.resize(wire_bytes);
+      std::memcpy(acc.data(), own_scratch.bytes(), wire_bytes);
+    } else {
+      RETURN_IF_ERROR(group->Recv(leader - d, rank, lead_up, &acc));
+      if (acc.size() != wire_bytes) {
+        return Status::Internal(
+            StrFormat("wire_hier chain: payload %zu bytes, want %zu",
+                      acc.size(), wire_bytes));
+      }
+      WireChainCombine(wire, acc.data(), own_scratch.bytes(), n);
+    }
+    for (int j = 1; j < d; ++j) {
+      RETURN_IF_ERROR(group->Recv(leader + j, rank, gather, &rx));
+      if (rx.size() != wire_bytes) {
+        return Status::Internal(
+            StrFormat("wire_hier gather: payload %zu bytes, want %zu",
+                      rx.size(), wire_bytes));
+      }
+      WireChainCombine(wire, acc.data(), rx.data(), n);
+      group->Recycle(std::move(rx));
+      rx.clear();
+    }
+
+    if (node + 1 < nodes) {
+      // Forward the partial chain up; await the packed q* coming back.
+      TraceCountBytes(rank, kChainBytes, wire_bytes);
+      CountWireBytes(rank, wire, wire_bytes);
+      RETURN_IF_ERROR(
+          group->SendBuffer(rank, leader + d, lead_up, std::move(acc)));
+      acc.clear();
+      RETURN_IF_ERROR(group->Recv(leader + d, rank, lead_down, &acc));
+      if (acc.size() != wire_bytes) {
+        return Status::Internal(
+            StrFormat("wire_hier down: payload %zu bytes, want %zu",
+                      acc.size(), wire_bytes));
+      }
+    }
+    // acc now holds q*. Fan out to members and, below node nodes-1, to the
+    // previous leader — all byte-verbatim.
+    UnpackWire(wire, acc.data(), data, n);
+    const size_t fan = static_cast<size_t>(d - 1) +
+                       (node > 0 ? size_t{1} : size_t{0});
+    TraceCountBytes(rank, kChainBytes, fan * wire_bytes);
+    CountWireBytes(rank, wire, fan * wire_bytes);
+    for (int j = 1; j < d; ++j) {
+      RETURN_IF_ERROR(
+          group->Send(rank, leader + j, fanout, acc.data(), wire_bytes));
+    }
+    if (node > 0) {
+      RETURN_IF_ERROR(
+          group->SendBuffer(rank, leader - d, lead_down, std::move(acc)));
+      acc.clear();
+    }
+    return Status::OK();
+  }();
+  group->Recycle(std::move(acc));
+  group->Recycle(std::move(rx));
+  return st;
+}
+
+Status TreeAllreduceWire(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space, WireDtype wire, float* data,
+                         size_t n) {
+  const size_t m = ranks.size();
+  if (m == 0) return Status::InvalidArgument("empty group");
+  const int i = IndexIn(ranks, rank);
+  if (i < 0) return Status::InvalidArgument("rank not in group");
+  if (m == 1) {
+    RoundToWire(wire, data, n);
+    return Status::OK();
+  }
+  if (n == 0) return Status::OK();
+
+  // Root = ranks[0], so q-index == member index: the gathered q-order IS
+  // the ascending member order the chain contract folds in.
+  const size_t q = static_cast<size_t>(i);
+  const size_t eb = WireDtypeBytes(wire);
+  const size_t vec_bytes = n * eb;
+  const auto children = ChildrenOf(q, m);
+  const uint64_t gather = MakeTag(space, 0);
+  const uint64_t bcast = MakeTag(space, 1);
+
+  if (q == 0) {
+    TraceSpan span(rank, TraceStream::kComm, "allreduce.wire_tree");
+    std::vector<std::vector<uint8_t>> sub(children.size());
+    std::vector<uint8_t> acc;
+    Status st = [&]() -> Status {
+      for (size_t c = 0; c < children.size(); ++c) {
+        RETURN_IF_ERROR(
+            group->Recv(ranks[children[c]], rank, gather, &sub[c]));
+        const size_t want = SubtreeSize(children[c], m) * vec_bytes;
+        if (sub[c].size() != want) {
+          return Status::Internal(
+              StrFormat("wire_tree gather: payload %zu bytes, want %zu",
+                        sub[c].size(), want));
+        }
+      }
+      // Fold q = W(x_0), then members 1..m-1 ascending: child subtree
+      // q-ranges are contiguous ascending, so walk them in order.
+      acc = group->AcquireBuffer(vec_bytes);
+      acc.resize(vec_bytes);
+      PackWire(wire, data, acc.data(), n);
+      for (size_t j = 1; j < m; ++j) {
+        size_t c = children.size();
+        for (size_t k = 0; k < children.size(); ++k) {
+          if (j >= children[k] && j < children[k] + SubtreeSize(children[k], m)) {
+            c = k;
+            break;
+          }
+        }
+        if (c == children.size()) {
+          return Status::Internal("wire_tree: member outside all subtrees");
+        }
+        WireChainCombine(wire, acc.data(),
+                         sub[c].data() + (j - children[c]) * vec_bytes, n);
+      }
+      UnpackWire(wire, acc.data(), data, n);
+      // Binomial broadcast of the packed q*, largest subtree first.
+      TraceCountBytes(rank, kWireTreeBytes, children.size() * vec_bytes);
+      CountWireBytes(rank, wire, children.size() * vec_bytes);
+      for (size_t k = children.size(); k-- > 0;) {
+        RETURN_IF_ERROR(group->Send(rank, ranks[children[k]], bcast,
+                                    acc.data(), vec_bytes));
+      }
+      return Status::OK();
+    }();
+    for (auto& buf : sub) group->Recycle(std::move(buf));
+    group->Recycle(std::move(acc));
+    return st;
+  }
+
+  // Non-root. Gather phase: leaves send their packed vector; interior
+  // nodes concatenate [own | child subtrees ascending] — no arithmetic —
+  // and forward zero-copy.
+  const int parent = ranks[q & (q - 1)];
+  Status st;
+  if (children.empty()) {
+    TraceSpan span(rank, TraceStream::kComm, "wire_tree.gather", vec_bytes);
+    std::vector<uint8_t> payload = group->AcquireBuffer(vec_bytes);
+    payload.resize(vec_bytes);
+    PackWire(wire, data, payload.data(), n);
+    TraceCountBytes(rank, kWireTreeBytes, vec_bytes);
+    CountWireBytes(rank, wire, vec_bytes);
+    st = group->SendBuffer(rank, parent, gather, std::move(payload));
+    if (!st.ok()) {
+      group->Recycle(std::move(payload));
+      return st;
+    }
+  } else {
+    const size_t total = SubtreeSize(q, m) * vec_bytes;
+    TraceSpan span(rank, TraceStream::kComm, "wire_tree.gather", total);
+    std::vector<uint8_t> payload = group->AcquireBuffer(total);
+    payload.resize(total);
+    std::vector<uint8_t> rx;
+    st = [&]() -> Status {
+      PackWire(wire, data, payload.data(), n);
+      for (size_t c : children) {
+        RETURN_IF_ERROR(group->Recv(ranks[c], rank, gather, &rx));
+        const size_t want = SubtreeSize(c, m) * vec_bytes;
+        if (rx.size() != want) {
+          return Status::Internal(
+              StrFormat("wire_tree.gather: payload %zu bytes, want %zu",
+                        rx.size(), want));
+        }
+        std::memcpy(payload.data() + (c - q) * vec_bytes, rx.data(), want);
+      }
+      TraceCountBytes(rank, kWireTreeBytes, total);
+      CountWireBytes(rank, wire, total);
+      return group->SendBuffer(rank, parent, gather, std::move(payload));
+    }();
+    group->Recycle(std::move(rx));
+    if (!st.ok()) {
+      group->Recycle(std::move(payload));
+      return st;
+    }
+  }
+
+  // Broadcast phase: receive the packed q*, unpack, forward to children.
+  std::vector<uint8_t> rx;
+  st = [&]() -> Status {
+    TraceSpan span(rank, TraceStream::kComm, "wire_tree.bcast");
+    RETURN_IF_ERROR(group->Recv(parent, rank, bcast, &rx));
+    if (rx.size() != vec_bytes) {
+      return Status::Internal(
+          StrFormat("wire_tree.bcast: payload %zu bytes, want %zu", rx.size(),
+                    vec_bytes));
+    }
+    UnpackWire(wire, rx.data(), data, n);
+    if (!children.empty()) {
+      TraceCountBytes(rank, kWireTreeBytes, children.size() * vec_bytes);
+      CountWireBytes(rank, wire, children.size() * vec_bytes);
+      for (size_t k = children.size(); k-- > 0;) {
+        RETURN_IF_ERROR(group->Send(rank, ranks[children[k]], bcast,
+                                    rx.data(), vec_bytes));
+      }
+    }
+    return Status::OK();
+  }();
+  group->Recycle(std::move(rx));
+  return st;
+}
+
+Status AllreduceWire(TransportGroup* group, const ClusterTopology& topo,
+                     int rank, uint32_t space, WireDtype wire, float* data,
+                     size_t n, bool hierarchical) {
+  std::vector<int> world(topo.world_size());
+  for (int r = 0; r < topo.world_size(); ++r) world[r] = r;
+  if (!hierarchical || topo.devices_per_node == 1) {
+    return ChainAllreduceWire(group, world, rank, space, wire, data, n);
+  }
+  switch (ChooseAllreduceAlgo(topo, n * WireDtypeBytes(wire))) {
+    case AllreduceAlgo::kTree:
+      return TreeAllreduceWire(group, world, rank, space, wire, data, n);
+    case AllreduceAlgo::kHierarchical:
+      return HierAllreduceWire(group, topo, rank, space, wire, data, n);
+    case AllreduceAlgo::kFlatRing:
+      return ChainAllreduceWire(group, world, rank, space, wire, data, n);
+  }
+  return Status::Internal("unreachable wire allreduce algo");
+}
+
+}  // namespace bagua

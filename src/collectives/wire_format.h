@@ -1,0 +1,89 @@
+#ifndef BAGUA_COLLECTIVES_WIRE_FORMAT_H_
+#define BAGUA_COLLECTIVES_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.h"
+#include "tensor/dtype.h"
+#include "transport/transport.h"
+
+namespace bagua {
+
+/// Reduced-precision-wire allreduce: payloads cross the transport as
+/// WireDtype elements (2 bytes for bf16/fp16), reductions accumulate in
+/// fp32, and conversions happen on pack via the vectorized kernels of
+/// tensor/dtype.h. With a 2-byte wire every phase moves half the bytes of
+/// the fp32 collectives — the alpha-beta win scripts/precision_gate.sh
+/// measures under WireDelayTransport.
+///
+/// ## The chain contract
+///
+/// A reduced wire makes the reduction *lossy*, so "the sum" is no longer
+/// topology-independent: a rotated ring accumulates each chunk in a
+/// different rank order, and no hierarchical regrouping can reproduce
+/// those bits. These collectives therefore pin down ONE canonical result —
+/// the ascending-rank requantization chain (W = convert to wire dtype,
+/// F = widen back to fp32):
+///
+///   q_0 = W(x_0)
+///   q_r = W( F(q_{r-1}) + F(W(x_r)) )        for r = 1 .. m-1
+///   result on every rank = F(q_{m-1})
+///
+/// Every implementation here realizes that exact recurrence, so flat
+/// chain, hierarchical, and tree execution are bitwise identical to each
+/// other at any thread count — the cross-topology determinism the
+/// precision gate enforces. For wire = fp32, W and F are identities and
+/// the contract degrades to the plain ascending-rank sum (the bits of
+/// SeedReduce-to-rank-0 + broadcast). A 1-member group still pays one
+/// round trip: result = F(W(x_0)) — uniform with the m > 1 contract.
+///
+///   * ChainAllreduceWire — flat pipelined chain. Up sweep: rank r
+///     receives the packed q_{r-1}, folds its own packed contribution in
+///     place (tensor/dtype.h WireChainCombine) and forwards the payload
+///     zero-copy (SendBuffer); large tensors split into wire segments
+///     (SetRingPipelineSegmentBytes) with double-buffered PostRecv, so
+///     segment g+1 is in flight while g is being reduced. Down sweep:
+///     q_{m-1} flows back verbatim, everyone unpacks. 2(m-1) hops of
+///     n * WireDtypeBytes each.
+///   * HierAllreduceWire — members ship their packed contribution to the
+///     node leader, which folds them in ascending member order; leaders
+///     chain across nodes in node order (the same global ascending-rank
+///     fold); the packed q* returns down the leader chain and fans out to
+///     members. The inter-node tier moves each (2-byte) element once per
+///     direction, like HierarchicalAllreduce.
+///   * TreeAllreduceWire — binomial gather tree of *packed contributions*
+///     (interior nodes concatenate and forward, no arithmetic — the
+///     TreeReduce idiom), root folds all members ascending, binomial
+///     broadcast of the packed q*. log2(m) rounds for small tensors.
+///   * AllreduceWire — dispatches per collectives/hierarchy.h's
+///     ChooseAllreduceAlgo over the *wire* byte size (flat ring -> chain).
+///
+/// All scratch draws from the "comm" arena and the transport pool; steady
+/// state runs with zero heap allocations (precision gate asserts it).
+/// Each rank's sends are counted under collective.chain_allreduce.bytes /
+/// collective.wire_tree.bytes and, per dtype, comm.wire.{bf16,fp16}_bytes.
+
+Status ChainAllreduceWire(TransportGroup* group, const std::vector<int>& ranks,
+                          int rank, uint32_t space, WireDtype wire,
+                          float* data, size_t n);
+
+Status HierAllreduceWire(TransportGroup* group, const ClusterTopology& topo,
+                         int rank, uint32_t space, WireDtype wire, float* data,
+                         size_t n);
+
+Status TreeAllreduceWire(TransportGroup* group, const std::vector<int>& ranks,
+                         int rank, uint32_t space, WireDtype wire, float* data,
+                         size_t n);
+
+/// Topology/size dispatch (pure in (topo, wire, n, hierarchical), so all
+/// ranks agree): flat context -> chain; hierarchical context -> tree for
+/// small wire payloads, two-tier for multi-node multi-device shapes,
+/// chain otherwise.
+Status AllreduceWire(TransportGroup* group, const ClusterTopology& topo,
+                     int rank, uint32_t space, WireDtype wire, float* data,
+                     size_t n, bool hierarchical);
+
+}  // namespace bagua
+
+#endif  // BAGUA_COLLECTIVES_WIRE_FORMAT_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "base/arena.h"
+#include "base/logging.h"
 #include "base/parallel.h"
 #include "base/strings.h"
 #include "tensor/ops.h"
@@ -106,6 +108,55 @@ const std::vector<float>& AdamOptimizer::momentum(size_t slot) const {
 int64_t AdamOptimizer::step_count(size_t slot) const {
   if (slot >= states_.size()) return 0;
   return states_[slot].t;
+}
+
+MixedPrecisionOptimizer::MixedPrecisionOptimizer(
+    std::unique_ptr<Optimizer> inner, WireDtype dtype)
+    : inner_(std::move(inner)), dtype_(dtype) {
+  BAGUA_CHECK(dtype == WireDtype::kBf16 || dtype == WireDtype::kFp16);
+}
+
+Status MixedPrecisionOptimizer::Step(size_t slot, uint16_t* param,
+                                     const uint16_t* grad, size_t n) {
+  if (slot >= master_.size()) master_.resize(slot + 1);
+  auto& master = master_[slot];
+  if (master.empty()) {
+    // First sight of this slot: the 16-bit params ARE the model; widen
+    // them once and update in fp32 ever after.
+    master.resize(n);
+    if (dtype_ == WireDtype::kBf16) {
+      Bf16ToFloatN(param, master.data(), n);
+    } else {
+      HalfToFloatN(param, master.data(), n);
+    }
+  } else if (master.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("mixed-precision slot %zu size changed: %zu -> %zu", slot,
+                  master.size(), n));
+  }
+  // fp32 gradient staging from the tensor arena: steady state recycles the
+  // same block, so the whole-step allocation gate stays green.
+  static Arena* arena = &MemoryRegistry::Global().ArenaFor("tensor");
+  ArenaScratch scratch(arena, n * sizeof(float));
+  float* grad32 = scratch.floats();
+  if (dtype_ == WireDtype::kBf16) {
+    Bf16ToFloatN(grad, grad32, n);
+  } else {
+    HalfToFloatN(grad, grad32, n);
+  }
+  RETURN_IF_ERROR(inner_->Step(slot, master.data(), grad32, n));
+  if (dtype_ == WireDtype::kBf16) {
+    FloatToBf16N(master.data(), param, n);
+  } else {
+    FloatToHalfN(master.data(), param, n);
+  }
+  return Status::OK();
+}
+
+const std::vector<float>& MixedPrecisionOptimizer::master(size_t slot) const {
+  static const std::vector<float> kEmpty;
+  if (slot >= master_.size()) return kEmpty;
+  return master_[slot];
 }
 
 }  // namespace bagua

@@ -1,10 +1,12 @@
 #ifndef BAGUA_MODEL_OPTIMIZER_H_
 #define BAGUA_MODEL_OPTIMIZER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "base/status.h"
+#include "tensor/dtype.h"
 #include "tensor/tensor.h"
 
 namespace bagua {
@@ -99,6 +101,46 @@ class AdamOptimizer : public Optimizer {
   double lr_, beta1_, beta2_, eps_;
   bool variance_frozen_ = false;
   std::vector<State> states_;
+};
+
+/// \brief Mixed-precision wrapper: 16-bit (bf16/fp16) parameters and
+/// gradients on the outside, fp32 master weights and an unmodified inner
+/// optimizer on the inside — the standard recipe that keeps reduced-storage
+/// training from stalling once updates shrink below the 16-bit ulp.
+///
+/// Step(slot, param16, grad16, n):
+///   1. widen grad16 to fp32 staging (vectorized kernels, "tensor" arena
+///      scratch — zero steady-state heap traffic);
+///   2. inner->Step(slot, master, grad_fp32, n) against the fp32 master
+///      copy (lazily initialized by widening the first param16 it sees);
+///   3. re-pack master to param16 with round-to-nearest-even.
+///
+/// Determinism: the convert kernels are element-independent and the inner
+/// optimizers run fixed-grain IntraOpFor bodies, so trajectories are
+/// bit-identical at any intra-op thread count (the precision gate checks
+/// 1/2/8). The master copy never re-reads param16, so quantization error
+/// does not accumulate across steps.
+class MixedPrecisionOptimizer {
+ public:
+  /// `dtype` must be kBf16 or kFp16 (a 16-bit storage format).
+  MixedPrecisionOptimizer(std::unique_ptr<Optimizer> inner, WireDtype dtype);
+
+  /// One update over a 16-bit (param, grad) span. The slot keys both the
+  /// master weights here and the state of the inner optimizer.
+  Status Step(size_t slot, uint16_t* param, const uint16_t* grad, size_t n);
+
+  const char* name() const { return inner_->name(); }
+  WireDtype dtype() const { return dtype_; }
+  Optimizer* inner() { return inner_.get(); }
+
+  /// Read-only view of a slot's fp32 master weights (empty until first
+  /// step) — what a checkpoint would save.
+  const std::vector<float>& master(size_t slot) const;
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  WireDtype dtype_;
+  std::vector<std::vector<float>> master_;  // per slot
 };
 
 }  // namespace bagua

@@ -1,0 +1,109 @@
+#ifndef BAGUA_TENSOR_DTYPE_H_
+#define BAGUA_TENSOR_DTYPE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace bagua {
+
+/// \brief Reduced-precision element types the system understands end-to-end.
+///
+/// fp32 is the compute dtype everywhere (kernels, optimizers, reductions
+/// accumulate in float); bf16/fp16 are *storage and wire* dtypes: 2-byte
+/// encodings used for parameter/gradient storage (model/optimizer.h
+/// MixedPrecisionOptimizer) and for collective payloads
+/// (collectives/wire_format.h). Conversions round to nearest even, the
+/// same convention as compress/fp16.h's scalar FloatToHalf — the batch
+/// kernels below are bitwise identical to the scalar paths
+/// (tests/dtype_test.cc enforces it), so a value quantized by any layer of
+/// the stack produces the same bits.
+enum class WireDtype : uint8_t {
+  kFp32 = 0,  ///< 4-byte IEEE binary32 — the identity wire format.
+  kBf16 = 1,  ///< 2-byte bfloat16 (1/8/7): fp32's exponent range, 8-bit
+              ///< mantissa. The default reduced wire dtype — no gradient
+              ///< over/underflow surprises, exactly why training systems
+              ///< prefer it on the wire.
+  kFp16 = 2,  ///< 2-byte IEEE binary16 (1/5/10): more mantissa, narrow
+              ///< exponent. The "Horovod 16bits" codec dtype.
+};
+
+constexpr size_t WireDtypeBytes(WireDtype d) {
+  return d == WireDtype::kFp32 ? 4 : 2;
+}
+
+constexpr const char* WireDtypeName(WireDtype d) {
+  switch (d) {
+    case WireDtype::kFp32: return "fp32";
+    case WireDtype::kBf16: return "bf16";
+    case WireDtype::kFp16: return "fp16";
+  }
+  return "?";
+}
+
+/// \name Scalar bf16 conversions (round to nearest even).
+///
+/// The c10-style add-trick: adding 0x7FFF plus the parity of the result's
+/// LSB to the raw float bits performs RNE truncation to the top 16 bits in
+/// one integer add (ties round toward the even 16-bit mantissa; carries
+/// propagate into the exponent so values that round past the largest
+/// representable land on ±inf, and ±inf itself is preserved — its mantissa
+/// is zero so the bias never carries). NaNs are canonicalized to
+/// sign | 0x7FC0 (quiet, payload dropped) rather than risking the rounding
+/// add turning a signalling payload into ±inf.
+/// @{
+inline uint16_t FloatToBf16(float f) {
+  const uint32_t x = std::bit_cast<uint32_t>(f);
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN
+    return static_cast<uint16_t>(((x >> 16) & 0x8000u) | 0x7FC0u);
+  }
+  return static_cast<uint16_t>((x + 0x7FFFu + ((x >> 16) & 1u)) >> 16);
+}
+
+/// Exact (every bf16 value is a float): reattach 16 zero mantissa bits.
+inline float Bf16ToFloat(uint16_t h) {
+  return std::bit_cast<float>(static_cast<uint32_t>(h) << 16);
+}
+/// @}
+
+/// \name Vectorized batch conversions (tensor/convert.cc).
+///
+/// Compiled in the -O3 -march=native kernel TU; split over the intra-op
+/// pool in fixed-size blocks, so results are bitwise identical at any
+/// thread count — and bitwise identical to the scalar conversions above /
+/// compress/fp16.h's FloatToHalf/HalfToFloat. Wall time is recorded as
+/// kernel.convert.{calls,ns,flops} (flops = elements converted). The
+/// frozen naive baselines live in tensor/reference.h; the precision gate
+/// (scripts/precision_gate.sh) fails the build unless these stay >= 2x
+/// faster.
+/// @{
+void FloatToBf16N(const float* in, uint16_t* out, size_t n);
+void Bf16ToFloatN(const uint16_t* in, float* out, size_t n);
+void FloatToHalfN(const float* in, uint16_t* out, size_t n);
+void HalfToFloatN(const uint16_t* in, float* out, size_t n);
+/// @}
+
+/// \name Wire pack/unpack — the dtype-dispatched face of the batch kernels.
+///
+/// `wire` buffers hold n elements of WireDtypeBytes(d) each and must be at
+/// least 4-byte aligned (transport payload buffers and arena scratch both
+/// are). fp32 is a memcpy.
+/// @{
+void PackWire(WireDtype d, const float* in, void* wire, size_t n);
+void UnpackWire(WireDtype d, const void* wire, float* out, size_t n);
+
+/// In-place requantization x[i] = F(W(x[i])) — what a value is worth after
+/// one trip through the wire dtype. Identity for fp32.
+void RoundToWire(WireDtype d, float* x, size_t n);
+
+/// The reduced-precision chain-reduction step (collectives/wire_format.h):
+///   acc[i] = W(F(acc[i]) + F(contrib[i]))
+/// over packed payloads, accumulating in fp32. Both payloads hold n
+/// elements of dtype `d`; `acc` is updated in place. fp32 wire degrades to
+/// a plain elementwise float add.
+void WireChainCombine(WireDtype d, void* acc, const void* contrib, size_t n);
+/// @}
+
+}  // namespace bagua
+
+#endif  // BAGUA_TENSOR_DTYPE_H_

@@ -1,5 +1,7 @@
 #include "tensor/reference.h"
 
+#include <cstring>
+
 namespace bagua {
 namespace reference {
 
@@ -66,6 +68,115 @@ double Dot(const float* a, const float* b, size_t n) {
   double s = 0.0;
   for (size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
   return s;
+}
+
+namespace {
+
+// One branchy element at a time, in the explicit extract-fields style of
+// the seed's compress/fp16.cc scalars. The vectorized kernels in
+// tensor/convert.cc must stay bit-identical to these.
+
+uint16_t Bf16FromFloat(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t exp = (x >> 23) & 0xFFu;
+  const uint32_t mant = x & 0x7FFFFFu;
+  if (exp == 0xFFu && mant != 0) {  // NaN -> canonical quiet NaN
+    return static_cast<uint16_t>(sign | 0x7FC0u);
+  }
+  uint32_t hi = x >> 16;
+  const uint32_t rem = x & 0xFFFFu;
+  // Round to nearest even on the dropped 16 bits.
+  if (rem > 0x8000u || (rem == 0x8000u && (hi & 1u))) ++hi;
+  return static_cast<uint16_t>(hi);
+}
+
+float FloatFromBf16(uint16_t h) {
+  const uint32_t x = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &x, 4);
+  return f;
+}
+
+uint16_t HalfFromFloat(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t exp = (x >> 23) & 0xFFu;
+  uint32_t mant = x & 0x7FFFFFu;
+  if (exp == 0xFFu) {  // inf / NaN
+    return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) return static_cast<uint16_t>(sign | 0x7C00u);
+  if (e <= 0) {  // subnormal or zero
+    if (e < -10) return static_cast<uint16_t>(sign);
+    mant |= 0x800000u;
+    const int shift = 14 - e;
+    uint32_t half_mant = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half_mant = mant >> 13;
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {
+      half_mant = 0;
+      ++e;
+      if (e >= 0x1F) return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(e) << 10) |
+                               half_mant);
+}
+
+float FloatFromHalf(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;
+    } else {
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      mant &= 0x3FFu;
+      x = sign | ((112u - static_cast<uint32_t>(e)) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    x = sign | 0x7F800000u | (mant << 13);
+  } else {
+    x = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, 4);
+  return f;
+}
+
+}  // namespace
+
+void FloatToBf16N(const float* in, uint16_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = Bf16FromFloat(in[i]);
+}
+
+void Bf16ToFloatN(const uint16_t* in, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = FloatFromBf16(in[i]);
+}
+
+void FloatToHalfN(const float* in, uint16_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = HalfFromFloat(in[i]);
+}
+
+void HalfToFloatN(const uint16_t* in, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = FloatFromHalf(in[i]);
 }
 
 }  // namespace reference

@@ -2,6 +2,7 @@
 #define BAGUA_TENSOR_REFERENCE_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace bagua {
 namespace reference {
@@ -32,6 +33,17 @@ void GemmTransB(const float* a, const float* b, float* c, size_t m, size_t k,
 /// fixed-tree kernels replaced).
 double Sum(const float* x, size_t n);
 double Dot(const float* a, const float* b, size_t n);
+
+/// Naive scalar dtype conversions: one branchy element at a time, the
+/// style of the seed's compress/fp16.cc scalars. Semantically identical
+/// (bit for bit) to the vectorized batch kernels in tensor/dtype.h —
+/// tests/dtype_test.cc enforces the equivalence, and
+/// scripts/precision_gate.sh fails the build unless the vectorized
+/// kernels stay >= 2x faster than these.
+void FloatToBf16N(const float* in, uint16_t* out, size_t n);
+void Bf16ToFloatN(const uint16_t* in, float* out, size_t n);
+void FloatToHalfN(const float* in, uint16_t* out, size_t n);
+void HalfToFloatN(const uint16_t* in, float* out, size_t n);
 
 }  // namespace reference
 }  // namespace bagua

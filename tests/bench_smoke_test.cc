@@ -138,6 +138,41 @@ TEST(BenchSmokeTest, FlGateWritesJsonContract) {
   std::remove(json_path.c_str());
 }
 
+TEST(BenchSmokeTest, PrecisionGateWritesJsonContract) {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  const std::string json_path =
+      std::string(dir) + "/bagua_precision_smoke.json";
+  std::remove(json_path.c_str());
+  const std::string cmd = BenchPath("bench_micro_primitives") + " --quick" +
+                          " --precision-json=" + json_path + " > /dev/null";
+  ASSERT_EQ(RunCommand(cmd), 0) << cmd;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "precision gate did not write " << json_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // The exact keys scripts/precision_gate.sh greps for.
+  for (const char* key :
+       {"convert_bf16_speedup", "convert_fp16_speedup", "convert_bf16_gbps",
+        "convert_matches_reference", "wire_fp32_ms", "wire_bf16_ms",
+        "wire_speedup", "train_bitwise_identical", "arena_misses_steady",
+        "pool_misses_steady"}) {
+    EXPECT_FALSE(std::isnan(JsonNumber(json, key))) << "missing " << key;
+  }
+  // Correctness keys are held to the script's bar here too; the timing
+  // thresholds (>= 2x converts, >= 1.4x wire) stay in
+  // scripts/precision_gate.sh where retries absorb shared-box noise.
+  EXPECT_EQ(JsonNumber(json, "convert_matches_reference"), 1.0);
+  EXPECT_EQ(JsonNumber(json, "train_bitwise_identical"), 1.0);
+  EXPECT_EQ(JsonNumber(json, "arena_misses_steady"), 0.0);
+  EXPECT_EQ(JsonNumber(json, "pool_misses_steady"), 0.0);
+  EXPECT_GT(JsonNumber(json, "wire_speedup"), 0.0);
+  std::remove(json_path.c_str());
+}
+
 TEST(BenchSmokeTest, BadFlagIsRejected) {
   const std::string cmd = BenchPath("bench_micro_primitives") +
                           " --kernels-json= 2> /dev/null";

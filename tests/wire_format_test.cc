@@ -1,0 +1,365 @@
+// Reduced-precision-wire allreduce (collectives/wire_format.h): every
+// topology must realize the canonical ascending-rank requantization chain
+//   q_0 = W(x_0);  q_r = W(F(q_{r-1}) + F(W(x_r)));  result = F(q_{m-1})
+// bit for bit. The golden emulator below folds that recurrence with the
+// *naive* scalar conversions of tensor/reference.h — an implementation
+// independent of the vectorized kernels the collectives use — so chain,
+// hierarchical, and tree execution are all pinned to one external truth.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "base/arena.h"
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/sync.h"
+#include "collectives/collectives.h"
+#include "collectives/hierarchy.h"
+#include "collectives/wire_format.h"
+#include "harness/report.h"
+#include "sim/topology.h"
+#include "tensor/reference.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "transport/transport.h"
+
+namespace bagua {
+namespace {
+
+struct ScopedSegmentBytes {
+  explicit ScopedSegmentBytes(size_t bytes)
+      : saved_(RingPipelineSegmentBytes()) {
+    SetRingPipelineSegmentBytes(bytes);
+  }
+  ~ScopedSegmentBytes() { SetRingPipelineSegmentBytes(saved_); }
+  size_t saved_;
+};
+struct ScopedIntraOpThreads {
+  explicit ScopedIntraOpThreads(int n) : saved_(IntraOpThreads()) {
+    SetIntraOpThreads(n);
+  }
+  ~ScopedIntraOpThreads() { SetIntraOpThreads(saved_); }
+  int saved_;
+};
+
+std::vector<std::vector<float>> MakeInputs(int world, size_t n,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> data(world);
+  for (auto& v : data) {
+    v.resize(n);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return data;
+}
+
+/// Scalar golden: the chain contract folded one element at a time with
+/// the frozen naive reference conversions.
+std::vector<float> ChainGolden(WireDtype wire,
+                               const std::vector<std::vector<float>>& in,
+                               size_t n) {
+  auto W = [&](float x) -> float {
+    uint16_t h;
+    float f;
+    switch (wire) {
+      case WireDtype::kFp32:
+        return x;
+      case WireDtype::kBf16:
+        reference::FloatToBf16N(&x, &h, 1);
+        reference::Bf16ToFloatN(&h, &f, 1);
+        return f;
+      case WireDtype::kFp16:
+        reference::FloatToHalfN(&x, &h, 1);
+        reference::HalfToFloatN(&h, &f, 1);
+        return f;
+    }
+    return x;
+  };
+  std::vector<float> q(n);
+  for (size_t i = 0; i < n; ++i) {
+    float acc = W(in[0][i]);
+    for (size_t r = 1; r < in.size(); ++r) {
+      acc = W(acc + W(in[r][i]));
+    }
+    q[i] = acc;
+  }
+  return q;
+}
+
+using WireFn = Status (*)(TransportGroup*, const std::vector<int>&, int,
+                          uint32_t, WireDtype, float*, size_t);
+
+std::vector<std::vector<float>> RunGroupWire(
+    WireFn fn, WireDtype wire, const std::vector<std::vector<float>>& in,
+    size_t n, TransportGroup* group) {
+  const int world = static_cast<int>(in.size());
+  std::vector<int> ranks(world);
+  for (int r = 0; r < world; ++r) ranks[r] = r;
+  auto data = in;
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    ASSERT_TRUE(fn(group, ranks, static_cast<int>(r), /*space=*/64, wire,
+                   data[r].data(), n)
+                    .ok());
+  });
+  return data;
+}
+
+std::vector<std::vector<float>> RunHierWire(
+    const ClusterTopology& topo, WireDtype wire,
+    const std::vector<std::vector<float>>& in, size_t n,
+    TransportGroup* group) {
+  auto data = in;
+  ParallelFor(static_cast<size_t>(topo.world_size()), [&](size_t r) {
+    ASSERT_TRUE(HierAllreduceWire(group, topo, static_cast<int>(r),
+                                  /*space=*/64, wire, data[r].data(), n)
+                    .ok());
+  });
+  return data;
+}
+
+void ExpectAllRanksMatch(const std::vector<std::vector<float>>& got,
+                         const std::vector<float>& want, size_t n,
+                         const char* what) {
+  for (size_t r = 0; r < got.size(); ++r) {
+    ASSERT_EQ(std::memcmp(got[r].data(), want.data(), n * sizeof(float)), 0)
+        << what << ": rank " << r << " diverged from the golden chain";
+  }
+}
+
+// ----------------------------------------------------------------- chain
+
+TEST(ChainAllreduceWire, MatchesScalarGoldenAcrossDtypesAndSizes) {
+  for (WireDtype wire :
+       {WireDtype::kFp32, WireDtype::kBf16, WireDtype::kFp16}) {
+    for (int world : {1, 2, 3, 5, 8}) {
+      for (size_t n : {size_t{1}, size_t{7}, size_t{1024}}) {
+        TransportGroup group(world);
+        auto in = MakeInputs(world, n, 17 * world + n);
+        const auto want = ChainGolden(wire, in, n);
+        const auto got = RunGroupWire(ChainAllreduceWire, wire, in, n, &group);
+        ExpectAllRanksMatch(got, want, n, WireDtypeName(wire));
+      }
+    }
+  }
+}
+
+TEST(ChainAllreduceWire, SegmentedPipelineIsBitwiseStable) {
+  // Force many wire segments: 64 KiB of bf16 payload at 1 KiB segments.
+  ScopedSegmentBytes seg(1024);
+  const int world = 4;
+  const size_t n = 32768;
+  TransportGroup group(world);
+  auto in = MakeInputs(world, n, 99);
+  const auto want = ChainGolden(WireDtype::kBf16, in, n);
+  const auto got =
+      RunGroupWire(ChainAllreduceWire, WireDtype::kBf16, in, n, &group);
+  ExpectAllRanksMatch(got, want, n, "segmented bf16 chain");
+}
+
+TEST(ChainAllreduceWire, SingleRankStillQuantizes) {
+  // m = 1 contract: result = F(W(x_0)), not x_0 verbatim.
+  TransportGroup group(1);
+  const size_t n = 64;
+  auto in = MakeInputs(1, n, 3);
+  const auto want = ChainGolden(WireDtype::kBf16, in, n);
+  const auto got =
+      RunGroupWire(ChainAllreduceWire, WireDtype::kBf16, in, n, &group);
+  ExpectAllRanksMatch(got, want, n, "single-rank bf16");
+}
+
+TEST(ChainAllreduceWire, Fp32WireIsTheAscendingSum) {
+  // With wire = fp32 the recurrence is the plain ascending-rank sum.
+  const int world = 6;
+  const size_t n = 333;
+  TransportGroup group(world);
+  auto in = MakeInputs(world, n, 41);
+  const auto want = ChainGolden(WireDtype::kFp32, in, n);
+  const auto got =
+      RunGroupWire(ChainAllreduceWire, WireDtype::kFp32, in, n, &group);
+  ExpectAllRanksMatch(got, want, n, "fp32 chain");
+  // Cross-check the emulator itself: ascending left-to-right float sum.
+  for (size_t i = 0; i < n; ++i) {
+    float s = in[0][i];
+    for (int r = 1; r < world; ++r) s += in[r][i];
+    ASSERT_EQ(want[i], s);
+  }
+}
+
+// ---------------------------------------------- topology cross-identity
+
+TEST(HierAllreduceWire, BitwiseIdenticalToChainAcrossShapes) {
+  const size_t n = 2048;
+  for (WireDtype wire : {WireDtype::kBf16, WireDtype::kFp16}) {
+    for (auto [nodes, d] : {std::pair{2, 2}, {2, 4}, {4, 2}, {4, 4},
+                            {1, 4}, {4, 1}}) {
+      ClusterTopology topo{nodes, d};
+      const int world = topo.world_size();
+      TransportGroup group(world);
+      auto in = MakeInputs(world, n, 7 * world + d);
+      const auto want = ChainGolden(wire, in, n);
+      const auto got = RunHierWire(topo, wire, in, n, &group);
+      ExpectAllRanksMatch(got, want, n, "hier vs chain");
+    }
+  }
+}
+
+TEST(TreeAllreduceWire, BitwiseIdenticalToChainAcrossWorldSizes) {
+  const size_t n = 513;
+  for (WireDtype wire : {WireDtype::kBf16, WireDtype::kFp16}) {
+    for (int world : {2, 3, 4, 5, 7, 8, 9}) {
+      TransportGroup group(world);
+      auto in = MakeInputs(world, n, 5 * world);
+      const auto want = ChainGolden(wire, in, n);
+      const auto got = RunGroupWire(TreeAllreduceWire, wire, in, n, &group);
+      ExpectAllRanksMatch(got, want, n, "tree vs chain");
+    }
+  }
+}
+
+TEST(AllreduceWire, DispatchPreservesTheCanonicalResult) {
+  // Whatever ChooseAllreduceAlgo picks, the bits must be the chain's.
+  const size_t n = 4096;
+  for (bool hierarchical : {false, true}) {
+    ClusterTopology topo{4, 2};
+    const int world = topo.world_size();
+    TransportGroup group(world);
+    auto in = MakeInputs(world, n, 123);
+    const auto want = ChainGolden(WireDtype::kBf16, in, n);
+    auto data = in;
+    ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+      ASSERT_TRUE(AllreduceWire(&group, topo, static_cast<int>(r),
+                                /*space=*/64, WireDtype::kBf16,
+                                data[r].data(), n, hierarchical)
+                      .ok());
+    });
+    ExpectAllRanksMatch(data, want, n,
+                        hierarchical ? "dispatch hier" : "dispatch flat");
+  }
+}
+
+TEST(AllreduceWire, SmallPayloadTreePathMatchesChain) {
+  // Payload under the tree threshold with a hierarchical context routes to
+  // the wire tree; bits must still be canonical.
+  ClusterTopology topo{2, 4};
+  const size_t n = 128;  // 256 wire bytes < 4 KiB tree threshold
+  const int world = topo.world_size();
+  TransportGroup group(world);
+  auto in = MakeInputs(world, n, 55);
+  const auto want = ChainGolden(WireDtype::kFp16, in, n);
+  auto data = in;
+  ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+    ASSERT_TRUE(AllreduceWire(&group, topo, static_cast<int>(r),
+                              /*space=*/64, WireDtype::kFp16, data[r].data(),
+                              n, /*hierarchical=*/true)
+                    .ok());
+  });
+  ExpectAllRanksMatch(data, want, n, "small-payload tree");
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(WireAllreduce, BitwiseStableAcrossIntraOpThreadCounts) {
+  const size_t n = 1 << 16;  // large enough that converts parallelize
+  ClusterTopology topo{2, 2};
+  const int world = topo.world_size();
+  auto in = MakeInputs(world, n, 77);
+
+  std::vector<std::vector<std::vector<float>>> results;
+  for (int threads : {1, 2, 8}) {
+    ScopedIntraOpThreads scoped(threads);
+    TransportGroup group(world);
+    results.push_back(RunHierWire(topo, WireDtype::kBf16, in, n, &group));
+  }
+  for (size_t t = 1; t < results.size(); ++t) {
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(std::memcmp(results[0][r].data(), results[t][r].data(),
+                            n * sizeof(float)),
+                0)
+          << "thread-count variant " << t << " diverged on rank " << r;
+    }
+  }
+}
+
+// -------------------------------------------------- steady-state memory
+
+TEST(WireAllreduce, ZeroSteadyStateAllocations) {
+  const int world = 4;
+  const size_t n = 8192;
+  TransportGroup group(world);
+  std::vector<int> ranks{0, 1, 2, 3};
+  auto in = MakeInputs(world, n, 13);
+  Arena& comm_arena = MemoryRegistry::Global().ArenaFor("comm");
+
+  auto run_once = [&](uint32_t space) {
+    auto data = in;
+    ParallelFor(static_cast<size_t>(world), [&](size_t r) {
+      ASSERT_TRUE(ChainAllreduceWire(&group, ranks, static_cast<int>(r),
+                                     space, WireDtype::kBf16, data[r].data(),
+                                     n)
+                      .ok());
+    });
+  };
+  // Park one wire-sized scratch block per rank up front: the live-scratch
+  // peak is scheduling-dependent (how many ranks' scratches overlap), so
+  // warm rounds alone can undershoot the class's worst-case demand.
+  {
+    std::vector<std::unique_ptr<ArenaScratch>> prime;
+    for (int r = 0; r < world; ++r) {
+      prime.emplace_back(new ArenaScratch(&comm_arena, n * 2));
+    }
+  }
+  // Then warm until a whole round completes without a pool miss.
+  for (uint32_t i = 0; i < 8; ++i) {
+    const uint64_t pm = group.pool_stats().misses;
+    const uint64_t am = comm_arena.stats().misses;
+    run_once(100 + i);
+    if (group.pool_stats().misses == pm && comm_arena.stats().misses == am) {
+      break;
+    }
+  }
+  const uint64_t pool_misses = group.pool_stats().misses;
+  const uint64_t arena_misses = comm_arena.stats().misses;
+  for (uint32_t i = 0; i < 10; ++i) run_once(200 + i);
+  EXPECT_EQ(group.pool_stats().misses, pool_misses)
+      << "steady-state chain allreduce hit the transport pool allocator";
+  EXPECT_EQ(comm_arena.stats().misses, arena_misses)
+      << "steady-state chain allreduce hit the comm arena allocator";
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(WireMetrics, WireBytesAndConvertKernelSurfaceInTheSummary) {
+  const int world = 3;
+  const size_t n = 1024;
+  TransportGroup group(world);
+  Tracer tracer(world);
+  InstallGlobalTracer(&tracer);
+  const uint64_t calls_before =
+      KernelMetrics().Counter("kernel.convert.calls");
+  auto in = MakeInputs(world, n, 5);
+  RunGroupWire(ChainAllreduceWire, WireDtype::kBf16, in, n, &group);
+  UninstallGlobalTracer();
+
+  // Up sweep: ranks 0..m-2 each send n*2 packed bytes; down sweep: ranks
+  // m-1..1 do. Both the dtype counter and the collective counter see the
+  // same wire.
+  const uint64_t want = 2ull * (world - 1) * n * 2;
+  EXPECT_EQ(tracer.CounterTotal("comm.wire.bf16_bytes"), want);
+  EXPECT_EQ(tracer.CounterTotal("collective.chain_allreduce.bytes"), want);
+  // The pack/unpack/combine work runs through the timed convert kernel, so
+  // the process-wide registry gained calls.
+  EXPECT_GT(KernelMetrics().Counter("kernel.convert.calls"), calls_before);
+
+  // And the harness report renders both: the counter table by name, the
+  // kernel table as a "convert" row.
+  const std::string summary = RenderTraceSummary(tracer);
+  EXPECT_NE(summary.find("comm.wire.bf16_bytes"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("convert"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace bagua
